@@ -1,0 +1,127 @@
+"""Ablation: cost-based refinement planning vs applying everything.
+
+The planner (paper §5) mines ref_log outcomes to skip refiners that have
+historically hurt.  Here a beneficial refiner (adds explicit criteria) and
+a harmful one (strips the view scaffold) both present themselves; the
+planner — given their history — applies only the good one, while the
+naive fixed-order policy applies both.  The planned pipeline must win on
+F1 at equal-or-lower token cost.
+"""
+
+from __future__ import annotations
+
+from repro.core import ExecutionState, REF, RefAction
+from repro.core.derived import EXPAND
+from repro.data.tweets import make_tweet_corpus
+from repro.eval.metrics import prf_from_sets
+from repro.experiments.common import build_views, compose_item_prompt
+from repro.llm.model import SimulatedLLM
+from repro.optimizer.planner import CandidateRefiner, RefinementPlanner
+
+N_ITEMS = 150
+_corpus = make_tweet_corpus(N_ITEMS, seed=7)
+
+GOOD_ADDITION = (
+    "Use these criteria:\n"
+    "- the sentiment is clearly negative\n"
+    "- the topic concerns school, exams, or homework"
+)
+
+
+def _strip_structure(state, text: str) -> str:
+    """A harmful 'simplifying' refiner: drops the scaffold and guidance."""
+    kept = [
+        line
+        for line in text.splitlines()
+        if not line.startswith(("###", "-", "General guidance"))
+    ]
+    return "\n".join(kept)
+
+
+def _base_state() -> ExecutionState:
+    state = ExecutionState()
+    state.prompts.create(
+        "filter_prompt",
+        build_views().expand("filter_stage")
+        + "\nFocus on school-related content.",
+    )
+    return state
+
+
+def _seed_history(state: ExecutionState) -> None:
+    """Past outcomes: criteria helped, structure-stripping hurt."""
+    entry = state.prompts["filter_prompt"]
+    for function, before, after in (
+        ("f_add_criteria", 0.6, 0.8),
+        ("f_add_criteria", 0.62, 0.78),
+        ("f_strip_structure", 0.8, 0.55),
+        ("f_strip_structure", 0.75, 0.5),
+    ):
+        record = entry.record(
+            RefAction.APPEND, entry.text, function=function,
+            signals={"confidence": before},
+        )
+        record.signals["outcome_confidence"] = after
+
+
+def _candidates() -> list[CandidateRefiner]:
+    return [
+        CandidateRefiner(
+            name="f_add_criteria",
+            build=lambda: EXPAND("filter_prompt", GOOD_ADDITION),
+            est_cost_tokens=20,
+        ),
+        CandidateRefiner(
+            name="f_strip_structure",
+            build=lambda: REF(
+                RefAction.UPDATE,
+                _strip_structure,
+                key="filter_prompt",
+                function_name="f_strip_structure",
+            ),
+            est_cost_tokens=1,
+        ),
+    ]
+
+
+def _score(prompt_text: str) -> float:
+    llm = SimulatedLLM()
+    llm.bind_tweets(_corpus)
+    selected = set()
+    for tweet in _corpus:
+        result = llm.generate(compose_item_prompt(prompt_text, tweet.text))
+        if result.extras.get("decision"):
+            selected.add(tweet.uid)
+    truth = {t.uid for t in _corpus.school_negatives()}
+    return prf_from_sets(selected, truth).f1
+
+
+def test_planned_refinement(once):
+    def planned():
+        state = _base_state()
+        _seed_history(state)
+        plan = RefinementPlanner().plan(state, _candidates(), budget_tokens=50)
+        state = plan.apply(state)
+        return plan, _score(state.prompts.text("filter_prompt"))
+
+    plan, f1 = once(planned)
+    assert [step.refiner.name for step in plan.steps] == ["f_add_criteria"]
+    assert "f_strip_structure" in plan.skipped
+    assert f1 > 0.6
+
+
+def test_fixed_order_applies_everything(once):
+    def fixed():
+        state = _base_state()
+        for candidate in _candidates():
+            state = candidate.build().apply(state)
+        return _score(state.prompts.text("filter_prompt"))
+
+    f1_fixed = once(fixed)
+    state = _base_state()
+    _seed_history(state)
+    plan = RefinementPlanner().plan(state, _candidates(), budget_tokens=50)
+    state = plan.apply(state)
+    f1_planned = _score(state.prompts.text("filter_prompt"))
+    assert f1_planned > f1_fixed
+    print(f"planned F1 {f1_planned:.3f} vs fixed-order F1 {f1_fixed:.3f}")

@@ -1,0 +1,41 @@
+"""Benchmark regenerating Figure 1: fusion gain vs accuracy drop per model.
+
+For each simulated backend (Qwen2.5-7B, Mistral-7B, GPT-4o-mini) and each
+fusion order, the sequential and fused plans run over a balanced corpus;
+speedups and accuracy drops are asserted against the paper's bands.
+
+Regenerate at full scale with: ``python -m repro.experiments.fusion_models``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fusion_models import MODELS, run_point
+
+N_ITEMS = 400
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_map_filter_point(once, model):
+    """Paper: all models speed up (up to ~1.33×) at a 4–8pp accuracy cost."""
+    point = once(run_point, model, "map_filter", n=N_ITEMS)
+    assert point.speedup > 1.15
+    assert 0.0 < point.accuracy_drop_pct < 12.0
+    print(
+        f"{model} map_filter: {point.speedup:.2f}x, "
+        f"accuracy drop {point.accuracy_drop_pct:+.1f}pp"
+    )
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_filter_map_point(once, model):
+    """Paper: smaller/negative speedups, accuracy drops 0.3–6pp."""
+    point = once(run_point, model, "filter_map", n=N_ITEMS)
+    map_filter = run_point(model, "map_filter", n=N_ITEMS)
+    assert point.speedup < map_filter.speedup
+    assert point.accuracy_drop_pct < 9.0
+    print(
+        f"{model} filter_map: {point.speedup:.2f}x, "
+        f"accuracy drop {point.accuracy_drop_pct:+.1f}pp"
+    )

@@ -1,0 +1,59 @@
+"""Benchmark regenerating Table 4: fusion gain by type and selectivity.
+
+Each (fusion order × selectivity) cell runs the sequential and fused plans
+over a corpus whose negative fraction *is* the filter selectivity; the
+measured simulated-time gain is asserted against the paper's signs and
+monotonicity.
+
+Regenerate at full scale with: ``python -m repro.experiments.fusion_selectivity``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fusion_selectivity import (
+    PAPER_TABLE4,
+    SELECTIVITIES,
+    run_cell,
+)
+
+N_ITEMS = 150
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_map_filter_cell(once, selectivity):
+    """Map→Filter fusion wins at every selectivity (paper: ≈20% gain)."""
+    cell = once(run_cell, "map_filter", selectivity, n=N_ITEMS)
+    assert cell.gain_pct > 10.0
+    print(
+        f"map_filter s={selectivity:.0%}: gain {cell.gain_pct:+.2f}% "
+        f"(paper {PAPER_TABLE4['map_filter'][selectivity]:+.2f}%)"
+    )
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_filter_map_cell(once, selectivity):
+    """Filter→Map fusion loses at low selectivity, wins at high."""
+    cell = once(run_cell, "filter_map", selectivity, n=N_ITEMS)
+    if selectivity <= 0.1:
+        assert cell.gain_pct < 0.0
+    if selectivity >= 0.8:
+        assert cell.gain_pct > 5.0
+    print(
+        f"filter_map s={selectivity:.0%}: gain {cell.gain_pct:+.2f}% "
+        f"(paper {PAPER_TABLE4['filter_map'][selectivity]:+.2f}%)"
+    )
+
+
+def test_filter_map_monotone(once):
+    """Gain increases with selectivity — the predicate-pushdown effect."""
+
+    def sweep():
+        return [
+            run_cell("filter_map", selectivity, n=100).gain_pct
+            for selectivity in SELECTIVITIES
+        ]
+
+    gains = once(sweep)
+    assert gains == sorted(gains)

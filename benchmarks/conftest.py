@@ -1,0 +1,23 @@
+"""Benchmark configuration.
+
+Every benchmark runs the measured harness exactly once per round
+(simulated latency is deterministic; repeated rounds only measure Python
+overhead), and asserts the paper's shape claims on the produced results so
+a regression in either speed *or* behaviour fails the bench run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable through pytest-benchmark exactly once, return result."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

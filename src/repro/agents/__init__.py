@@ -1,0 +1,8 @@
+"""Delegation agents for the DELEGATE operator."""
+
+from repro.agents.base import Agent
+from repro.agents.registry import AgentRegistry
+from repro.agents.retrieval_agent import RetrieverAgent
+from repro.agents.validation import EchoAgent, ValidationAgent
+
+__all__ = ["Agent", "AgentRegistry", "EchoAgent", "RetrieverAgent", "ValidationAgent"]

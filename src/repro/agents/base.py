@@ -1,0 +1,29 @@
+"""Agent abstraction for the DELEGATE operator.
+
+Paper §3.3: ``DELEGATE[agent, payload]`` "offloads subtasks to an external
+agent (e.g., a coder, retriever, or downstream service)".  Agents receive
+the execution state (read/write access to C and M, like any participant in
+the pipeline) plus the payload, and return a result that DELEGATE stores
+in C.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Agent"]
+
+
+class Agent:
+    """Base class for delegation targets."""
+
+    #: agents self-identify; registries key on this when no explicit name
+    #: is given.
+    name: str = "agent"
+
+    def handle(self, state: Any, payload: Any) -> Any:
+        """Process ``payload`` in the context of ``state``; return a result."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,47 @@
+"""Agent registry: named lookup for DELEGATE targets."""
+
+from __future__ import annotations
+
+from repro.agents.base import Agent
+from repro.errors import DelegationError
+
+__all__ = ["AgentRegistry"]
+
+
+class AgentRegistry:
+    """A simple name → agent map with validation."""
+
+    def __init__(self) -> None:
+        self._agents: dict[str, Agent] = {}
+
+    def register(self, agent: Agent, *, name: str | None = None) -> None:
+        """Register ``agent`` under ``name`` (default: the agent's own name)."""
+        if not isinstance(agent, Agent):
+            raise DelegationError(
+                f"only Agent instances can be registered, got {type(agent).__name__}"
+            )
+        self._agents[name or agent.name] = agent
+
+    def get(self, name: str) -> Agent:
+        """Look up an agent; raises :class:`DelegationError` when unknown."""
+        try:
+            return self._agents[name]
+        except KeyError:
+            raise DelegationError(
+                f"unknown agent {name!r}; registered: {sorted(self._agents)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """All registered agent names, sorted."""
+        return sorted(self._agents)
+
+    def install(self, state) -> None:
+        """Register every agent onto an execution state."""
+        for name, agent in self._agents.items():
+            state.register_agent(name, agent)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._agents
+
+    def __len__(self) -> int:
+        return len(self._agents)

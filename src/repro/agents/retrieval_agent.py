@@ -1,0 +1,48 @@
+"""Retriever agent: delegation-based retrieval (paper §3.3).
+
+DELEGATE's examples include "a coder, retriever, or downstream service".
+:class:`RetrieverAgent` wraps the BM25 retrieval stack as a delegation
+target: the payload is a natural-language request (often a refinable
+prompt from P), and the agent returns ranked snippets plus its own
+relevance signal, which it writes into M for CHECK conditions — e.g.
+"if the retriever's top score is weak, refine the retrieval prompt".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.agents.base import Agent
+from repro.retrieval.index import InvertedIndex
+
+__all__ = ["RetrieverAgent"]
+
+
+class RetrieverAgent(Agent):
+    """Answers retrieval requests over an inverted index."""
+
+    name = "retriever"
+
+    def __init__(self, index: InvertedIndex, *, top_k: int = 3) -> None:
+        self.index = index
+        self.top_k = top_k
+
+    def handle(self, state: Any, payload: Any) -> dict[str, Any]:
+        """Search for ``payload`` (a query string); returns ranked snippets.
+
+        The result carries ``snippets`` (texts, best first), per-snippet
+        ``scores``, and ``top_score``; ``retrieval_score`` is also written
+        to M so pipelines can CHECK it.
+        """
+        query = str(payload)
+        ranked = self.index.search(query, top_k=self.top_k)
+        snippets = [document.text for document, __ in ranked]
+        scores = [round(score, 4) for __, score in ranked]
+        top_score = scores[0] if scores else 0.0
+        state.metadata.set("retrieval_score", top_score)
+        return {
+            "query": query,
+            "snippets": snippets,
+            "scores": scores,
+            "top_score": top_score,
+        }

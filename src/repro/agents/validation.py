@@ -1,0 +1,110 @@
+"""Validation agent: the paper's "Delegated Evidence Check" (Table 1).
+
+``DELEGATE["validation_agent", C["answer_1"]] → C["evidence_score"]``:
+an external validator scores a generated answer for evidence alignment —
+how well each claim in the answer is supported by the retrieved context.
+
+The scorer is deliberately simple and fully inspectable: it extracts the
+factual fragments of the answer (dosages, timings, indications, drug
+status) and checks each against the context text, returning the supported
+fraction plus a per-claim breakdown.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.agents.base import Agent
+
+__all__ = ["ValidationAgent", "EchoAgent"]
+
+_DOSAGE_RE = re.compile(r"\b\d+(?:\.\d+)?\s*mg(?:/kg)?\b", re.IGNORECASE)
+_TIMING_RE = re.compile(
+    r"(?:within the last|more than)\s+\d+\s+hours(?:\s+ago)?", re.IGNORECASE
+)
+_INDICATION_TERMS = (
+    "dvt prophylaxis",
+    "pe treatment",
+    "atrial fibrillation bridging",
+    "post-operative anticoagulation",
+)
+
+
+class ValidationAgent(Agent):
+    """Scores answers for evidence alignment against context in C.
+
+    The agent reads every string value in C under the configured context
+    keys (default: all string values) as the evidence pool, extracts
+    claims from the payload answer, and reports:
+
+    - ``evidence_score`` — supported claims / total claims (1.0 when the
+      answer makes no checkable claims);
+    - per-claim support details in ``claims``.
+
+    DELEGATE stores the whole report; pipelines typically route
+    ``report["evidence_score"]`` into M for CHECK conditions.
+    """
+
+    name = "validation_agent"
+
+    def __init__(self, evidence_keys: list[str] | None = None) -> None:
+        self.evidence_keys = evidence_keys
+
+    def _evidence_text(self, state: Any) -> str:
+        keys = self.evidence_keys
+        if keys is None:
+            keys = [
+                key
+                for key in state.context.keys()
+                if isinstance(state.context[key], str)
+            ]
+        return "\n".join(
+            str(state.context[key]) for key in keys if key in state.context
+        ).lower()
+
+    @staticmethod
+    def _extract_claims(answer: str) -> list[tuple[str, str]]:
+        """(kind, claim-text) pairs found in the answer."""
+        claims: list[tuple[str, str]] = []
+        for match in _DOSAGE_RE.findall(answer):
+            claims.append(("dosage", match.lower()))
+        for match in _TIMING_RE.findall(answer):
+            claims.append(("timing", match.lower()))
+        lowered = answer.lower()
+        for term in _INDICATION_TERMS:
+            if term in lowered:
+                claims.append(("indication", term))
+        if "received enoxaparin" in lowered or "administered enoxaparin" in lowered:
+            claims.append(("administered", "enoxaparin"))
+        if "no enoxaparin" in lowered:
+            claims.append(("not_administered", "no enoxaparin"))
+        return claims
+
+    def handle(self, state: Any, payload: Any) -> dict[str, Any]:
+        """Score ``payload`` (an answer string) against the state's context."""
+        answer = str(payload)
+        evidence = self._evidence_text(state)
+        claims = self._extract_claims(answer)
+        results = []
+        supported = 0
+        for kind, claim in claims:
+            if kind == "not_administered":
+                hit = "enoxaparin" not in evidence
+            else:
+                hit = claim in evidence
+            supported += int(hit)
+            results.append({"kind": kind, "claim": claim, "supported": hit})
+        score = supported / len(claims) if claims else 1.0
+        # Make the score available to CHECK conditions immediately.
+        state.metadata.set("evidence_score", score)
+        return {"evidence_score": score, "claims": results}
+
+
+class EchoAgent(Agent):
+    """Trivial agent returning its payload — used by tests and examples."""
+
+    name = "echo"
+
+    def handle(self, state: Any, payload: Any) -> Any:
+        return payload

@@ -1,0 +1,156 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro experiments {table3|table4|figure1|all} [--n N] [--seed S]
+    python -m repro run PIPELINE_FILE --pipeline NAME [--patient ID] [--show-trace]
+    python -m repro fmt PIPELINE_FILE
+
+``run`` executes a SPEAR-DL file against a fully wired state: the
+simulated model grounded on the seeded synthetic corpora, the clinical
+retrieval sources, and the validation agent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.agents import ValidationAgent
+from repro.core import ExecutionState
+from repro.data import make_clinical_corpus, make_tweet_corpus
+from repro.dl import compile_source, parse
+from repro.dl.formatter import format_program
+from repro.llm import SimulatedLLM
+from repro.retrieval import clinical_sources
+from repro.runtime.tracing import render_timeline
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPEAR reproduction: experiments, SPEAR-DL runner, formatter.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "which", choices=("table3", "table4", "figure1", "variance", "all")
+    )
+    experiments.add_argument("--n", type=int, default=1000, help="corpus size")
+    experiments.add_argument("--seed", type=int, default=7)
+    experiments.add_argument(
+        "--profile", default="qwen2.5-7b-instruct", help="model profile name"
+    )
+
+    run = commands.add_parser("run", help="execute a pipeline from a SPEAR-DL file")
+    run.add_argument("file", type=Path, help="SPEAR-DL source file")
+    run.add_argument("--pipeline", required=True, help="pipeline name to run")
+    run.add_argument(
+        "--patient", default="p0001", help="patient id exposed as C['patient_id']"
+    )
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument(
+        "--show-trace", action="store_true", help="print the execution timeline"
+    )
+
+    fmt = commands.add_parser("fmt", help="reformat a SPEAR-DL file to canonical form")
+    fmt.add_argument("file", type=Path)
+    fmt.add_argument(
+        "--write", action="store_true", help="rewrite the file in place"
+    )
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    # Imported lazily: the experiment modules build corpora at import.
+    from repro.experiments import fusion_models, fusion_selectivity
+    from repro.experiments import refinement_strategies
+
+    if args.which in ("table3", "all"):
+        table = refinement_strategies.run_table3(
+            n=args.n, seed=args.seed, profile=args.profile
+        )
+        from repro.eval.tables import format_table
+
+        headers = ["Strategy", "Time (s)", "Speedup (x)", "F1", "F1 Gain (%)", "Cache Hit (%)"]
+        print(format_table(headers, table.rows(), title="Table 3 (reproduced)"))
+        print()
+    if args.which in ("table4", "all"):
+        fusion_selectivity.main()
+        print()
+    if args.which in ("figure1", "all"):
+        fusion_models.main()
+        print()
+    if args.which == "variance":
+        from repro.experiments import variance
+
+        variance.main()
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    source = args.file.read_text(encoding="utf-8")
+    compiled = compile_source(source)
+
+    clinical = make_clinical_corpus(30, seed=args.seed)
+    tweets = make_tweet_corpus(200, seed=args.seed)
+    llm = SimulatedLLM()
+    llm.bind_clinical(clinical)
+    llm.bind_tweets(tweets)
+
+    state = ExecutionState(model=llm, views=compiled.views, clock=llm.clock)
+    state.context.put("patient_id", args.patient, producer="cli")
+    for name, source_fn in clinical_sources(clinical).items():
+        state.register_source(name, source_fn)
+    state.register_agent("validation_agent", ValidationAgent())
+
+    state = compiled.pipeline(args.pipeline).apply(state)
+
+    print(f"pipeline {args.pipeline!r} finished in "
+          f"{state.clock.now:.2f}s simulated, "
+          f"{int(state.metadata.get('gen_calls', 0))} generation calls\n")
+    print("context outputs:")
+    for key in state.context.keys():
+        if key.endswith("__result"):
+            continue
+        value = str(state.context[key]).replace("\n", " ")
+        if len(value) > 100:
+            value = value[:97] + "..."
+        print(f"  {key}: {value}")
+    if args.show_trace:
+        print("\nexecution timeline:")
+        print(render_timeline(state.events))
+    return 0
+
+
+def _cmd_fmt(args: argparse.Namespace) -> int:
+    source = args.file.read_text(encoding="utf-8")
+    formatted = format_program(parse(source))
+    if args.write:
+        args.file.write_text(formatted, encoding="utf-8")
+        print(f"reformatted {args.file}")
+    else:
+        print(formatted, end="")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "run": _cmd_run,
+        "fmt": _cmd_fmt,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""SPEAR core: prompt-as-data model and the prompt algebra."""
+
+from repro.core.algebra import Condition, FunctionOperator, Operator
+from repro.core.context import Context
+from repro.core.derived import DIFF, EXPAND, MAP, RETRY, SWITCH, VIEW, prompt_diff
+from repro.core.entry import (
+    PromptEntry,
+    PromptVersion,
+    RefAction,
+    RefinementMode,
+    RefLogRecord,
+    render_template,
+    template_placeholders,
+)
+from repro.core.metadata import Metadata
+from repro.core.operators import CHECK, DELEGATE, GEN, MERGE, REF, RET
+from repro.core.pipeline import Pipeline
+from repro.core.refinement import (
+    adaptive_hint,
+    assisted_refinement,
+    auto_refinement,
+    build_rewrite_prompt,
+    manual_refinement,
+    refine_on_low_confidence,
+)
+from repro.core.state import ExecutionState
+from repro.core.store import PromptStore
+from repro.core.views import View, ViewRegistry
+
+__all__ = [
+    "Condition",
+    "FunctionOperator",
+    "Operator",
+    "Context",
+    "DIFF",
+    "EXPAND",
+    "MAP",
+    "RETRY",
+    "SWITCH",
+    "VIEW",
+    "prompt_diff",
+    "PromptEntry",
+    "PromptVersion",
+    "RefAction",
+    "RefinementMode",
+    "RefLogRecord",
+    "render_template",
+    "template_placeholders",
+    "Metadata",
+    "CHECK",
+    "DELEGATE",
+    "GEN",
+    "MERGE",
+    "REF",
+    "RET",
+    "Pipeline",
+    "adaptive_hint",
+    "assisted_refinement",
+    "auto_refinement",
+    "build_rewrite_prompt",
+    "manual_refinement",
+    "refine_on_low_confidence",
+    "ExecutionState",
+    "PromptStore",
+    "View",
+    "ViewRegistry",
+]

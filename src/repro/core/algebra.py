@@ -1,0 +1,166 @@
+"""Operator base class: the prompt algebra's composition machinery.
+
+Paper §3.3: "this algebra is *closed under composition* in that each of
+its operators consumes and produces the triple (P, C, M)".  Concretely,
+every :class:`Operator` implements ``apply(state) → state``; ``a >> b``
+builds a :class:`~repro.core.pipeline.Pipeline`, which is itself an
+operator — closure under composition.
+
+``apply`` wraps the subclass hook ``_run`` with structured event emission
+(operator_start / operator_end / error), so every pipeline execution is
+fully traceable through the event log (paper §6).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.state import ExecutionState
+from repro.errors import SpearError
+from repro.runtime.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import Pipeline
+
+__all__ = ["Operator", "Condition", "FunctionOperator"]
+
+
+class Operator:
+    """Base class for all prompt-algebra operators."""
+
+    #: subclasses set a printable label, e.g. ``GEN["answer_0"]``.
+    label: str = "OP"
+
+    def _run(self, state: ExecutionState) -> ExecutionState:
+        raise NotImplementedError
+
+    def apply(self, state: ExecutionState) -> ExecutionState:
+        """Apply this operator to ``state``, with event tracing."""
+        state.events.emit(
+            EventKind.OPERATOR_START, self.label, at=state.clock.now
+        )
+        try:
+            result = self._run(state)
+        except SpearError as error:
+            state.events.emit(
+                EventKind.ERROR,
+                self.label,
+                at=state.clock.now,
+                error=type(error).__name__,
+                message=str(error),
+            )
+            raise
+        state.events.emit(EventKind.OPERATOR_END, self.label, at=state.clock.now)
+        return result
+
+    def __call__(self, state: ExecutionState) -> ExecutionState:
+        return self.apply(state)
+
+    def __rshift__(self, other: "Operator") -> "Pipeline":
+        from repro.core.pipeline import Pipeline
+
+        return Pipeline([self]) >> other
+
+    def __repr__(self) -> str:
+        return self.label
+
+
+class FunctionOperator(Operator):
+    """Lift an arbitrary ``state → state`` function into the algebra.
+
+    Escape hatch for glue steps (e.g. recording ground truth into C) that
+    still want event tracing and ``>>`` composition.
+    """
+
+    def __init__(self, fn: Callable[[ExecutionState], ExecutionState | None], label: str | None = None) -> None:
+        self._fn = fn
+        self.label = label or f"FN[{getattr(fn, '__name__', 'lambda')}]"
+
+    def _run(self, state: ExecutionState) -> ExecutionState:
+        result = self._fn(state)
+        return result if result is not None else state
+
+
+class Condition:
+    """A named predicate over (C, M), printable for ref_log provenance.
+
+    CHECK records *why* a refinement fired; a bare lambda cannot describe
+    itself, so conditions carry a textual form.  Helpers build the common
+    shapes from the paper: ``Condition.metadata_below("confidence", 0.7)``
+    renders as ``M["confidence"] < 0.7``.
+    """
+
+    def __init__(self, fn: Callable[[ExecutionState], bool], text: str) -> None:
+        self._fn = fn
+        self.text = text
+
+    def __call__(self, state: ExecutionState) -> bool:
+        return bool(self._fn(state))
+
+    def __invert__(self) -> "Condition":
+        return Condition(lambda state: not self._fn(state), f"not ({self.text})")
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Condition(
+            lambda state: self._fn(state) and other(state),
+            f"({self.text}) and ({other.text})",
+        )
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Condition(
+            lambda state: self._fn(state) or other(state),
+            f"({self.text}) or ({other.text})",
+        )
+
+    def __repr__(self) -> str:
+        return f"Condition({self.text})"
+
+    # -- constructors for the paper's common shapes -------------------------
+
+    @staticmethod
+    def metadata_below(signal: str, threshold: float) -> "Condition":
+        """``M[signal] < threshold`` (missing signal counts as 0)."""
+        return Condition(
+            lambda state: float(state.metadata.get(signal, 0.0)) < threshold,
+            f'M["{signal}"] < {threshold}',
+        )
+
+    @staticmethod
+    def metadata_above(signal: str, threshold: float) -> "Condition":
+        """``M[signal] > threshold`` (missing signal counts as 0)."""
+        return Condition(
+            lambda state: float(state.metadata.get(signal, 0.0)) > threshold,
+            f'M["{signal}"] > {threshold}',
+        )
+
+    @staticmethod
+    def missing_context(key: str) -> "Condition":
+        """``key not in C`` — the Missing Order Retrieval trigger."""
+        return Condition(
+            lambda state: key not in state.context,
+            f'"{key}" not in C',
+        )
+
+    @staticmethod
+    def context_contains(key: str) -> "Condition":
+        """``key in C``."""
+        return Condition(
+            lambda state: key in state.context,
+            f'"{key}" in C',
+        )
+
+    @staticmethod
+    def of(fn: Callable[[ExecutionState], bool], text: str | None = None) -> "Condition":
+        """Wrap an arbitrary predicate (with an optional description)."""
+        if isinstance(fn, Condition):
+            return fn
+        return Condition(fn, text or getattr(fn, "__name__", "custom"))
+
+
+def as_condition(cond: Any) -> Condition:
+    """Coerce a Condition, callable, or bool into a Condition."""
+    if isinstance(cond, Condition):
+        return cond
+    if callable(cond):
+        return Condition.of(cond)
+    return Condition(lambda state: bool(cond), repr(bool(cond)))

@@ -1,0 +1,78 @@
+"""Prompt histories: querying and manipulating ref_logs (paper §4.3).
+
+SPEAR tracks each prompt fragment's evolution through its embedded
+``ref_log``.  This module provides the introspection surface over those
+logs: provenance traces, version diffs, rollbacks, and export in the
+paper's JSON-ish form.  Cross-prompt *analytics* (which refiners work?)
+live in :mod:`repro.core.meta`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.derived import prompt_diff
+from repro.core.entry import PromptEntry, RefAction, RefLogRecord
+from repro.core.store import PromptStore
+
+__all__ = [
+    "trace",
+    "diff_versions",
+    "rollback_to",
+    "refinements_of",
+    "triggered_refinements",
+    "export_history",
+]
+
+
+def trace(entry: PromptEntry) -> list[str]:
+    """Human-readable provenance trace, one line per refinement step."""
+    lines = []
+    for record in entry.ref_log:
+        parts = [f"v{record.version}", record.action.value, record.function]
+        if record.mode is not None:
+            parts.append(f"mode={record.mode.value}")
+        if record.condition is not None:
+            parts.append(f"when {record.condition}")
+        if "outcome_confidence" in record.signals:
+            parts.append(
+                f"outcome_conf={record.signals['outcome_confidence']:.2f}"
+            )
+        lines.append(" ".join(parts))
+    return lines
+
+
+def diff_versions(entry: PromptEntry, version_1: int, version_2: int) -> dict[str, Any]:
+    """Structural diff between two historical versions of one prompt."""
+    return prompt_diff(entry.text_at(version_1), entry.text_at(version_2))
+
+
+def rollback_to(store: PromptStore, key: str, version: int) -> RefLogRecord:
+    """Roll ``store[key]`` back to an earlier version (logged, reversible)."""
+    return store[key].rollback(version)
+
+
+def refinements_of(entry: PromptEntry, function: str) -> list[RefLogRecord]:
+    """All ref_log records produced by the named refinement function."""
+    return [record for record in entry.ref_log if record.function == function]
+
+
+def triggered_refinements(entry: PromptEntry) -> list[RefLogRecord]:
+    """Records that fired from a CHECK condition (vs unconditional edits)."""
+    return [record for record in entry.ref_log if record.condition is not None]
+
+
+def export_history(store: PromptStore) -> dict[str, list[dict[str, Any]]]:
+    """Serialize every entry's ref_log — the input to meta analysis/replay."""
+    return {key: store.history(key) for key in store.keys()}
+
+
+def creation_record(entry: PromptEntry) -> RefLogRecord:
+    """The CREATE record of an entry (always present, always first)."""
+    record = entry.ref_log[0]
+    if record.action is not RefAction.CREATE:
+        # Clones may start mid-history; search for the CREATE.
+        for candidate in entry.ref_log:
+            if candidate.action is RefAction.CREATE:
+                return candidate
+    return record

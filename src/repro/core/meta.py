@@ -1,0 +1,173 @@
+"""Meta prompts: pipelines that analyze and revise their own prompt logic.
+
+Paper §4.4: because prompt histories are first-class data, SPEAR can mine
+ref_logs to find which refiners consistently improve confidence, replace
+underperforming refiners, and visualize how prompts evolved across retry
+chains.  This module implements those analytics over
+:class:`~repro.core.store.PromptStore` ref_logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.entry import RefAction
+from repro.core.store import PromptStore
+
+__all__ = [
+    "RefinerStats",
+    "analyze_refiners",
+    "underperforming_refiners",
+    "recommend_replacement",
+    "evolution_summary",
+]
+
+
+@dataclass
+class RefinerStats:
+    """Aggregate outcome statistics for one refinement function."""
+
+    function: str
+    applications: int = 0
+    #: mean confidence improvement across applications where both the
+    #: pre-refinement confidence and the post-GEN outcome are known.
+    mean_confidence_delta: float = 0.0
+    #: fraction of applications triggered by a CHECK condition.
+    triggered_fraction: float = 0.0
+    #: how many distinct prompt keys the refiner touched.
+    prompts_touched: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for logging / reporting."""
+        return {
+            "function": self.function,
+            "applications": self.applications,
+            "mean_confidence_delta": round(self.mean_confidence_delta, 4),
+            "triggered_fraction": round(self.triggered_fraction, 4),
+            "prompts_touched": self.prompts_touched,
+        }
+
+
+def analyze_refiners(store: PromptStore) -> dict[str, RefinerStats]:
+    """Mine every ref_log for per-refiner outcome statistics.
+
+    For each non-CREATE record carrying both a pre-refinement
+    ``confidence`` signal and a post-GEN ``outcome_confidence``, the delta
+    measures what that refinement bought.  Records without outcomes (no
+    GEN ran afterwards) still count as applications.
+    """
+    deltas: dict[str, list[float]] = {}
+    applications: dict[str, int] = {}
+    triggered: dict[str, int] = {}
+    touched: dict[str, set[str]] = {}
+
+    for key in store.keys():
+        for record in store[key].ref_log:
+            if record.action is RefAction.CREATE:
+                continue
+            name = record.function
+            applications[name] = applications.get(name, 0) + 1
+            touched.setdefault(name, set()).add(key)
+            if record.condition is not None:
+                triggered[name] = triggered.get(name, 0) + 1
+            before = record.signals.get("confidence")
+            after = record.signals.get("outcome_confidence")
+            if before is not None and after is not None:
+                deltas.setdefault(name, []).append(float(after) - float(before))
+
+    stats: dict[str, RefinerStats] = {}
+    for name, count in applications.items():
+        name_deltas = deltas.get(name, [])
+        stats[name] = RefinerStats(
+            function=name,
+            applications=count,
+            mean_confidence_delta=(
+                sum(name_deltas) / len(name_deltas) if name_deltas else 0.0
+            ),
+            triggered_fraction=triggered.get(name, 0) / count,
+            prompts_touched=len(touched.get(name, set())),
+        )
+    return stats
+
+
+def underperforming_refiners(
+    store: PromptStore,
+    *,
+    min_applications: int = 2,
+    threshold: float = 0.0,
+) -> list[RefinerStats]:
+    """Refiners applied often enough whose mean confidence delta is <= threshold.
+
+    These are the candidates §4.4 suggests replacing (e.g. swap a generic
+    rewriter for targeted example injection).
+    """
+    return sorted(
+        (
+            stat
+            for stat in analyze_refiners(store).values()
+            if stat.applications >= min_applications
+            and stat.mean_confidence_delta <= threshold
+        ),
+        key=lambda stat: stat.mean_confidence_delta,
+    )
+
+
+def recommend_replacement(store: PromptStore, function: str) -> str | None:
+    """Suggest the best-performing alternative refiner for ``function``.
+
+    Returns the refiner with the highest mean confidence delta among those
+    that touched at least one of the same prompts (so the recommendation
+    is task-relevant), or None when no better alternative exists.
+    """
+    stats = analyze_refiners(store)
+    target = stats.get(function)
+    if target is None:
+        return None
+    target_keys = {
+        key
+        for key in store.keys()
+        if any(record.function == function for record in store[key].ref_log)
+    }
+    best_name: str | None = None
+    best_delta = target.mean_confidence_delta
+    for name, stat in stats.items():
+        if name == function:
+            continue
+        touches_same = any(
+            any(record.function == name for record in store[key].ref_log)
+            for key in target_keys
+        )
+        if touches_same and stat.mean_confidence_delta > best_delta:
+            best_name = name
+            best_delta = stat.mean_confidence_delta
+    return best_name
+
+
+def evolution_summary(store: PromptStore, key: str) -> dict[str, Any]:
+    """How one prompt evolved: per-step actions, modes, and text growth.
+
+    The §4.4 "visualize how a prompt evolved over the course of fallback
+    or retry chains" use case, as structured data.
+    """
+    entry = store[key]
+    steps = []
+    for record, snapshot in zip(entry.ref_log, entry.versions):
+        steps.append(
+            {
+                "version": record.version,
+                "action": record.action.value,
+                "function": record.function,
+                "mode": record.mode.value if record.mode else None,
+                "condition": record.condition,
+                "chars": len(snapshot.text),
+                "outcome_confidence": record.signals.get("outcome_confidence"),
+            }
+        )
+    return {
+        "key": key,
+        "view": entry.view,
+        "versions": entry.version + 1,
+        "steps": steps,
+        "net_growth_chars": len(entry.text) - len(entry.versions[0].text),
+    }

@@ -1,0 +1,121 @@
+"""The metadata store M: control signals guiding conditional execution.
+
+``Metadata`` is the M in SPEAR's ``(P, C, M)`` execution state (paper §3.2).
+It carries confidence scores, latencies, retry counts, token usage and any
+other diagnostic signals.  CHECK operators query M to decide whether to
+apply refinements or fallback logic, and the optimizer mines M (via the
+ref_log) for cost-based refinement planning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import MetadataError
+
+__all__ = ["Metadata"]
+
+# Well-known signal names used across the package.  Using constants keeps
+# operator code and optimizer code agreeing on spelling.
+CONFIDENCE = "confidence"
+LATENCY = "latency"
+RETRIES = "retries"
+PROMPT_TOKENS = "prompt_tokens"
+CACHED_TOKENS = "cached_tokens"
+OUTPUT_TOKENS = "output_tokens"
+CACHE_HIT_RATE = "cache_hit_rate"
+
+
+class Metadata:
+    """Signal store with per-signal history and simple aggregation."""
+
+    def __init__(self, initial: Mapping[str, Any] | None = None) -> None:
+        self._values: dict[str, Any] = dict(initial or {})
+        self._history: dict[str, list[Any]] = {
+            key: [value] for key, value in self._values.items()
+        }
+
+    # -- mapping protocol -------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._values[key]
+        except KeyError:
+            raise MetadataError(f"unknown metadata signal: {key!r}") from None
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.set(key, value)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the latest value of ``key`` or ``default`` when absent."""
+        return self._values.get(key, default)
+
+    def keys(self) -> list[str]:
+        """All signal names."""
+        return list(self._values)
+
+    # -- signal updates ----------------------------------------------------
+
+    def set(self, key: str, value: Any) -> None:
+        """Record a new observation of signal ``key``."""
+        self._values[key] = value
+        self._history.setdefault(key, []).append(value)
+
+    def increment(self, key: str, amount: float = 1) -> float:
+        """Add ``amount`` to a numeric signal (creating it at 0)."""
+        current = self._values.get(key, 0)
+        if not isinstance(current, (int, float)):
+            raise MetadataError(
+                f"cannot increment non-numeric signal {key!r} ({current!r})"
+            )
+        updated = current + amount
+        self.set(key, updated)
+        return updated
+
+    def update(self, values: Mapping[str, Any]) -> None:
+        """Record several signals at once."""
+        for key, value in values.items():
+            self.set(key, value)
+
+    # -- history and aggregation ---------------------------------------------
+
+    def history(self, key: str) -> list[Any]:
+        """All observed values of ``key``, oldest first."""
+        return list(self._history.get(key, []))
+
+    def mean(self, key: str) -> float:
+        """Arithmetic mean of a numeric signal's history."""
+        values = self._history.get(key)
+        if not values:
+            raise MetadataError(f"no history for signal {key!r}")
+        numeric = [value for value in values if isinstance(value, (int, float))]
+        if not numeric:
+            raise MetadataError(f"signal {key!r} has no numeric history")
+        return sum(numeric) / len(numeric)
+
+    def last_n(self, key: str, n: int) -> list[Any]:
+        """The most recent ``n`` observations of ``key``."""
+        return self._history.get(key, [])[-n:]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Latest value of every signal, as a plain dict."""
+        return dict(self._values)
+
+    def fork(self) -> "Metadata":
+        """Copy the metadata for branch/shadow execution."""
+        copy = Metadata()
+        copy._values = dict(self._values)
+        copy._history = {key: list(values) for key, values in self._history.items()}
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Metadata({self._values!r})"

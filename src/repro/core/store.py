@@ -1,0 +1,163 @@
+"""The prompt store P: a structured, versioned key-value store of prompts.
+
+``PromptStore`` is the P in SPEAR's ``(P, C, M)`` execution state
+(paper §3.2).  Entries are :class:`~repro.core.entry.PromptEntry` objects;
+the store adds naming, tag lookup, and store-level provenance helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.core.entry import PromptEntry, RefAction, RefinementMode
+from repro.errors import PromptStoreError, UnknownPromptError
+
+__all__ = ["PromptStore"]
+
+
+class PromptStore:
+    """Named, versioned prompt fragments (the paper's P).
+
+    The store behaves like a mapping from string keys to
+    :class:`PromptEntry` values, with helpers for creation, tagging,
+    cloning and history inspection.  It may be backed by any
+    :class:`~repro.runtime.kvstore.KeyValueBackend`; by default an
+    in-process dict is used.
+    """
+
+    def __init__(self, backend: "Mapping[str, PromptEntry] | None" = None) -> None:
+        # The backend must support __getitem__/__setitem__/__delitem__/
+        # __contains__/__iter__/__len__; a plain dict qualifies.
+        self._entries: Any = backend if backend is not None else {}
+
+    # -- mapping protocol -------------------------------------------------
+
+    def __getitem__(self, key: str) -> PromptEntry:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise UnknownPromptError(key) from None
+
+    def __setitem__(self, key: str, entry: PromptEntry) -> None:
+        if not isinstance(entry, PromptEntry):
+            raise PromptStoreError(
+                f"prompt store values must be PromptEntry, got {type(entry).__name__}"
+            )
+        self._entries[key] = entry
+
+    def __delitem__(self, key: str) -> None:
+        try:
+            del self._entries[key]
+        except KeyError:
+            raise UnknownPromptError(key) from None
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[str]:
+        """All prompt keys currently in the store."""
+        return list(self._entries)
+
+    def get(self, key: str, default: PromptEntry | None = None) -> PromptEntry | None:
+        """Return the entry for ``key`` or ``default`` when absent."""
+        try:
+            return self[key]
+        except UnknownPromptError:
+            return default
+
+    # -- creation ---------------------------------------------------------
+
+    def create(
+        self,
+        key: str,
+        text: str,
+        *,
+        tags: set[str] | None = None,
+        params: Mapping[str, Any] | None = None,
+        view: str | None = None,
+        function: str = "f_literal",
+        mode: RefinementMode | None = None,
+        overwrite: bool = False,
+    ) -> PromptEntry:
+        """Create a new entry under ``key``.
+
+        Raises :class:`PromptStoreError` if the key exists and ``overwrite``
+        is false — accidental clobbering of a refined prompt would silently
+        discard its provenance.
+        """
+        if key in self._entries and not overwrite:
+            raise PromptStoreError(
+                f"prompt {key!r} already exists; pass overwrite=True to replace"
+            )
+        entry = PromptEntry(
+            text,
+            tags=tags,
+            params=params,
+            view=view,
+            created_by=function,
+            mode=mode,
+        )
+        self._entries[key] = entry
+        return entry
+
+    def ensure(self, key: str, text: str, **kwargs: Any) -> PromptEntry:
+        """Return the existing entry for ``key`` or create it from ``text``."""
+        existing = self.get(key)
+        if existing is not None:
+            return existing
+        return self.create(key, text, **kwargs)
+
+    def clone(self, source: str, target: str, *, overwrite: bool = False) -> PromptEntry:
+        """Copy ``source`` (with full history) to ``target``."""
+        if target in self._entries and not overwrite:
+            raise PromptStoreError(
+                f"prompt {target!r} already exists; pass overwrite=True to replace"
+            )
+        copy = self[source].clone()
+        self._entries[target] = copy
+        return copy
+
+    # -- lookup -----------------------------------------------------------
+
+    def text(self, key: str) -> str:
+        """Shorthand for ``store[key].text``."""
+        return self[key].text
+
+    def with_tag(self, tag: str) -> list[str]:
+        """Keys of all entries carrying ``tag`` (used for runtime dispatch)."""
+        return [key for key in self._entries if tag in self._entries[key].tags]
+
+    def from_view(self, view_name: str) -> list[str]:
+        """Keys of all entries instantiated from the named view."""
+        return [
+            key
+            for key in self._entries
+            if self._entries[key].view == view_name
+        ]
+
+    # -- provenance -------------------------------------------------------
+
+    def history(self, key: str) -> list[dict[str, Any]]:
+        """The ref_log of ``key`` as plain dicts."""
+        return [record.to_dict() for record in self[key].ref_log]
+
+    def refinement_count(self, key: str) -> int:
+        """Number of post-creation refinements applied to ``key``."""
+        return sum(
+            1
+            for record in self[key].ref_log
+            if record.action is not RefAction.CREATE
+        )
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Serialize the whole store (for logging / shadow execution)."""
+        return {key: self._entries[key].to_dict() for key in self._entries}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PromptStore({sorted(self._entries)!r})"

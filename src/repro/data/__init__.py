@@ -1,0 +1,23 @@
+"""Synthetic corpus generators (Sentiment140 stand-in, clinical notes)."""
+
+from repro.data.clinical import (
+    ClinicalCorpus,
+    ClinicalNote,
+    LabResult,
+    MedOrder,
+    Patient,
+    make_clinical_corpus,
+)
+from repro.data.tweets import Tweet, TweetCorpus, make_tweet_corpus
+
+__all__ = [
+    "ClinicalCorpus",
+    "ClinicalNote",
+    "LabResult",
+    "MedOrder",
+    "Patient",
+    "make_clinical_corpus",
+    "Tweet",
+    "TweetCorpus",
+    "make_tweet_corpus",
+]

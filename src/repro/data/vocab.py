@@ -1,0 +1,119 @@
+"""Word lists used by the synthetic corpus generators.
+
+Kept in one module so tests can assert lexicon properties (e.g. the
+positive and negative lexicons are disjoint) and so the generators and the
+fallback lexicon classifier in :mod:`repro.llm.tasks` agree on vocabulary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "POSITIVE_PHRASES",
+    "NEGATIVE_PHRASES",
+    "SCHOOL_TOPICS",
+    "GENERAL_TOPICS",
+    "NOISE_HASHTAGS",
+    "NOISE_HANDLES",
+    "POSITIVE_WORDS",
+    "NEGATIVE_WORDS",
+]
+
+POSITIVE_PHRASES = (
+    "absolutely loving",
+    "so happy about",
+    "really enjoyed",
+    "feeling great after",
+    "thrilled with",
+    "had an amazing time at",
+    "can't stop smiling about",
+    "grateful for",
+    "super excited for",
+    "best day ever thanks to",
+)
+
+NEGATIVE_PHRASES = (
+    "completely fed up with",
+    "so stressed about",
+    "really hated",
+    "feeling awful after",
+    "devastated by",
+    "had a terrible time at",
+    "can't stop worrying about",
+    "exhausted because of",
+    "dreading",
+    "worst day ever thanks to",
+)
+
+SCHOOL_TOPICS = (
+    "the math exam",
+    "my chemistry homework",
+    "the history class",
+    "our school project",
+    "the physics teacher",
+    "finals week at school",
+    "the biology midterm",
+    "my class presentation",
+    "the school schedule",
+    "studying for exams",
+)
+
+GENERAL_TOPICS = (
+    "the new coffee place",
+    "this rainy weather",
+    "my phone battery",
+    "the traffic downtown",
+    "the football game",
+    "my weekend plans",
+    "the concert last night",
+    "my new headphones",
+    "the airline delay",
+    "dinner with friends",
+)
+
+NOISE_HASHTAGS = (
+    "#fml",
+    "#blessed",
+    "#mondays",
+    "#nofilter",
+    "#random",
+    "#life",
+)
+
+NOISE_HANDLES = (
+    "@sam_k",
+    "@jenny_loo",
+    "@the_real_mx",
+    "@carlos99",
+    "@pat_outside",
+)
+
+#: Single-word lexicons used by the fallback (non-oracle) classifier.
+POSITIVE_WORDS = frozenset(
+    {
+        "loving",
+        "happy",
+        "enjoyed",
+        "great",
+        "thrilled",
+        "amazing",
+        "smiling",
+        "grateful",
+        "excited",
+        "best",
+    }
+)
+
+NEGATIVE_WORDS = frozenset(
+    {
+        "fed",
+        "stressed",
+        "hated",
+        "awful",
+        "devastated",
+        "terrible",
+        "worrying",
+        "exhausted",
+        "dreading",
+        "worst",
+    }
+)

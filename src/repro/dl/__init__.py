@@ -1,0 +1,32 @@
+"""SPEAR-DL: the declarative developer-facing language (paper §6)."""
+
+from repro.dl.ast_nodes import (
+    ConditionNode,
+    OpCall,
+    PipelineDef,
+    Program,
+    Statement,
+    ViewDef,
+)
+from repro.dl.compiler import CompiledProgram, compile_program, compile_source
+from repro.dl.formatter import format_op_call, format_program
+from repro.dl.lexer import Token, TokenType, tokenize
+from repro.dl.parser import parse
+
+__all__ = [
+    "ConditionNode",
+    "OpCall",
+    "PipelineDef",
+    "Program",
+    "Statement",
+    "ViewDef",
+    "CompiledProgram",
+    "format_op_call",
+    "format_program",
+    "compile_program",
+    "compile_source",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse",
+]

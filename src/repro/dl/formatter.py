@@ -1,0 +1,96 @@
+"""SPEAR-DL formatter: render a parsed Program back to canonical source.
+
+Useful for tooling (pretty-printing generated pipelines, diffing DL
+programs) and as a correctness anchor: ``parse(format(parse(src)))``
+produces the same AST as ``parse(src)`` — the round-trip property tested
+in tests/dl/test_formatter.py.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.dl.ast_nodes import (
+    ConditionNode,
+    OpCall,
+    PipelineDef,
+    Program,
+    Statement,
+    ViewDef,
+)
+
+__all__ = ["format_program", "format_op_call"]
+
+
+def _format_string(value: str) -> str:
+    if "\n" in value or '"' in value:
+        return f'"""{value}"""'
+    return f'"{value}"'
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, ConditionNode):
+        return value.text()
+    if isinstance(value, OpCall):
+        return format_op_call(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return _format_string(value)
+    if isinstance(value, float):
+        # Keep integral floats readable but still float-typed on reparse.
+        text = repr(value)
+        return text
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, dict):
+        inner = ", ".join(
+            f"{key}: {_format_value(item)}" for key, item in value.items()
+        )
+        return "{" + inner + "}"
+    if isinstance(value, list):
+        return "[" + ", ".join(_format_value(item) for item in value) + "]"
+    return str(value)
+
+
+def format_op_call(call: OpCall) -> str:
+    """One operator term in canonical form."""
+    parts = [_format_value(arg) for arg in call.args]
+    parts.extend(
+        f"{name}={_format_value(value)}" for name, value in call.kwargs.items()
+    )
+    return f"{call.name}[{', '.join(parts)}]"
+
+
+def _format_statement(statement: Statement) -> str:
+    text = format_op_call(statement.op)
+    if statement.then is not None:
+        text += f" -> {format_op_call(statement.then)}"
+    return text
+
+
+def _format_view(view: ViewDef) -> str:
+    header = f"view {view.name}({', '.join(view.params)})"
+    if view.base is not None:
+        header += f" extends {view.base}"
+    lines = [header + " {", f'  """{view.template}"""']
+    if view.tags:
+        lines.append(f"  tags: {', '.join(view.tags)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_pipeline(pipeline: PipelineDef) -> str:
+    lines = [f"pipeline {pipeline.name} {{"]
+    lines.extend(
+        f"  {_format_statement(statement)}" for statement in pipeline.statements
+    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Render a full program; views first, then pipelines."""
+    chunks = [_format_view(view) for view in program.views]
+    chunks.extend(_format_pipeline(pipeline) for pipeline in program.pipelines)
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,197 @@
+"""SPEAR-DL lexer.
+
+SPEAR-DL (paper §6) is the declarative developer-facing layer: view
+definitions and pipelines of operator terms.  The surface syntax mirrors
+the paper's notation::
+
+    view qa_base(drug) {
+      \"\"\"Summarize the patient's medication history and highlight any
+      use of {drug}.\"\"\"
+      tags: clinical, summary
+    }
+
+    pipeline enoxaparin_qa {
+      RET["initial_notes", query="p0001"]
+      VIEW["qa_base", key="qa", params={drug: "Enoxaparin"}]
+      GEN["answer_0", prompt="qa"]
+      CHECK[M["confidence"] < 0.7] -> REF[APPEND, "Explain reasoning.", key="qa"]
+      GEN["answer_1", prompt="qa"]
+    }
+
+The lexer produces a flat token stream; comments (``# ...``) and
+whitespace are skipped.  Strings support single, double, and triple
+double-quoted forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import DslSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize"]
+
+
+class TokenType(str, Enum):
+    """Lexical token categories."""
+
+    NAME = "NAME"
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+    LBRACKET = "LBRACKET"
+    RBRACKET = "RBRACKET"
+    LBRACE = "LBRACE"
+    RBRACE = "RBRACE"
+    LPAREN = "LPAREN"
+    RPAREN = "RPAREN"
+    COMMA = "COMMA"
+    COLON = "COLON"
+    EQUALS = "EQUALS"
+    LT = "LT"
+    GT = "GT"
+    ARROW = "ARROW"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+
+_PUNCT = {
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    ",": TokenType.COMMA,
+    ":": TokenType.COLON,
+    "=": TokenType.EQUALS,
+    "<": TokenType.LT,
+    ">": TokenType.GT,
+}
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex SPEAR-DL source into tokens; raises :class:`DslSyntaxError`."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal position, line, column
+        for __ in range(count):
+            if position < length and source[position] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            position += 1
+
+    while position < length:
+        char = source[position]
+
+        if char in " \t\r\n":
+            advance(1)
+            continue
+
+        if char == "#":
+            while position < length and source[position] != "\n":
+                advance(1)
+            continue
+
+        if source.startswith('"""', position):
+            start_line, start_column = line, column
+            end = source.find('"""', position + 3)
+            if end < 0:
+                raise DslSyntaxError("unterminated triple-quoted string", start_line, start_column)
+            value = source[position + 3 : end]
+            advance(end + 3 - position)
+            tokens.append(Token(TokenType.STRING, value, start_line, start_column))
+            continue
+
+        if char in "\"'":
+            start_line, start_column = line, column
+            quote = char
+            end = position + 1
+            while end < length and source[end] != quote:
+                if source[end] == "\n":
+                    raise DslSyntaxError(
+                        "unterminated string", start_line, start_column
+                    )
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                raise DslSyntaxError("unterminated string", start_line, start_column)
+            raw = source[position + 1 : end]
+            value = raw.replace(f"\\{quote}", quote).replace("\\n", "\n").replace("\\\\", "\\")
+            advance(end + 1 - position)
+            tokens.append(Token(TokenType.STRING, value, start_line, start_column))
+            continue
+
+        if source.startswith("->", position):
+            tokens.append(Token(TokenType.ARROW, "->", line, column))
+            advance(2)
+            continue
+
+        if char.isdigit() or (
+            char == "-" and position + 1 < length and source[position + 1].isdigit()
+        ):
+            start_line, start_column = line, column
+            end = position + 1
+            while end < length and (source[end].isdigit() or source[end] == "."):
+                end += 1
+            # Scientific notation: 6e-10, 1.5E+3, 2e7.
+            if end < length and source[end] in "eE":
+                exponent = end + 1
+                if exponent < length and source[exponent] in "+-":
+                    exponent += 1
+                if exponent < length and source[exponent].isdigit():
+                    end = exponent
+                    while end < length and source[end].isdigit():
+                        end += 1
+            value = source[position:end]
+            mantissa = value.split("e")[0].split("E")[0]
+            if mantissa.count(".") > 1:
+                raise DslSyntaxError(f"malformed number {value!r}", start_line, start_column)
+            advance(end - position)
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_column))
+            continue
+
+        if _is_name_start(char):
+            start_line, start_column = line, column
+            end = position + 1
+            while end < length and _is_name_char(source[end]):
+                end += 1
+            value = source[position:end]
+            advance(end - position)
+            tokens.append(Token(TokenType.NAME, value, start_line, start_column))
+            continue
+
+        if char in _PUNCT:
+            tokens.append(Token(_PUNCT[char], char, line, column))
+            advance(1)
+            continue
+
+        raise DslSyntaxError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

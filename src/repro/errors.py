@@ -1,0 +1,124 @@
+"""Exception hierarchy for the SPEAR reproduction.
+
+Every error raised by this package derives from :class:`SpearError`, so
+callers embedding SPEAR in a larger system can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class SpearError(Exception):
+    """Base class for all SPEAR errors."""
+
+
+class PromptStoreError(SpearError):
+    """Problems with the prompt store P (missing keys, bad versions)."""
+
+
+class UnknownPromptError(PromptStoreError):
+    """A prompt key was requested that does not exist in P."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"unknown prompt key: {key!r}")
+        self.key = key
+
+
+class UnknownVersionError(PromptStoreError):
+    """A prompt version was requested that the entry never had."""
+
+    def __init__(self, key: str, version: int) -> None:
+        super().__init__(f"prompt {key!r} has no version {version}")
+        self.key = key
+        self.version = version
+
+
+class ContextError(SpearError):
+    """Problems with the runtime context C."""
+
+
+class UnknownContextKeyError(ContextError):
+    """A context key was requested that does not exist in C."""
+
+    def __init__(self, key: str) -> None:
+        super().__init__(f"unknown context key: {key!r}")
+        self.key = key
+
+
+class MetadataError(SpearError):
+    """Problems with the metadata store M."""
+
+
+class OperatorError(SpearError):
+    """An operator could not be constructed or applied."""
+
+
+class ViewError(SpearError):
+    """Problems with view definition, lookup, or expansion."""
+
+
+class UnknownViewError(ViewError):
+    """A view name was requested that is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown view: {name!r}")
+        self.name = name
+
+
+class ViewParameterError(ViewError):
+    """A view was instantiated with missing or unexpected parameters."""
+
+
+class RefinementError(SpearError):
+    """A refinement function failed or was mis-specified."""
+
+
+class DelegationError(SpearError):
+    """A DELEGATE target agent is unknown or failed."""
+
+
+class RetrievalError(SpearError):
+    """A RET source is unknown or retrieval failed."""
+
+
+class ModelError(SpearError):
+    """The simulated LLM backend rejected a request."""
+
+
+class TokenBudgetExceededError(ModelError):
+    """A generation request exceeded the configured token budget."""
+
+    def __init__(self, requested: int, budget: int) -> None:
+        super().__init__(
+            f"request of {requested} tokens exceeds budget of {budget}"
+        )
+        self.requested = requested
+        self.budget = budget
+
+
+class PlanningError(SpearError):
+    """The optimizer could not produce a plan."""
+
+
+class FusionError(PlanningError):
+    """Operator fusion was requested for an unfusable pair."""
+
+
+class DslError(SpearError):
+    """Base class for SPEAR-DL language errors."""
+
+
+class DslSyntaxError(DslError):
+    """SPEAR-DL source failed to lex or parse."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class DslCompileError(DslError):
+    """SPEAR-DL parsed but referenced unknown operators, views, etc."""
+
+
+class ReplayError(SpearError):
+    """A refinement replay log was inconsistent with the store."""

@@ -1,0 +1,13 @@
+"""Evaluation metrics and report formatting."""
+
+from repro.eval.metrics import PRF, accuracy_from_pairs, field_completeness, prf_from_sets
+from repro.eval.tables import format_cell, format_table
+
+__all__ = [
+    "PRF",
+    "accuracy_from_pairs",
+    "field_completeness",
+    "prf_from_sets",
+    "format_cell",
+    "format_table",
+]

@@ -1,0 +1,85 @@
+"""Evaluation metrics: F1, precision/recall, accuracy, completeness.
+
+Implemented from first principles (no sklearn dependency) over predicted
+and ground-truth id sets — the natural shape for the paper's select-style
+tasks (Table 3 selects school-related negative tweets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["PRF", "prf_from_sets", "accuracy_from_pairs", "field_completeness"]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 with the underlying confusion counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        if denominator == 0:
+            return 0.0
+        return self.true_positives / denominator
+
+    @property
+    def f1(self) -> float:
+        precision = self.precision
+        recall = self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+
+def prf_from_sets(predicted: Iterable[str], truth: Iterable[str]) -> PRF:
+    """PRF over predicted vs ground-truth id sets."""
+    predicted_set = set(predicted)
+    truth_set = set(truth)
+    return PRF(
+        true_positives=len(predicted_set & truth_set),
+        false_positives=len(predicted_set - truth_set),
+        false_negatives=len(truth_set - predicted_set),
+    )
+
+
+def accuracy_from_pairs(pairs: Iterable[tuple[object, object]]) -> float:
+    """Fraction of (predicted, truth) pairs that agree; 0.0 when empty."""
+    total = 0
+    correct = 0
+    for predicted, truth in pairs:
+        total += 1
+        correct += int(predicted == truth)
+    if total == 0:
+        return 0.0
+    return correct / total
+
+
+def field_completeness(
+    answers: Iterable[dict], required_fields: list[str]
+) -> float:
+    """Mean fraction of required fields present across QA answers.
+
+    The §2 use case's quality axis: early prompts omit dosage/timing;
+    refinement should drive completeness up.
+    """
+    answers = list(answers)
+    if not answers or not required_fields:
+        return 0.0
+    total = 0.0
+    for answer in answers:
+        present = sum(1 for field_name in required_fields if field_name in answer)
+        total += present / len(required_fields)
+    return total / len(answers)

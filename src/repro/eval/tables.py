@@ -1,0 +1,47 @@
+"""Plain-text table formatting for experiment reports.
+
+Every experiment module prints its results in the same row/column layout
+as the paper's tables, via :func:`format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats to sensible precision, everything else str."""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table with a header rule."""
+    rendered_rows = [[format_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[index]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(header))
+        for index, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

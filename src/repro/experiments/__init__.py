@@ -1,0 +1,17 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from repro.experiments.fusion_models import Figure1Result, run_figure1
+from repro.experiments.fusion_selectivity import Table4Result, run_table4
+from repro.experiments.refinement_strategies import Table3Result, run_table3
+from repro.experiments.variance import VarianceResult, run_variance
+
+__all__ = [
+    "Figure1Result",
+    "run_figure1",
+    "Table4Result",
+    "run_table4",
+    "Table3Result",
+    "run_table3",
+    "VarianceResult",
+    "run_variance",
+]

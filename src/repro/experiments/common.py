@@ -1,0 +1,247 @@
+"""Shared machinery for the §7 experiments.
+
+The evaluation pipeline is the paper's: tweets flow through a Map stage
+(clean up / summarize) and a Filter stage (negative sentiment), defined as
+reusable views; Table 3 refines the pipeline toward school-related
+content, Table 4 and Figure 1 compare sequential vs fused execution.
+
+Every run uses a fresh :class:`~repro.llm.SimulatedLLM` (cold caches), a
+seeded corpus, and the virtual clock for timing — runs are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.views import ViewRegistry
+from repro.data.tweets import Tweet, TweetCorpus
+from repro.llm.model import SimulatedLLM
+from repro.llm.tasks import POST_ITEM_MARKER
+from repro.optimizer.fusion import LlmStage, build_fused_instruction
+
+__all__ = [
+    "POST_ITEM_MARKER",
+    "MAP_INSTRUCTION",
+    "FILTER_NEG_INSTRUCTION",
+    "SCAFFOLD",
+    "build_views",
+    "compose_item_prompt",
+    "StageRun",
+    "run_map_filter_sequential",
+    "run_filter_map_sequential",
+    "run_fused",
+    "accuracy_against_negatives",
+    "make_llm",
+]
+
+MAP_INSTRUCTION = (
+    "Summarize and clean up the tweet in at most 30 words, removing "
+    "handles, hashtags, and links."
+)
+
+FILTER_NEG_INSTRUCTION = (
+    "Select the tweet only if its sentiment is negative. "
+    "Respond with yes or no."
+)
+
+#: The shared scaffold of the reusable pipeline view V.  Deliberately
+#: substantial: view-based prompts front-load stable guidance, which is
+#: exactly what makes them prefix-cacheable (paper §5).
+SCAFFOLD = """### Task
+You are given one tweet from a public social media stream.
+General guidance:
+- Read the whole tweet before deciding anything.
+- Ignore handles (like @someone), hashtags, and links when judging content.
+- Treat elongated words (soooo) and shouting case as emphasis, not meaning.
+- Judge only what the text itself expresses, not what it implies about the author.
+- If the tweet quotes someone else, treat the quoted words as part of the tweet.
+- Do not invent information that is not present in the tweet.
+- Give your answer in exactly the requested format with no extra commentary."""
+
+
+def build_views(registry: ViewRegistry | None = None) -> ViewRegistry:
+    """Register the pipeline's views: scaffold, map stage, filter stage.
+
+    Returns the registry (a fresh one when none is given).  The map and
+    filter views extend the shared scaffold — the composed pair is the
+    paper's reusable view V.
+    """
+    views = registry if registry is not None else ViewRegistry()
+    views.define("tweet_scaffold", SCAFFOLD, tags={"sentiment", "base"})
+    views.define(
+        "map_stage",
+        MAP_INSTRUCTION,
+        base="tweet_scaffold",
+        tags={"sentiment", "map"},
+        description="Clean up / summarize one tweet (the Map stage of V).",
+    )
+    views.define(
+        "filter_stage",
+        FILTER_NEG_INSTRUCTION,
+        base="tweet_scaffold",
+        tags={"sentiment", "filter"},
+        description="Negative-sentiment selection (the Filter stage of V).",
+    )
+    return views
+
+
+def compose_item_prompt(instructions: str, item_text: str) -> str:
+    """Compose the per-item prompt: instructions, the item, post-item lines.
+
+    The item goes on its own line (the simulated model grounds it by exact
+    line lookup); any instruction lines carrying :data:`POST_ITEM_MARKER`
+    are moved after the item.
+    """
+    pre_lines = []
+    post_lines = []
+    for line in instructions.splitlines():
+        if line.strip().startswith(POST_ITEM_MARKER):
+            post_lines.append(line)
+        else:
+            pre_lines.append(line)
+    parts = ["\n".join(pre_lines), "Tweet:", item_text]
+    if post_lines:
+        parts.append("\n".join(post_lines))
+    return "\n".join(parts)
+
+
+def make_llm(profile: str, *, enable_prefix_cache: bool = True) -> SimulatedLLM:
+    """A fresh model instance with cold caches for one experiment run."""
+    return SimulatedLLM(profile, enable_prefix_cache=enable_prefix_cache)
+
+
+@dataclass
+class StageRun:
+    """Aggregate outcome of running a (multi-stage) pipeline over a corpus."""
+
+    #: uids of items the filter kept.
+    selected: set[str] = field(default_factory=set)
+    #: per-item predicted decisions keyed by uid.
+    decisions: dict[str, bool] = field(default_factory=dict)
+    #: total simulated seconds across all calls.
+    sim_seconds: float = 0.0
+    calls: int = 0
+    prompt_tokens: int = 0
+    cached_tokens: int = 0
+    output_tokens: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Token-level prefix-cache hit rate across the run."""
+        if self.prompt_tokens == 0:
+            return 0.0
+        return self.cached_tokens / self.prompt_tokens
+
+    @property
+    def mean_item_seconds(self) -> float:
+        """Mean simulated seconds per selected-or-rejected item."""
+        if not self.decisions:
+            return 0.0
+        return self.sim_seconds / len(self.decisions)
+
+    def record_call(self, result) -> None:
+        """Fold one GenerationResult into the aggregates."""
+        self.sim_seconds += result.latency.total
+        self.calls += 1
+        self.prompt_tokens += result.prompt_tokens
+        self.cached_tokens += result.cached_tokens
+        self.output_tokens += result.output_tokens
+
+    def record_decision(self, tweet: Tweet, decision: bool) -> None:
+        """Record the filter verdict for one item."""
+        self.decisions[tweet.uid] = decision
+        if decision:
+            self.selected.add(tweet.uid)
+
+
+def run_map_filter_sequential(
+    llm: SimulatedLLM, corpus: TweetCorpus, *, views: ViewRegistry | None = None
+) -> StageRun:
+    """Sequential Map→Filter: summarize every tweet, then classify summaries."""
+    views = views if views is not None else build_views()
+    llm.bind_tweets(corpus)
+    map_instruction = views.expand("map_stage")
+    filter_instruction = views.expand("filter_stage")
+    run = StageRun()
+    for tweet in corpus:
+        map_result = llm.generate(compose_item_prompt(map_instruction, tweet.text))
+        run.record_call(map_result)
+        filter_result = llm.generate(
+            compose_item_prompt(filter_instruction, map_result.text)
+        )
+        run.record_call(filter_result)
+        run.record_decision(tweet, bool(filter_result.extras.get("decision")))
+    return run
+
+
+def run_filter_map_sequential(
+    llm: SimulatedLLM, corpus: TweetCorpus, *, views: ViewRegistry | None = None
+) -> StageRun:
+    """Sequential Filter→Map: classify raw tweets, summarize only the kept.
+
+    This is the predicate-pushdown plan: at low selectivity most Map calls
+    are skipped, which is why fusing this order can *lose* (paper §7).
+    """
+    views = views if views is not None else build_views()
+    llm.bind_tweets(corpus)
+    map_instruction = views.expand("map_stage")
+    filter_instruction = views.expand("filter_stage")
+    run = StageRun()
+    for tweet in corpus:
+        filter_result = llm.generate(
+            compose_item_prompt(filter_instruction, tweet.text)
+        )
+        run.record_call(filter_result)
+        decision = bool(filter_result.extras.get("decision"))
+        run.record_decision(tweet, decision)
+        if decision:
+            map_result = llm.generate(
+                compose_item_prompt(map_instruction, tweet.text)
+            )
+            run.record_call(map_result)
+    return run
+
+
+def run_fused(
+    llm: SimulatedLLM,
+    corpus: TweetCorpus,
+    *,
+    order: str,
+    map_output_tokens: int = 22,
+) -> StageRun:
+    """Fused execution: one combined call per item, in either stage order."""
+    map_stage = LlmStage(
+        kind="map",
+        instruction=MAP_INSTRUCTION,
+        expected_output_tokens=map_output_tokens,
+    )
+    filter_stage = LlmStage(
+        kind="filter", instruction=FILTER_NEG_INSTRUCTION, expected_output_tokens=3
+    )
+    if order == "map_filter":
+        fused_instruction = build_fused_instruction(map_stage, filter_stage)
+    elif order == "filter_map":
+        fused_instruction = build_fused_instruction(filter_stage, map_stage)
+    else:
+        raise ValueError(f"order must be 'map_filter' or 'filter_map': {order!r}")
+    # The fused prompt keeps the shared scaffold, like the views do.
+    fused_instruction = f"{SCAFFOLD}\n{fused_instruction}"
+
+    llm.bind_tweets(corpus)
+    run = StageRun()
+    for tweet in corpus:
+        result = llm.generate(compose_item_prompt(fused_instruction, tweet.text))
+        run.record_call(result)
+        run.record_decision(tweet, bool(result.extras.get("decision")))
+    return run
+
+
+def accuracy_against_negatives(run: StageRun, corpus: TweetCorpus) -> float:
+    """Fraction of items whose filter verdict matches ground truth."""
+    correct = sum(
+        1
+        for tweet in corpus
+        if run.decisions.get(tweet.uid) == tweet.is_negative
+    )
+    return correct / len(corpus) if len(corpus) else 0.0

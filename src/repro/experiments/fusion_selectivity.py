@@ -1,0 +1,162 @@
+"""Table 4: performance gain by fusion type and selectivity.
+
+Two pipeline configurations over the tweet corpus:
+
+- **Map→Filter**: clean up the tweet, then classify sentiment — every
+  input passes through both stages, so fusion saves a full call per item
+  at *every* selectivity (≈20% in the paper).
+- **Filter→Map**: filter for negative sentiment, then clean up — the
+  sequential plan enjoys predicate pushdown (Map runs only on kept items),
+  so fusion loses at low selectivity and wins only as selectivity rises.
+
+Selectivity is controlled by the corpus generator's negative fraction
+(the filter's pass rate).  Gain is ``1 − fused_time / sequential_time``.
+
+Run directly: ``python -m repro.experiments.fusion_selectivity``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.tweets import make_tweet_corpus
+from repro.eval.tables import format_table
+from repro.experiments.common import (
+    accuracy_against_negatives,
+    make_llm,
+    run_filter_map_sequential,
+    run_fused,
+    run_map_filter_sequential,
+)
+
+__all__ = [
+    "SELECTIVITIES",
+    "PAPER_TABLE4",
+    "FusionCell",
+    "Table4Result",
+    "run_cell",
+    "run_table4",
+    "main",
+]
+
+SELECTIVITIES = (0.1, 0.3, 0.5, 0.8, 1.0)
+
+#: The paper's published Table 4 (gain %, by fusion type × selectivity).
+PAPER_TABLE4 = {
+    "map_filter": {0.1: 23.11, 0.3: 23.40, 0.5: 21.72, 0.8: 21.16, 1.0: 19.42},
+    "filter_map": {0.1: -10.35, 0.3: -3.99, 0.5: 3.21, 0.8: 16.27, 1.0: 21.17},
+}
+
+
+@dataclass(frozen=True)
+class FusionCell:
+    """Measured sequential-vs-fused comparison at one selectivity."""
+
+    order: str
+    selectivity: float
+    sequential_s: float
+    fused_s: float
+    sequential_accuracy: float
+    fused_accuracy: float
+
+    @property
+    def gain_pct(self) -> float:
+        """Relative time saved by fusion, in percent (negative = slower)."""
+        if self.sequential_s == 0:
+            return 0.0
+        return (1.0 - self.fused_s / self.sequential_s) * 100.0
+
+    @property
+    def accuracy_drop_pct(self) -> float:
+        """Accuracy lost by fusing, in percentage points."""
+        return (self.sequential_accuracy - self.fused_accuracy) * 100.0
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """All cells of the reproduced Table 4."""
+
+    cells: dict[tuple[str, float], FusionCell]
+
+    def gain(self, order: str, selectivity: float) -> float:
+        """Gain % for one (order, selectivity) cell."""
+        return self.cells[(order, selectivity)].gain_pct
+
+    def rows(self) -> list[list]:
+        """Two table rows (one per fusion type), columns by selectivity."""
+        rows = []
+        for order, label in (
+            ("map_filter", "Map->Filter"),
+            ("filter_map", "Filter->Map"),
+        ):
+            row = [label]
+            for selectivity in SELECTIVITIES:
+                row.append(f"{self.gain(order, selectivity):+.2f}%")
+            rows.append(row)
+        return rows
+
+
+def run_cell(
+    order: str,
+    selectivity: float,
+    *,
+    n: int = 400,
+    seed: int = 7,
+    profile: str = "qwen2.5-7b-instruct",
+) -> FusionCell:
+    """Run sequential and fused plans at one selectivity; fresh caches each."""
+    corpus = make_tweet_corpus(n, seed=seed, negative_fraction=selectivity)
+
+    sequential_llm = make_llm(profile)
+    if order == "map_filter":
+        sequential = run_map_filter_sequential(sequential_llm, corpus)
+    elif order == "filter_map":
+        sequential = run_filter_map_sequential(sequential_llm, corpus)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+
+    fused_llm = make_llm(profile)
+    fused = run_fused(fused_llm, corpus, order=order)
+
+    return FusionCell(
+        order=order,
+        selectivity=selectivity,
+        sequential_s=sequential.sim_seconds,
+        fused_s=fused.sim_seconds,
+        sequential_accuracy=accuracy_against_negatives(sequential, corpus),
+        fused_accuracy=accuracy_against_negatives(fused, corpus),
+    )
+
+
+def run_table4(
+    *,
+    n: int = 400,
+    seed: int = 7,
+    profile: str = "qwen2.5-7b-instruct",
+) -> Table4Result:
+    """Run every (order × selectivity) cell."""
+    cells = {
+        (order, selectivity): run_cell(
+            order, selectivity, n=n, seed=seed, profile=profile
+        )
+        for order in ("map_filter", "filter_map")
+        for selectivity in SELECTIVITIES
+    }
+    return Table4Result(cells=cells)
+
+
+def main() -> None:
+    """Regenerate Table 4 and print measured-vs-paper."""
+    table = run_table4()
+    headers = ["Fusion Type"] + [f"{int(s * 100)}%" for s in SELECTIVITIES]
+    print(format_table(headers, table.rows(), title="Table 4 (reproduced): gain by fusion type and selectivity"))
+    print()
+    paper_rows = [
+        ["Map->Filter"] + [f"{PAPER_TABLE4['map_filter'][s]:+.2f}%" for s in SELECTIVITIES],
+        ["Filter->Map"] + [f"{PAPER_TABLE4['filter_map'][s]:+.2f}%" for s in SELECTIVITIES],
+    ]
+    print(format_table(headers, paper_rows, title="Table 4 (paper, for reference)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,300 @@
+"""Table 3: comparison of prompt refinement strategies.
+
+The paper's task: a Map (summarize) + Filter (negative sentiment) pipeline
+stored as a reusable view V, refined at runtime to focus on school-related
+content.  Five strategies produce the refined filter prompt:
+
+1. **Static Prompt**     — a hand-written, from-scratch prompt (no V).
+2. **Agentic Rewrite**   — the LLM writes a new prompt from the objective
+   alone (no V).
+3. **Manual Refinement** — a refinement instruction appended to V.
+4. **Assisted Refinement** — the LLM rewrites V given the original
+   instruction plus a refinement hint.
+5. **Auto Refinement**   — the LLM refines V from the original instruction
+   plus a high-level objective; per-item adaptive hints are injected for
+   items the risk heuristic flags.
+
+For each strategy we report mean per-item pipeline time (simulated
+seconds), speedup over Static, F1 against the school-related-negative
+ground truth, F1 gain over Static, and the refined stage's prefix-cache
+hit rate — the same columns as the paper's Table 3.
+
+Run directly: ``python -m repro.experiments.refinement_strategies``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.derived import VIEW
+from repro.core.refinement import (
+    assisted_refinement,
+    auto_refinement,
+    build_rewrite_prompt,
+    manual_refinement,
+)
+from repro.core.state import ExecutionState
+from repro.data.tweets import Tweet, TweetCorpus, make_tweet_corpus
+from repro.eval.metrics import prf_from_sets
+from repro.eval.tables import format_table
+from repro.experiments.common import (
+    StageRun,
+    build_views,
+    compose_item_prompt,
+    make_llm,
+)
+from repro.llm.model import SimulatedLLM
+
+__all__ = [
+    "StrategyResult",
+    "Table3Result",
+    "STRATEGIES",
+    "PAPER_TABLE3",
+    "run_strategy",
+    "run_table3",
+    "main",
+]
+
+REFINEMENT_HINT = (
+    "school-related content such as classes, exams, teachers, and homework"
+)
+OBJECTIVE = "select tweets with negative sentiment about school"
+
+#: The static strategy's hand-written prompt.  The paper keeps prompt
+#: lengths "relatively consistent" across strategies for fairness, so this
+#: carries the same amount of guidance as the view scaffold — but written
+#: ad hoc, item-first, so no prefix is shareable across items.
+STATIC_PROMPT_TEMPLATE = """Tweet:
+{tweet}
+Read the tweet above and decide whether it is a negative tweet about school.
+General guidance:
+- Read the whole tweet before deciding anything.
+- Ignore handles (like @someone), hashtags, and links when judging content.
+- Treat elongated words (soooo) and shouting case as emphasis, not meaning.
+- Judge only what the text itself expresses, not what it implies about the author.
+- If the tweet quotes someone else, treat the quoted words as part of the tweet.
+- Do not invent information that is not present in the tweet.
+- Give your answer in exactly the requested format with no extra commentary.
+Respond with yes or no."""
+
+STRATEGIES = (
+    "static",
+    "agentic",
+    "manual",
+    "assisted",
+    "auto",
+)
+
+#: The paper's published Table 3, for side-by-side reporting.
+PAPER_TABLE3 = {
+    "static": {"time_s": 3.10, "speedup": 1.00, "f1": 0.70, "cache_hit": 0.0},
+    "agentic": {"time_s": 2.87, "speedup": 1.07, "f1": 0.79, "cache_hit": 0.0},
+    "manual": {"time_s": 2.08, "speedup": 1.33, "f1": 0.75, "cache_hit": 96.8},
+    "assisted": {"time_s": 2.26, "speedup": 1.27, "f1": 0.74, "cache_hit": 88.2},
+    "auto": {"time_s": 2.12, "speedup": 1.32, "f1": 0.81, "cache_hit": 80.6},
+}
+
+
+@dataclass(frozen=True)
+class StrategyResult:
+    """Measured outcome of one strategy."""
+
+    strategy: str
+    mean_item_seconds: float
+    f1: float
+    filter_cache_hit: float  # in [0, 1]
+    filter_prompt: str
+    selected: frozenset[str]
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """All five strategies plus derived columns."""
+
+    results: dict[str, StrategyResult]
+    corpus_size: int
+
+    def speedup(self, strategy: str) -> float:
+        """Speedup of ``strategy`` over the Static baseline."""
+        baseline = self.results["static"].mean_item_seconds
+        measured = self.results[strategy].mean_item_seconds
+        if measured == 0:
+            return 0.0
+        return baseline / measured
+
+    def f1_gain_pct(self, strategy: str) -> float:
+        """F1 gain of ``strategy`` over the Static baseline, in percent."""
+        baseline = self.results["static"].f1
+        if baseline == 0:
+            return 0.0
+        return (self.results[strategy].f1 - baseline) / baseline * 100.0
+
+    def rows(self) -> list[list]:
+        """Table rows in the paper's column order."""
+        names = {
+            "static": "Static Prompt",
+            "agentic": "Agentic Rewrite",
+            "manual": "Manual Refinement",
+            "assisted": "Assisted Refinement",
+            "auto": "Auto Refinement",
+        }
+        return [
+            [
+                names[strategy],
+                round(self.results[strategy].mean_item_seconds, 2),
+                round(self.speedup(strategy), 2),
+                round(self.results[strategy].f1, 2),
+                round(self.f1_gain_pct(strategy), 1),
+                round(self.results[strategy].filter_cache_hit * 100.0, 1),
+            ]
+            for strategy in STRATEGIES
+        ]
+
+
+def _adaptive_hint_for(tweet: Tweet) -> str | None:
+    """The per-item hint auto mode injects for risk-flagged items.
+
+    The risk heuristic flags tweets with noisy surface markers (mentions,
+    hashtags) — extra noise correlates with harder judgements in the
+    corpus model, so auto mode spends hint tokens exactly there.
+    """
+    if "@" not in tweet.text and "#" not in tweet.text:
+        return None
+    snippet = " ".join(tweet.text.split()[-4:])
+    return (
+        f'Hint: the tweet ends "{snippet}"; strip the noise markers first, '
+        "then weigh its topic and tone carefully."
+    )
+
+
+def _build_filter_instructions(strategy: str, llm: SimulatedLLM) -> str:
+    """Produce the refined filter prompt text for one strategy.
+
+    View-based strategies go through the real operator path (VIEW + the
+    refinement-mode helpers), so their rewrite calls are charged to the
+    clock and their provenance lands in the ref_log.
+    """
+    if strategy == "static":
+        return STATIC_PROMPT_TEMPLATE
+
+    if strategy == "agentic":
+        result = llm.generate(
+            build_rewrite_prompt(None, objective=OBJECTIVE), use_cache=False
+        )
+        return result.text
+
+    state = ExecutionState(model=llm, views=build_views())
+    state = VIEW("filter_stage", key="filter_prompt").apply(state)
+    if strategy == "manual":
+        refine = manual_refinement(
+            "filter_prompt", f"Focus on {REFINEMENT_HINT}."
+        )
+    elif strategy == "assisted":
+        refine = assisted_refinement("filter_prompt", REFINEMENT_HINT)
+    elif strategy == "auto":
+        refine = auto_refinement("filter_prompt", OBJECTIVE)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    state = refine.apply(state)
+    return state.prompts["filter_prompt"].text
+
+
+def run_strategy(
+    strategy: str,
+    corpus: TweetCorpus,
+    *,
+    profile: str = "qwen2.5-7b-instruct",
+) -> StrategyResult:
+    """Execute the full Map + refined-Filter pipeline for one strategy."""
+    llm = make_llm(profile)
+    llm.bind_tweets(corpus)
+    views = build_views()
+    map_instruction = views.expand("map_stage")
+    filter_instructions = _build_filter_instructions(strategy, llm)
+
+    run = StageRun()
+    filter_run = StageRun()
+    for tweet in corpus:
+        map_result = llm.generate(compose_item_prompt(map_instruction, tweet.text))
+        run.record_call(map_result)
+
+        if strategy in ("static", "agentic"):
+            # Item-first templates: interpolate the tweet where the prompt
+            # places it (at the top) — no cacheable prefix across items.
+            prompt = filter_instructions.replace("{tweet}", tweet.text)
+        else:
+            instructions = filter_instructions
+            if strategy == "auto":
+                hint = _adaptive_hint_for(tweet)
+                if hint is not None:
+                    instructions = f"{instructions}\n{hint}"
+            prompt = compose_item_prompt(instructions, tweet.text)
+
+        filter_result = llm.generate(prompt)
+        run.record_call(filter_result)
+        filter_run.record_call(filter_result)
+        decision = bool(filter_result.extras.get("decision"))
+        run.record_decision(tweet, decision)
+        filter_run.record_decision(tweet, decision)
+
+    truth = {tweet.uid for tweet in corpus.school_negatives()}
+    prf = prf_from_sets(run.selected, truth)
+    return StrategyResult(
+        strategy=strategy,
+        mean_item_seconds=run.sim_seconds / len(corpus),
+        f1=prf.f1,
+        filter_cache_hit=filter_run.cache_hit_rate,
+        filter_prompt=filter_instructions,
+        selected=frozenset(run.selected),
+    )
+
+
+def run_table3(
+    *,
+    n: int = 1000,
+    seed: int = 7,
+    profile: str = "qwen2.5-7b-instruct",
+    negative_fraction: float = 0.5,
+    school_fraction: float = 0.5,
+) -> Table3Result:
+    """Run all five strategies on one seeded corpus."""
+    corpus = make_tweet_corpus(
+        n,
+        seed=seed,
+        negative_fraction=negative_fraction,
+        school_fraction=school_fraction,
+    )
+    results = {
+        strategy: run_strategy(strategy, corpus, profile=profile)
+        for strategy in STRATEGIES
+    }
+    return Table3Result(results=results, corpus_size=n)
+
+
+def main() -> None:
+    """Regenerate Table 3 and print measured-vs-paper."""
+    table = run_table3()
+    headers = ["Strategy", "Time (s)", "Speedup (x)", "F1", "F1 Gain (%)", "Cache Hit (%)"]
+    print(format_table(headers, table.rows(), title="Table 3 (reproduced)"))
+    print()
+    paper_rows = [
+        [
+            strategy,
+            PAPER_TABLE3[strategy]["time_s"],
+            PAPER_TABLE3[strategy]["speedup"],
+            PAPER_TABLE3[strategy]["f1"],
+            PAPER_TABLE3[strategy]["cache_hit"],
+        ]
+        for strategy in STRATEGIES
+    ]
+    print(
+        format_table(
+            ["Strategy", "Time (s)", "Speedup (x)", "F1", "Cache Hit (%)"],
+            paper_rows,
+            title="Table 3 (paper, for reference)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Prompt feature extraction — what the simulated model "responds to".
+
+The paper's premise is that prompt content changes model behaviour: adding
+explicit instructions, criteria, examples, hints, or output-format clauses
+improves accuracy (§8, "Prompt Refinement").  Our simulated backend makes
+that premise operational: a prompt string is parsed into a
+:class:`PromptFeatures` record, and :mod:`repro.llm.quality` maps features
+to a per-item error probability.  Refinements therefore matter exactly the
+way the paper assumes, in a fully deterministic and inspectable way.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass, field, fields
+
+__all__ = ["PromptFeatures", "extract_features"]
+
+_INSTRUCTION_VERBS = (
+    "classify",
+    "summarize",
+    "summarise",
+    "label",
+    "select",
+    "filter",
+    "answer",
+    "extract",
+    "identify",
+    "clean",
+    "rewrite",
+    "highlight",
+    "decide",
+    "determine",
+)
+
+_REASONING_MARKERS = (
+    "step by step",
+    "reason",
+    "rationale",
+    "explain why",
+    "justification",
+    "think carefully",
+)
+
+_FORMAT_MARKERS = (
+    "respond with",
+    "output only",
+    "answer yes or no",
+    "answer with",
+    "format:",
+    "return exactly",
+    "one word",
+)
+
+_WORD_LIMIT_RE = re.compile(
+    r"(at most|no more than|under|within|fewer than|limit[^.]{0,20})\s+\d+\s+words?",
+    re.IGNORECASE,
+)
+
+_EXAMPLE_MARKERS = ("example:", "for example", "e.g.", "examples:")
+
+_BULLET_LINE_RE = re.compile(r"^\s*(?:[-*•]|\d+[.)])\s+\S", re.MULTILINE)
+_CRITERIA_MARKER_RE = re.compile(r"criteria", re.IGNORECASE)
+_GUIDANCE_MARKER_RE = re.compile(r"general guidance", re.IGNORECASE)
+
+_HINT_RE = re.compile(r"focus on|pay attention to|be specific about|emphasi[sz]e", re.IGNORECASE)
+
+_ADAPTIVE_RE = re.compile(r"\bhint:", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class PromptFeatures:
+    """Structural features of a prompt that affect simulated quality."""
+
+    #: an explicit task verb ("classify", "summarize", ...) is present.
+    has_instruction: bool = False
+    #: the prompt mentions sentiment polarity terms.
+    has_sentiment_terms: bool = False
+    #: a "focus on ..." style refinement hint is present.
+    has_focus_hint: bool = False
+    #: a per-item adaptive hint ("Hint: ...") injected by auto refinement.
+    has_adaptive_hint: bool = False
+    #: explicit few-shot examples are present.
+    has_examples: bool = False
+    #: an output-format clause ("respond with ...") is present.
+    has_output_format: bool = False
+    #: a word-limit clause ("at most 30 words") is present.
+    has_word_limit: bool = False
+    #: a chain-of-thought / rationale request is present.
+    has_reasoning: bool = False
+    #: a "General guidance" section of generic do/don't bullets is present.
+    has_guidance: bool = False
+    #: number of explicit task criteria — bulleted lines following a
+    #: "criteria" marker (generic guidance bullets do not count), capped.
+    criteria_count: int = 0
+    #: the prompt was built from a structured view (sectioned scaffold).
+    has_view_structure: bool = False
+    #: number of distinct task verbs — >1 signals a fused multi-task prompt.
+    task_count: int = 0
+    #: topical hint terms found (lowercase), e.g. ("school",).
+    hint_terms: tuple[str, ...] = field(default=())
+    #: total token-ish length (whitespace pieces), for latency modelling.
+    word_count: int = 0
+
+    def fingerprint(self) -> int:
+        """Stable hash of the feature vector (seeds the noise channel).
+
+        Two prompts with identical features behave identically on every
+        item — this is what makes strategy comparisons reproducible.
+        """
+        parts = []
+        for spec in fields(self):
+            parts.append(f"{spec.name}={getattr(self, spec.name)!r}")
+        return zlib.crc32(";".join(parts).encode("utf-8"))
+
+
+#: Topical terms the corpus generators use; extraction looks for these so a
+#: refinement like "focus on school-related content" becomes a feature.
+TOPIC_TERMS = (
+    "school",
+    "class",
+    "exam",
+    "homework",
+    "teacher",
+    "medication",
+    "dosage",
+    "timing",
+    "indication",
+    "enoxaparin",
+)
+
+
+def extract_features(text: str) -> PromptFeatures:
+    """Parse ``text`` into a :class:`PromptFeatures` record."""
+    lowered = text.lower()
+
+    found_verbs = {verb for verb in _INSTRUCTION_VERBS if verb in lowered}
+    # Verbs that describe the same stage collapse together; count distinct
+    # stages by grouping synonyms.
+    stage_groups = (
+        {"summarize", "summarise", "clean", "rewrite"},
+        {"classify", "label", "decide", "determine"},
+        {"select", "filter"},
+        {"answer", "extract", "identify", "highlight"},
+    )
+    task_count = sum(1 for group in stage_groups if group & found_verbs)
+
+    hint_terms = tuple(sorted(term for term in TOPIC_TERMS if term in lowered))
+
+    criteria_marker = _CRITERIA_MARKER_RE.search(text)
+    if criteria_marker is None:
+        criteria_count = 0
+    else:
+        criteria_count = min(
+            len(_BULLET_LINE_RE.findall(text[criteria_marker.end():])), 6
+        )
+
+    return PromptFeatures(
+        has_instruction=bool(found_verbs),
+        has_sentiment_terms=(
+            "negative" in lowered or "positive" in lowered or "sentiment" in lowered
+        ),
+        has_focus_hint=bool(_HINT_RE.search(text)),
+        has_adaptive_hint=bool(_ADAPTIVE_RE.search(text)),
+        has_examples=any(marker in lowered for marker in _EXAMPLE_MARKERS),
+        has_output_format=any(marker in lowered for marker in _FORMAT_MARKERS),
+        has_word_limit=bool(_WORD_LIMIT_RE.search(text)),
+        has_reasoning=any(marker in lowered for marker in _REASONING_MARKERS),
+        has_guidance=bool(_GUIDANCE_MARKER_RE.search(text)),
+        criteria_count=criteria_count,
+        has_view_structure=("### task" in lowered or "## task" in lowered),
+        task_count=task_count,
+        hint_terms=hint_terms,
+        word_count=len(text.split()),
+    )

@@ -1,0 +1,63 @@
+"""Token-level latency model for simulated generation.
+
+One GEN call costs::
+
+    overhead + prefill · uncached_tokens + cached_prefill · cached_tokens
+             + decode · output_tokens
+
+seconds, with the per-token rates taken from the backend's
+:class:`~repro.llm.profiles.ModelProfile`.  This is the standard first-order
+model of transformer serving cost (prefill is compute-bound per prompt
+token, decode is memory-bound per output token, KV-cached prefix tokens are
+~10–20× cheaper), and it is all the paper's experiments depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.profiles import ModelProfile
+
+__all__ = ["LatencyBreakdown", "estimate_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-phase latency of one generation call, in seconds."""
+
+    overhead: float
+    prefill: float
+    cached_prefill: float
+    decode: float
+
+    @property
+    def total(self) -> float:
+        """End-to-end call latency."""
+        return self.overhead + self.prefill + self.cached_prefill + self.decode
+
+
+def estimate_latency(
+    profile: ModelProfile,
+    *,
+    prompt_tokens: int,
+    cached_tokens: int,
+    output_tokens: int,
+) -> LatencyBreakdown:
+    """Latency of one call under ``profile``.
+
+    ``cached_tokens`` must not exceed ``prompt_tokens``; the uncached
+    remainder pays full prefill cost.
+    """
+    if cached_tokens > prompt_tokens:
+        raise ValueError(
+            f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
+        )
+    if min(prompt_tokens, cached_tokens, output_tokens) < 0:
+        raise ValueError("token counts must be non-negative")
+    uncached = prompt_tokens - cached_tokens
+    return LatencyBreakdown(
+        overhead=profile.overhead_s,
+        prefill=profile.prefill_s_per_token * uncached,
+        cached_prefill=profile.cached_prefill_s_per_token * cached_tokens,
+        decode=profile.decode_s_per_token * output_tokens,
+    )

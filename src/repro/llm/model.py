@@ -1,0 +1,179 @@
+"""The simulated LLM backend: the paper's vLLM + model stand-in.
+
+:class:`SimulatedLLM` composes the pieces of this subpackage into the
+interface the SPEAR runtime consumes:
+
+- tokenizes the prompt and consults the block prefix cache (vLLM-style);
+- routes and executes the task via :class:`~repro.llm.tasks.TaskEngine`;
+- charges modelled latency to a virtual clock;
+- returns a :class:`GenerationResult` carrying text, token accounting,
+  the latency breakdown, and a confidence signal for metadata M.
+
+Everything is deterministic given (profile, bound corpora, prompt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ModelError, TokenBudgetExceededError
+from repro.llm.features import PromptFeatures, extract_features
+from repro.llm.kv_cache import BlockPrefixCache
+from repro.llm.latency import LatencyBreakdown, estimate_latency
+from repro.llm.profiles import DEFAULT_PROFILE, ModelProfile, get_profile
+from repro.llm.prompt_cache import StructuredPromptCache
+from repro.llm.tasks import TaskEngine, TaskOutput
+from repro.llm.tokenizer import Tokenizer
+from repro.runtime.clock import VirtualClock
+
+__all__ = ["GenerationResult", "SimulatedLLM"]
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Everything one generation call produced."""
+
+    text: str
+    task: str
+    prompt_tokens: int
+    cached_tokens: int
+    output_tokens: int
+    latency: LatencyBreakdown
+    confidence: float
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from the prefix cache."""
+        if self.prompt_tokens == 0:
+            return 0.0
+        return self.cached_tokens / self.prompt_tokens
+
+
+class SimulatedLLM:
+    """Deterministic, prompt-sensitive LLM with a vLLM-style prefix cache."""
+
+    def __init__(
+        self,
+        profile: str | ModelProfile = DEFAULT_PROFILE,
+        *,
+        clock: VirtualClock | None = None,
+        kv_cache: BlockPrefixCache | None = None,
+        prompt_cache: StructuredPromptCache | None = None,
+        enable_prefix_cache: bool = True,
+    ) -> None:
+        self.profile = (
+            profile if isinstance(profile, ModelProfile) else get_profile(profile)
+        )
+        self.clock = clock if clock is not None else VirtualClock()
+        self.tokenizer = Tokenizer()
+        self.kv_cache = kv_cache if kv_cache is not None else BlockPrefixCache()
+        self.prompt_cache = (
+            prompt_cache if prompt_cache is not None else StructuredPromptCache()
+        )
+        self.enable_prefix_cache = enable_prefix_cache
+        self.engine = TaskEngine(self.profile)
+        # aggregate accounting across all calls
+        self.calls = 0
+        self.total_latency = 0.0
+        self.total_prompt_tokens = 0
+        self.total_cached_tokens = 0
+        self.total_output_tokens = 0
+
+    # -- corpus binding (grounds the task engine) ----------------------------
+
+    def bind_tweets(self, corpus: Any) -> None:
+        """Ground tweet tasks against a :class:`TweetCorpus`."""
+        self.engine.bind_tweets(corpus)
+
+    def bind_clinical(self, corpus: Any) -> None:
+        """Ground clinical QA against a :class:`ClinicalCorpus`."""
+        self.engine.bind_clinical(corpus)
+
+    # -- generation -----------------------------------------------------------
+
+    def generate(
+        self,
+        prompt: str,
+        *,
+        max_tokens: int | None = None,
+        use_cache: bool | None = None,
+    ) -> GenerationResult:
+        """Run one generation call.
+
+        Args:
+            prompt: the fully rendered prompt text.
+            max_tokens: optional hard cap on output tokens (output is
+                truncated, mirroring a real ``max_tokens`` parameter).
+            use_cache: override the instance-level prefix-cache setting
+                for this call.
+        """
+        if not prompt:
+            raise ModelError("cannot generate from an empty prompt")
+        features: PromptFeatures = extract_features(prompt)
+        tokens = self.tokenizer.encode(prompt)
+        if len(tokens) > self.profile.context_window:
+            raise TokenBudgetExceededError(len(tokens), self.profile.context_window)
+
+        caching = self.enable_prefix_cache if use_cache is None else use_cache
+        cached = self.kv_cache.lookup_and_insert(tokens) if caching else 0
+
+        output: TaskOutput = self.engine.run(prompt, features)
+        text = output.text
+        output_tokens = self.tokenizer.count(text)
+        if max_tokens is not None and output_tokens > max_tokens:
+            pieces = self.tokenizer.pieces(text)[:max_tokens]
+            text = " ".join(pieces)
+            output_tokens = max_tokens
+
+        latency = estimate_latency(
+            self.profile,
+            prompt_tokens=len(tokens),
+            cached_tokens=cached,
+            output_tokens=output_tokens,
+        )
+        self.clock.advance(latency.total)
+
+        self.calls += 1
+        self.total_latency += latency.total
+        self.total_prompt_tokens += len(tokens)
+        self.total_cached_tokens += cached
+        self.total_output_tokens += output_tokens
+
+        return GenerationResult(
+            text=text,
+            task=output.task,
+            prompt_tokens=len(tokens),
+            cached_tokens=cached,
+            output_tokens=output_tokens,
+            latency=latency,
+            confidence=output.confidence,
+            extras=dict(output.extras),
+        )
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def overall_cache_hit_rate(self) -> float:
+        """Token-level prefix-cache hit rate across every call so far."""
+        if self.total_prompt_tokens == 0:
+            return 0.0
+        return self.total_cached_tokens / self.total_prompt_tokens
+
+    def reset_stats(self, *, clear_cache: bool = False) -> None:
+        """Zero the aggregate counters (and optionally drop the caches)."""
+        self.calls = 0
+        self.total_latency = 0.0
+        self.total_prompt_tokens = 0
+        self.total_cached_tokens = 0
+        self.total_output_tokens = 0
+        if clear_cache:
+            self.kv_cache.clear()
+            self.prompt_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedLLM({self.profile.name!r}, calls={self.calls}, "
+            f"hit_rate={self.overall_cache_hit_rate:.1%})"
+        )

@@ -1,0 +1,112 @@
+"""Context packing: fit retrieved fragments into a token budget.
+
+Adaptive pipelines retrieve aggressively (notes, orders, labs), and the
+assembled prompt must still fit the model's context window.  The packer
+selects fragments by priority under a token budget — greedy by priority,
+then by rank for equal priorities — and can optionally truncate the final
+fragment to use the remaining space.
+
+This is the standard pragmatic policy of production RAG stacks; it keeps
+GEN from ever hitting :class:`~repro.errors.TokenBudgetExceededError` for
+pipelines that use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.tokenizer import Tokenizer
+
+__all__ = ["Fragment", "PackResult", "pack_fragments"]
+
+_TOKENIZER = Tokenizer()
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One candidate piece of context."""
+
+    text: str
+    #: higher priority packs first (e.g. orders > notes > labs).
+    priority: int = 0
+    #: stable identifier for reporting what was kept/dropped.
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class PackResult:
+    """What the packer kept, dropped, and spent."""
+
+    text: str
+    kept: tuple[str, ...]
+    dropped: tuple[str, ...]
+    truncated: str | None
+    tokens_used: int
+    budget: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the budget consumed."""
+        if self.budget == 0:
+            return 0.0
+        return self.tokens_used / self.budget
+
+
+def pack_fragments(
+    fragments: list[Fragment],
+    budget_tokens: int,
+    *,
+    tokenizer: Tokenizer | None = None,
+    allow_truncation: bool = True,
+    separator: str = "\n",
+) -> PackResult:
+    """Pack fragments into ``budget_tokens``.
+
+    Fragments are considered in (priority desc, original order) and added
+    whole while they fit.  If ``allow_truncation``, the first fragment
+    that does not fit is cut to the remaining budget (token-aligned);
+    everything after is dropped.
+    """
+    if budget_tokens < 0:
+        raise ValueError(f"budget_tokens must be >= 0: {budget_tokens}")
+    tokenizer = tokenizer if tokenizer is not None else _TOKENIZER
+    separator_cost = tokenizer.count(separator) or 0
+
+    ranked = sorted(
+        enumerate(fragments), key=lambda pair: (-pair[1].priority, pair[0])
+    )
+    kept: list[tuple[int, str]] = []
+    kept_names: list[str] = []
+    dropped_names: list[str] = []
+    truncated_name: str | None = None
+    remaining = budget_tokens
+
+    for rank, (original_index, fragment) in enumerate(ranked):
+        cost = tokenizer.count(fragment.text)
+        overhead = separator_cost if kept else 0
+        if cost + overhead <= remaining:
+            kept.append((original_index, fragment.text))
+            kept_names.append(fragment.name or f"fragment_{original_index}")
+            remaining -= cost + overhead
+            continue
+        if allow_truncation and truncated_name is None and remaining - overhead > 0:
+            pieces = tokenizer.pieces(fragment.text)[: remaining - overhead]
+            if pieces:
+                kept.append((original_index, " ".join(pieces)))
+                truncated_name = fragment.name or f"fragment_{original_index}"
+                kept_names.append(truncated_name)
+                remaining = 0
+                continue
+        dropped_names.append(fragment.name or f"fragment_{original_index}")
+
+    # Emit in the fragments' original order so the prompt reads naturally.
+    kept.sort(key=lambda pair: pair[0])
+    text = separator.join(part for __, part in kept)
+    return PackResult(
+        text=text,
+        kept=tuple(kept_names),
+        dropped=tuple(dropped_names),
+        truncated=truncated_name,
+        tokens_used=tokenizer.count(text),
+        budget=budget_tokens,
+    )

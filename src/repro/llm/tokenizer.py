@@ -1,0 +1,62 @@
+"""Deterministic tokenizer for the simulated LLM backend.
+
+A real reproduction of the paper's latency and cache behaviour needs
+token-level accounting: prefix caches operate on token blocks, and the
+latency model charges per prefill/decode token.  We implement a simple,
+fully deterministic word-piece-ish tokenizer: text is split into word and
+punctuation pieces, long words are broken into 4-character chunks (roughly
+matching the ~1.3 tokens/word ratio of BPE vocabularies), and each piece
+maps to a stable 32-bit id via CRC32 (never Python's randomized ``hash``).
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+
+__all__ = ["Tokenizer"]
+
+_PIECE_RE = re.compile(r"[A-Za-z0-9_']+|[^A-Za-z0-9_'\s]")
+_CHUNK = 4
+_MAX_WORD = 8
+
+
+class Tokenizer:
+    """Deterministic text → token-id encoder with decode support for tests."""
+
+    def __init__(self) -> None:
+        self._id_to_piece: dict[int, str] = {}
+
+    @staticmethod
+    def pieces(text: str) -> list[str]:
+        """Split ``text`` into token pieces (words, word chunks, punctuation)."""
+        out: list[str] = []
+        for piece in _PIECE_RE.findall(text):
+            if len(piece) <= _MAX_WORD:
+                out.append(piece)
+                continue
+            for start in range(0, len(piece), _CHUNK):
+                out.append(piece[start : start + _CHUNK])
+        return out
+
+    def encode(self, text: str) -> list[int]:
+        """Encode ``text`` to a list of stable token ids."""
+        ids: list[int] = []
+        for piece in self.pieces(text):
+            token_id = zlib.crc32(piece.encode("utf-8"))
+            self._id_to_piece.setdefault(token_id, piece)
+            ids.append(token_id)
+        return ids
+
+    def decode(self, ids: list[int]) -> str:
+        """Best-effort inverse of :meth:`encode` (pieces joined by spaces).
+
+        Only pieces seen by this tokenizer instance can be decoded; unknown
+        ids render as ``<unk>``.  Decoding exists for tests and debugging —
+        the runtime never needs it.
+        """
+        return " ".join(self._id_to_piece.get(token_id, "<unk>") for token_id in ids)
+
+    def count(self, text: str) -> int:
+        """Number of tokens in ``text`` (no id materialization)."""
+        return len(self.pieces(text))

@@ -1,0 +1,46 @@
+"""Optimization strategies: fusion, cost-based planning, prediction, views."""
+
+from repro.optimizer.cost_model import CallEstimate, CostModel
+from repro.optimizer.gen_fusion import FusedGen, fuse_gens, shared_prefix
+from repro.optimizer.fusion import (
+    FusionDecision,
+    FusionPlanner,
+    LlmStage,
+    build_fused_instruction,
+    fuse_refs,
+)
+from repro.optimizer.planner import (
+    CandidateRefiner,
+    RefinementPlan,
+    RefinementPlanner,
+)
+from repro.optimizer.predictive import (
+    HeuristicRiskModel,
+    OnlineRiskModel,
+    PredictiveRefine,
+)
+from repro.optimizer.select_view_op import SelectView
+from repro.optimizer.view_selection import ViewScore, refine_missing_terms, select_view
+
+__all__ = [
+    "FusedGen",
+    "fuse_gens",
+    "shared_prefix",
+    "CallEstimate",
+    "CostModel",
+    "FusionDecision",
+    "FusionPlanner",
+    "LlmStage",
+    "build_fused_instruction",
+    "fuse_refs",
+    "CandidateRefiner",
+    "RefinementPlan",
+    "RefinementPlanner",
+    "HeuristicRiskModel",
+    "OnlineRiskModel",
+    "PredictiveRefine",
+    "SelectView",
+    "ViewScore",
+    "refine_missing_terms",
+    "select_view",
+]

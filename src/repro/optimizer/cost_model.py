@@ -1,0 +1,103 @@
+"""Cost model: estimating GEN-call and pipeline-stage costs.
+
+The optimizer's decisions (fuse or not, which refiner, which view) all
+reduce to comparing estimated call costs.  A call's cost is the latency
+model of :mod:`repro.llm.latency` evaluated at *estimated* token counts:
+prompt tokens from the text, cached tokens from an expected cache-hit
+fraction, output tokens from the stage's expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.latency import estimate_latency
+from repro.llm.profiles import ModelProfile
+from repro.llm.tokenizer import Tokenizer
+
+__all__ = ["CallEstimate", "CostModel"]
+
+_SHARED_TOKENIZER = Tokenizer()
+
+
+@dataclass(frozen=True)
+class CallEstimate:
+    """Estimated cost of one generation call."""
+
+    seconds: float
+    prompt_tokens: int
+    cached_tokens: int
+    output_tokens: int
+
+
+class CostModel:
+    """Estimates call costs under a model profile."""
+
+    def __init__(self, profile: ModelProfile, tokenizer: Tokenizer | None = None) -> None:
+        self.profile = profile
+        self.tokenizer = tokenizer if tokenizer is not None else _SHARED_TOKENIZER
+
+    def call(
+        self,
+        prompt_text: str,
+        *,
+        expected_output_tokens: int,
+        expected_cache_fraction: float = 0.0,
+    ) -> CallEstimate:
+        """Estimate one call over ``prompt_text``.
+
+        ``expected_cache_fraction`` is the fraction of prompt tokens
+        expected to be served from the prefix cache (e.g. ~the shared
+        scaffold fraction for batched view calls; 0 for cold prompts).
+        """
+        if not 0.0 <= expected_cache_fraction <= 1.0:
+            raise ValueError(
+                f"expected_cache_fraction must be in [0, 1]: {expected_cache_fraction}"
+            )
+        prompt_tokens = self.tokenizer.count(prompt_text)
+        cached_tokens = int(prompt_tokens * expected_cache_fraction)
+        breakdown = estimate_latency(
+            self.profile,
+            prompt_tokens=prompt_tokens,
+            cached_tokens=cached_tokens,
+            output_tokens=expected_output_tokens,
+        )
+        return CallEstimate(
+            seconds=breakdown.total,
+            prompt_tokens=prompt_tokens,
+            cached_tokens=cached_tokens,
+            output_tokens=expected_output_tokens,
+        )
+
+    def per_item(
+        self,
+        instruction_text: str,
+        item_text: str,
+        *,
+        expected_output_tokens: int,
+        instruction_cached: bool = True,
+    ) -> CallEstimate:
+        """Estimate one call of a batched stage over one item.
+
+        In batched stages the instruction scaffold repeats across items and
+        is prefix-cached after warmup (``instruction_cached=True``); the
+        item text is always cold.
+        """
+        prompt_tokens = self.tokenizer.count(instruction_text) + self.tokenizer.count(
+            item_text
+        )
+        cached_tokens = (
+            self.tokenizer.count(instruction_text) if instruction_cached else 0
+        )
+        breakdown = estimate_latency(
+            self.profile,
+            prompt_tokens=prompt_tokens,
+            cached_tokens=cached_tokens,
+            output_tokens=expected_output_tokens,
+        )
+        return CallEstimate(
+            seconds=breakdown.total,
+            prompt_tokens=prompt_tokens,
+            cached_tokens=cached_tokens,
+            output_tokens=expected_output_tokens,
+        )

@@ -1,0 +1,149 @@
+"""Cost-based refinement planning (paper §5).
+
+"Similar to physical operator selection in traditional query optimizers,
+SPEAR performs cost-based planning over refinements": the ref_log records
+what each refiner cost and what it bought (confidence deltas, captured by
+GEN); the planner ranks candidate refiners by utility-per-cost, skips
+low-impact ones, and applies only those that fit the task's budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.algebra import Operator
+from repro.core.meta import analyze_refiners
+from repro.core.state import ExecutionState
+from repro.errors import PlanningError
+from repro.llm.tokenizer import Tokenizer
+from repro.runtime.events import EventKind
+
+__all__ = ["CandidateRefiner", "RefinementPlan", "RefinementPlanner"]
+
+_TOKENIZER = Tokenizer()
+
+
+@dataclass(frozen=True)
+class CandidateRefiner:
+    """One refiner the planner may choose to apply.
+
+    ``build`` constructs the operator (usually a REF); ``est_cost_tokens``
+    is the prompt-token growth the refinement causes (what each future GEN
+    pays for); ``prior_gain`` seeds utility before any history exists.
+    """
+
+    name: str
+    build: Callable[[], Operator]
+    est_cost_tokens: int
+    prior_gain: float = 0.05
+
+    @staticmethod
+    def from_text(name: str, build: Callable[[], Operator], text: str) -> "CandidateRefiner":
+        """Estimate the token cost from the refinement text itself."""
+        return CandidateRefiner(
+            name=name, build=build, est_cost_tokens=_TOKENIZER.count(text)
+        )
+
+
+@dataclass(frozen=True)
+class PlannedStep:
+    """One step of a refinement plan."""
+
+    refiner: CandidateRefiner
+    expected_gain: float
+    utility: float
+
+
+@dataclass(frozen=True)
+class RefinementPlan:
+    """An ordered, budgeted selection of refiners."""
+
+    steps: tuple[PlannedStep, ...]
+    skipped: tuple[str, ...]
+    budget_tokens: int
+
+    @property
+    def total_cost_tokens(self) -> int:
+        """Prompt-token growth if every planned step is applied."""
+        return sum(step.refiner.est_cost_tokens for step in self.steps)
+
+    def apply(self, state: ExecutionState) -> ExecutionState:
+        """Execute the planned refiners in order."""
+        for step in self.steps:
+            state = step.refiner.build().apply(state)
+        return state
+
+
+class RefinementPlanner:
+    """Greedy utility-per-cost refiner selection under a token budget."""
+
+    def __init__(self, *, min_expected_gain: float = 0.0) -> None:
+        #: refiners whose expected gain is at or below this are skipped
+        #: outright ("skip low-impact updates", §5).
+        self.min_expected_gain = min_expected_gain
+
+    def _expected_gain(
+        self, state: ExecutionState, candidate: CandidateRefiner
+    ) -> float:
+        stats = analyze_refiners(state.prompts).get(candidate.name)
+        if stats is None or stats.applications == 0:
+            return candidate.prior_gain
+        # Blend history with the prior — a couple of lucky applications
+        # shouldn't dominate, mirroring a Bayesian shrinkage.
+        weight = stats.applications / (stats.applications + 2)
+        return (
+            weight * stats.mean_confidence_delta
+            + (1 - weight) * candidate.prior_gain
+        )
+
+    def plan(
+        self,
+        state: ExecutionState,
+        candidates: list[CandidateRefiner],
+        *,
+        budget_tokens: int,
+    ) -> RefinementPlan:
+        """Rank candidates by utility and pack them into the budget."""
+        if budget_tokens < 0:
+            raise PlanningError(f"budget_tokens must be >= 0: {budget_tokens}")
+        scored: list[PlannedStep] = []
+        skipped: list[str] = []
+        for candidate in candidates:
+            gain = self._expected_gain(state, candidate)
+            if gain <= self.min_expected_gain:
+                skipped.append(candidate.name)
+                continue
+            cost = max(candidate.est_cost_tokens, 1)
+            scored.append(
+                PlannedStep(
+                    refiner=candidate,
+                    expected_gain=gain,
+                    utility=gain / cost,
+                )
+            )
+        scored.sort(key=lambda step: -step.utility)
+
+        chosen: list[PlannedStep] = []
+        remaining = budget_tokens
+        for step in scored:
+            if step.refiner.est_cost_tokens <= remaining:
+                chosen.append(step)
+                remaining -= step.refiner.est_cost_tokens
+            else:
+                skipped.append(step.refiner.name)
+
+        plan = RefinementPlan(
+            steps=tuple(chosen),
+            skipped=tuple(skipped),
+            budget_tokens=budget_tokens,
+        )
+        state.events.emit(
+            EventKind.PLAN,
+            "RefinementPlanner",
+            at=state.clock.now,
+            chosen=[step.refiner.name for step in plan.steps],
+            skipped=list(plan.skipped),
+            budget_tokens=budget_tokens,
+        )
+        return plan

@@ -1,0 +1,80 @@
+"""SELECT_VIEW: cost-based view selection as a runtime operator (paper §5).
+
+"When multiple views are available, SPEAR can employ cost-based selection
+to identify the best starting point."  :class:`SelectView` performs that
+choice inside a pipeline: it scores the candidate views against the task's
+required terms, instantiates the winner into P, appends the
+covering refinement for any terms the winner still misses, and records
+the decision in the event log and metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.algebra import Operator
+from repro.core.entry import RefAction
+from repro.core.state import ExecutionState
+from repro.optimizer.view_selection import refine_missing_terms, select_view
+from repro.runtime.events import EventKind
+
+__all__ = ["SelectView"]
+
+
+class SelectView(Operator):
+    """Choose the cheapest base view at runtime and instantiate it.
+
+    Args:
+        candidates: view names to score.
+        required_terms: criteria the final prompt must express.
+        key: prompt-store key to (re)create with the chosen view.
+        params: parameter binding for expansion.
+    """
+
+    def __init__(
+        self,
+        candidates: list[str],
+        required_terms: list[str],
+        *,
+        key: str,
+        params: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.candidates = list(candidates)
+        self.required_terms = list(required_terms)
+        self.key = key
+        self.params = dict(params or {})
+        self.label = f"SELECT_VIEW[{', '.join(candidates)}]"
+
+    def _run(self, state: ExecutionState) -> ExecutionState:
+        winner, scores = select_view(
+            state.views, self.candidates, self.required_terms, params=self.params
+        )
+        entry = state.views.instantiate(winner, self.params)
+        if self.key in state.prompts:
+            state.prompts[self.key].record(
+                RefAction.REPLACE, entry.text, function=f"f_select_view_{winner}"
+            )
+            state.prompts[self.key].view = winner
+        else:
+            state.prompts[self.key] = entry
+
+        refinement = refine_missing_terms(scores[0])
+        if refinement is not None:
+            state.prompts[self.key].record(
+                RefAction.APPEND,
+                f"{state.prompts[self.key].text}\n{refinement}",
+                function="f_cover_missing_terms",
+            )
+
+        state.metadata.set("selected_view", winner)
+        state.events.emit(
+            EventKind.PLAN,
+            self.label,
+            at=state.clock.now,
+            winner=winner,
+            scores={
+                score.name: round(score.total_cost, 2) for score in scores
+            },
+            refined=refinement is not None,
+        )
+        return state

@@ -1,0 +1,98 @@
+"""View-guided refinement: cost-based base-view selection (paper §5).
+
+"When multiple views are available, SPEAR can employ cost-based selection
+to identify the best starting point, e.g., the view that minimizes
+refinement effort or token cost."
+
+For a task described by required terms (criteria the final prompt must
+express), each candidate view is scored by:
+
+- **refinement effort** — the tokens that must be appended to cover the
+  terms the view is missing;
+- **token cost** — the view's own rendered length (what every GEN pays
+  to prefill, discounted by its prefix cacheability).
+
+The lowest total wins.  :func:`refine_missing_terms` then produces the
+appended refinement so the chosen view actually covers the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.views import ViewRegistry
+from repro.errors import PlanningError
+from repro.llm.tokenizer import Tokenizer
+
+__all__ = ["ViewScore", "select_view", "refine_missing_terms"]
+
+_TOKENIZER = Tokenizer()
+
+#: tokens a refinement clause costs per missing term (clause scaffold).
+_TOKENS_PER_MISSING_TERM = 9
+#: weight of base length vs refinement effort; cached prefixes make view
+#: length cheap relative to fresh refinement text.
+_BASE_LENGTH_WEIGHT = 0.1
+
+
+@dataclass(frozen=True)
+class ViewScore:
+    """The cost breakdown for one candidate view."""
+
+    name: str
+    missing_terms: tuple[str, ...]
+    refinement_tokens: int
+    base_tokens: int
+
+    @property
+    def total_cost(self) -> float:
+        """Weighted cost the planner minimizes."""
+        return self.refinement_tokens + _BASE_LENGTH_WEIGHT * self.base_tokens
+
+
+def _missing_terms(text: str, required_terms: list[str]) -> tuple[str, ...]:
+    lowered = text.lower()
+    return tuple(term for term in required_terms if term.lower() not in lowered)
+
+
+def select_view(
+    registry: ViewRegistry,
+    candidates: list[str],
+    required_terms: list[str],
+    *,
+    params: Mapping[str, Any] | None = None,
+) -> tuple[str, list[ViewScore]]:
+    """Pick the cheapest starting view for a task.
+
+    Returns the winner plus every candidate's score (sorted best first)
+    for introspection.  Raises :class:`PlanningError` on an empty
+    candidate list.
+    """
+    if not candidates:
+        raise PlanningError("select_view needs at least one candidate view")
+    scores: list[ViewScore] = []
+    for name in candidates:
+        text = registry.expand(name, params)
+        missing = _missing_terms(text, required_terms)
+        scores.append(
+            ViewScore(
+                name=name,
+                missing_terms=missing,
+                refinement_tokens=_TOKENS_PER_MISSING_TERM * len(missing),
+                base_tokens=_TOKENIZER.count(text),
+            )
+        )
+    scores.sort(key=lambda score: (score.total_cost, score.name))
+    return scores[0].name, scores
+
+
+def refine_missing_terms(score: ViewScore) -> str | None:
+    """The refinement text that covers a scored view's missing terms.
+
+    Returns None when the view already covers everything.
+    """
+    if not score.missing_terms:
+        return None
+    clauses = ", ".join(score.missing_terms)
+    return f"Additionally, make sure to address: {clauses}."

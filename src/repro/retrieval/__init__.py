@@ -1,0 +1,21 @@
+"""Retrieval substrate: documents, BM25 index, structured/prompt retrievers."""
+
+from repro.retrieval.documents import Document, DocumentStore
+from repro.retrieval.index import InvertedIndex, tokenize_query
+from repro.retrieval.retriever import (
+    PromptRetriever,
+    StructuredRetriever,
+    clinical_sources,
+    corpus_documents,
+)
+
+__all__ = [
+    "Document",
+    "DocumentStore",
+    "InvertedIndex",
+    "tokenize_query",
+    "PromptRetriever",
+    "StructuredRetriever",
+    "clinical_sources",
+    "corpus_documents",
+]

@@ -1,0 +1,69 @@
+"""Document model and store for the retrieval substrate.
+
+RET sources retrieve "raw input or supporting data (e.g., from documents,
+databases, or APIs)" (paper §3.3).  This module provides the document
+abstraction those sources operate over; indexing and ranking live in
+:mod:`repro.retrieval.index`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = ["Document", "DocumentStore"]
+
+
+@dataclass(frozen=True)
+class Document:
+    """One retrievable unit: text plus structured attributes."""
+
+    doc_id: str
+    text: str
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Attribute accessor with default."""
+        return self.attributes.get(attribute, default)
+
+
+class DocumentStore:
+    """In-memory collection of documents with attribute filtering."""
+
+    def __init__(self, documents: list[Document] | None = None) -> None:
+        self._documents: dict[str, Document] = {}
+        for document in documents or []:
+            self.add(document)
+
+    def add(self, document: Document) -> None:
+        """Insert (or replace) a document."""
+        self._documents[document.doc_id] = document
+
+    def get(self, doc_id: str) -> Document | None:
+        """Look up a document by id."""
+        return self._documents.get(doc_id)
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._documents
+
+    def filter(self, predicate: Callable[[Document], bool]) -> list[Document]:
+        """All documents satisfying ``predicate``, in insertion order."""
+        return [document for document in self if predicate(document)]
+
+    def where(self, **attributes: Any) -> list[Document]:
+        """Documents whose attributes equal every given value.
+
+        The structured-retrieval path: ``store.where(patient_id="p0001",
+        kind="discharge_summary")``.
+        """
+        return self.filter(
+            lambda document: all(
+                document.get(name) == value for name, value in attributes.items()
+            )
+        )

@@ -1,0 +1,116 @@
+"""Inverted index with BM25 ranking.
+
+The prompt-based retrieval path (``RET[source, prompt: P[...]]``) turns a
+natural-language retrieval prompt into a ranked keyword search.  BM25 is
+the standard lexical ranking function; implemented from scratch here (no
+external IR library) over the in-memory document store.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections import Counter, defaultdict
+
+from repro.retrieval.documents import Document, DocumentStore
+
+__all__ = ["InvertedIndex", "tokenize_query"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+_STOPWORDS = frozenset(
+    {
+        "a", "an", "the", "and", "or", "of", "to", "in", "on", "for",
+        "with", "is", "are", "was", "were", "be", "been", "it", "this",
+        "that", "any", "all", "from", "retrieve", "find", "fetch", "get",
+        "documents", "notes", "about", "related", "please",
+    }
+)
+
+
+def tokenize_query(text: str) -> list[str]:
+    """Lowercase word tokens with stopwords (and retrieval verbs) removed."""
+    return [
+        token
+        for token in _TOKEN_RE.findall(text.lower())
+        if token not in _STOPWORDS
+    ]
+
+
+class InvertedIndex:
+    """BM25-ranked inverted index over a :class:`DocumentStore`."""
+
+    def __init__(self, store: DocumentStore, *, k1: float = 1.5, b: float = 0.75) -> None:
+        self.store = store
+        self.k1 = k1
+        self.b = b
+        self._postings: dict[str, dict[str, int]] = defaultdict(dict)
+        self._doc_lengths: dict[str, int] = {}
+        self._total_length = 0
+        for document in store:
+            self._index(document)
+
+    def _index(self, document: Document) -> None:
+        tokens = _TOKEN_RE.findall(document.text.lower())
+        counts = Counter(tokens)
+        for token, count in counts.items():
+            self._postings[token][document.doc_id] = count
+        self._doc_lengths[document.doc_id] = len(tokens)
+        self._total_length += len(tokens)
+
+    def add(self, document: Document) -> None:
+        """Index a new document (also adds it to the backing store)."""
+        self.store.add(document)
+        self._index(document)
+
+    @property
+    def average_length(self) -> float:
+        """Mean document length in tokens."""
+        if not self._doc_lengths:
+            return 0.0
+        return self._total_length / len(self._doc_lengths)
+
+    def _idf(self, token: str) -> float:
+        n_docs = len(self._doc_lengths)
+        df = len(self._postings.get(token, ()))
+        # BM25+-style floor keeps very common terms from going negative.
+        return max(math.log((n_docs - df + 0.5) / (df + 0.5) + 1.0), 0.0)
+
+    def score(self, doc_id: str, query_tokens: list[str]) -> float:
+        """BM25 score of one document against tokenized query terms."""
+        length = self._doc_lengths.get(doc_id, 0)
+        if length == 0:
+            return 0.0
+        avg = self.average_length or 1.0
+        score = 0.0
+        for token in query_tokens:
+            tf = self._postings.get(token, {}).get(doc_id, 0)
+            if tf == 0:
+                continue
+            idf = self._idf(token)
+            score += idf * (tf * (self.k1 + 1)) / (
+                tf + self.k1 * (1 - self.b + self.b * length / avg)
+            )
+        return score
+
+    def search(self, query: str, *, top_k: int = 5) -> list[tuple[Document, float]]:
+        """Rank documents against a free-text query; returns (doc, score)."""
+        query_tokens = tokenize_query(query)
+        if not query_tokens:
+            return []
+        candidates: set[str] = set()
+        for token in query_tokens:
+            candidates.update(self._postings.get(token, ()))
+        scored = [
+            (self.store.get(doc_id), self.score(doc_id, query_tokens))
+            for doc_id in candidates
+        ]
+        ranked = sorted(
+            (
+                (document, score)
+                for document, score in scored
+                if document is not None and score > 0.0
+            ),
+            key=lambda pair: (-pair[1], pair[0].doc_id),
+        )
+        return ranked[:top_k]

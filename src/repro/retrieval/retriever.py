@@ -1,0 +1,152 @@
+"""Retrievers: the RET operator's two retrieval forms (paper §3.3).
+
+- :class:`StructuredRetriever` — parameterized lookup ("data source, time
+  window, or patient ID");
+- :class:`PromptRetriever` — retrieval intent expressed as natural
+  language, answered by BM25 over the index; because the retrieval prompt
+  lives in P, REF can refine *what is retrieved* at runtime.
+
+:func:`clinical_sources` wires a clinical corpus into ready-made RET
+sources for the §2 Enoxaparin pipeline (notes, order lookup, labs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.data.clinical import ClinicalCorpus
+from repro.errors import RetrievalError
+from repro.retrieval.documents import Document, DocumentStore
+from repro.retrieval.index import InvertedIndex
+
+__all__ = [
+    "StructuredRetriever",
+    "PromptRetriever",
+    "corpus_documents",
+    "clinical_sources",
+]
+
+
+class StructuredRetriever:
+    """Attribute-equality retrieval over a document store.
+
+    Usable directly as a RET source: the query is a mapping of attribute
+    filters, e.g. ``{"patient_id": "p0001", "kind": "nursing_note"}``.
+    """
+
+    def __init__(self, store: DocumentStore) -> None:
+        self.store = store
+
+    def __call__(self, state: Any, query: Any) -> list[Document]:
+        if query is None:
+            return list(self.store)
+        if not isinstance(query, dict):
+            raise RetrievalError(
+                f"structured retrieval expects a dict query, got {type(query).__name__}"
+            )
+        return self.store.where(**query)
+
+
+class PromptRetriever:
+    """Free-text retrieval over a BM25 index.
+
+    Usable as a RET source for prompt-based retrieval: the (possibly
+    REF-refined) retrieval prompt arrives as the query string.
+    """
+
+    def __init__(self, index: InvertedIndex, *, top_k: int = 3) -> None:
+        self.index = index
+        self.top_k = top_k
+
+    def __call__(self, state: Any, query: Any) -> list[Document]:
+        if not isinstance(query, str) or not query.strip():
+            raise RetrievalError("prompt-based retrieval expects a non-empty string")
+        return [document for document, __ in self.index.search(query, top_k=self.top_k)]
+
+
+def corpus_documents(corpus: ClinicalCorpus) -> DocumentStore:
+    """Project a clinical corpus into a document store (notes + orders + labs)."""
+    store = DocumentStore()
+    for patient in corpus:
+        for note in patient.notes:
+            store.add(
+                Document(
+                    doc_id=note.note_id,
+                    text=note.text,
+                    attributes={
+                        "patient_id": note.patient_id,
+                        "kind": note.kind,
+                        "mentions_enoxaparin": note.mentions_enoxaparin,
+                    },
+                )
+            )
+        for order in patient.orders:
+            store.add(
+                Document(
+                    doc_id=order.order_id,
+                    text=(
+                        f"ORDER: {order.medication} {order.dosage} "
+                        f"{order.frequency} for patient {order.patient_id}"
+                    ),
+                    attributes={"patient_id": order.patient_id, "kind": "order"},
+                )
+            )
+        for lab in patient.labs:
+            store.add(
+                Document(
+                    doc_id=lab.lab_id,
+                    text=f"LAB: {lab.test} = {lab.value} for patient {lab.patient_id}",
+                    attributes={"patient_id": lab.patient_id, "kind": "lab"},
+                )
+            )
+    return store
+
+
+def clinical_sources(
+    corpus: ClinicalCorpus,
+) -> dict[str, Callable[[Any, Any], Any]]:
+    """Ready-made RET sources for the Enoxaparin QA pipeline (paper §2).
+
+    Returns sources keyed by the names the paper's examples use:
+
+    - ``initial_notes`` — a patient's notes (query = patient id), joined
+      as one context block;
+    - ``order_lookup``  — the patient's structured medication orders;
+    - ``lab_lookup``    — the patient's lab results;
+    - ``note_search``   — prompt-based BM25 search over everything.
+    """
+    store = corpus_documents(corpus)
+    index = InvertedIndex(store)
+    structured = StructuredRetriever(store)
+    prompt_based = PromptRetriever(index)
+
+    def initial_notes(state: Any, query: Any) -> str:
+        patient_id = query if isinstance(query, str) else state.context["patient_id"]
+        notes = structured(state, {"patient_id": patient_id})
+        note_docs = [doc for doc in notes if doc.get("kind") not in ("order", "lab")]
+        if not note_docs:
+            raise RetrievalError(f"no notes found for patient {patient_id!r}")
+        return "\n".join(doc.text for doc in note_docs)
+
+    def order_lookup(state: Any, query: Any) -> str:
+        patient_id = query if isinstance(query, str) else state.context["patient_id"]
+        orders = structured(state, {"patient_id": patient_id, "kind": "order"})
+        if not orders:
+            return "ORDER: none on file"
+        return "\n".join(doc.text for doc in orders)
+
+    def lab_lookup(state: Any, query: Any) -> str:
+        patient_id = query if isinstance(query, str) else state.context["patient_id"]
+        labs = structured(state, {"patient_id": patient_id, "kind": "lab"})
+        return "\n".join(doc.text for doc in labs)
+
+    def note_search(state: Any, query: Any) -> str:
+        documents = prompt_based(state, query)
+        return "\n".join(document.text for document in documents)
+
+    return {
+        "initial_notes": initial_notes,
+        "order_lookup": order_lookup,
+        "lab_lookup": lab_lookup,
+        "note_search": note_search,
+    }

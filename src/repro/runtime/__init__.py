@@ -1,0 +1,45 @@
+"""SPEAR runtime: executor, events, shadow execution, replay, KV backends."""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import Event, EventKind, EventLog
+from repro.runtime.executor import Executor, RunResult
+from repro.runtime.kvstore import (
+    InMemoryBackend,
+    JournalingBackend,
+    KeyValueBackend,
+    LatencyModelBackend,
+)
+from repro.runtime.batch import BatchResult, BatchRunner, ItemResult
+from repro.runtime.persistence import load_store, save_store, store_from_dict, store_to_dict
+from repro.runtime.replay import ReplayStep, export_replay_log, replay, verify_replay
+from repro.runtime.tracing import render_timeline, summarize_run
+from repro.runtime.shadow import ShadowReport, compare_states, shadow_run
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "Executor",
+    "RunResult",
+    "InMemoryBackend",
+    "JournalingBackend",
+    "KeyValueBackend",
+    "LatencyModelBackend",
+    "BatchResult",
+    "BatchRunner",
+    "ItemResult",
+    "load_store",
+    "save_store",
+    "store_from_dict",
+    "store_to_dict",
+    "render_timeline",
+    "summarize_run",
+    "ReplayStep",
+    "export_replay_log",
+    "replay",
+    "verify_replay",
+    "ShadowReport",
+    "compare_states",
+    "shadow_run",
+]

@@ -1,0 +1,126 @@
+"""Batch execution: map a pipeline over a dataset of items.
+
+The paper's workloads are per-item pipelines over a corpus (summarize +
+filter every tweet; QA every patient).  :class:`BatchRunner` runs a
+pipeline once per item on a forked state — shared prompt store, model and
+caches (so prefix reuse across items behaves like real batched serving),
+but isolated context/metadata per item — and aggregates outputs, signals,
+and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # repro.core.state imports repro.runtime.clock; module-level imports of
+    # core here would be circular.
+    from repro.core.pipeline import Pipeline
+    from repro.core.state import ExecutionState
+
+__all__ = ["ItemResult", "BatchResult", "BatchRunner"]
+
+
+@dataclass(frozen=True)
+class ItemResult:
+    """Outcome of one item's pipeline run."""
+
+    item: Any
+    context: dict[str, Any]
+    metadata: dict[str, Any]
+    elapsed: float
+    error: Exception | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the item's run completed without error."""
+        return self.error is None
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcome of a batch run."""
+
+    items: list[ItemResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def outputs(self, label: str) -> list[Any]:
+        """Per-item values of C[label] (None where missing or failed)."""
+        return [result.context.get(label) for result in self.items]
+
+    def signals(self, name: str) -> list[Any]:
+        """Per-item values of M[name] (None where missing)."""
+        return [result.metadata.get(name) for result in self.items]
+
+    def failures(self) -> list[ItemResult]:
+        """Items whose run raised."""
+        return [result for result in self.items if not result.ok]
+
+    @property
+    def mean_item_seconds(self) -> float:
+        """Mean simulated seconds per item."""
+        if not self.items:
+            return 0.0
+        return self.elapsed / len(self.items)
+
+
+class BatchRunner:
+    """Runs a pipeline per item over a shared base state.
+
+    Args:
+        base_state: the state carrying the model, sources, agents, views,
+            and shared prompt store.  Per item, context/metadata are
+            forked so items cannot observe each other's data, while P and
+            the model's caches stay shared — matching the paper's batched
+            execution with prefix reuse.
+        bind: called with (item_state, item) before the pipeline, to place
+            the item into the context (e.g. ``state.C["tweet"] = item.text``).
+        on_error: ``"raise"`` (default) propagates the first exception;
+            ``"collect"`` records it in the ItemResult and continues.
+    """
+
+    def __init__(
+        self,
+        base_state: "ExecutionState",
+        *,
+        bind: "Callable[[ExecutionState, Any], None]",
+        on_error: str = "raise",
+    ) -> None:
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect': {on_error!r}")
+        self.base_state = base_state
+        self.bind = bind
+        self.on_error = on_error
+
+    def run(self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]") -> BatchResult:
+        """Execute ``pipeline`` once per item; returns the aggregate."""
+        batch = BatchResult()
+        clock = self.base_state.clock
+        batch_start = clock.now
+        for item in items:
+            item_state = self.base_state.fork()
+            self.bind(item_state, item)
+            item_start = clock.now
+            error: Exception | None = None
+            try:
+                item_state = pipeline.apply(item_state)
+            except Exception as exc:  # noqa: BLE001 - collected by policy
+                if self.on_error == "raise":
+                    raise
+                error = exc
+            batch.items.append(
+                ItemResult(
+                    item=item,
+                    context={
+                        key: item_state.context[key]
+                        for key in item_state.context.keys()
+                        if not key.endswith("__result")
+                    },
+                    metadata=item_state.metadata.as_dict(),
+                    elapsed=clock.now - item_start,
+                    error=error,
+                )
+            )
+        batch.elapsed = clock.now - batch_start
+        return batch

@@ -1,0 +1,41 @@
+"""Virtual clock used to account simulated latency.
+
+The paper reports wall-clock seconds measured on an RTX 3090 + vLLM stack.
+We have no GPU, so GEN calls charge their modelled latency (prefill /
+decode token costs, see :mod:`repro.llm.latency`) to a virtual clock
+instead of sleeping.  Experiments read elapsed virtual seconds; real
+benchmarks (pytest-benchmark) additionally time the harness itself.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Monotonic simulated clock, advanced explicitly by cost charges."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative).
+
+        Returns the new time.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock (used between experiment trials)."""
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,132 @@
+"""Structured execution logging (paper §6: "structured logging").
+
+Every operator application emits an :class:`Event` into the state's
+:class:`EventLog`.  Events are plain data — they power introspection
+(`trace why this answer looks like this`), the meta-prompt analytics of
+paper §4.4, and refinement replay (§6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator, Mapping
+
+__all__ = ["EventKind", "Event", "EventLog"]
+
+
+class EventKind(str, Enum):
+    """Classification of runtime events."""
+
+    OPERATOR_START = "operator_start"
+    OPERATOR_END = "operator_end"
+    RETRIEVE = "retrieve"
+    GENERATE = "generate"
+    REFINE = "refine"
+    CHECK = "check"
+    MERGE = "merge"
+    DELEGATE = "delegate"
+    VIEW_EXPAND = "view_expand"
+    CACHE = "cache"
+    PLAN = "plan"
+    SHADOW = "shadow"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record."""
+
+    seq: int
+    kind: EventKind
+    operator: str
+    at: float
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize for storage or replay."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind.value,
+            "operator": self.operator,
+            "at": self.at,
+            "payload": dict(self.payload),
+        }
+
+
+class EventLog:
+    """Append-only event sink with query helpers."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._counter = itertools.count()
+        #: optional live subscribers (e.g. a shadow executor); each is
+        #: called with every appended event.
+        self._subscribers: list[Callable[[Event], None]] = []
+
+    def emit(
+        self,
+        kind: EventKind,
+        operator: str,
+        *,
+        at: float = 0.0,
+        **payload: Any,
+    ) -> Event:
+        """Append an event and notify subscribers; returns the event."""
+        event = Event(
+            seq=next(self._counter),
+            kind=kind,
+            operator=operator,
+            at=at,
+            payload=payload,
+        )
+        self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Register ``callback`` to receive every future event."""
+        self._subscribers.append(callback)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def all(self) -> list[Event]:
+        """All events, oldest first."""
+        return list(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """Events of one kind, oldest first."""
+        return [event for event in self._events if event.kind is kind]
+
+    def for_operator(self, operator: str) -> list[Event]:
+        """Events emitted by operators whose label starts with ``operator``."""
+        return [
+            event
+            for event in self._events
+            if event.operator == operator or event.operator.startswith(operator + "[")
+        ]
+
+    def last(self, kind: EventKind | None = None) -> Event | None:
+        """The most recent event (optionally of one kind)."""
+        if kind is None:
+            return self._events[-1] if self._events else None
+        for event in reversed(self._events):
+            if event.kind is kind:
+                return event
+        return None
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Serialize the full log."""
+        return [event.to_dict() for event in self._events]
+
+    def clear(self) -> None:
+        """Drop all events (subscribers are kept)."""
+        self._events.clear()

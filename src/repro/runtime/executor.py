@@ -1,0 +1,144 @@
+"""Pipeline executor: the runtime entry point (paper §6).
+
+The executor wires an :class:`~repro.core.state.ExecutionState` to its
+services (model, sources, agents, views), runs pipelines, and exposes the
+run artefacts — the event trace, elapsed simulated time, and store
+snapshots — as a :class:`RunResult`.  It is a thin, explicit layer:
+operators do the work; the executor provides construction convenience,
+per-run accounting, and hooks for shadow execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # Imported lazily at call time: repro.core.state imports
+    # repro.runtime.clock, so a module-level import here would be circular.
+    from repro.core.pipeline import Pipeline
+    from repro.core.state import ExecutionState
+    from repro.core.store import PromptStore
+    from repro.core.views import ViewRegistry
+
+__all__ = ["RunResult", "Executor"]
+
+
+@dataclass
+class RunResult:
+    """Artefacts of one pipeline execution."""
+
+    state: "ExecutionState"
+    elapsed: float
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def context(self) -> Mapping[str, Any]:
+        """Final context values."""
+        return self.state.context.as_dict()
+
+    @property
+    def metadata(self) -> Mapping[str, Any]:
+        """Final metadata signals."""
+        return self.state.metadata.as_dict()
+
+    def output(self, label: str) -> Any:
+        """Shorthand for the generation output stored under ``label``."""
+        return self.state.context[label]
+
+
+class Executor:
+    """Builds execution states and runs pipelines against them."""
+
+    def __init__(
+        self,
+        *,
+        model: Any = None,
+        views: "ViewRegistry | None" = None,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.model = model
+        from repro.core.views import ViewRegistry
+
+        self.views = views if views is not None else ViewRegistry()
+        # Share one clock between executor and model so GEN latency is the
+        # dominant component of elapsed simulated time, as on real serving.
+        if clock is not None:
+            self.clock = clock
+        elif model is not None and hasattr(model, "clock"):
+            self.clock = model.clock
+        else:
+            self.clock = VirtualClock()
+        self._sources: dict[str, Callable[..., Any]] = {}
+        self._agents: dict[str, Any] = {}
+
+    def register_source(self, name: str, fn: "Callable[[ExecutionState, Any], Any]") -> None:
+        """Make a retrieval source available to every state this builds."""
+        self._sources[name] = fn
+
+    def register_agent(self, name: str, agent: Any) -> None:
+        """Make a delegation agent available to every state this builds."""
+        self._agents[name] = agent
+
+    def new_state(
+        self,
+        *,
+        context: Mapping[str, Any] | None = None,
+        prompts: "PromptStore | None" = None,
+    ) -> "ExecutionState":
+        """Build a fresh state wired to this executor's services."""
+        from repro.core.context import Context
+        from repro.core.state import ExecutionState
+
+        state = ExecutionState(
+            prompts=prompts,
+            context=Context(context),
+            model=self.model,
+            views=self.views,
+            clock=self.clock,
+        )
+        for name, fn in self._sources.items():
+            state.register_source(name, fn)
+        for name, agent in self._agents.items():
+            state.register_agent(name, agent)
+        return state
+
+    def run(
+        self,
+        pipeline: "Pipeline",
+        *,
+        state: "ExecutionState | None" = None,
+        context: Mapping[str, Any] | None = None,
+    ) -> RunResult:
+        """Execute ``pipeline``; returns the final state plus run artefacts."""
+        if state is None:
+            state = self.new_state(context=context)
+        started_at = self.clock.now
+        event_start = len(state.events)
+        final = pipeline.apply(state)
+        return RunResult(
+            state=final,
+            elapsed=self.clock.now - started_at,
+            events=final.events.all()[event_start:],
+        )
+
+    # -- convenience -------------------------------------------------------
+
+    def generate_once(
+        self,
+        prompt_key: str,
+        text: str,
+        *,
+        label: str = "answer",
+        context: Mapping[str, Any] | None = None,
+    ) -> RunResult:
+        """Create a prompt and run a single GEN over it — the quickstart path."""
+        from repro.core.operators import GEN
+        from repro.core.pipeline import Pipeline
+
+        state = self.new_state(context=context)
+        state.prompts.create(prompt_key, text)
+        return self.run(Pipeline([GEN(label, prompt=prompt_key)]), state=state)

@@ -1,0 +1,158 @@
+"""Pluggable key-value backends for the prompt store.
+
+Paper §6: "These stores may be in-memory or backed by high-performance
+key-value systems, enabling low-latency and distributed deployments."
+We provide the in-memory default plus two stand-ins for external systems:
+a latency-modelling wrapper (what a remote KV system would cost) and a
+write-through journaling backend (what durability would require).  All
+satisfy the minimal mutable-mapping surface :class:`PromptStore` needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "KeyValueBackend",
+    "InMemoryBackend",
+    "LatencyModelBackend",
+    "JournalingBackend",
+]
+
+
+class KeyValueBackend:
+    """Minimal mutable-mapping interface used by :class:`PromptStore`."""
+
+    def __getitem__(self, key: str) -> Any:
+        raise NotImplementedError
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        raise NotImplementedError
+
+    def __delitem__(self, key: str) -> None:
+        raise NotImplementedError
+
+    def __contains__(self, key: object) -> bool:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryBackend(KeyValueBackend):
+    """Plain dict-backed store — the default, zero-overhead backend."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._data[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LatencyModelBackend(KeyValueBackend):
+    """Backend that charges per-operation latency to a virtual clock.
+
+    Stands in for a remote KV system (e.g. Redis): reads and writes are
+    correct and immediate, but each op advances the supplied clock by the
+    configured cost, so experiments can study store-placement trade-offs.
+    """
+
+    def __init__(
+        self,
+        clock: Any,
+        *,
+        read_latency: float = 0.0002,
+        write_latency: float = 0.0005,
+        inner: KeyValueBackend | None = None,
+    ) -> None:
+        self._clock = clock
+        self._read_latency = read_latency
+        self._write_latency = write_latency
+        self._inner = inner if inner is not None else InMemoryBackend()
+        self.reads = 0
+        self.writes = 0
+
+    def __getitem__(self, key: str) -> Any:
+        self.reads += 1
+        self._clock.advance(self._read_latency)
+        return self._inner[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.writes += 1
+        self._clock.advance(self._write_latency)
+        self._inner[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        self.writes += 1
+        self._clock.advance(self._write_latency)
+        del self._inner[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._inner
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._inner)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class JournalingBackend(KeyValueBackend):
+    """Write-through backend recording every mutation.
+
+    The journal is a list of ``("set" | "del", key)`` records; a callback
+    may additionally be invoked per mutation (e.g. to persist elsewhere).
+    Used by tests and by refinement replay to validate that replaying a
+    journal reconstructs an identical store.
+    """
+
+    def __init__(
+        self,
+        inner: KeyValueBackend | None = None,
+        on_mutation: Callable[[str, str], None] | None = None,
+    ) -> None:
+        self._inner = inner if inner is not None else InMemoryBackend()
+        self._on_mutation = on_mutation
+        self.journal: list[tuple[str, str]] = []
+
+    def __getitem__(self, key: str) -> Any:
+        return self._inner[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._inner[key] = value
+        self.journal.append(("set", key))
+        if self._on_mutation is not None:
+            self._on_mutation("set", key)
+
+    def __delitem__(self, key: str) -> None:
+        del self._inner[key]
+        self.journal.append(("del", key))
+        if self._on_mutation is not None:
+            self._on_mutation("del", key)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._inner
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._inner)
+
+    def __len__(self) -> int:
+        return len(self._inner)

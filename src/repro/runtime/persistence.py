@@ -1,0 +1,130 @@
+"""Prompt-store persistence: serialize P with its full history to JSON.
+
+Paper §6: prompt stores "may be in-memory or backed by high-performance
+key-value systems".  This module provides the durability half of that
+story for a single node: a store (entries, tags, params, view provenance,
+every version snapshot, and the complete ref_log) round-trips through a
+JSON document, so prompt libraries can be checked into version control,
+shipped between services, or reloaded for offline meta-analysis.
+
+The format is deliberately explicit and versioned; loading validates the
+log/version invariants the replay machinery depends on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.entry import PromptEntry, RefAction, RefinementMode, RefLogRecord
+from repro.core.store import PromptStore
+from repro.errors import ReplayError
+
+__all__ = ["store_to_dict", "store_from_dict", "save_store", "load_store"]
+
+FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: RefLogRecord) -> dict[str, Any]:
+    return {
+        "action": record.action.value,
+        "function": record.function,
+        "version": record.version,
+        "mode": record.mode.value if record.mode else None,
+        "condition": record.condition,
+        "signals": dict(record.signals),
+        "timestamp": record.timestamp,
+    }
+
+
+def _record_from_dict(payload: dict[str, Any]) -> RefLogRecord:
+    return RefLogRecord(
+        action=RefAction(payload["action"]),
+        function=payload["function"],
+        version=int(payload["version"]),
+        mode=RefinementMode(payload["mode"]) if payload.get("mode") else None,
+        condition=payload.get("condition"),
+        signals=dict(payload.get("signals", {})),
+        timestamp=float(payload.get("timestamp", 0.0)),
+    )
+
+
+def store_to_dict(store: PromptStore) -> dict[str, Any]:
+    """Serialize a prompt store, including all versions and ref_logs."""
+    entries: dict[str, Any] = {}
+    for key in store.keys():
+        entry = store[key]
+        entries[key] = {
+            "tags": sorted(entry.tags),
+            "params": dict(entry.params),
+            "view": entry.view,
+            "versions": [
+                {"version": snapshot.version, "text": snapshot.text}
+                for snapshot in entry.versions
+            ],
+            "ref_log": [_record_to_dict(record) for record in entry.ref_log],
+        }
+    return {"format": FORMAT_VERSION, "entries": entries}
+
+
+def store_from_dict(payload: dict[str, Any]) -> PromptStore:
+    """Rebuild a prompt store from :func:`store_to_dict` output.
+
+    Validates the log-completeness invariant (every version has a log
+    record) so a loaded store supports replay and rollback exactly like
+    the original.
+    """
+    format_version = payload.get("format")
+    if format_version != FORMAT_VERSION:
+        raise ReplayError(
+            f"unsupported prompt-store format {format_version!r}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    store = PromptStore()
+    for key, data in payload.get("entries", {}).items():
+        versions = data.get("versions", [])
+        if not versions:
+            raise ReplayError(f"entry {key!r} has no version snapshots")
+        expected = list(range(len(versions)))
+        if [v["version"] for v in versions] != expected:
+            raise ReplayError(f"entry {key!r} has non-contiguous versions")
+
+        records = [_record_from_dict(r) for r in data.get("ref_log", [])]
+        recorded_versions = {record.version for record in records}
+        missing = set(expected) - recorded_versions
+        if missing:
+            raise ReplayError(
+                f"entry {key!r} versions {sorted(missing)} lack ref_log records"
+            )
+
+        entry = PromptEntry(
+            versions[0]["text"],
+            tags=set(data.get("tags", [])),
+            params=dict(data.get("params", {})),
+            view=data.get("view"),
+        )
+        # Rebuild internals exactly: snapshots then the original log.
+        for snapshot in versions[1:]:
+            entry.record(
+                RefAction.UPDATE, snapshot["text"], function="f_load"
+            )
+        entry.ref_log = records
+        store[key] = entry
+    return store
+
+
+def save_store(store: PromptStore, path: str | Path) -> Path:
+    """Write the store as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(store_to_dict(store), indent=2, sort_keys=True),
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_store(path: str | Path) -> PromptStore:
+    """Load a store previously written by :func:`save_store`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return store_from_dict(payload)

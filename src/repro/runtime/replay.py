@@ -1,0 +1,128 @@
+"""Refinement replay: reconstruct prompt evolution from ref_logs (paper §6).
+
+Because every text change funnels through
+:meth:`~repro.core.entry.PromptEntry.record`, an exported history plus the
+version snapshots is sufficient to rebuild any prompt at any point in its
+life — and to *verify* that a store matches its log.  Replay powers
+debugging ("show me the prompt exactly as it was when answer_1 was
+generated") and regression analysis after refiner changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.entry import PromptEntry, RefAction
+from repro.core.store import PromptStore
+from repro.errors import ReplayError
+
+__all__ = ["ReplayStep", "export_replay_log", "replay", "verify_replay"]
+
+
+@dataclass(frozen=True)
+class ReplayStep:
+    """One replayable step: the action plus the resulting text."""
+
+    key: str
+    version: int
+    action: str
+    function: str
+    text: str
+
+
+def export_replay_log(store: PromptStore) -> list[ReplayStep]:
+    """Flatten a store's full history into an ordered list of steps.
+
+    Steps are ordered per key by version; cross-key ordering follows key
+    insertion order (sufficient for reconstruction, which is per-key).
+    """
+    steps: list[ReplayStep] = []
+    for key in store.keys():
+        entry = store[key]
+        records_by_version = {record.version: record for record in entry.ref_log}
+        for snapshot in entry.versions:
+            record = records_by_version.get(snapshot.version)
+            if record is None:
+                # A version without a log record would mean someone bypassed
+                # PromptEntry.record — refuse to pretend we can replay it.
+                raise ReplayError(
+                    f"prompt {key!r} version {snapshot.version} has no ref_log record"
+                )
+            steps.append(
+                ReplayStep(
+                    key=key,
+                    version=snapshot.version,
+                    action=record.action.value,
+                    function=record.function,
+                    text=snapshot.text,
+                )
+            )
+    return steps
+
+
+def replay(steps: list[ReplayStep], *, up_to_version: dict[str, int] | None = None) -> PromptStore:
+    """Rebuild a prompt store from replay steps.
+
+    Args:
+        steps: output of :func:`export_replay_log`.
+        up_to_version: optional per-key version ceiling — replay stops
+            applying steps to a key beyond its ceiling, reconstructing a
+            historical store state.
+    """
+    store = PromptStore()
+    for step in steps:
+        ceiling = (up_to_version or {}).get(step.key)
+        if ceiling is not None and step.version > ceiling:
+            continue
+        if step.key not in store:
+            if step.version != 0:
+                raise ReplayError(
+                    f"first step for {step.key!r} must be version 0, "
+                    f"got {step.version}"
+                )
+            store.create(step.key, step.text, function=step.function)
+        else:
+            entry: PromptEntry = store[step.key]
+            if step.version != entry.version + 1:
+                raise ReplayError(
+                    f"non-contiguous replay for {step.key!r}: "
+                    f"at v{entry.version}, next step is v{step.version}"
+                )
+            entry.record(
+                RefAction(step.action),
+                step.text,
+                function=step.function,
+            )
+    return store
+
+
+def verify_replay(store: PromptStore) -> bool:
+    """Check that replaying the store's own log reproduces its texts.
+
+    Returns True on success; raises :class:`ReplayError` describing the
+    first divergence otherwise.
+    """
+    rebuilt = replay(export_replay_log(store))
+    for key in store.keys():
+        original = store[key]
+        copy = rebuilt[key]
+        if original.text != copy.text:
+            raise ReplayError(
+                f"replay divergence for {key!r}: current text differs"
+            )
+        for snapshot in original.versions:
+            if copy.text_at(snapshot.version) != snapshot.text:
+                raise ReplayError(
+                    f"replay divergence for {key!r} at v{snapshot.version}"
+                )
+    return True
+
+
+def snapshot_at(store: PromptStore, key: str, version: int) -> str:
+    """The text of ``store[key]`` at ``version`` via full replay.
+
+    Equivalent to ``store[key].text_at(version)`` but exercises the replay
+    path — used by tests to prove log-completeness.
+    """
+    rebuilt = replay(export_replay_log(store), up_to_version={key: version})
+    return rebuilt[key].text

@@ -1,0 +1,106 @@
+"""Shadow execution: run a candidate pipeline beside the primary (paper §6).
+
+A shadow run executes on a *forked* state — copied context/metadata and a
+cloned prompt store — so nothing it does can leak into the primary
+execution.  The comparison report tells an operator whether a candidate
+prompt/pipeline change would have improved confidence or latency before
+promoting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.runtime.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    # repro.core.state imports repro.runtime.clock, so module-level imports
+    # of core here would be circular; these are type-only references.
+    from repro.core.pipeline import Pipeline
+    from repro.core.state import ExecutionState
+
+__all__ = ["ShadowReport", "shadow_run", "compare_states"]
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Outcome of one shadow execution."""
+
+    primary_state: "ExecutionState"
+    shadow_state: "ExecutionState"
+    elapsed_primary: float
+    elapsed_shadow: float
+    #: per-signal (primary, shadow) pairs for signals present in both.
+    signal_deltas: dict[str, tuple[Any, Any]]
+    #: context keys whose final values differ between the runs.
+    diverging_context_keys: list[str]
+
+    @property
+    def shadow_improves_confidence(self) -> bool:
+        """True when the shadow run ended with higher confidence."""
+        pair = self.signal_deltas.get("confidence")
+        if pair is None:
+            return False
+        primary, shadow = pair
+        return float(shadow) > float(primary)
+
+    @property
+    def shadow_is_faster(self) -> bool:
+        """True when the shadow pipeline consumed less simulated time."""
+        return self.elapsed_shadow < self.elapsed_primary
+
+
+def compare_states(
+    primary: "ExecutionState", shadow: "ExecutionState"
+) -> tuple[dict[str, tuple[Any, Any]], list[str]]:
+    """Signal pairs and diverging context keys between two final states."""
+    signal_deltas = {
+        signal: (primary.metadata.get(signal), shadow.metadata.get(signal))
+        for signal in primary.metadata.keys()
+        if signal in shadow.metadata
+    }
+    diverging = [
+        key
+        for key in primary.context.keys()
+        if key in shadow.context
+        and not key.endswith("__result")
+        and primary.context[key] != shadow.context[key]
+    ]
+    return signal_deltas, diverging
+
+
+def shadow_run(
+    state: "ExecutionState",
+    primary: "Pipeline",
+    shadow: "Pipeline",
+) -> ShadowReport:
+    """Run ``primary`` on ``state`` and ``shadow`` on an isolated fork.
+
+    The shadow's clock charges are measured but then *rewound* — shadow
+    execution must not slow down the primary timeline.  Its events are
+    tagged into the shared log with a SHADOW marker for traceability.
+    """
+    fork = state.fork(share_prompts=False)
+
+    start = state.clock.now
+    primary_final = primary.apply(state)
+    elapsed_primary = state.clock.now - start
+
+    state.events.emit(EventKind.SHADOW, shadow.label, at=state.clock.now, phase="start")
+    shadow_start = state.clock.now
+    shadow_final = shadow.apply(fork)
+    elapsed_shadow = state.clock.now - shadow_start
+    # Rewind: shadow cost is accounted in the report, not the timeline.
+    state.clock.reset(shadow_start)
+    state.events.emit(EventKind.SHADOW, shadow.label, at=state.clock.now, phase="end")
+
+    signal_deltas, diverging = compare_states(primary_final, shadow_final)
+    return ShadowReport(
+        primary_state=primary_final,
+        shadow_state=shadow_final,
+        elapsed_primary=elapsed_primary,
+        elapsed_shadow=elapsed_shadow,
+        signal_deltas=signal_deltas,
+        diverging_context_keys=diverging,
+    )

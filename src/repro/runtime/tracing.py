@@ -1,0 +1,132 @@
+"""Execution-trace rendering: the event log as a readable timeline.
+
+The structured event log (paper §6) powers introspection; this module
+turns it into the human-facing views a developer debugging an adaptive
+pipeline wants:
+
+- :func:`render_timeline` — one line per semantic event, indented by
+  operator nesting, with timestamps and key payload fields;
+- :func:`summarize_run` — aggregate counts and latency per operator kind.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runtime.events import Event, EventKind, EventLog
+
+__all__ = ["render_timeline", "summarize_run", "export_events", "import_events"]
+
+#: events that open / close a nesting level.
+_OPENERS = {EventKind.OPERATOR_START}
+_CLOSERS = {EventKind.OPERATOR_END}
+
+#: payload fields worth showing per event kind, in display order.
+_DETAIL_FIELDS = {
+    EventKind.RETRIEVE: ("source", "into", "prompt_based"),
+    EventKind.GENERATE: ("prompt_key", "task", "confidence", "latency"),
+    EventKind.REFINE: ("key", "action", "mode", "condition", "version"),
+    EventKind.CHECK: ("condition", "outcome"),
+    EventKind.MERGE: ("into", "strategy"),
+    EventKind.DELEGATE: ("agent", "into"),
+    EventKind.VIEW_EXPAND: ("view", "key"),
+    EventKind.PLAN: ("chosen", "skipped", "risk", "refined"),
+    EventKind.SHADOW: ("phase",),
+    EventKind.ERROR: ("error", "message"),
+}
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _details(event: Event) -> str:
+    fields = _DETAIL_FIELDS.get(event.kind, ())
+    parts = [
+        f"{name}={_format_value(event.payload[name])}"
+        for name in fields
+        if event.payload.get(name) is not None
+    ]
+    return f" ({', '.join(parts)})" if parts else ""
+
+
+def render_timeline(log: EventLog, *, include_lifecycle: bool = False) -> str:
+    """Render the log as an indented timeline.
+
+    Semantic events (generate, refine, check, ...) are always shown;
+    operator start/end lifecycle events control indentation and are
+    printed only when ``include_lifecycle`` is true.
+    """
+    lines: list[str] = []
+    depth = 0
+    for event in log:
+        if event.kind in _CLOSERS:
+            depth = max(depth - 1, 0)
+            if include_lifecycle:
+                lines.append(f"{event.at:8.2f}s  {'  ' * depth}</{event.operator}>")
+            continue
+        indent = "  " * depth
+        if event.kind in _OPENERS:
+            if include_lifecycle:
+                lines.append(f"{event.at:8.2f}s  {indent}<{event.operator}>")
+            depth += 1
+            continue
+        lines.append(
+            f"{event.at:8.2f}s  {indent}{event.kind.value:<10} "
+            f"{event.operator}{_details(event)}"
+        )
+    return "\n".join(lines)
+
+
+def export_events(log: EventLog, path: str | Path) -> Path:
+    """Write the log as JSON Lines (one event per line); returns the path.
+
+    JSONL is the interchange format for offline analysis — ship a run's
+    trace to a notebook, diff two runs, or feed a dashboard.
+    """
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for event in log:
+            handle.write(json.dumps(event.to_dict(), default=repr))
+            handle.write("\n")
+    return target
+
+
+def import_events(path: str | Path) -> EventLog:
+    """Rebuild an :class:`EventLog` from a JSONL export.
+
+    Sequence numbers are regenerated (append-only invariant); kinds,
+    operators, timestamps and payloads are preserved.
+    """
+    log = EventLog()
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            log.emit(
+                EventKind(record["kind"]),
+                record["operator"],
+                at=float(record["at"]),
+                **record.get("payload", {}),
+            )
+    return log
+
+
+def summarize_run(log: EventLog) -> dict[str, dict[str, float]]:
+    """Aggregate per-kind counts and (where present) total latency."""
+    summary: dict[str, dict[str, float]] = {}
+    for event in log:
+        if event.kind in _OPENERS or event.kind in _CLOSERS:
+            continue
+        bucket = summary.setdefault(
+            event.kind.value, {"count": 0, "latency": 0.0}
+        )
+        bucket["count"] += 1
+        latency = event.payload.get("latency")
+        if isinstance(latency, (int, float)):
+            bucket["latency"] += float(latency)
+    return summary

@@ -1,0 +1,14 @@
+"""Semantic operator layer: declarative map/filter queries over SPEAR."""
+
+from repro.semantic.executor import PlanStep, SemanticExecutor, SemResult, SemRow
+from repro.semantic.ops import SemanticQuery, SemFilter, SemMap
+
+__all__ = [
+    "PlanStep",
+    "SemanticExecutor",
+    "SemResult",
+    "SemRow",
+    "SemanticQuery",
+    "SemFilter",
+    "SemMap",
+]

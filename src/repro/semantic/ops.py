@@ -1,0 +1,95 @@
+"""Semantic operators: a declarative map/filter layer over SPEAR.
+
+Paper §6 positions SPEAR as "a runtime substrate for prompt control while
+upstream systems manage data retrieval and processing", complementing
+semantic data processing systems (Palimpzest, LOTUS, DocETL — paper §8).
+This package provides a miniature such upstream layer:
+
+    query = (
+        SemanticQuery(tweets)
+        .sem_map("Summarize and clean up the tweet in at most 30 words.")
+        .sem_filter("Keep the tweet only if its sentiment is negative.")
+    )
+    result = query.execute(llm)
+
+The query is declarative; the executor (see
+:mod:`repro.semantic.executor`) plans the physical execution — deciding
+per adjacent stage pair whether to fuse, using SPEAR's selectivity-aware
+fusion planner with a pilot-sampled selectivity estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import PlanningError
+
+__all__ = ["SemMap", "SemFilter", "SemanticQuery"]
+
+
+@dataclass(frozen=True)
+class SemMap:
+    """A semantic transformation of each item."""
+
+    instruction: str
+    #: expected decode length per item (tokens) for cost estimation.
+    expected_output_tokens: int = 22
+
+    @property
+    def kind(self) -> str:
+        return "map"
+
+
+@dataclass(frozen=True)
+class SemFilter:
+    """A semantic predicate over each item."""
+
+    instruction: str
+    expected_output_tokens: int = 3
+
+    @property
+    def kind(self) -> str:
+        return "filter"
+
+
+class SemanticQuery:
+    """An ordered chain of semantic operators over a dataset of texts.
+
+    Builder methods return ``self`` for chaining; the query is immutable
+    once executed.  Execution lives in
+    :class:`repro.semantic.executor.SemanticExecutor`; the convenience
+    :meth:`execute` constructs one with defaults.
+    """
+
+    def __init__(self, items: Iterable[str]) -> None:
+        self.items: list[str] = list(items)
+        self.ops: list[SemMap | SemFilter] = []
+
+    def sem_map(self, instruction: str, *, expected_output_tokens: int = 22) -> "SemanticQuery":
+        """Append a semantic map stage."""
+        self.ops.append(
+            SemMap(instruction, expected_output_tokens=expected_output_tokens)
+        )
+        return self
+
+    def sem_filter(self, instruction: str, *, expected_output_tokens: int = 3) -> "SemanticQuery":
+        """Append a semantic filter stage."""
+        self.ops.append(
+            SemFilter(instruction, expected_output_tokens=expected_output_tokens)
+        )
+        return self
+
+    def validate(self) -> None:
+        """Reject empty or degenerate queries before planning."""
+        if not self.ops:
+            raise PlanningError("semantic query has no operators")
+        for op in self.ops:
+            if not op.instruction.strip():
+                raise PlanningError("semantic operator has an empty instruction")
+
+    def execute(self, model, **kwargs):
+        """Plan and run the query; see SemanticExecutor.execute."""
+        from repro.semantic.executor import SemanticExecutor
+
+        return SemanticExecutor(model, **kwargs).execute(self)

@@ -1,0 +1,152 @@
+"""Tests for agents: validation scoring and the registry."""
+
+import pytest
+
+from repro.agents import Agent, AgentRegistry, EchoAgent, ValidationAgent
+from repro.core import ExecutionState
+from repro.errors import DelegationError
+
+
+class TestValidationAgent:
+    def _state_with_evidence(self, evidence: str) -> ExecutionState:
+        state = ExecutionState()
+        state.context.put("notes", evidence)
+        return state
+
+    def test_supported_claims_score_one(self):
+        state = self._state_with_evidence(
+            "Enoxaparin 40 mg administered within the last 24 hours for DVT prophylaxis."
+        )
+        agent = ValidationAgent()
+        report = agent.handle(
+            state,
+            "Patient received Enoxaparin; dosage: 40 mg; timing: within the "
+            "last 24 hours; indication: DVT prophylaxis",
+        )
+        assert report["evidence_score"] == 1.0
+        assert all(claim["supported"] for claim in report["claims"])
+
+    def test_unsupported_dosage_lowers_score(self):
+        state = self._state_with_evidence("Enoxaparin 40 mg administered.")
+        agent = ValidationAgent()
+        report = agent.handle(state, "Patient received Enoxaparin; dosage: 80 mg")
+        dosage_claims = [c for c in report["claims"] if c["kind"] == "dosage"]
+        assert dosage_claims and not dosage_claims[0]["supported"]
+        assert report["evidence_score"] < 1.0
+
+    def test_no_checkable_claims_scores_one(self):
+        state = self._state_with_evidence("irrelevant evidence")
+        report = ValidationAgent().handle(state, "I am not sure.")
+        assert report["evidence_score"] == 1.0
+        assert report["claims"] == []
+
+    def test_negative_claim_supported_when_drug_absent(self):
+        state = self._state_with_evidence("No anticoagulants prescribed.")
+        report = ValidationAgent().handle(state, "no Enoxaparin use documented")
+        assert report["evidence_score"] == 1.0
+
+    def test_negative_claim_contradicted(self):
+        state = self._state_with_evidence("enoxaparin 40 mg given")
+        report = ValidationAgent().handle(state, "no Enoxaparin use documented")
+        assert report["evidence_score"] == 0.0
+
+    def test_score_written_to_metadata(self):
+        state = self._state_with_evidence("enoxaparin 40 mg")
+        ValidationAgent().handle(state, "received Enoxaparin; dosage: 40 mg")
+        assert "evidence_score" in state.metadata
+
+    def test_evidence_keys_restrict_pool(self):
+        state = ExecutionState()
+        state.context.put("notes", "enoxaparin 40 mg")
+        state.context.put("other", "80 mg somewhere else")
+        agent = ValidationAgent(evidence_keys=["notes"])
+        report = agent.handle(state, "dosage: 80 mg")
+        assert report["evidence_score"] == 0.0
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = AgentRegistry()
+        agent = EchoAgent()
+        registry.register(agent)
+        assert registry.get("echo") is agent
+        assert "echo" in registry
+        assert len(registry) == 1
+
+    def test_register_with_explicit_name(self):
+        registry = AgentRegistry()
+        registry.register(EchoAgent(), name="mirror")
+        assert registry.names() == ["mirror"]
+
+    def test_rejects_non_agents(self):
+        registry = AgentRegistry()
+        with pytest.raises(DelegationError):
+            registry.register(object())  # type: ignore[arg-type]
+
+    def test_unknown_agent_raises(self):
+        with pytest.raises(DelegationError):
+            AgentRegistry().get("ghost")
+
+    def test_install_onto_state(self):
+        registry = AgentRegistry()
+        registry.register(EchoAgent())
+        state = ExecutionState()
+        registry.install(state)
+        assert state.agent("echo").handle(state, "x") == "x"
+
+    def test_base_agent_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Agent().handle(None, None)
+
+
+class TestRetrieverAgent:
+    @pytest.fixture
+    def retriever(self, clinical_corpus):
+        from repro.agents import RetrieverAgent
+        from repro.retrieval import InvertedIndex, corpus_documents
+
+        return RetrieverAgent(InvertedIndex(corpus_documents(clinical_corpus)))
+
+    def test_returns_ranked_snippets(self, retriever):
+        state = ExecutionState()
+        report = retriever.handle(state, "enoxaparin dosage administered")
+        assert report["snippets"]
+        assert report["scores"] == sorted(report["scores"], reverse=True)
+        assert report["top_score"] == report["scores"][0]
+        assert "enoxaparin" in report["snippets"][0].lower()
+
+    def test_writes_retrieval_score_signal(self, retriever):
+        state = ExecutionState()
+        retriever.handle(state, "enoxaparin")
+        assert state.metadata["retrieval_score"] > 0
+
+    def test_no_hits_scores_zero(self, retriever):
+        state = ExecutionState()
+        report = retriever.handle(state, "zebra rainbows nothing")
+        assert report["snippets"] == []
+        assert state.metadata["retrieval_score"] == 0.0
+
+    def test_delegation_with_refinable_retrieval_prompt(self, state, clinical_corpus):
+        from repro.agents import RetrieverAgent
+        from repro.core import DELEGATE, REF, RefAction
+        from repro.retrieval import InvertedIndex, corpus_documents
+
+        state.register_agent(
+            "retriever",
+            RetrieverAgent(InvertedIndex(corpus_documents(clinical_corpus))),
+        )
+        state.prompts.create("retrieval_intent", "patient notes")
+        pipeline = (
+            REF(
+                RefAction.UPDATE,
+                "enoxaparin medication orders dosage",
+                key="retrieval_intent",
+            )
+            >> DELEGATE(
+                "retriever",
+                lambda st: st.render_prompt("retrieval_intent"),
+                into="retrieved",
+            )
+        )
+        final = pipeline.apply(state)
+        assert final.C["retrieved"]["top_score"] > 0

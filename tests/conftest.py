@@ -1,0 +1,42 @@
+"""Shared fixtures: small seeded corpora and wired execution states."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agents import ValidationAgent
+from repro.core import ExecutionState
+from repro.data import make_clinical_corpus, make_tweet_corpus
+from repro.llm import SimulatedLLM
+from repro.retrieval import clinical_sources
+
+
+@pytest.fixture(scope="session")
+def tweet_corpus():
+    """A small balanced tweet corpus (session-scoped; corpora are immutable)."""
+    return make_tweet_corpus(60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def clinical_corpus():
+    """A small clinical corpus with Enoxaparin and non-Enoxaparin patients."""
+    return make_clinical_corpus(12, seed=11)
+
+
+@pytest.fixture
+def llm(tweet_corpus, clinical_corpus):
+    """A fresh simulated model grounded on both corpora."""
+    model = SimulatedLLM("qwen2.5-7b-instruct")
+    model.bind_tweets(tweet_corpus)
+    model.bind_clinical(clinical_corpus)
+    return model
+
+
+@pytest.fixture
+def state(llm, clinical_corpus):
+    """An execution state wired with the model, clinical sources, and agents."""
+    execution_state = ExecutionState(model=llm, clock=llm.clock)
+    for name, source in clinical_sources(clinical_corpus).items():
+        execution_state.register_source(name, source)
+    execution_state.register_agent("validation_agent", ValidationAgent())
+    return execution_state

@@ -1,0 +1,120 @@
+"""Tests for the algebra base: conditions, composition, tracing."""
+
+import pytest
+
+from repro.core import Condition, ExecutionState, Pipeline
+from repro.core.algebra import FunctionOperator, as_condition
+from repro.errors import OperatorError, SpearError
+from repro.runtime.events import EventKind
+
+
+class TestConditions:
+    def test_metadata_below(self):
+        state = ExecutionState()
+        cond = Condition.metadata_below("confidence", 0.7)
+        state.metadata.set("confidence", 0.5)
+        assert cond(state)
+        state.metadata.set("confidence", 0.9)
+        assert not cond(state)
+        assert cond.text == 'M["confidence"] < 0.7'
+
+    def test_metadata_below_missing_signal_counts_as_zero(self):
+        assert Condition.metadata_below("confidence", 0.7)(ExecutionState())
+
+    def test_metadata_above(self):
+        state = ExecutionState()
+        state.metadata.set("retries", 3)
+        assert Condition.metadata_above("retries", 2)(state)
+
+    def test_missing_context_matches_paper_notation(self):
+        state = ExecutionState()
+        cond = Condition.missing_context("orders")
+        assert cond(state)
+        assert cond.text == '"orders" not in C'
+        state.context.put("orders", [])
+        assert not cond(state)
+
+    def test_context_contains(self):
+        state = ExecutionState()
+        state.context.put("answer", "x")
+        assert Condition.context_contains("answer")(state)
+
+    def test_invert(self):
+        state = ExecutionState()
+        cond = ~Condition.missing_context("orders")
+        assert not cond(state)
+        assert "not" in cond.text
+
+    def test_and_or_combinators(self):
+        state = ExecutionState()
+        state.metadata.set("confidence", 0.5)
+        low = Condition.metadata_below("confidence", 0.7)
+        has_orders = Condition.context_contains("orders")
+        assert (low | has_orders)(state)
+        assert not (low & has_orders)(state)
+        state.context.put("orders", [])
+        assert (low & has_orders)(state)
+
+    def test_as_condition_wraps_callable_and_bool(self):
+        state = ExecutionState()
+        assert as_condition(lambda s: True)(state)
+        assert as_condition(True)(state)
+        assert not as_condition(False)(state)
+        original = Condition.of(lambda s: True, "t")
+        assert as_condition(original) is original
+
+
+class TestComposition:
+    def test_rshift_builds_pipeline(self):
+        op_1 = FunctionOperator(lambda s: s, "A")
+        op_2 = FunctionOperator(lambda s: s, "B")
+        pipeline = op_1 >> op_2
+        assert isinstance(pipeline, Pipeline)
+        assert [op.label for op in pipeline] == ["A", "B"]
+
+    def test_pipelines_nest_flat(self):
+        ops = [FunctionOperator(lambda s: s, label) for label in "ABC"]
+        pipeline = ops[0] >> ops[1] >> ops[2]
+        assert len(pipeline) == 3
+
+    def test_named_pipeline_nested_as_unit(self):
+        inner = Pipeline([FunctionOperator(lambda s: s, "A")], name="inner")
+        outer = FunctionOperator(lambda s: s, "B") >> inner
+        assert len(outer) == 2
+        assert outer[1] is inner
+
+    def test_closure_operator_returns_state(self):
+        state = ExecutionState()
+        result = (FunctionOperator(lambda s: s, "A") >> FunctionOperator(lambda s: s, "B")).apply(state)
+        assert result is state
+
+
+class TestTracing:
+    def test_apply_emits_start_and_end_events(self):
+        state = ExecutionState()
+        FunctionOperator(lambda s: s, "X").apply(state)
+        kinds = [event.kind for event in state.events]
+        assert kinds == [EventKind.OPERATOR_START, EventKind.OPERATOR_END]
+        assert state.events.all()[0].operator == "X"
+
+    def test_spear_errors_emit_error_event_and_reraise(self):
+        state = ExecutionState()
+
+        def boom(s):
+            raise OperatorError("nope")
+
+        with pytest.raises(SpearError):
+            FunctionOperator(boom, "BOOM").apply(state)
+        error_events = state.events.of_kind(EventKind.ERROR)
+        assert len(error_events) == 1
+        assert error_events[0].payload["error"] == "OperatorError"
+
+    def test_function_operator_none_return_keeps_state(self):
+        state = ExecutionState()
+
+        def mutate(s):
+            s.context.put("x", 1)
+
+        result = FunctionOperator(mutate).apply(state)
+        assert result is state
+        assert state.context["x"] == 1

@@ -1,0 +1,73 @@
+"""Tests for Context: mapping semantics and write provenance."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.errors import UnknownContextKeyError
+
+
+class TestContext:
+    def test_initial_values_logged_as_initial(self):
+        context = Context({"a": 1})
+        assert context["a"] == 1
+        assert context.producers_of("a") == ["initial"]
+
+    def test_put_records_producer(self):
+        context = Context()
+        context.put("answer", "yes", producer='GEN["answer"]')
+        assert context.producers_of("answer") == ['GEN["answer"]']
+
+    def test_setitem_uses_unknown_producer(self):
+        context = Context()
+        context["k"] = 1
+        assert context.producers_of("k") == ["unknown"]
+
+    def test_missing_key_raises_typed_error(self):
+        context = Context()
+        with pytest.raises(UnknownContextKeyError):
+            context["missing"]
+
+    def test_delete(self):
+        context = Context({"a": 1})
+        del context["a"]
+        assert "a" not in context
+        with pytest.raises(UnknownContextKeyError):
+            del context["a"]
+
+    def test_update_bulk_producer(self):
+        context = Context()
+        context.update({"a": 1, "b": 2}, producer="RET[x]")
+        assert context.producers_of("a") == ["RET[x]"]
+        assert context.producers_of("b") == ["RET[x]"]
+
+    def test_rewrites_append_to_log(self):
+        context = Context()
+        context.put("a", 1, producer="op1")
+        context.put("a", 2, producer="op2")
+        assert context["a"] == 2
+        assert context.producers_of("a") == ["op1", "op2"]
+
+    def test_subset_ignores_missing(self):
+        context = Context({"a": 1})
+        assert context.subset(["a", "b"]) == {"a": 1}
+
+    def test_fork_isolates_writes(self):
+        context = Context({"a": 1})
+        fork = context.fork()
+        fork.put("a", 2)
+        fork.put("b", 3)
+        assert context["a"] == 1
+        assert "b" not in context
+        assert fork["a"] == 2
+
+    def test_as_dict_is_a_copy(self):
+        context = Context({"a": 1})
+        snapshot = context.as_dict()
+        snapshot["a"] = 99
+        assert context["a"] == 1
+
+    def test_len_and_iteration(self):
+        context = Context({"a": 1, "b": 2})
+        assert len(context) == 2
+        assert sorted(context) == ["a", "b"]
+        assert context.keys() == ["a", "b"]

@@ -1,0 +1,207 @@
+"""Tests for the derived operators (paper Table 2)."""
+
+import pytest
+
+from repro.core import (
+    CHECK,
+    Condition,
+    DIFF,
+    EXPAND,
+    ExecutionState,
+    GEN,
+    MAP,
+    REF,
+    RETRY,
+    RefAction,
+    RefinementMode,
+    SWITCH,
+    VIEW,
+)
+from repro.core.algebra import FunctionOperator
+from repro.core.derived import prompt_diff
+from repro.errors import OperatorError
+
+
+class TestExpand:
+    def test_expand_appends(self):
+        state = ExecutionState()
+        state.prompts.create("qa_prompt", "base")
+        EXPAND("qa_prompt", "Include PE risk factors.").apply(state)
+        assert state.prompts.text("qa_prompt") == "base\nInclude PE risk factors."
+
+    def test_expand_mode_recorded(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        EXPAND("qa", "x", mode="MANUAL").apply(state)
+        assert state.prompts["qa"].ref_log[-1].mode is RefinementMode.MANUAL
+
+
+class TestRetry:
+    def test_retry_runs_refine_then_op_until_condition_clears(self):
+        state = ExecutionState()
+        state.metadata.set("conf", 0.0)
+        runs = []
+
+        def attempt(st):
+            runs.append(1)
+            st.metadata.set("conf", st.metadata["conf"] + 0.4)
+            return st
+
+        retry = RETRY(
+            FunctionOperator(attempt, "ATTEMPT"),
+            Condition.metadata_below("conf", 0.7),
+            refine=FunctionOperator(lambda st: st, "REFINE"),
+            max_retries=5,
+        )
+        state = retry.apply(state)
+        # 0.4 after first run, 0.8 after second — two attempts total.
+        assert len(runs) == 2
+        assert state.M["retries"] == 1
+
+    def test_retry_respects_max_retries(self):
+        state = ExecutionState()
+        runs = []
+        retry = RETRY(
+            FunctionOperator(lambda st: runs.append(1) or st, "A"),
+            Condition.of(lambda st: True, "always"),
+            max_retries=2,
+        )
+        state = retry.apply(state)
+        assert len(runs) == 3  # initial + 2 retries
+        assert state.M["retries"] == 2
+
+    def test_retry_with_gen_and_refinement(self, state, tweet_corpus):
+        tweet = tweet_corpus[0]
+        state.prompts.create(
+            "qa", f"Summarize the tweet.\nTweet:\n{tweet.text}"
+        )
+        retry = RETRY(
+            GEN("answer", prompt="qa"),
+            Condition.metadata_below("confidence", 0.99),
+            refine=REF(RefAction.APPEND, "Be precise.", key="qa"),
+            max_retries=1,
+        )
+        state = retry.apply(state)
+        assert "answer" in state.C
+        assert state.M["gen_calls"] >= 1
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(OperatorError):
+            RETRY(FunctionOperator(lambda s: s), lambda s: True, max_retries=-1)
+
+
+class TestMap:
+    def test_map_applies_refiner_to_all_keys(self):
+        state = ExecutionState()
+        state.prompts.create("intro_note", "  Messy   ")
+        state.prompts.create("followup_note", " also messy ")
+
+        def f_normalize(st, text):
+            return " ".join(text.split())
+
+        MAP(["intro_note", "followup_note"], f_normalize).apply(state)
+        assert state.prompts.text("intro_note") == "Messy"
+        assert state.prompts.text("followup_note") == "also messy"
+        for key in ("intro_note", "followup_note"):
+            assert state.prompts[key].ref_log[-1].function == "f_normalize"
+
+
+class TestSwitch:
+    def test_first_matching_case_wins(self):
+        state = ExecutionState()
+        state.context.put("note_kind", "discharge_summary")
+        switch = SWITCH(
+            [
+                (
+                    Condition.of(
+                        lambda st: st.context["note_kind"] == "radiology_report",
+                        "is_radiology",
+                    ),
+                    REF(RefAction.CREATE, "radiology view", key="prompt"),
+                ),
+                (
+                    Condition.of(
+                        lambda st: st.context["note_kind"] == "discharge_summary",
+                        "is_discharge",
+                    ),
+                    REF(RefAction.CREATE, "discharge view", key="prompt"),
+                ),
+            ]
+        )
+        state = switch.apply(state)
+        assert state.prompts.text("prompt") == "discharge view"
+
+    def test_default_applied_when_nothing_matches(self):
+        state = ExecutionState()
+        switch = SWITCH(
+            [(Condition.of(lambda st: False, "never"), REF(RefAction.CREATE, "a", key="p"))],
+            default=REF(RefAction.CREATE, "default", key="p"),
+        )
+        state = switch.apply(state)
+        assert state.prompts.text("p") == "default"
+
+    def test_no_match_no_default_is_noop(self):
+        state = ExecutionState()
+        SWITCH([(Condition.of(lambda st: False, "never"), REF(RefAction.CREATE, "a", key="p"))]).apply(state)
+        assert "p" not in state.prompts
+
+
+class TestViewOperator:
+    def test_view_instantiates_into_prompt_store(self):
+        state = ExecutionState()
+        state.views.define(
+            "med_justification",
+            "Why was {drug} administered?",
+            params=("drug",),
+            tags={"clinical"},
+        )
+        VIEW("med_justification", key="qa", params={"drug": "Enoxaparin"}).apply(state)
+        entry = state.prompts["qa"]
+        assert entry.text == "Why was Enoxaparin administered?"
+        assert entry.view == "med_justification"
+        assert "clinical" in entry.tags
+
+    def test_view_replaces_existing_entry_with_history(self):
+        state = ExecutionState()
+        state.views.define("v", "view text")
+        state.prompts.create("qa", "old text")
+        VIEW("v", key="qa").apply(state)
+        entry = state.prompts["qa"]
+        assert entry.text == "view text"
+        assert entry.text_at(0) == "old text"
+        assert entry.view == "v"
+
+    def test_view_default_key_is_view_name(self):
+        state = ExecutionState()
+        state.views.define("v", "x")
+        VIEW("v").apply(state)
+        assert state.prompts.text("v") == "x"
+
+
+class TestDiff:
+    def test_prompt_diff_statistics(self):
+        record = prompt_diff("a\nb\nc", "a\nb\nd")
+        assert record["added_lines"] == 1
+        assert record["removed_lines"] == 1
+        assert record["shared_prefix_chars"] == 4
+        assert 0 < record["similarity"] < 1
+
+    def test_identical_texts(self):
+        record = prompt_diff("same", "same")
+        assert record["added_lines"] == 0
+        assert record["similarity"] == 1.0
+        assert record["shared_prefix_chars"] == 4
+
+    def test_diff_operator_writes_context(self):
+        state = ExecutionState()
+        state.prompts.create("summary_1", "a\nb")
+        state.prompts.create("summary_2", "a\nc")
+        DIFF("summary_1", "summary_2").apply(state)
+        assert state.C["diff"]["added_lines"] == 1
+
+    def test_diff_historical_versions_via_at_syntax(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "v0 text")
+        state.prompts["qa"].record(RefAction.UPDATE, "v1 text", function="f")
+        DIFF("qa@0", "qa", into="evolution").apply(state)
+        assert state.C["evolution"]["similarity"] < 1.0

@@ -1,0 +1,110 @@
+"""Tests for prompt histories: traces, diffs, rollback (paper §4.3)."""
+
+from repro.core import ExecutionState, PromptStore, RefAction, RefinementMode
+from repro.core.history import (
+    creation_record,
+    diff_versions,
+    export_history,
+    refinements_of,
+    rollback_to,
+    trace,
+    triggered_refinements,
+)
+
+
+def _store_with_history() -> PromptStore:
+    store = PromptStore()
+    store.create("qa_prompt", "base question", function="f_base")
+    store["qa_prompt"].record(
+        RefAction.APPEND,
+        "base question\nFocus on PE risk.",
+        function="f_add_pe_risk",
+        mode=RefinementMode.ASSISTED,
+    )
+    store["qa_prompt"].record(
+        RefAction.APPEND,
+        "base question\nFocus on PE risk.\nHint: check labs.",
+        function="f_add_hint",
+        mode=RefinementMode.AUTO,
+        condition='M["confidence"] < 0.7',
+        signals={"confidence": 0.6},
+    )
+    return store
+
+
+class TestTrace:
+    def test_trace_lines_reflect_log(self):
+        store = _store_with_history()
+        lines = trace(store["qa_prompt"])
+        assert lines[0].startswith("v0 CREATE f_base")
+        assert "mode=ASSISTED" in lines[1]
+        assert 'when M["confidence"] < 0.7' in lines[2]
+
+    def test_trace_includes_outcome_confidence(self):
+        store = _store_with_history()
+        store["qa_prompt"].ref_log[-1].signals["outcome_confidence"] = 0.82
+        assert "outcome_conf=0.82" in trace(store["qa_prompt"])[-1]
+
+
+class TestQueries:
+    def test_refinements_of(self):
+        store = _store_with_history()
+        records = refinements_of(store["qa_prompt"], "f_add_hint")
+        assert len(records) == 1
+        assert records[0].mode is RefinementMode.AUTO
+
+    def test_triggered_refinements(self):
+        store = _store_with_history()
+        triggered = triggered_refinements(store["qa_prompt"])
+        assert len(triggered) == 1
+        assert triggered[0].function == "f_add_hint"
+
+    def test_creation_record(self):
+        store = _store_with_history()
+        assert creation_record(store["qa_prompt"]).function == "f_base"
+
+    def test_export_history_all_keys(self):
+        store = _store_with_history()
+        store.create("other", "x")
+        exported = export_history(store)
+        assert set(exported) == {"qa_prompt", "other"}
+        assert len(exported["qa_prompt"]) == 3
+
+
+class TestDiffAndRollback:
+    def test_diff_versions(self):
+        store = _store_with_history()
+        record = diff_versions(store["qa_prompt"], 0, 2)
+        assert record["added_lines"] == 2
+        assert record["removed_lines"] == 0
+
+    def test_rollback_to(self):
+        store = _store_with_history()
+        rollback_to(store, "qa_prompt", 0)
+        assert store.text("qa_prompt") == "base question"
+        assert store["qa_prompt"].version == 3
+
+    def test_rollback_then_diff_shows_equality(self):
+        store = _store_with_history()
+        rollback_to(store, "qa_prompt", 0)
+        record = diff_versions(store["qa_prompt"], 0, 3)
+        assert record["similarity"] == 1.0
+
+
+class TestIntegrationWithState:
+    def test_paper_example_log_shape(self, llm):
+        """The §4.3 example: CREATE → ASSISTED → AUTO in one ref_log."""
+        state = ExecutionState(model=llm)
+        state.prompts.create("qa_prompt", "text", function="f_base")
+        state.prompts["qa_prompt"].record(
+            RefAction.UPDATE, "text 2", function="f_add_pe_risk",
+            mode=RefinementMode.ASSISTED,
+        )
+        state.prompts["qa_prompt"].record(
+            RefAction.APPEND, "text 2\nhint", function="f_add_hint",
+            mode=RefinementMode.AUTO,
+        )
+        history = state.prompts.history("qa_prompt")
+        assert [record["f"] for record in history] == [
+            "f_base", "f_add_pe_risk", "f_add_hint",
+        ]

@@ -1,0 +1,102 @@
+"""Tests for meta prompts: ref_log analytics (paper §4.4)."""
+
+from repro.core import PromptStore, RefAction
+from repro.core.meta import (
+    analyze_refiners,
+    evolution_summary,
+    recommend_replacement,
+    underperforming_refiners,
+)
+
+
+def _record(store, key, function, before, after, condition=None):
+    entry = store[key]
+    record = entry.record(
+        RefAction.APPEND,
+        entry.text + "\n" + function,
+        function=function,
+        condition=condition,
+        signals={"confidence": before},
+    )
+    record.signals["outcome_confidence"] = after
+
+
+def _store_with_outcomes() -> PromptStore:
+    store = PromptStore()
+    store.create("qa", "base")
+    store.create("summary", "base")
+    # f_good consistently improves confidence.
+    _record(store, "qa", "f_good", 0.5, 0.8)
+    _record(store, "summary", "f_good", 0.6, 0.85)
+    # f_bad consistently hurts.
+    _record(store, "qa", "f_bad", 0.8, 0.6, condition='M["confidence"] < 0.9')
+    _record(store, "summary", "f_bad", 0.7, 0.65)
+    return store
+
+
+class TestAnalyzeRefiners:
+    def test_per_refiner_deltas(self):
+        stats = analyze_refiners(_store_with_outcomes())
+        assert stats["f_good"].mean_confidence_delta > 0.2
+        assert stats["f_bad"].mean_confidence_delta < 0
+        assert stats["f_good"].applications == 2
+        assert stats["f_good"].prompts_touched == 2
+
+    def test_triggered_fraction(self):
+        stats = analyze_refiners(_store_with_outcomes())
+        assert stats["f_bad"].triggered_fraction == 0.5
+        assert stats["f_good"].triggered_fraction == 0.0
+
+    def test_create_records_excluded(self):
+        store = PromptStore()
+        store.create("qa", "base", function="f_base")
+        assert analyze_refiners(store) == {}
+
+    def test_records_without_outcomes_still_counted(self):
+        store = PromptStore()
+        store.create("qa", "base")
+        store["qa"].record(RefAction.APPEND, "base\nx", function="f_pending")
+        stats = analyze_refiners(store)
+        assert stats["f_pending"].applications == 1
+        assert stats["f_pending"].mean_confidence_delta == 0.0
+
+    def test_to_dict_roundtrip(self):
+        stats = analyze_refiners(_store_with_outcomes())
+        record = stats["f_good"].to_dict()
+        assert record["function"] == "f_good"
+        assert record["applications"] == 2
+
+
+class TestUnderperformers:
+    def test_bad_refiner_flagged(self):
+        flagged = underperforming_refiners(_store_with_outcomes())
+        assert [stat.function for stat in flagged] == ["f_bad"]
+
+    def test_min_applications_filter(self):
+        store = _store_with_outcomes()
+        flagged = underperforming_refiners(store, min_applications=3)
+        assert flagged == []
+
+
+class TestRecommendation:
+    def test_replacement_suggests_better_refiner_on_same_prompts(self):
+        assert recommend_replacement(_store_with_outcomes(), "f_bad") == "f_good"
+
+    def test_no_replacement_for_best_refiner(self):
+        assert recommend_replacement(_store_with_outcomes(), "f_good") is None
+
+    def test_unknown_function_returns_none(self):
+        assert recommend_replacement(_store_with_outcomes(), "f_ghost") is None
+
+
+class TestEvolutionSummary:
+    def test_summary_shape(self):
+        store = _store_with_outcomes()
+        summary = evolution_summary(store, "qa")
+        assert summary["key"] == "qa"
+        assert summary["versions"] == 3
+        assert summary["net_growth_chars"] > 0
+        assert [step["function"] for step in summary["steps"]][1:] == [
+            "f_good", "f_bad",
+        ]
+        assert summary["steps"][1]["outcome_confidence"] == 0.8

@@ -1,0 +1,84 @@
+"""Tests for Metadata: signals, history, aggregation."""
+
+import pytest
+
+from repro.core.metadata import Metadata
+from repro.errors import MetadataError
+
+
+class TestMetadata:
+    def test_set_and_get(self):
+        metadata = Metadata()
+        metadata.set("confidence", 0.8)
+        assert metadata["confidence"] == 0.8
+        assert metadata.get("missing") is None
+
+    def test_missing_signal_raises(self):
+        metadata = Metadata()
+        with pytest.raises(MetadataError):
+            metadata["confidence"]
+
+    def test_history_accumulates(self):
+        metadata = Metadata()
+        metadata.set("latency", 1.0)
+        metadata.set("latency", 2.0)
+        assert metadata.history("latency") == [1.0, 2.0]
+        assert metadata["latency"] == 2.0
+
+    def test_initial_values_seed_history(self):
+        metadata = Metadata({"retries": 0})
+        assert metadata.history("retries") == [0]
+
+    def test_increment_creates_and_adds(self):
+        metadata = Metadata()
+        assert metadata.increment("retries") == 1
+        assert metadata.increment("retries", 2) == 3
+
+    def test_increment_non_numeric_raises(self):
+        metadata = Metadata({"label": "yes"})
+        with pytest.raises(MetadataError):
+            metadata.increment("label")
+
+    def test_mean(self):
+        metadata = Metadata()
+        for value in (0.5, 0.7, 0.9):
+            metadata.set("confidence", value)
+        assert metadata.mean("confidence") == pytest.approx(0.7)
+
+    def test_mean_without_history_raises(self):
+        metadata = Metadata()
+        with pytest.raises(MetadataError):
+            metadata.mean("confidence")
+
+    def test_mean_non_numeric_history_raises(self):
+        metadata = Metadata()
+        metadata.set("label", "yes")
+        with pytest.raises(MetadataError):
+            metadata.mean("label")
+
+    def test_last_n(self):
+        metadata = Metadata()
+        for value in range(5):
+            metadata.set("x", value)
+        assert metadata.last_n("x", 2) == [3, 4]
+        assert metadata.last_n("missing", 3) == []
+
+    def test_update_bulk(self):
+        metadata = Metadata()
+        metadata.update({"a": 1, "b": 2})
+        assert metadata.as_dict() == {"a": 1, "b": 2}
+
+    def test_fork_isolates(self):
+        metadata = Metadata({"confidence": 0.5})
+        fork = metadata.fork()
+        fork.set("confidence", 0.9)
+        assert metadata["confidence"] == 0.5
+        assert fork.history("confidence") == [0.5, 0.9]
+        assert metadata.history("confidence") == [0.5]
+
+    def test_contains_len_iter(self):
+        metadata = Metadata({"a": 1})
+        assert "a" in metadata
+        assert len(metadata) == 1
+        assert list(metadata) == ["a"]
+        assert metadata.keys() == ["a"]

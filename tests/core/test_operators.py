@@ -1,0 +1,358 @@
+"""Tests for the six core operators, including the paper's Table 1 pipelines."""
+
+import pytest
+
+from repro.core import (
+    CHECK,
+    Condition,
+    DELEGATE,
+    ExecutionState,
+    GEN,
+    MERGE,
+    Pipeline,
+    REF,
+    RET,
+    RefAction,
+    RefinementMode,
+)
+from repro.errors import OperatorError, RefinementError
+from repro.runtime.events import EventKind
+
+
+class TestRet:
+    def test_structured_retrieval_into_context(self, state):
+        state = RET("order_lookup", query="p0000").apply(state)
+        assert "order_lookup" in state.C
+
+    def test_into_renames_target(self, state):
+        state = RET("order_lookup", query="p0000", into="orders").apply(state)
+        assert "orders" in state.C
+        assert "order_lookup" not in state.C
+
+    def test_prompt_based_retrieval_renders_prompt(self, state):
+        state.prompts.create(
+            "retrieve_meds", "retrieve enoxaparin medication orders for {pid}"
+        )
+        state.context.put("pid", "p0000")
+        state = RET("note_search", prompt="retrieve_meds", into="meds").apply(state)
+        assert isinstance(state.C["meds"], str)
+
+    def test_query_and_prompt_are_exclusive(self):
+        with pytest.raises(OperatorError):
+            RET("x", query={}, prompt="p")
+
+    def test_retrieve_event_emitted(self, state):
+        state = RET("order_lookup", query="p0000").apply(state)
+        events = state.events.of_kind(EventKind.RETRIEVE)
+        assert events and events[0].payload["source"] == "order_lookup"
+
+
+class TestGen:
+    def test_gen_stores_text_result_and_signals(self, state, tweet_corpus):
+        tweet = tweet_corpus[0]
+        state.prompts.create(
+            "map", f"Summarize the tweet in at most 30 words.\nTweet:\n{tweet.text}"
+        )
+        state = GEN("summary", prompt="map").apply(state)
+        assert isinstance(state.C["summary"], str)
+        assert state.C["summary__result"].task == "summarize"
+        for signal in ("confidence", "latency", "prompt_tokens", "cache_hit_rate"):
+            assert signal in state.M
+        assert state.M["gen_calls"] == 1
+
+    def test_gen_renders_context_placeholders(self, state, tweet_corpus):
+        tweet = tweet_corpus[0]
+        state.prompts.create("map", "Summarize the tweet.\nTweet:\n{tweet}")
+        state.context.put("tweet", tweet.text)
+        state = GEN("summary", prompt="map").apply(state)
+        assert state.C["summary__result"].extras["item_uid"] == tweet.uid
+
+    def test_gen_requires_model(self):
+        state = ExecutionState()
+        state.prompts.create("p", "text")
+        with pytest.raises(OperatorError):
+            GEN("out", prompt="p").apply(state)
+
+    def test_gen_attaches_outcome_to_ref_log(self, state, tweet_corpus):
+        state.prompts.create(
+            "map", f"Summarize the tweet.\nTweet:\n{tweet_corpus[0].text}"
+        )
+        state = GEN("s", prompt="map").apply(state)
+        record = state.prompts["map"].ref_log[-1]
+        assert "outcome_confidence" in record.signals
+
+    def test_gen_advances_shared_clock(self, state):
+        before = state.clock.now
+        state.prompts.create("p", "Summarize the tweet.\nTweet:\nhello world")
+        state = GEN("out", prompt="p").apply(state)
+        assert state.clock.now > before
+
+
+class TestRef:
+    def test_create_action_creates_entry(self):
+        state = ExecutionState()
+        REF(RefAction.CREATE, "hello", key="qa").apply(state)
+        assert state.prompts.text("qa") == "hello"
+
+    def test_append_and_prepend(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        REF(RefAction.APPEND, "tail", key="qa").apply(state)
+        REF(RefAction.PREPEND, "head", key="qa").apply(state)
+        assert state.prompts.text("qa") == "head\nbase\ntail"
+
+    def test_callable_refiner_receives_state_and_text(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        state.context.put("drug", "Enoxaparin")
+
+        def f_inject(st, current):
+            return current + " about " + st.context["drug"]
+
+        REF(RefAction.UPDATE, f_inject, key="qa").apply(state)
+        assert state.prompts.text("qa") == "base about Enoxaparin"
+        assert state.prompts["qa"].ref_log[-1].function == "f_inject"
+
+    def test_failing_refiner_wrapped_as_refinement_error(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+
+        def f_bad(st, current):
+            raise ValueError("boom")
+
+        with pytest.raises(RefinementError):
+            REF(RefAction.UPDATE, f_bad, key="qa").apply(state)
+
+    def test_mode_and_signals_recorded(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        state.metadata.set("confidence", 0.55)
+        REF(
+            RefAction.APPEND, "hint", key="qa", mode=RefinementMode.AUTO
+        ).apply(state)
+        record = state.prompts["qa"].ref_log[-1]
+        assert record.mode is RefinementMode.AUTO
+        assert record.signals["confidence"] == pytest.approx(0.55)
+
+    def test_string_mode_coerced(self):
+        state = ExecutionState()
+        REF(RefAction.CREATE, "x", key="qa", mode="MANUAL").apply(state)
+
+    def test_merge_action_rejected(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        with pytest.raises(RefinementError):
+            REF(RefAction.MERGE, "x", key="qa").apply(state)
+
+    def test_refinements_counter(self):
+        state = ExecutionState()
+        REF(RefAction.CREATE, "x", key="qa").apply(state)
+        REF(RefAction.APPEND, "y", key="qa").apply(state)
+        assert state.M["refinements"] == 2
+
+
+class TestCheck:
+    def test_then_branch_applied_on_true(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        state.metadata.set("confidence", 0.4)
+        CHECK(
+            Condition.metadata_below("confidence", 0.7),
+            REF(RefAction.APPEND, "hint", key="qa"),
+        ).apply(state)
+        assert state.prompts.text("qa") == "base\nhint"
+
+    def test_then_skipped_on_false(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        state.metadata.set("confidence", 0.9)
+        CHECK(
+            Condition.metadata_below("confidence", 0.7),
+            REF(RefAction.APPEND, "hint", key="qa"),
+        ).apply(state)
+        assert state.prompts.text("qa") == "base"
+
+    def test_orelse_branch(self):
+        state = ExecutionState()
+        state.metadata.set("confidence", 0.9)
+        CHECK(
+            Condition.metadata_below("confidence", 0.7),
+            orelse=REF(RefAction.CREATE, "fallback", key="alt"),
+        ).apply(state)
+        assert state.prompts.text("alt") == "fallback"
+
+    def test_condition_text_propagated_into_ref_log(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        CHECK(
+            Condition.missing_context("orders"),
+            REF(RefAction.APPEND, "ask for orders", key="qa"),
+        ).apply(state)
+        assert state.prompts["qa"].ref_log[-1].condition == '"orders" not in C'
+
+    def test_check_event_and_counter(self):
+        state = ExecutionState()
+        CHECK(Condition.missing_context("x")).apply(state)
+        assert state.M["checks"] == 1
+        assert state.events.of_kind(EventKind.CHECK)[0].payload["outcome"] is True
+
+
+class TestMerge:
+    def _state_with_variants(self):
+        state = ExecutionState()
+        state.prompts.create("primary", "line a\nline b")
+        state.prompts.create("fallback", "line b\nline c")
+        return state
+
+    def test_concat_dedupes_shared_lines(self):
+        state = self._state_with_variants()
+        MERGE("primary", "fallback").apply(state)
+        assert state.prompts.text("primary") == "line a\nline b\nline c"
+
+    def test_merge_into_new_key(self):
+        state = self._state_with_variants()
+        MERGE("primary", "fallback", into="merged").apply(state)
+        assert "merged" in state.prompts
+        assert state.prompts.text("primary") == "line a\nline b"
+
+    def test_prefer_strategies(self):
+        state = self._state_with_variants()
+        MERGE("primary", "fallback", into="m1", strategy="prefer_first").apply(state)
+        MERGE("primary", "fallback", into="m2", strategy="prefer_second").apply(state)
+        assert state.prompts.text("m1") == "line a\nline b"
+        assert state.prompts.text("m2") == "line b\nline c"
+
+    def test_best_confidence_uses_ref_log_outcomes(self):
+        state = self._state_with_variants()
+        state.prompts["primary"].ref_log[-1].signals["outcome_confidence"] = 0.4
+        state.prompts["fallback"].ref_log[-1].signals["outcome_confidence"] = 0.9
+        MERGE("primary", "fallback", into="m", strategy="best_confidence").apply(state)
+        assert state.prompts.text("m") == "line b\nline c"
+
+    def test_callable_strategy(self):
+        state = self._state_with_variants()
+        MERGE(
+            "primary",
+            "fallback",
+            into="m",
+            strategy=lambda st, a, b: "custom",
+        ).apply(state)
+        assert state.prompts.text("m") == "custom"
+
+    def test_unknown_strategy_rejected_at_construction(self):
+        with pytest.raises(OperatorError):
+            MERGE("a", "b", strategy="vote")
+
+    def test_merge_recorded_in_ref_log_when_merging_in_place(self):
+        state = self._state_with_variants()
+        MERGE("primary", "fallback").apply(state)
+        assert state.prompts["primary"].ref_log[-1].action is RefAction.MERGE
+
+
+class TestDelegate:
+    def test_delegation_by_context_key(self, state, clinical_corpus):
+        patient = next(p for p in clinical_corpus if p.on_enoxaparin)
+        notes = "\n".join(note.text for note in patient.notes)
+        state.context.put("notes", notes)
+        state.context.put(
+            "answer",
+            f"Patient {patient.patient_id} received Enoxaparin; dosage: {patient.dosage}",
+        )
+        state = DELEGATE("validation_agent", "answer", into="evidence").apply(state)
+        report = state.C["evidence"]
+        assert 0.0 <= report["evidence_score"] <= 1.0
+        assert state.M["evidence_score"] == report["evidence_score"]
+        assert state.M["delegations"] == 1
+
+    def test_delegation_with_callable_payload(self, state):
+        state.context.put("a", "no enoxaparin here")
+        state = DELEGATE(
+            "validation_agent", lambda st: st.context["a"], into="out"
+        ).apply(state)
+        assert "evidence_score" in state.C["out"]
+
+
+class TestTable1Pipelines:
+    """The paper's Table 1 example pipelines, end to end."""
+
+    def test_initial_qa_prompt_pipeline(self, state):
+        pipeline = (
+            RET("initial_notes", query="p0000")
+            >> REF(
+                RefAction.CREATE,
+                lambda st, cur: (
+                    "Summarize the patient's medication history and highlight "
+                    "any use of Enoxaparin.\nNotes:\n" + st.context["initial_notes"]
+                ),
+                key="qa_prompt",
+                function_name="f_qa_prompt",
+            )
+            >> GEN("answer_0", prompt="qa_prompt")
+        )
+        state = pipeline.apply(state)
+        assert "answer_0" in state.C
+        assert state.prompts["qa_prompt"].ref_log[0].function == "f_qa_prompt"
+
+    def test_confidence_based_retry(self, state):
+        state.prompts.create(
+            "qa_prompt",
+            "Summarize the patient's medication history and highlight any "
+            "use of Enoxaparin.\nNotes:\n[discharge_summary] Patient p0000.",
+        )
+        state.metadata.set("confidence", 0.5)
+        pipeline = CHECK(
+            Condition.metadata_below("confidence", 0.7),
+            REF(
+                RefAction.APPEND,
+                "Explain your reasoning step by step.",
+                key="qa_prompt",
+                function_name="f_add_reasoning_hint",
+            ),
+        ) >> GEN("answer_1", prompt="qa_prompt")
+        state = pipeline.apply(state)
+        assert "reasoning" in state.prompts.text("qa_prompt")
+        assert "answer_1" in state.C
+
+    def test_missing_order_retrieval(self, state):
+        pipeline = CHECK(
+            Condition.missing_context("orders"),
+            RET("order_lookup", query="p0000", into="orders"),
+        )
+        state = pipeline.apply(state)
+        assert "orders" in state.C
+        # Second application is a no-op: orders are present now.
+        events_before = len(state.events.of_kind(EventKind.RETRIEVE))
+        state = pipeline.apply(state)
+        assert len(state.events.of_kind(EventKind.RETRIEVE)) == events_before
+
+    def test_merging_branches_then_generate(self, state, clinical_corpus):
+        patient = clinical_corpus.patients[0]
+        state.prompts.create(
+            "P_primary",
+            "Summarize the patient's medication history and highlight any use "
+            f"of Enoxaparin.\nNotes:\n[note] Patient {patient.patient_id}.",
+        )
+        state.prompts.create(
+            "P_fallback", "Be specific about dosage and timing."
+        )
+        pipeline = MERGE("P_fallback", "P_primary", into="final_prompt") >> GEN(
+            "final_answer", prompt="final_prompt"
+        )
+        state = pipeline.apply(state)
+        assert "final_answer" in state.C
+
+    def test_delegated_evidence_check(self, state, clinical_corpus):
+        patient = next(p for p in clinical_corpus if p.on_enoxaparin)
+        state.context.put(
+            "notes", "\n".join(note.text for note in patient.notes)
+        )
+        state.context.put(
+            "answer_1",
+            f"Patient {patient.patient_id} received Enoxaparin; "
+            f"dosage: {patient.dosage}; indication: {patient.indication}",
+        )
+        pipeline = Pipeline(
+            [DELEGATE("validation_agent", "answer_1", into="evidence_score")]
+        )
+        state = pipeline.apply(state)
+        assert state.C["evidence_score"]["evidence_score"] > 0.5

@@ -1,0 +1,66 @@
+"""Tests for Pipeline composition and execution."""
+
+from repro.core import ExecutionState, Pipeline
+from repro.core.algebra import FunctionOperator
+
+
+def _tagger(name):
+    def tag(state):
+        order = state.context.get("order", [])
+        state.context.put("order", order + [name])
+        return state
+
+    return FunctionOperator(tag, name)
+
+
+class TestPipeline:
+    def test_operators_run_in_order(self):
+        state = ExecutionState()
+        Pipeline([_tagger("a"), _tagger("b"), _tagger("c")]).run(state)
+        assert state.context["order"] == ["a", "b", "c"]
+
+    def test_empty_pipeline_is_identity(self):
+        state = ExecutionState()
+        result = Pipeline([]).run(state)
+        assert result is state
+
+    def test_rshift_appends(self):
+        pipeline = Pipeline([_tagger("a")]) >> _tagger("b")
+        assert len(pipeline) == 2
+
+    def test_rshift_with_anonymous_pipeline_flattens(self):
+        combined = Pipeline([_tagger("a")]) >> Pipeline([_tagger("b"), _tagger("c")])
+        assert len(combined) == 3
+
+    def test_rshift_with_named_pipeline_nests(self):
+        named = Pipeline([_tagger("b")], name="sub")
+        combined = Pipeline([_tagger("a")]) >> named
+        assert len(combined) == 2
+        state = ExecutionState()
+        combined.run(state)
+        assert state.context["order"] == ["a", "b"]
+
+    def test_label_derivation_and_naming(self):
+        pipeline = Pipeline([_tagger("a"), _tagger("b")])
+        assert pipeline.label == "PIPELINE[a -> b]"
+        named = Pipeline([_tagger("a")], name="my_flow")
+        assert named.label == "my_flow"
+
+    def test_indexing_and_iteration(self):
+        ops = [_tagger("a"), _tagger("b")]
+        pipeline = Pipeline(ops)
+        assert pipeline[0] is ops[0]
+        assert list(pipeline) == ops
+
+    def test_pipeline_is_an_operator_closed_under_composition(self):
+        inner = Pipeline([_tagger("b")], name="inner")
+        outer = Pipeline([_tagger("a"), inner, _tagger("c")])
+        state = ExecutionState()
+        outer.run(state)
+        assert state.context["order"] == ["a", "b", "c"]
+
+    def test_pipeline_emits_its_own_events(self):
+        state = ExecutionState()
+        Pipeline([_tagger("a")], name="flow").run(state)
+        labels = [event.operator for event in state.events]
+        assert "flow" in labels

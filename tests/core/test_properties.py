@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PromptEntry, PromptStore, RefAction
+from repro.core.derived import prompt_diff
+from repro.core.entry import render_template, template_placeholders
+from repro.core.operators import MERGE
+from repro.core import ExecutionState
+
+texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=200
+)
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+
+class TestEntryProperties:
+    @given(st.lists(texts, min_size=1, max_size=8))
+    def test_every_recorded_text_recoverable_at_its_version(self, versions):
+        entry = PromptEntry("seed")
+        for text in versions:
+            entry.record(RefAction.UPDATE, text, function="f")
+        assert entry.text_at(0) == "seed"
+        for index, text in enumerate(versions, start=1):
+            assert entry.text_at(index) == text
+        assert entry.version == len(versions)
+
+    @given(st.lists(texts, min_size=1, max_size=8), st.data())
+    def test_rollback_always_restores_exact_text(self, versions, data):
+        entry = PromptEntry("seed")
+        for text in versions:
+            entry.record(RefAction.UPDATE, text, function="f")
+        target = data.draw(st.integers(min_value=0, max_value=entry.version))
+        expected = entry.text_at(target)
+        entry.rollback(target)
+        assert entry.text == expected
+
+    @given(texts)
+    def test_ref_log_length_equals_version_count(self, text):
+        entry = PromptEntry(text)
+        entry.record(RefAction.UPDATE, text + "x", function="f")
+        assert len(entry.ref_log) == len(entry.versions)
+
+
+class TestTemplateProperties:
+    @given(texts)
+    def test_render_without_values_preserves_placeholder_free_text(self, text):
+        if not template_placeholders(text):
+            assert render_template(text, {}) == text
+
+    @given(identifiers, texts)
+    def test_full_binding_leaves_no_placeholder(self, name, value):
+        template = "pre {" + name + "} post"
+        rendered = render_template(template, {name: value})
+        assert template_placeholders(rendered) == template_placeholders(value)
+
+    @given(st.lists(identifiers, min_size=1, max_size=5, unique=True))
+    def test_placeholders_found_for_all_names(self, names):
+        template = " ".join("{" + name + "}" for name in names)
+        assert template_placeholders(template) == names
+
+
+class TestDiffProperties:
+    @given(texts)
+    def test_self_diff_is_identity(self, text):
+        record = prompt_diff(text, text)
+        assert record["similarity"] == 1.0
+        assert record["added_lines"] == 0
+        assert record["removed_lines"] == 0
+        assert record["shared_prefix_chars"] == len(text)
+
+    @given(texts, texts)
+    def test_shared_prefix_bounded(self, text_1, text_2):
+        record = prompt_diff(text_1, text_2)
+        assert 0 <= record["shared_prefix_chars"] <= min(len(text_1), len(text_2))
+        assert 0.0 <= record["similarity"] <= 1.0
+
+
+@st.composite
+def line_texts(draw):
+    # splitlines() treats several exotic characters as line boundaries
+    # (form feed, NEL, unicode separators); exclude them all so a "line"
+    # strategy really produces single lines.
+    line_breaks = "\n\r\x0b\x0c\x1c\x1d\x1e\x85\u2028\u2029"
+    # Lines are non-empty: MERGE's concat strategy is line-set based, and
+    # empty/trailing lines are not round-trippable through splitlines().
+    lines = draw(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs",),
+                    blacklist_characters=line_breaks,
+                ),
+                min_size=1,
+                max_size=30,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return "\n".join(lines)
+
+
+class TestMergeProperties:
+    @settings(max_examples=50)
+    @given(line_texts(), line_texts())
+    def test_concat_merge_contains_all_lines_of_both(self, text_1, text_2):
+        state = ExecutionState()
+        state.prompts.create("a", text_1)
+        state.prompts.create("b", text_2)
+        MERGE("a", "b", into="m").apply(state)
+        merged_lines = set(state.prompts.text("m").splitlines())
+        assert set(text_1.splitlines()) <= merged_lines
+        assert set(text_2.splitlines()) <= merged_lines
+
+    @settings(max_examples=50)
+    @given(line_texts(), line_texts())
+    def test_concat_merge_never_duplicates_lines_already_in_first(
+        self, text_1, text_2
+    ):
+        state = ExecutionState()
+        state.prompts.create("a", text_1)
+        state.prompts.create("b", text_2)
+        MERGE("a", "b", into="m").apply(state)
+        merged = state.prompts.text("m").splitlines()
+        lines_1 = text_1.splitlines()
+        # The first text's lines appear as a prefix, in order.
+        assert merged[: len(lines_1)] == lines_1
+
+    @settings(max_examples=50)
+    @given(line_texts())
+    def test_merge_with_self_is_idempotent(self, text):
+        state = ExecutionState()
+        state.prompts.create("a", text)
+        state.prompts.create("b", text)
+        MERGE("a", "b", into="m").apply(state)
+        assert state.prompts.text("m") == text
+
+
+class TestStoreProperties:
+    @settings(max_examples=50)
+    @given(st.dictionaries(identifiers, texts, min_size=1, max_size=6))
+    def test_snapshot_roundtrips_texts(self, entries):
+        store = PromptStore()
+        for key, text in entries.items():
+            store.create(key, text)
+        snapshot = store.snapshot()
+        assert set(snapshot) == set(entries)
+        for key, text in entries.items():
+            assert snapshot[key]["text"] == text

@@ -1,0 +1,110 @@
+"""Tests for the three refinement modes (paper §4.1)."""
+
+import pytest
+
+from repro.core import ExecutionState, RefinementMode
+from repro.core.refinement import (
+    adaptive_hint,
+    assisted_refinement,
+    auto_refinement,
+    build_rewrite_prompt,
+    manual_refinement,
+    refine_on_low_confidence,
+)
+from repro.errors import RefinementError
+from repro.llm.tasks import PROMPT_BLOCK_END, PROMPT_BLOCK_START
+
+BASE_PROMPT = (
+    "### Task\nSelect the tweet only if its sentiment is negative.\n"
+    "Respond with yes or no."
+)
+
+
+@pytest.fixture
+def refinable_state(llm):
+    state = ExecutionState(model=llm, clock=llm.clock)
+    state.prompts.create("qa", BASE_PROMPT)
+    return state
+
+
+class TestRewritePromptBuilder:
+    def test_blocks_present(self):
+        text = build_rewrite_prompt("orig", hint="school", objective="obj")
+        assert PROMPT_BLOCK_START in text and PROMPT_BLOCK_END in text
+        assert "Refinement hint: school" in text
+        assert "Objective: obj" in text
+
+    def test_agentic_form_has_no_prompt_block(self):
+        text = build_rewrite_prompt(None, objective="obj")
+        assert PROMPT_BLOCK_START not in text
+
+
+class TestManual:
+    def test_appends_literal_with_manual_mode(self, refinable_state):
+        state = manual_refinement("qa", "Focus on dosage.").apply(refinable_state)
+        assert state.prompts.text("qa").endswith("Focus on dosage.")
+        record = state.prompts["qa"].ref_log[-1]
+        assert record.mode is RefinementMode.MANUAL
+        assert record.function == "f_manual_append"
+
+
+class TestAssisted:
+    def test_rewrites_via_model_and_preserves_original(self, refinable_state):
+        state = assisted_refinement("qa", "school-related content").apply(
+            refinable_state
+        )
+        text = state.prompts.text("qa")
+        assert "school-related content" in text
+        # The rewrite keeps the original instruction text inside.
+        assert "sentiment is negative" in text
+        assert state.prompts["qa"].ref_log[-1].mode is RefinementMode.ASSISTED
+
+    def test_rewrite_call_charged_to_clock(self, refinable_state):
+        before = refinable_state.clock.now
+        assisted_refinement("qa", "hint").apply(refinable_state)
+        assert refinable_state.clock.now > before
+
+    def test_requires_model(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        with pytest.raises(RefinementError):
+            assisted_refinement("qa", "hint").apply(state)
+
+
+class TestAuto:
+    def test_appends_objective_derived_criteria(self, refinable_state):
+        state = auto_refinement(
+            "qa", "select tweets with negative sentiment about school"
+        ).apply(refinable_state)
+        text = state.prompts.text("qa")
+        assert text.startswith(BASE_PROMPT)  # pure append: prefix preserved
+        assert "criteria" in text.lower()
+        assert state.prompts["qa"].ref_log[-1].mode is RefinementMode.AUTO
+
+    def test_adaptive_hint_appends_hint_line(self, refinable_state):
+        state = adaptive_hint("qa", "weigh sarcasm").apply(refinable_state)
+        assert state.prompts.text("qa").endswith("Hint: weigh sarcasm")
+        assert state.prompts["qa"].ref_log[-1].function == "f_add_hint"
+
+
+class TestLowConfidencePattern:
+    def test_fires_below_threshold(self, refinable_state):
+        refinable_state.metadata.set("confidence", 0.4)
+        state = refine_on_low_confidence("qa", 0.7).apply(refinable_state)
+        assert "step by step" in state.prompts.text("qa")
+        assert state.prompts["qa"].ref_log[-1].condition == 'M["confidence"] < 0.7'
+
+    def test_skips_above_threshold(self, refinable_state):
+        refinable_state.metadata.set("confidence", 0.95)
+        state = refine_on_low_confidence("qa", 0.7).apply(refinable_state)
+        assert state.prompts.text("qa") == BASE_PROMPT
+
+    def test_custom_refinement_operator(self, refinable_state):
+        from repro.core import REF, RefAction
+
+        refinable_state.metadata.set("confidence", 0.1)
+        custom = REF(RefAction.APPEND, "custom fix", key="qa")
+        state = refine_on_low_confidence("qa", 0.7, refinement=custom).apply(
+            refinable_state
+        )
+        assert state.prompts.text("qa").endswith("custom fix")

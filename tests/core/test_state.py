@@ -1,0 +1,101 @@
+"""Tests for ExecutionState: aliases, services, rendering, forking."""
+
+import pytest
+
+from repro.core import ExecutionState
+from repro.errors import DelegationError, RetrievalError
+
+
+class TestAliases:
+    def test_paper_notation_aliases(self):
+        state = ExecutionState()
+        assert state.P is state.prompts
+        assert state.C is state.context
+        assert state.M is state.metadata
+
+
+class TestServices:
+    def test_source_registration_and_lookup(self):
+        state = ExecutionState()
+        state.register_source("notes", lambda s, q: "payload")
+        assert state.source("notes")(state, None) == "payload"
+        assert state.sources() == ["notes"]
+
+    def test_unknown_source_raises_with_known_list(self):
+        state = ExecutionState()
+        state.register_source("a", lambda s, q: None)
+        with pytest.raises(RetrievalError) as excinfo:
+            state.source("b")
+        assert "'a'" in str(excinfo.value)
+
+    def test_agent_registration_and_lookup(self):
+        state = ExecutionState()
+        agent = object()
+        state.register_agent("validator", agent)
+        assert state.agent("validator") is agent
+        assert state.agents() == ["validator"]
+
+    def test_unknown_agent_raises(self):
+        state = ExecutionState()
+        with pytest.raises(DelegationError):
+            state.agent("missing")
+
+    def test_views_created_lazily(self):
+        state = ExecutionState()
+        views = state.views
+        assert state.views is views
+
+
+class TestRendering:
+    def test_render_prompt_uses_context(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "notes: {notes}")
+        state.context.put("notes", "hello")
+        assert state.render_prompt("qa") == "notes: hello"
+
+    def test_render_prompt_extra_overrides(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "{x}")
+        state.context.put("x", "ctx")
+        assert state.render_prompt("qa", extra={"x": "extra"}) == "extra"
+
+
+class TestForking:
+    def test_fork_shares_prompts_by_default(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "v0")
+        fork = state.fork()
+        assert fork.prompts is state.prompts
+
+    def test_fork_isolated_prompts(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "v0")
+        fork = state.fork(share_prompts=False)
+        from repro.core.entry import RefAction
+
+        fork.prompts["qa"].record(RefAction.UPDATE, "changed", function="f")
+        assert state.prompts.text("qa") == "v0"
+
+    def test_fork_isolates_context_and_metadata(self):
+        state = ExecutionState()
+        state.context.put("a", 1)
+        state.metadata.set("confidence", 0.5)
+        fork = state.fork()
+        fork.context.put("a", 2)
+        fork.metadata.set("confidence", 0.9)
+        assert state.context["a"] == 1
+        assert state.metadata["confidence"] == 0.5
+
+    def test_fork_shares_clock_and_events(self):
+        state = ExecutionState()
+        fork = state.fork()
+        assert fork.clock is state.clock
+        assert fork.events is state.events
+
+    def test_fork_copies_service_registrations(self):
+        state = ExecutionState()
+        state.register_source("s", lambda st, q: 1)
+        state.register_agent("a", object())
+        fork = state.fork()
+        assert fork.sources() == ["s"]
+        assert fork.agents() == ["a"]

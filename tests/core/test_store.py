@@ -1,0 +1,111 @@
+"""Tests for PromptStore: mapping semantics, tags, provenance helpers."""
+
+import pytest
+
+from repro.core.entry import PromptEntry, RefAction
+from repro.core.store import PromptStore
+from repro.errors import PromptStoreError, UnknownPromptError
+
+
+class TestMappingSemantics:
+    def test_create_and_get(self):
+        store = PromptStore()
+        store.create("qa", "text")
+        assert store["qa"].text == "text"
+        assert "qa" in store
+        assert len(store) == 1
+
+    def test_unknown_key_raises_typed_error(self):
+        store = PromptStore()
+        with pytest.raises(UnknownPromptError) as excinfo:
+            store["missing"]
+        assert excinfo.value.key == "missing"
+
+    def test_create_refuses_overwrite_by_default(self):
+        store = PromptStore()
+        store.create("qa", "v1")
+        with pytest.raises(PromptStoreError):
+            store.create("qa", "v2")
+
+    def test_create_overwrite_explicit(self):
+        store = PromptStore()
+        store.create("qa", "v1")
+        store.create("qa", "v2", overwrite=True)
+        assert store.text("qa") == "v2"
+
+    def test_setitem_rejects_non_entries(self):
+        store = PromptStore()
+        with pytest.raises(PromptStoreError):
+            store["qa"] = "a raw string"  # type: ignore[assignment]
+
+    def test_delete(self):
+        store = PromptStore()
+        store.create("qa", "x")
+        del store["qa"]
+        assert "qa" not in store
+        with pytest.raises(UnknownPromptError):
+            del store["qa"]
+
+    def test_get_with_default(self):
+        store = PromptStore()
+        assert store.get("nope") is None
+        sentinel = PromptEntry("s")
+        assert store.get("nope", sentinel) is sentinel
+
+    def test_ensure_returns_existing(self):
+        store = PromptStore()
+        first = store.create("qa", "v1")
+        assert store.ensure("qa", "ignored") is first
+        second = store.ensure("other", "created")
+        assert second.text == "created"
+
+
+class TestLookups:
+    def test_with_tag(self):
+        store = PromptStore()
+        store.create("a", "x", tags={"clinical"})
+        store.create("b", "y", tags={"clinical", "summary"})
+        store.create("c", "z")
+        assert sorted(store.with_tag("clinical")) == ["a", "b"]
+
+    def test_from_view(self):
+        store = PromptStore()
+        store.create("a", "x", view="discharge_summary")
+        store.create("b", "y")
+        assert store.from_view("discharge_summary") == ["a"]
+
+    def test_clone_copies_entry(self):
+        store = PromptStore()
+        store.create("a", "x")
+        store.clone("a", "b")
+        store["b"].record(RefAction.UPDATE, "y", function="f")
+        assert store.text("a") == "x"
+        assert store.text("b") == "y"
+
+    def test_clone_refuses_overwrite(self):
+        store = PromptStore()
+        store.create("a", "x")
+        store.create("b", "y")
+        with pytest.raises(PromptStoreError):
+            store.clone("a", "b")
+
+
+class TestProvenance:
+    def test_history_and_refinement_count(self):
+        store = PromptStore()
+        store.create("a", "x")
+        store["a"].record(RefAction.APPEND, "x\ny", function="f_1")
+        store["a"].record(RefAction.UPDATE, "z", function="f_2")
+        assert store.refinement_count("a") == 2
+        history = store.history("a")
+        assert [record["action"] for record in history] == [
+            "CREATE", "APPEND", "UPDATE",
+        ]
+
+    def test_snapshot_serializes_all_entries(self):
+        store = PromptStore()
+        store.create("a", "x")
+        store.create("b", "y")
+        snapshot = store.snapshot()
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"]["text"] == "x"

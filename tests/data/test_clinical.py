@@ -1,0 +1,94 @@
+"""Tests for the synthetic clinical corpus generator."""
+
+import pytest
+
+from repro.data.clinical import NOTE_KINDS, make_clinical_corpus
+
+
+class TestGeneration:
+    def test_determinism(self):
+        corpus_1 = make_clinical_corpus(20, seed=5)
+        corpus_2 = make_clinical_corpus(20, seed=5)
+        texts_1 = [note.text for p in corpus_1 for note in p.notes]
+        texts_2 = [note.text for p in corpus_2 for note in p.notes]
+        assert texts_1 == texts_2
+
+    def test_every_patient_has_all_note_kinds(self):
+        corpus = make_clinical_corpus(10, seed=5)
+        for patient in corpus:
+            assert tuple(note.kind for note in patient.notes) == NOTE_KINDS
+
+    def test_enoxaparin_fraction(self):
+        corpus = make_clinical_corpus(200, seed=5, enoxaparin_fraction=0.6)
+        measured = sum(1 for p in corpus if p.on_enoxaparin) / len(corpus)
+        assert measured == pytest.approx(0.6, abs=0.1)
+
+    def test_ground_truth_consistency(self):
+        corpus = make_clinical_corpus(50, seed=5)
+        for patient in corpus:
+            if patient.on_enoxaparin:
+                assert patient.dosage and patient.timing and patient.indication
+            else:
+                assert patient.dosage is None
+                assert patient.timing is None
+                assert patient.indication is None
+
+    def test_note_text_reflects_drug_status(self):
+        corpus = make_clinical_corpus(50, seed=5)
+        for patient in corpus:
+            chart = " ".join(note.text.lower() for note in patient.notes)
+            if patient.on_enoxaparin:
+                assert "enoxaparin" in chart
+                assert patient.dosage.lower() in chart
+            else:
+                assert "enoxaparin" not in chart
+
+    def test_some_patients_missing_orders(self):
+        corpus = make_clinical_corpus(60, seed=5, missing_orders_fraction=0.4)
+        on_drug = [p for p in corpus if p.on_enoxaparin]
+        missing = [p for p in on_drug if not p.has_orders]
+        assert missing
+        assert len(missing) < len(on_drug)
+
+    def test_orders_match_ground_truth(self):
+        corpus = make_clinical_corpus(40, seed=5)
+        for patient in corpus:
+            for order in patient.orders:
+                assert order.medication == "enoxaparin"
+                assert order.dosage == patient.dosage
+
+    def test_mentions_flag_tracks_text(self):
+        corpus = make_clinical_corpus(40, seed=5)
+        for patient in corpus:
+            for note in patient.notes:
+                assert note.mentions_enoxaparin == (
+                    "enoxaparin" in note.text.lower()
+                )
+
+    def test_two_labs_per_patient(self):
+        corpus = make_clinical_corpus(10, seed=5)
+        assert all(len(p.labs) == 2 for p in corpus)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_clinical_corpus(5, enoxaparin_fraction=2.0)
+
+
+class TestLookups:
+    def test_by_id_and_note_index(self):
+        corpus = make_clinical_corpus(10, seed=5)
+        patient = corpus.patients[3]
+        assert corpus.by_id[patient.patient_id] is patient
+        note = patient.notes[1]
+        assert corpus.note(note.note_id) is note
+
+    def test_all_notes(self):
+        corpus = make_clinical_corpus(10, seed=5)
+        assert len(corpus.all_notes()) == 30
+
+    def test_find_patient_in_text(self):
+        corpus = make_clinical_corpus(10, seed=5)
+        patient = corpus.patients[2]
+        prompt = f"Notes about patient {patient.patient_id} follow."
+        assert corpus.find_patient_in(prompt) is patient
+        assert corpus.find_patient_in("no id here") is None

@@ -1,0 +1,122 @@
+"""Tests for the synthetic tweet corpus generator."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import vocab
+from repro.data.tweets import make_tweet_corpus
+
+
+class TestGeneration:
+    def test_size_and_determinism(self):
+        corpus_1 = make_tweet_corpus(100, seed=3)
+        corpus_2 = make_tweet_corpus(100, seed=3)
+        assert len(corpus_1) == 100
+        assert [t.text for t in corpus_1] == [t.text for t in corpus_2]
+
+    def test_different_seeds_differ(self):
+        corpus_1 = make_tweet_corpus(50, seed=1)
+        corpus_2 = make_tweet_corpus(50, seed=2)
+        assert [t.text for t in corpus_1] != [t.text for t in corpus_2]
+
+    def test_negative_fraction_controls_selectivity(self):
+        for fraction in (0.1, 0.5, 0.9):
+            corpus = make_tweet_corpus(200, seed=7, negative_fraction=fraction)
+            measured = len(corpus.negatives()) / len(corpus)
+            assert measured == pytest.approx(fraction, abs=0.01)
+
+    def test_school_fraction(self):
+        corpus = make_tweet_corpus(200, seed=7, school_fraction=0.3)
+        measured = sum(1 for t in corpus if t.school_related) / len(corpus)
+        assert measured == pytest.approx(0.3, abs=0.01)
+
+    def test_school_and_sentiment_roughly_independent(self):
+        corpus = make_tweet_corpus(1000, seed=7)
+        school_negatives = len(corpus.school_negatives())
+        assert 200 < school_negatives < 300  # ~25% of 1000
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            make_tweet_corpus(10, negative_fraction=1.5)
+        with pytest.raises(ValueError):
+            make_tweet_corpus(10, school_fraction=-0.1)
+
+    def test_difficulty_in_unit_interval(self):
+        corpus = make_tweet_corpus(100, seed=7)
+        assert all(0.0 <= t.difficulty <= 1.0 for t in corpus)
+
+    def test_negative_tweets_longer_on_average(self):
+        corpus = make_tweet_corpus(400, seed=7)
+        neg = [len(t.clean_text.split()) for t in corpus if t.is_negative]
+        pos = [len(t.clean_text.split()) for t in corpus if not t.is_negative]
+        assert sum(neg) / len(neg) > sum(pos) / len(pos)
+
+    def test_surface_texts_mostly_unique(self):
+        corpus = make_tweet_corpus(1000, seed=7)
+        assert len({t.text for t in corpus}) > 950
+
+    def test_topics_match_school_flag(self):
+        corpus = make_tweet_corpus(300, seed=7)
+        school_terms = ("school", "exam", "class", "teacher", "homework", "studying", "midterm", "presentation")
+        for tweet in corpus:
+            mentions_school = any(term in tweet.clean_text.lower() for term in school_terms)
+            assert mentions_school == tweet.school_related
+
+
+class TestIndexes:
+    def test_lookup_by_uid_and_text(self):
+        corpus = make_tweet_corpus(50, seed=7)
+        tweet = corpus[10]
+        assert corpus.by_uid[tweet.uid] is tweet
+        assert corpus.by_text[tweet.text] is tweet
+        assert corpus.by_clean_text[tweet.clean_text] is tweet
+
+    def test_find_in_line_fast_path(self):
+        corpus = make_tweet_corpus(50, seed=7)
+        tweet = corpus[5]
+        prompt = f"instructions here\nTweet:\n{tweet.text}\nmore"
+        assert corpus.find_in(prompt) is tweet
+
+    def test_find_in_clean_text(self):
+        corpus = make_tweet_corpus(50, seed=7)
+        tweet = corpus[5]
+        assert corpus.find_in(f"x\n{tweet.clean_text}\ny") is tweet
+
+    def test_find_in_substring_fallback(self):
+        corpus = make_tweet_corpus(50, seed=7)
+        tweet = corpus[5]
+        assert corpus.find_in(f"prefix {tweet.clean_text} suffix") is tweet
+
+    def test_find_in_miss(self):
+        corpus = make_tweet_corpus(10, seed=7)
+        assert corpus.find_in("nothing from the corpus here") is None
+
+    def test_selectivity_helper(self):
+        corpus = make_tweet_corpus(100, seed=7, negative_fraction=0.4)
+        assert corpus.selectivity(lambda t: t.is_negative) == pytest.approx(0.4)
+
+
+class TestVocab:
+    def test_sentiment_lexicons_disjoint(self):
+        assert not (vocab.POSITIVE_WORDS & vocab.NEGATIVE_WORDS)
+
+    def test_lexicon_words_present_in_phrases(self):
+        joined_negative = " ".join(vocab.NEGATIVE_PHRASES)
+        hit = sum(1 for word in vocab.NEGATIVE_WORDS if word in joined_negative)
+        assert hit >= 8
+
+
+class TestProperties:
+    @settings(max_examples=20)
+    @given(
+        st.integers(min_value=1, max_value=120),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    def test_uids_unique_and_counts_consistent(self, n, seed):
+        corpus = make_tweet_corpus(n, seed=seed)
+        assert len({t.uid for t in corpus}) == n
+        assert len(corpus.negatives()) + sum(
+            1 for t in corpus if not t.is_negative
+        ) == n

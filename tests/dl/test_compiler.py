@@ -1,0 +1,248 @@
+"""Tests for the SPEAR-DL compiler: lowering to views and operators."""
+
+import pytest
+
+from repro.core import CHECK, DELEGATE, GEN, MERGE, REF, RET, ExecutionState
+from repro.core.derived import DIFF, VIEW
+from repro.dl import compile_source
+from repro.errors import DslCompileError
+
+
+class TestViewCompilation:
+    def test_views_registered(self):
+        compiled = compile_source('view v(drug) { """use {drug}""" tags: t }')
+        assert "v" in compiled.views
+        assert compiled.views.expand("v", {"drug": "X"}) == "use X"
+        assert compiled.views.with_tag("t") == ["v"]
+
+    def test_extends_chain(self):
+        compiled = compile_source(
+            'view base() { """BASE""" }\nview child() extends base { """CHILD""" }'
+        )
+        assert compiled.views.expand("child") == "BASE\nCHILD"
+
+
+class TestOperatorLowering:
+    def test_all_core_operators_lower(self):
+        source = """
+        view v() { \"\"\"text\"\"\" }
+        pipeline p {
+          RET["src", query="q"]
+          VIEW["v", key="qa"]
+          REF[APPEND, "more", key="qa", mode="manual"]
+          EXPAND["qa", "extra"]
+          GEN["out", prompt="qa", max_tokens=10]
+          CHECK[M["confidence"] < 0.7] -> REF[APPEND, "hint", key="qa"]
+          MERGE["qa", "qa", into="merged"]
+          DIFF["qa", "merged", into="d"]
+          DELEGATE["agent", payload="out", into="score"]
+        }
+        """
+        compiled = compile_source(source)
+        ops = list(compiled.pipeline("p"))
+        assert isinstance(ops[0], RET)
+        assert isinstance(ops[1], VIEW)
+        assert isinstance(ops[2], REF)
+        assert isinstance(ops[4], GEN)
+        assert isinstance(ops[5], CHECK)
+        assert isinstance(ops[6], MERGE)
+        assert isinstance(ops[7], DIFF)
+        assert isinstance(ops[8], DELEGATE)
+
+    def test_check_condition_text_matches_paper_notation(self):
+        compiled = compile_source(
+            'pipeline p { CHECK[M["confidence"] < 0.7] -> REF[APPEND, "h", key="qa"] }'
+        )
+        check = compiled.pipeline("p")[0]
+        assert check.cond.text == 'M["confidence"] < 0.7'
+
+    def test_check_greater_than_and_context_conditions(self):
+        compiled = compile_source(
+            'pipeline p { CHECK[M["retries"] > 2] CHECK["orders" not in C] }'
+        )
+        state = ExecutionState()
+        state.metadata.set("retries", 3)
+        assert compiled.pipeline("p")[0].cond(state)
+        assert compiled.pipeline("p")[1].cond(state)
+
+    def test_gen_without_prompt_rejected(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { GEN["out"] }')
+
+    def test_ref_requires_key(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { REF[APPEND, "x"] }')
+
+    def test_ref_unknown_action(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { REF[SHUFFLE, "x", key="qa"] }')
+
+    def test_unknown_operator(self):
+        with pytest.raises(DslCompileError) as excinfo:
+            compile_source("pipeline p { TELEPORT[\"x\"] }")
+        assert "TELEPORT" in str(excinfo.value)
+
+    def test_view_must_exist(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { VIEW["ghost"] }')
+
+    def test_arrow_only_after_check(self):
+        with pytest.raises(DslCompileError):
+            compile_source(
+                'pipeline p { RET["x"] -> REF[APPEND, "y", key="qa"] }'
+            )
+
+    def test_ret_unknown_kwargs_rejected(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { RET["x", frobnicate=1] }')
+
+    def test_unknown_pipeline_lookup(self):
+        compiled = compile_source("pipeline p { RET[\"x\"] }")
+        with pytest.raises(DslCompileError):
+            compiled.pipeline("q")
+
+
+class TestEndToEnd:
+    def test_full_clinical_pipeline_runs(self, state):
+        source = """
+        view med_summary(drug) {
+          \"\"\"### Task
+Summarize the patient's medication history and highlight any use of {drug}.
+Notes:
+{initial_notes}\"\"\"
+        }
+        pipeline qa {
+          RET["initial_notes", query="p0001"]
+          VIEW["med_summary", key="qa", params={drug: "Enoxaparin"}]
+          GEN["answer_0", prompt="qa"]
+          CHECK[M["confidence"] < 0.99] -> REF[APPEND, "Be specific about dosage.", key="qa"]
+          GEN["answer_1", prompt="qa"]
+          DELEGATE["validation_agent", payload="answer_1", into="evidence"]
+        }
+        """
+        compiled = compile_source(source)
+        # Adopt the compiled views into the fixture state.
+        state._views = compiled.views
+        final = compiled.pipeline("qa").apply(state)
+        assert "answer_0" in final.C
+        assert "answer_1" in final.C
+        assert "evidence_score" in final.C["evidence"]
+        assert final.prompts["qa"].version >= 1
+
+
+class TestRetryLowering:
+    def test_retry_compiles_and_runs(self, state, tweet_corpus):
+        source = '''
+        pipeline retrying {
+          REF[CREATE, "Select the tweet only if its sentiment is negative. Respond with yes or no.\\nTweet:\\n{tweet}", key="qa"]
+          RETRY[GEN["verdict", prompt="qa"], M["confidence"] < 0.99, refine=REF[APPEND, "Think carefully.", key="qa"], max_retries=1]
+        }
+        '''
+        compiled = compile_source(source)
+        state.context.put("tweet", tweet_corpus[0].text)
+        final = compiled.pipeline("retrying").apply(state)
+        assert "verdict" in final.C
+        assert final.M["gen_calls"] >= 1
+
+    def test_retry_requires_operator_first(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { RETRY["not an op", M["c"] < 1] }')
+
+    def test_retry_requires_condition_second(self):
+        with pytest.raises(DslCompileError):
+            compile_source('pipeline p { RETRY[GEN["x", prompt="q"], "nope"] }')
+
+    def test_retry_max_retries_must_be_int(self):
+        with pytest.raises(DslCompileError):
+            compile_source(
+                'pipeline p { RETRY[GEN["x", prompt="q"], M["c"] < 1, max_retries="two"] }'
+            )
+
+    def test_nested_op_round_trips_through_formatter(self):
+        from repro.dl import format_program, parse
+
+        source = (
+            'pipeline p { RETRY[GEN["x", prompt="q"], M["c"] < 0.5, '
+            'refine=REF[APPEND, "t", key="q"], max_retries=3] }'
+        )
+        assert parse(format_program(parse(source))) == parse(source)
+
+
+class TestListSyntaxAndOptimizerOps:
+    def test_list_literals_parse(self):
+        from repro.dl import parse
+
+        program = parse('pipeline p { OP[items=["a", "b", 3]] }')
+        assert program.pipeline("p").statements[0].op.kwargs["items"] == ["a", "b", 3]
+
+    def test_list_round_trips_through_formatter(self):
+        from repro.dl import format_program, parse
+
+        source = 'pipeline p { OP[items=["a", "b", 3], flag=true] }'
+        assert parse(format_program(parse(source))) == parse(source)
+
+    def test_select_view_lowers_and_runs(self, state):
+        source = '''
+        view generic() { """### Task
+Answer questions about the patient chart below.
+Notes:
+{notes}""" }
+        view med_focused() { """### Task
+Highlight any use of enoxaparin; be specific about dosage and timing.
+Notes:
+{notes}""" }
+        pipeline p {
+          SELECT_VIEW[candidates=["generic", "med_focused"], terms=["enoxaparin", "dosage", "timing"], key="qa"]
+          GEN["answer", prompt="qa"]
+        }
+        '''
+        from repro.dl import compile_source
+
+        compiled = compile_source(source)
+        state._views = compiled.views
+        patient_notes = state.source("initial_notes")(state, "p0001")
+        state.context.put("notes", patient_notes)
+        final = compiled.pipeline("p").apply(state)
+        assert final.metadata["selected_view"] == "med_focused"
+        assert "answer" in final.C
+
+    def test_select_view_validates_candidates(self):
+        from repro.dl import compile_source
+
+        with pytest.raises(DslCompileError):
+            compile_source(
+                'pipeline p { SELECT_VIEW[candidates=["ghost"], terms=["x"], key="qa"] }'
+            )
+
+    def test_fused_gen_lowers_and_runs(self, state, clinical_corpus):
+        source = '''
+        view chart_q(question) { """### Task
+You are reviewing the chart of one patient.
+Notes:
+{notes}
+Question: {question}""" }
+        pipeline p {
+          VIEW["chart_q", key="q1", params={question: "Highlight any use of Enoxaparin; be specific about dosage."}]
+          VIEW["chart_q", key="q2", params={question: "Highlight any use of Enoxaparin; state the timing."}]
+          FUSED_GEN[labels=["dosage", "timing"], prompts=["q1", "q2"]]
+        }
+        '''
+        from repro.dl import compile_source
+
+        compiled = compile_source(source)
+        state._views = compiled.views
+        patient = next(p for p in clinical_corpus if p.on_enoxaparin)
+        state.context.put(
+            "notes", "\n".join(note.text for note in patient.notes)
+        )
+        final = compiled.pipeline("p").apply(state)
+        assert "dosage" in final.C and "timing" in final.C
+        assert final.M["gen_calls"] == 1
+
+    def test_fused_gen_validates_lengths(self):
+        from repro.dl import compile_source
+
+        with pytest.raises(DslCompileError):
+            compile_source(
+                'pipeline p { FUSED_GEN[labels=["a"], prompts=["q1", "q2"]] }'
+            )

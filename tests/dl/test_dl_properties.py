@@ -1,0 +1,104 @@
+"""Property-based round trips over generated SPEAR-DL programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import format_program, parse
+from repro.dl.ast_nodes import (
+    ConditionNode,
+    OpCall,
+    PipelineDef,
+    Program,
+    Statement,
+    ViewDef,
+)
+
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+_safe_text = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=126, blacklist_characters='"\\{}'
+    ),
+    min_size=1,
+    max_size=20,
+)
+_template_text = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=126, blacklist_characters='"\\'
+    ),
+    min_size=1,
+    max_size=40,
+).map(str.strip).filter(bool)
+
+_conditions = st.one_of(
+    st.builds(
+        ConditionNode,
+        kind=st.just("metadata_cmp"),
+        key=_names,
+        op=st.sampled_from(["<", ">"]),
+        value=st.floats(min_value=0, max_value=5, allow_nan=False),
+    ),
+    st.builds(ConditionNode, kind=st.just("context_missing"), key=_names),
+)
+
+
+@st.composite
+def statements(draw):
+    op = OpCall(
+        name=draw(st.sampled_from(["RET", "GEN", "MERGE"])),
+        args=tuple(draw(st.lists(_safe_text, min_size=1, max_size=2))),
+        kwargs=draw(st.dictionaries(_names, _safe_text, max_size=2)),
+    )
+    if draw(st.booleans()):
+        check = OpCall(name="CHECK", args=(draw(_conditions),))
+        then = OpCall(
+            name="REF",
+            args=("APPEND", draw(_safe_text)),
+            kwargs={"key": draw(_names)},
+        )
+        return Statement(op=check, then=then)
+    return Statement(op=op)
+
+
+@st.composite
+def programs(draw):
+    view_names = draw(st.lists(_names, min_size=0, max_size=3, unique=True))
+    views = []
+    for index, name in enumerate(view_names):
+        base = view_names[index - 1] if index > 0 and draw(st.booleans()) else None
+        views.append(
+            ViewDef(
+                name=name,
+                params=tuple(
+                    draw(st.lists(_names, max_size=2, unique=True))
+                ),
+                template=draw(_template_text),
+                base=base,
+                tags=tuple(draw(st.lists(_names, max_size=2, unique=True))),
+            )
+        )
+    pipeline_names = draw(st.lists(_names, min_size=1, max_size=2, unique=True))
+    pipelines = tuple(
+        PipelineDef(
+            name=name,
+            statements=tuple(
+                draw(st.lists(statements(), min_size=1, max_size=4))
+            ),
+        )
+        for name in pipeline_names
+    )
+    return Program(views=tuple(views), pipelines=pipelines)
+
+
+class TestProgramRoundTrips:
+    @settings(max_examples=60, deadline=None)
+    @given(programs())
+    def test_format_parse_round_trip(self, program):
+        reparsed = parse(format_program(program))
+        assert reparsed == program
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs())
+    def test_formatting_idempotent(self, program):
+        once = format_program(program)
+        twice = format_program(parse(once))
+        assert once == twice

@@ -1,0 +1,134 @@
+"""Tests for the SPEAR-DL formatter, including parse↔format round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dl import format_program, parse
+from repro.dl.ast_nodes import ConditionNode, OpCall
+from repro.dl.formatter import format_op_call
+
+SOURCE = '''view base() {
+  """shared scaffold"""
+}
+
+view med_summary(drug) extends base {
+  """### Task
+Summarize any use of {drug}.
+Notes:
+{initial_notes}"""
+  tags: clinical, summary
+}
+
+pipeline qa {
+  RET["initial_notes", query="p0001"]
+  VIEW["med_summary", key="qa", params={drug: "Enoxaparin"}]
+  GEN["answer_0", prompt="qa", max_tokens=30]
+  CHECK[M["confidence"] < 0.7] -> REF[APPEND, "Be specific.", key="qa", mode="manual"]
+  CHECK["orders" not in C] -> RET["order_lookup", query="p0001", into="orders"]
+  MERGE["qa", "qa", into="merged", strategy="concat"]
+  DELEGATE["validator", payload="answer_0", into="score"]
+}
+'''
+
+
+class TestFormatOpCall:
+    def test_positional_and_kwargs(self):
+        call = OpCall(name="GEN", args=("out",), kwargs={"prompt": "qa", "max_tokens": 5})
+        assert format_op_call(call) == 'GEN["out", prompt="qa", max_tokens=5]'
+
+    def test_condition_rendered_in_paper_notation(self):
+        call = OpCall(
+            name="CHECK",
+            args=(ConditionNode(kind="metadata_cmp", key="conf", op="<", value=0.7),),
+        )
+        assert format_op_call(call) == 'CHECK[M["conf"] < 0.7]'
+
+    def test_context_condition(self):
+        call = OpCall(
+            name="CHECK", args=(ConditionNode(kind="context_missing", key="orders"),)
+        )
+        assert format_op_call(call) == 'CHECK["orders" not in C]'
+
+    def test_booleans_and_dicts(self):
+        call = OpCall(name="OP", kwargs={"flag": True, "params": {"a": 1}})
+        assert format_op_call(call) == "OP[flag=true, params={a: 1}]"
+
+    def test_multiline_strings_triple_quoted(self):
+        call = OpCall(name="REF", args=("APPEND", "line 1\nline 2"), kwargs={"key": "qa"})
+        assert '"""line 1\nline 2"""' in format_op_call(call)
+
+
+class TestRoundTrip:
+    def test_full_program_round_trips(self):
+        program = parse(SOURCE)
+        reparsed = parse(format_program(program))
+        assert reparsed == program
+
+    def test_format_is_idempotent(self):
+        once = format_program(parse(SOURCE))
+        twice = format_program(parse(once))
+        assert once == twice
+
+
+# -- property-based round-trips over generated programs ---------------------
+
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+_safe_strings = st.text(
+    alphabet=st.characters(
+        min_codepoint=32,
+        max_codepoint=126,
+        blacklist_characters='"\\{}',
+    ),
+    min_size=1,
+    max_size=25,
+)
+_numbers = st.one_of(
+    st.integers(min_value=-999, max_value=999),
+    st.floats(
+        min_value=-99.0, max_value=99.0, allow_nan=False, allow_infinity=False
+    ),
+)
+_conditions = st.one_of(
+    st.builds(
+        ConditionNode,
+        kind=st.just("metadata_cmp"),
+        key=_names,
+        op=st.sampled_from(["<", ">"]),
+        value=st.floats(min_value=0, max_value=10, allow_nan=False),
+    ),
+    st.builds(ConditionNode, kind=st.just("context_missing"), key=_names),
+    st.builds(ConditionNode, kind=st.just("context_present"), key=_names),
+)
+_values = st.one_of(_safe_strings, _numbers, st.booleans())
+
+
+@st.composite
+def op_calls(draw):
+    name = draw(st.sampled_from(["RET", "GEN", "REF", "MERGE", "OP"]))
+    args = tuple(draw(st.lists(_values, max_size=2)))
+    kwargs = draw(st.dictionaries(_names, _values, max_size=3))
+    return OpCall(name=name, args=args, kwargs=kwargs)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=80)
+    @given(op_calls())
+    def test_op_call_round_trips_inside_pipeline(self, call):
+        source = f"pipeline p {{ {format_op_call(call)} }}"
+        reparsed = parse(source).pipeline("p").statements[0].op
+        assert reparsed.name == call.name
+        assert reparsed.kwargs == call.kwargs
+        assert len(reparsed.args) == len(call.args)
+        for original, parsed_back in zip(call.args, reparsed.args):
+            assert parsed_back == original
+
+    @settings(max_examples=40)
+    @given(_conditions)
+    def test_conditions_round_trip(self, condition):
+        source = f"pipeline p {{ CHECK[{condition.text()}] }}"
+        reparsed = parse(source).pipeline("p").statements[0].op.args[0]
+        assert reparsed.kind == condition.kind
+        assert reparsed.key == condition.key
+        if condition.kind == "metadata_cmp":
+            assert reparsed.op == condition.op
+            assert reparsed.value == condition.value

@@ -1,0 +1,85 @@
+"""Tests for the SPEAR-DL lexer."""
+
+import pytest
+
+from repro.dl.lexer import TokenType, tokenize
+from repro.errors import DslSyntaxError
+
+
+def _types(source):
+    return [token.type for token in tokenize(source)]
+
+
+class TestTokens:
+    def test_names_and_punctuation(self):
+        types = _types('GEN["x"]')
+        assert types == [
+            TokenType.NAME,
+            TokenType.LBRACKET,
+            TokenType.STRING,
+            TokenType.RBRACKET,
+            TokenType.EOF,
+        ]
+
+    def test_double_and_single_quoted_strings(self):
+        tokens = tokenize('"double" \'single\'')
+        assert tokens[0].value == "double"
+        assert tokens[1].value == "single"
+
+    def test_triple_quoted_strings_span_lines(self):
+        tokens = tokenize('"""line one\nline two"""')
+        assert tokens[0].value == "line one\nline two"
+
+    def test_escapes_in_strings(self):
+        tokens = tokenize(r'"say \"hi\"\nthere"')
+        assert tokens[0].value == 'say "hi"\nthere'
+
+    def test_numbers_int_float_negative(self):
+        tokens = tokenize("0.7 42 -3")
+        assert [t.value for t in tokens[:3]] == ["0.7", "42", "-3"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:3])
+
+    def test_arrow(self):
+        assert _types("->")[0] is TokenType.ARROW
+
+    def test_comparison_operators(self):
+        types = _types("< >")
+        assert types[:2] == [TokenType.LT, TokenType.GT]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("GEN # a comment\nRET")
+        assert [t.value for t in tokens[:2]] == ["GEN", "RET"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize('"never closed')
+
+    def test_unterminated_triple_string(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize('"""open forever')
+
+    def test_newline_in_single_quoted_string(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize('"line\nbreak"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("GEN[`]")
+        assert excinfo.value.line == 1
+
+    def test_malformed_number(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("1.2.3")
+
+    def test_error_reports_position(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("ok\n   `")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 4

@@ -1,0 +1,115 @@
+"""Tests for the SPEAR-DL parser."""
+
+import pytest
+
+from repro.dl.ast_nodes import ConditionNode
+from repro.dl.parser import parse
+from repro.errors import DslSyntaxError
+
+
+class TestViewDefs:
+    def test_basic_view(self):
+        program = parse('view v(drug) { """text {drug}""" }')
+        view = program.view("v")
+        assert view.params == ("drug",)
+        assert view.template == "text {drug}"
+        assert view.base is None
+
+    def test_view_with_extends_and_tags(self):
+        source = (
+            'view base() { """b""" }\n'
+            'view child(x) extends base { """c {x}""" tags: clinical, summary }'
+        )
+        program = parse(source)
+        child = program.view("child")
+        assert child.base == "base"
+        assert child.tags == ("clinical", "summary")
+
+    def test_view_without_params(self):
+        program = parse('view v() { """t""" }')
+        assert program.view("v").params == ()
+
+
+class TestPipelines:
+    def test_simple_pipeline(self):
+        program = parse(
+            'pipeline p {\n  RET["notes", query="p1"]\n  GEN["out", prompt="qa"]\n}'
+        )
+        pipeline = program.pipeline("p")
+        assert [stmt.op.name for stmt in pipeline.statements] == ["RET", "GEN"]
+        assert pipeline.statements[0].op.args == ("notes",)
+        assert pipeline.statements[0].op.kwargs == {"query": "p1"}
+
+    def test_check_arrow_statement(self):
+        program = parse(
+            'pipeline p { CHECK[M["confidence"] < 0.7] -> REF[APPEND, "hint", key="qa"] }'
+        )
+        statement = program.pipeline("p").statements[0]
+        assert statement.op.name == "CHECK"
+        assert statement.then is not None
+        assert statement.then.name == "REF"
+
+    def test_metadata_condition_node(self):
+        program = parse('pipeline p { CHECK[M["conf"] > 2] }')
+        condition = program.pipeline("p").statements[0].op.args[0]
+        assert isinstance(condition, ConditionNode)
+        assert condition.kind == "metadata_cmp"
+        assert condition.op == ">"
+        assert condition.value == 2.0
+        assert condition.text() == 'M["conf"] > 2.0'
+
+    def test_context_conditions(self):
+        program = parse(
+            'pipeline p { CHECK["orders" not in C] CHECK["answer" in C] }'
+        )
+        missing, present = (
+            stmt.op.args[0] for stmt in program.pipeline("p").statements
+        )
+        assert missing.kind == "context_missing"
+        assert missing.text() == '"orders" not in C'
+        assert present.kind == "context_present"
+
+    def test_dict_arguments(self):
+        program = parse(
+            'pipeline p { VIEW["v", params={drug: "Enoxaparin", days: 3}] }'
+        )
+        kwargs = program.pipeline("p").statements[0].op.kwargs
+        assert kwargs["params"] == {"drug": "Enoxaparin", "days": 3}
+
+    def test_boolean_names(self):
+        program = parse("pipeline p { OP[flag=true, other=false] }")
+        kwargs = program.pipeline("p").statements[0].op.kwargs
+        assert kwargs == {"flag": True, "other": False}
+
+    def test_numbers_parsed_as_numbers(self):
+        program = parse("pipeline p { GEN[\"x\", prompt=\"q\", max_tokens=30] }")
+        assert program.pipeline("p").statements[0].op.kwargs["max_tokens"] == 30
+
+    def test_mixed_views_and_pipelines(self):
+        source = 'view v() { """t""" }\npipeline p { VIEW["v"] }\npipeline q { VIEW["v"] }'
+        program = parse(source)
+        assert len(program.views) == 1
+        assert len(program.pipelines) == 2
+        assert program.pipeline("missing") is None
+
+
+class TestParseErrors:
+    def test_arrow_without_target(self):
+        with pytest.raises(DslSyntaxError):
+            parse("pipeline p { CHECK[M[\"c\"] < 1] -> }")
+
+    def test_missing_bracket(self):
+        with pytest.raises(DslSyntaxError):
+            parse('pipeline p { GEN["x" }')
+
+    def test_top_level_garbage(self):
+        with pytest.raises(DslSyntaxError):
+            parse("banana split")
+
+    def test_view_requires_template_string(self):
+        with pytest.raises(DslSyntaxError):
+            parse("view v() { tags: a }")
+
+    def test_condition_requires_comparator(self):
+        with pytest.raises(DslSyntaxError):
+            parse('pipeline p { CHECK[M["c"] = 1] }')

@@ -1,0 +1,100 @@
+"""Tests for evaluation metrics and table formatting."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    accuracy_from_pairs,
+    field_completeness,
+    format_table,
+    prf_from_sets,
+)
+
+
+class TestPrf:
+    def test_perfect_prediction(self):
+        prf = prf_from_sets({"a", "b"}, {"a", "b"})
+        assert prf.precision == 1.0
+        assert prf.recall == 1.0
+        assert prf.f1 == 1.0
+
+    def test_partial_overlap(self):
+        prf = prf_from_sets({"a", "b", "c"}, {"b", "c", "d"})
+        assert prf.true_positives == 2
+        assert prf.false_positives == 1
+        assert prf.false_negatives == 1
+        assert prf.precision == pytest.approx(2 / 3)
+        assert prf.recall == pytest.approx(2 / 3)
+        assert prf.f1 == pytest.approx(2 / 3)
+
+    def test_empty_prediction(self):
+        prf = prf_from_sets(set(), {"a"})
+        assert prf.precision == 0.0
+        assert prf.recall == 0.0
+        assert prf.f1 == 0.0
+
+    def test_empty_truth(self):
+        prf = prf_from_sets({"a"}, set())
+        assert prf.recall == 0.0
+        assert prf.f1 == 0.0
+
+    def test_accepts_iterables(self):
+        prf = prf_from_sets(["a", "a", "b"], ("b",))
+        assert prf.true_positives == 1
+
+    @settings(max_examples=60)
+    @given(
+        st.sets(st.text(min_size=1, max_size=4), max_size=20),
+        st.sets(st.text(min_size=1, max_size=4), max_size=20),
+    )
+    def test_f1_bounded_and_symmetric_counts(self, predicted, truth):
+        prf = prf_from_sets(predicted, truth)
+        assert 0.0 <= prf.f1 <= 1.0
+        assert prf.true_positives + prf.false_positives == len(predicted)
+        assert prf.true_positives + prf.false_negatives == len(truth)
+
+    @settings(max_examples=60)
+    @given(st.sets(st.text(min_size=1, max_size=4), min_size=1, max_size=20))
+    def test_identical_sets_give_perfect_f1(self, items):
+        assert prf_from_sets(items, items).f1 == 1.0
+
+
+class TestAccuracy:
+    def test_accuracy_counts_matches(self):
+        pairs = [(1, 1), (0, 1), (1, 1), (0, 0)]
+        assert accuracy_from_pairs(pairs) == 0.75
+
+    def test_empty_is_zero(self):
+        assert accuracy_from_pairs([]) == 0.0
+
+
+class TestFieldCompleteness:
+    def test_full_and_partial(self):
+        answers = [
+            {"dosage": "40 mg", "timing": "24h"},
+            {"dosage": "40 mg"},
+        ]
+        assert field_completeness(answers, ["dosage", "timing"]) == 0.75
+
+    def test_empty_inputs(self):
+        assert field_completeness([], ["dosage"]) == 0.0
+        assert field_completeness([{"a": 1}], []) == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        table = format_table(["A", "Longer"], [[1, 2.5], ["xx", "y"]])
+        lines = table.splitlines()
+        assert lines[0].startswith("A")
+        assert set(lines[1]) == {"-"}
+        assert "2.50" in table
+
+    def test_title(self):
+        table = format_table(["A"], [[1]], title="My Table")
+        assert table.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        table = format_table(["Col"], [])
+        assert "Col" in table

@@ -1,0 +1,97 @@
+"""Tests for the shared experiment machinery."""
+
+import pytest
+
+from repro.data.tweets import make_tweet_corpus
+from repro.experiments.common import (
+    POST_ITEM_MARKER,
+    StageRun,
+    accuracy_against_negatives,
+    build_views,
+    compose_item_prompt,
+    make_llm,
+    run_filter_map_sequential,
+    run_fused,
+    run_map_filter_sequential,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_tweet_corpus(60, seed=7, negative_fraction=0.5)
+
+
+class TestComposeItemPrompt:
+    def test_item_on_own_line(self):
+        prompt = compose_item_prompt("Do the thing.", "the item")
+        assert prompt.splitlines() == ["Do the thing.", "Tweet:", "the item"]
+
+    def test_post_item_lines_moved_after_item(self):
+        instructions = f"Pre line.\n{POST_ITEM_MARKER} remember the focus."
+        prompt = compose_item_prompt(instructions, "the item")
+        lines = prompt.splitlines()
+        assert lines.index("the item") < lines.index(
+            f"{POST_ITEM_MARKER} remember the focus."
+        )
+
+
+class TestViews:
+    def test_views_compose_scaffold(self):
+        views = build_views()
+        map_text = views.expand("map_stage")
+        filter_text = views.expand("filter_stage")
+        assert map_text.startswith("### Task")
+        assert filter_text.startswith("### Task")
+        assert "Summarize" in map_text
+        assert "negative" in filter_text
+
+
+class TestStageRun:
+    def test_aggregation(self, corpus):
+        run = StageRun()
+        llm = make_llm("qwen2.5-7b-instruct")
+        llm.bind_tweets(corpus)
+        result = llm.generate(
+            compose_item_prompt("Summarize the tweet.", corpus[0].text)
+        )
+        run.record_call(result)
+        run.record_decision(corpus[0], True)
+        assert run.calls == 1
+        assert run.selected == {corpus[0].uid}
+        assert run.mean_item_seconds == pytest.approx(result.latency.total)
+
+
+class TestRunners:
+    def test_map_filter_sequential_two_calls_per_item(self, corpus):
+        run = run_map_filter_sequential(make_llm("qwen2.5-7b-instruct"), corpus)
+        assert run.calls == 2 * len(corpus)
+        assert len(run.decisions) == len(corpus)
+
+    def test_filter_map_sequential_pushdown_skips_map_calls(self, corpus):
+        run = run_filter_map_sequential(make_llm("qwen2.5-7b-instruct"), corpus)
+        assert run.calls == len(corpus) + len(run.selected)
+
+    def test_fused_one_call_per_item(self, corpus):
+        for order in ("map_filter", "filter_map"):
+            run = run_fused(make_llm("qwen2.5-7b-instruct"), corpus, order=order)
+            assert run.calls == len(corpus)
+
+    def test_fused_rejects_unknown_order(self, corpus):
+        with pytest.raises(ValueError):
+            run_fused(make_llm("qwen2.5-7b-instruct"), corpus, order="diagonal")
+
+    def test_accuracy_above_chance_for_all_plans(self, corpus):
+        for runner in (run_map_filter_sequential, run_filter_map_sequential):
+            run = runner(make_llm("qwen2.5-7b-instruct"), corpus)
+            assert accuracy_against_negatives(run, corpus) > 0.6
+
+    def test_instruction_prefix_gets_cached(self, corpus):
+        llm = make_llm("qwen2.5-7b-instruct")
+        run = run_map_filter_sequential(llm, corpus)
+        assert run.cache_hit_rate > 0.5
+
+    def test_runs_are_deterministic(self, corpus):
+        run_1 = run_map_filter_sequential(make_llm("qwen2.5-7b-instruct"), corpus)
+        run_2 = run_map_filter_sequential(make_llm("qwen2.5-7b-instruct"), corpus)
+        assert run_1.decisions == run_2.decisions
+        assert run_1.sim_seconds == pytest.approx(run_2.sim_seconds)

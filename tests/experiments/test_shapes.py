@@ -1,0 +1,106 @@
+"""Shape assertions for the paper's Table 3, Table 4, and Figure 1.
+
+Run at reduced corpus size for speed; the shape claims (who wins, signs,
+crossovers) are scale-independent by construction and asserted here.  The
+full-size reproductions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments.fusion_models import run_point
+from repro.experiments.fusion_selectivity import run_cell
+from repro.experiments.refinement_strategies import run_table3
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3(n=250, seed=7)
+
+
+class TestTable3Shape:
+    def test_static_and_agentic_get_no_cache_reuse(self, table3):
+        assert table3.results["static"].filter_cache_hit < 0.05
+        assert table3.results["agentic"].filter_cache_hit < 0.05
+
+    def test_refinement_modes_get_high_cache_reuse(self, table3):
+        for strategy in ("manual", "assisted", "auto"):
+            assert table3.results[strategy].filter_cache_hit > 0.75, strategy
+
+    def test_refinement_modes_speed_up_over_static(self, table3):
+        for strategy in ("manual", "assisted", "auto"):
+            assert table3.speedup(strategy) > 1.15, strategy
+
+    def test_agentic_small_speedup(self, table3):
+        assert 1.0 < table3.speedup("agentic") < 1.2
+
+    def test_manual_is_fastest(self, table3):
+        manual_time = table3.results["manual"].mean_item_seconds
+        for strategy in ("static", "agentic", "assisted", "auto"):
+            assert manual_time <= table3.results[strategy].mean_item_seconds
+
+    def test_every_refinement_strategy_beats_static_f1(self, table3):
+        static_f1 = table3.results["static"].f1
+        for strategy in ("agentic", "manual", "assisted", "auto"):
+            assert table3.results[strategy].f1 > static_f1, strategy
+
+    def test_auto_refinement_has_best_f1(self, table3):
+        auto_f1 = table3.results["auto"].f1
+        for strategy in ("static", "manual", "assisted"):
+            assert auto_f1 >= table3.results[strategy].f1, strategy
+        # Agentic is the closest competitor (paper: 0.79 vs 0.81); allow
+        # small-sample noise at reduced n.
+        assert auto_f1 >= table3.results["agentic"].f1 - 0.02
+
+    def test_f1_gain_column_consistent(self, table3):
+        assert table3.f1_gain_pct("static") == 0.0
+        assert table3.f1_gain_pct("auto") > 5.0
+
+    def test_absolute_f1_in_plausible_band(self, table3):
+        for strategy, result in table3.results.items():
+            assert 0.55 < result.f1 < 0.95, strategy
+
+
+class TestTable4Shape:
+    def test_map_filter_gain_positive_at_all_selectivities(self):
+        for selectivity in (0.1, 0.5, 1.0):
+            cell = run_cell("map_filter", selectivity, n=120)
+            assert cell.gain_pct > 10.0, selectivity
+
+    def test_filter_map_negative_at_low_selectivity(self):
+        cell = run_cell("filter_map", 0.1, n=120)
+        assert cell.gain_pct < 0.0
+
+    def test_filter_map_positive_at_high_selectivity(self):
+        cell = run_cell("filter_map", 1.0, n=120)
+        assert cell.gain_pct > 10.0
+
+    def test_filter_map_gain_increases_with_selectivity(self):
+        gains = [
+            run_cell("filter_map", s, n=120).gain_pct for s in (0.1, 0.5, 1.0)
+        ]
+        assert gains == sorted(gains)
+
+
+class TestFigure1Shape:
+    @pytest.mark.parametrize(
+        "model",
+        ["qwen2.5-7b-instruct", "mistral-7b-instruct", "gpt-4o-mini"],
+    )
+    def test_map_filter_speedup_with_accuracy_cost(self, model):
+        point = run_point(model, "map_filter", n=150)
+        assert point.speedup > 1.15
+        assert point.accuracy_drop_pct > 0.0
+
+    @pytest.mark.parametrize(
+        "model",
+        ["qwen2.5-7b-instruct", "mistral-7b-instruct", "gpt-4o-mini"],
+    )
+    def test_filter_map_speedup_smaller_than_map_filter(self, model):
+        map_filter = run_point(model, "map_filter", n=150)
+        filter_map = run_point(model, "filter_map", n=150)
+        assert filter_map.speedup < map_filter.speedup
+
+    def test_filter_map_accuracy_drop_modest(self):
+        for model in ("qwen2.5-7b-instruct", "gpt-4o-mini"):
+            point = run_point(model, "filter_map", n=150)
+            assert point.accuracy_drop_pct < 8.0

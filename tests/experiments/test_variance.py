@@ -1,0 +1,43 @@
+"""Tests for the seed-variance harness (stability of the Table 3 shape)."""
+
+import pytest
+
+from repro.experiments.variance import CellStats, run_variance
+
+
+class TestCellStats:
+    def test_mean_and_std(self):
+        stats = CellStats((1.0, 2.0, 3.0))
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value_std_zero(self):
+        assert CellStats((0.7,)).std == 0.0
+
+    def test_str_form(self):
+        assert str(CellStats((0.5, 0.5))) == "0.500±0.000"
+
+
+class TestVariance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_variance(seeds=(7, 23), n=150)
+
+    def test_all_strategies_covered(self, result):
+        assert set(result.f1) == {"static", "agentic", "manual", "assisted", "auto"}
+
+    def test_shape_holds_on_every_seed(self, result):
+        assert result.shape_holds_on_every_seed()
+
+    def test_f1_variance_is_small(self, result):
+        for strategy, stats in result.f1.items():
+            assert stats.std < 0.08, strategy
+
+    def test_speedups_stable(self, result):
+        for strategy in ("manual", "assisted", "auto"):
+            assert result.speedup[strategy].std < 0.05, strategy
+
+    def test_determinism_per_seed(self):
+        first = run_variance(seeds=(7,), n=100)
+        second = run_variance(seeds=(7,), n=100)
+        assert first.f1["auto"].values == second.f1["auto"].values

@@ -1,0 +1,94 @@
+"""Tests for prompt feature extraction."""
+
+from repro.llm.features import PromptFeatures, extract_features
+
+
+class TestExtraction:
+    def test_bare_text_has_no_features(self):
+        features = extract_features("the weather today")
+        assert not features.has_instruction
+        assert features.criteria_count == 0
+        assert features.task_count == 0
+
+    def test_instruction_verbs_detected(self):
+        assert extract_features("Classify the text.").has_instruction
+        assert extract_features("Please summarize this.").has_instruction
+
+    def test_sentiment_terms(self):
+        assert extract_features("is the sentiment negative?").has_sentiment_terms
+        assert not extract_features("is it raining?").has_sentiment_terms
+
+    def test_focus_hint(self):
+        assert extract_features("Focus on dosage.").has_focus_hint
+        assert extract_features("Pay attention to timing.").has_focus_hint
+
+    def test_adaptive_hint(self):
+        assert extract_features("Hint: mind sarcasm.").has_adaptive_hint
+        assert not extract_features("no hints here").has_adaptive_hint
+
+    def test_examples(self):
+        assert extract_features("Example: 'x' -> yes").has_examples
+        assert extract_features("for example, this").has_examples
+
+    def test_output_format(self):
+        assert extract_features("Respond with yes or no.").has_output_format
+
+    def test_word_limit(self):
+        assert extract_features("in at most 30 words").has_word_limit
+        assert extract_features("no more than 10 words").has_word_limit
+        assert not extract_features("many words here").has_word_limit
+
+    def test_reasoning(self):
+        assert extract_features("think step by step").has_reasoning
+
+    def test_guidance_section(self):
+        assert extract_features("General guidance:\n- be careful").has_guidance
+
+    def test_criteria_counted_only_after_marker(self):
+        text = (
+            "General guidance:\n- generic bullet one\n- generic bullet two\n"
+            "Use these criteria:\n- criterion one\n- criterion two\n- criterion three"
+        )
+        features = extract_features(text)
+        assert features.criteria_count == 3
+
+    def test_criteria_capped_at_six(self):
+        bullets = "\n".join(f"- c{i}" for i in range(10))
+        features = extract_features(f"criteria:\n{bullets}")
+        assert features.criteria_count == 6
+
+    def test_view_structure_marker(self):
+        assert extract_features("### Task\ndo things").has_view_structure
+
+    def test_task_count_groups_synonyms(self):
+        # summarize + clean are one stage; select is another.
+        features = extract_features("Summarize and clean the text, then select it.")
+        assert features.task_count == 2
+
+    def test_hint_terms_sorted(self):
+        features = extract_features("school exams and homework")
+        assert features.hint_terms == ("exam", "homework", "school")
+
+    def test_word_count(self):
+        assert extract_features("one two three").word_count == 3
+
+
+class TestFingerprint:
+    def test_same_features_same_fingerprint(self):
+        text_1 = "Classify the tweet. Respond with yes or no."
+        assert (
+            extract_features(text_1).fingerprint()
+            == extract_features(text_1).fingerprint()
+        )
+
+    def test_different_features_differ(self):
+        fingerprint_1 = extract_features("Classify this.").fingerprint()
+        fingerprint_2 = extract_features("Classify this. Example: x").fingerprint()
+        assert fingerprint_1 != fingerprint_2
+
+    def test_fingerprint_is_feature_level_not_text_level(self):
+        # Two texts with identical features share a fingerprint even when
+        # the raw strings differ (word_count kept equal).
+        features_1 = PromptFeatures(has_instruction=True, word_count=5)
+        features_2 = PromptFeatures(has_instruction=True, word_count=5)
+        assert features_1.fingerprint() == features_2.fingerprint()

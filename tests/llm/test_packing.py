@@ -1,0 +1,119 @@
+"""Tests for context packing under a token budget."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.llm.packing import Fragment, pack_fragments
+from repro.llm.tokenizer import Tokenizer
+
+TOKENIZER = Tokenizer()
+
+
+def _fragment(words: int, priority: int = 0, name: str = "") -> Fragment:
+    return Fragment(text=" ".join(f"w{i}" for i in range(words)), priority=priority, name=name)
+
+
+class TestPackFragments:
+    def test_everything_fits(self):
+        result = pack_fragments(
+            [_fragment(5, name="a"), _fragment(5, name="b")], budget_tokens=50
+        )
+        assert result.kept == ("a", "b")
+        assert result.dropped == ()
+        assert result.truncated is None
+        assert result.tokens_used <= 50
+
+    def test_priority_wins_over_order(self):
+        low = _fragment(8, priority=0, name="low")
+        high = _fragment(8, priority=5, name="high")
+        result = pack_fragments([low, high], budget_tokens=9)
+        assert "high" in result.kept
+        assert result.truncated in (None, "low")
+
+    def test_original_order_preserved_in_text(self):
+        first = Fragment("alpha text", priority=0, name="first")
+        second = Fragment("beta text", priority=9, name="second")
+        result = pack_fragments([first, second], budget_tokens=100)
+        assert result.text.index("alpha") < result.text.index("beta")
+
+    def test_truncation_uses_remaining_budget(self):
+        result = pack_fragments(
+            [_fragment(4, name="keep"), _fragment(50, name="cut")],
+            budget_tokens=10,
+        )
+        assert result.truncated == "cut"
+        assert result.tokens_used <= 10
+
+    def test_truncation_disabled_drops_instead(self):
+        result = pack_fragments(
+            [_fragment(4, name="keep"), _fragment(50, name="gone")],
+            budget_tokens=10,
+            allow_truncation=False,
+        )
+        assert result.kept == ("keep",)
+        assert result.dropped == ("gone",)
+
+    def test_zero_budget(self):
+        result = pack_fragments([_fragment(5, name="a")], budget_tokens=0)
+        assert result.text == ""
+        assert result.dropped == ("a",)
+        assert result.utilization == 0.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            pack_fragments([], budget_tokens=-1)
+
+    def test_empty_fragments(self):
+        result = pack_fragments([], budget_tokens=10)
+        assert result.text == ""
+        assert result.kept == ()
+
+    def test_packed_prompt_fits_model_window(self, clinical_corpus):
+        from dataclasses import replace
+
+        from repro.llm import SimulatedLLM, get_profile
+
+        tiny = replace(get_profile("qwen2.5-7b-instruct"), context_window=120)
+        model = SimulatedLLM(tiny)
+        model.bind_clinical(clinical_corpus)
+        patient = clinical_corpus.patients[0]
+        fragments = [
+            Fragment(note.text, priority=1, name=note.note_id)
+            for note in patient.notes
+        ] + [
+            Fragment(f"LAB: {lab.test} = {lab.value}", priority=0, name=lab.lab_id)
+            for lab in patient.labs
+        ]
+        instruction = "Highlight any use of Enoxaparin.\nNotes:\n"
+        budget = tiny.context_window - TOKENIZER.count(instruction) - 5
+        packed = pack_fragments(fragments, budget)
+        # The packed prompt must generate without a window error.
+        result = model.generate(instruction + packed.text)
+        assert result.prompt_tokens <= tiny.context_window
+
+
+class TestPackingProperties:
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=30),
+                st.integers(min_value=0, max_value=3),
+            ),
+            max_size=8,
+        ),
+        st.integers(min_value=0, max_value=120),
+    )
+    def test_never_exceeds_budget(self, specs, budget):
+        fragments = [
+            _fragment(words, priority, name=f"f{i}")
+            for i, (words, priority) in enumerate(specs)
+        ]
+        result = pack_fragments(fragments, budget)
+        assert result.tokens_used <= budget
+        assert set(result.kept) | set(result.dropped) == {
+            f"f{i}" for i in range(len(specs))
+        }
+        assert not (set(result.kept) & set(result.dropped))

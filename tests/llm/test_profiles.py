@@ -1,0 +1,81 @@
+"""Tests for model profiles and their validation."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.profiles import DEFAULT_PROFILE, PROFILES, ModelProfile, get_profile
+
+
+class TestRegistry:
+    def test_three_paper_backends_registered(self):
+        assert set(PROFILES) == {
+            "qwen2.5-7b-instruct",
+            "mistral-7b-instruct",
+            "gpt-4o-mini",
+        }
+
+    def test_default_profile_exists(self):
+        assert DEFAULT_PROFILE in PROFILES
+
+    def test_get_profile_unknown_raises_with_listing(self):
+        with pytest.raises(ModelError) as excinfo:
+            get_profile("claude-3")
+        assert "qwen2.5-7b-instruct" in str(excinfo.value)
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(AttributeError):
+            get_profile(DEFAULT_PROFILE).overhead_s = 0.0  # type: ignore[misc]
+
+
+class TestValidation:
+    def _base(self, **overrides) -> ModelProfile:
+        fields = dict(
+            name="test",
+            overhead_s=0.1,
+            prefill_s_per_token=0.001,
+            cached_prefill_s_per_token=0.0001,
+            decode_s_per_token=0.01,
+            base_error=0.3,
+            min_error=0.05,
+        )
+        fields.update(overrides)
+        return ModelProfile(**fields)
+
+    def test_valid_profile_constructs(self):
+        assert self._base().name == "test"
+
+    def test_base_error_bounds(self):
+        with pytest.raises(ModelError):
+            self._base(base_error=0.0)
+        with pytest.raises(ModelError):
+            self._base(base_error=1.0)
+
+    def test_min_error_cannot_exceed_base(self):
+        with pytest.raises(ModelError):
+            self._base(min_error=0.5, base_error=0.3)
+
+    def test_replace_revalidates(self):
+        profile = get_profile(DEFAULT_PROFILE)
+        with pytest.raises(ModelError):
+            replace(profile, base_error=2.0)
+
+
+class TestPhysicalPlausibility:
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_cached_prefill_cheaper_than_uncached(self, name):
+        profile = get_profile(name)
+        assert profile.cached_prefill_s_per_token < profile.prefill_s_per_token
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_fusion_penalties_are_penalties(self, name):
+        profile = get_profile(name)
+        assert profile.fusion_penalty_map_filter > 1.0
+        assert profile.fusion_penalty_filter_map > 1.0
+        # Map->Filter interference exceeds Filter->Map (paper's 4-8 vs 0.3-6pp).
+        assert profile.fusion_penalty_map_filter > profile.fusion_penalty_filter_map
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_context_window_positive(self, name):
+        assert get_profile(name).context_window > 1000

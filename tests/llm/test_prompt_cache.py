@@ -1,0 +1,76 @@
+"""Tests for the structured prompt cache (view/params/version indexed)."""
+
+import pytest
+
+from repro.llm.prompt_cache import StructuredPromptCache, param_hash
+
+
+class TestParamHash:
+    def test_stable_and_order_independent(self):
+        assert param_hash({"a": 1, "b": 2}) == param_hash({"b": 2, "a": 1})
+
+    def test_distinguishes_values(self):
+        assert param_hash({"a": 1}) != param_hash({"a": 2})
+
+    def test_unserializable_values_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "Odd()"
+
+        assert isinstance(param_hash({"a": Odd()}), int)
+
+
+class TestStructuredPromptCache:
+    def test_miss_then_hit(self):
+        cache = StructuredPromptCache()
+        key = cache.key("med_summary", {"drug": "X"})
+        assert cache.get(key) is None
+        cache.put(key, "rendered")
+        assert cache.get(key) == "rendered"
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_version_separates_entries(self):
+        cache = StructuredPromptCache()
+        cache.put(cache.key("v", {}, version=0), "old")
+        assert cache.get(cache.key("v", {}, version=1)) is None
+
+    def test_params_separate_entries(self):
+        cache = StructuredPromptCache()
+        cache.put(cache.key("v", {"drug": "X"}), "x")
+        cache.put(cache.key("v", {"drug": "Y"}), "y")
+        assert cache.get(cache.key("v", {"drug": "X"})) == "x"
+        assert cache.get(cache.key("v", {"drug": "Y"})) == "y"
+
+    def test_lru_eviction(self):
+        cache = StructuredPromptCache(capacity=2)
+        key_a = cache.key("a", {})
+        key_b = cache.key("b", {})
+        key_c = cache.key("c", {})
+        cache.put(key_a, "a")
+        cache.put(key_b, "b")
+        cache.get(key_a)  # refresh A
+        cache.put(key_c, "c")  # evicts B
+        assert cache.get(key_b) is None
+        assert cache.get(key_a) == "a"
+
+    def test_invalidate_view(self):
+        cache = StructuredPromptCache()
+        cache.put(cache.key("keep", {}), "k")
+        cache.put(cache.key("drop", {"p": 1}), "d1")
+        cache.put(cache.key("drop", {"p": 2}), "d2")
+        assert cache.invalidate_view("drop") == 2
+        assert len(cache) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StructuredPromptCache(capacity=0)
+
+    def test_clear(self):
+        cache = StructuredPromptCache()
+        cache.put(cache.key("a", {}), "a")
+        cache.get(cache.key("a", {}))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hit_rate == 0.0

@@ -1,0 +1,173 @@
+"""Tests for the cost model and fusion planner."""
+
+import pytest
+
+from repro.core import EXPAND, ExecutionState, Pipeline, REF, RefAction
+from repro.errors import FusionError
+from repro.llm.profiles import get_profile
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.fusion import (
+    FusionPlanner,
+    LlmStage,
+    build_fused_instruction,
+    fuse_refs,
+)
+
+QWEN = get_profile("qwen2.5-7b-instruct")
+
+MAP_STAGE = LlmStage(
+    kind="map",
+    instruction="Summarize and clean up the tweet in at most 30 words.",
+    expected_output_tokens=22,
+)
+FILTER_STAGE = LlmStage(
+    kind="filter",
+    instruction="Select the tweet only if its sentiment is negative.",
+    expected_output_tokens=3,
+)
+
+
+class TestCostModel:
+    def test_call_estimate_components(self):
+        model = CostModel(QWEN)
+        estimate = model.call("word " * 100, expected_output_tokens=10)
+        assert estimate.prompt_tokens == 100
+        assert estimate.cached_tokens == 0
+        assert estimate.seconds > QWEN.overhead_s
+
+    def test_cache_fraction_reduces_cost(self):
+        model = CostModel(QWEN)
+        cold = model.call("word " * 100, expected_output_tokens=0)
+        warm = model.call(
+            "word " * 100, expected_output_tokens=0, expected_cache_fraction=0.9
+        )
+        assert warm.seconds < cold.seconds
+        assert warm.cached_tokens == 90
+
+    def test_invalid_cache_fraction(self):
+        with pytest.raises(ValueError):
+            CostModel(QWEN).call("x", expected_output_tokens=0, expected_cache_fraction=1.5)
+
+    def test_per_item_caches_instruction_only(self):
+        model = CostModel(QWEN)
+        estimate = model.per_item(
+            "inst " * 50, "item " * 20, expected_output_tokens=5
+        )
+        assert estimate.cached_tokens == 50
+        cold = model.per_item(
+            "inst " * 50, "item " * 20, expected_output_tokens=5,
+            instruction_cached=False,
+        )
+        assert cold.seconds > estimate.seconds
+
+
+class TestFusedInstruction:
+    def test_map_filter_order(self):
+        text = build_fused_instruction(MAP_STAGE, FILTER_STAGE)
+        assert text.index("Step 1 (map)") < text.index("Step 2 (filter)")
+
+    def test_filter_map_conditional_summary(self):
+        text = build_fused_instruction(FILTER_STAGE, MAP_STAGE)
+        assert "Only produce the summary" in text
+
+    def test_same_kind_pair_rejected(self):
+        with pytest.raises(FusionError):
+            build_fused_instruction(MAP_STAGE, MAP_STAGE)
+
+    def test_invalid_stage_kind_rejected(self):
+        with pytest.raises(FusionError):
+            LlmStage(kind="reduce", instruction="x", expected_output_tokens=1)
+
+
+class TestFusionPlanner:
+    def test_map_filter_fusion_always_wins(self):
+        planner = FusionPlanner(QWEN)
+        for selectivity in (0.1, 0.5, 1.0):
+            decision = planner.decide(MAP_STAGE, FILTER_STAGE, selectivity=selectivity)
+            assert decision.fuse, selectivity
+            assert decision.order == "map_filter"
+            assert decision.est_gain > 0.1
+
+    def test_filter_map_fusion_selectivity_aware(self):
+        planner = FusionPlanner(QWEN)
+        low = planner.decide(FILTER_STAGE, MAP_STAGE, selectivity=0.1)
+        high = planner.decide(FILTER_STAGE, MAP_STAGE, selectivity=1.0)
+        assert not low.fuse          # predicate pushdown wins at low selectivity
+        assert high.fuse             # fusion wins when everything passes
+        assert low.est_gain < high.est_gain
+
+    def test_gain_monotone_in_selectivity_for_filter_map(self):
+        planner = FusionPlanner(QWEN)
+        gains = [
+            planner.decide(FILTER_STAGE, MAP_STAGE, selectivity=s).est_gain
+            for s in (0.1, 0.3, 0.5, 0.8, 1.0)
+        ]
+        assert gains == sorted(gains)
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(FusionError):
+            FusionPlanner(QWEN).decide(MAP_STAGE, FILTER_STAGE, selectivity=1.5)
+
+
+class TestFuseRefs:
+    def test_adjacent_literal_appends_coalesce(self):
+        pipeline = Pipeline([EXPAND("qa", "line 1"), EXPAND("qa", "line 2")])
+        fused = fuse_refs(pipeline)
+        assert len(fused) == 1
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        fused.apply(state)
+        assert state.prompts.text("qa") == "base\nline 1\nline 2"
+        # Only one refinement recorded instead of two.
+        assert state.prompts.refinement_count("qa") == 1
+
+    def test_fused_text_identical_to_sequential(self):
+        state_a = ExecutionState()
+        state_a.prompts.create("qa", "base")
+        sequential = Pipeline([EXPAND("qa", "x"), EXPAND("qa", "y"), EXPAND("qa", "z")])
+        sequential.apply(state_a)
+
+        state_b = ExecutionState()
+        state_b.prompts.create("qa", "base")
+        fuse_refs(sequential).apply(state_b)
+        assert state_a.prompts.text("qa") == state_b.prompts.text("qa")
+
+    def test_different_keys_not_fused(self):
+        pipeline = Pipeline([EXPAND("a", "x"), EXPAND("b", "y")])
+        assert len(fuse_refs(pipeline)) == 2
+
+    def test_callable_refiners_not_fused(self):
+        pipeline = Pipeline(
+            [
+                EXPAND("qa", "x"),
+                REF(RefAction.APPEND, lambda s, t: "dyn", key="qa"),
+            ]
+        )
+        assert len(fuse_refs(pipeline)) == 2
+
+    def test_update_actions_not_fused(self):
+        pipeline = Pipeline(
+            [
+                REF(RefAction.UPDATE, "x", key="qa"),
+                REF(RefAction.UPDATE, "y", key="qa"),
+            ]
+        )
+        assert len(fuse_refs(pipeline)) == 2
+
+    def test_mixed_modes_not_fused(self):
+        pipeline = Pipeline(
+            [EXPAND("qa", "x", mode="MANUAL"), EXPAND("qa", "y", mode="AUTO")]
+        )
+        assert len(fuse_refs(pipeline)) == 2
+
+    def test_non_ref_operators_break_runs(self):
+        from repro.core.algebra import FunctionOperator
+
+        pipeline = Pipeline(
+            [
+                EXPAND("qa", "x"),
+                FunctionOperator(lambda s: s, "other"),
+                EXPAND("qa", "y"),
+            ]
+        )
+        assert len(fuse_refs(pipeline)) == 3

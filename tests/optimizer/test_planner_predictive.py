@@ -1,0 +1,190 @@
+"""Tests for cost-based refinement planning and predictive refinement."""
+
+import pytest
+
+from repro.core import EXPAND, ExecutionState, RefAction
+from repro.errors import PlanningError
+from repro.llm.profiles import get_profile
+from repro.optimizer.planner import CandidateRefiner, RefinementPlanner
+from repro.optimizer.predictive import (
+    HeuristicRiskModel,
+    OnlineRiskModel,
+    PredictiveRefine,
+)
+
+QWEN = get_profile("qwen2.5-7b-instruct")
+
+
+def _candidate(name, text, prior=0.05):
+    return CandidateRefiner(
+        name=name,
+        build=lambda: EXPAND("qa", text),
+        est_cost_tokens=len(text.split()),
+        prior_gain=prior,
+    )
+
+
+def _seed_history(state, function, deltas):
+    """Record past applications of ``function`` with given confidence deltas."""
+    entry = state.prompts["qa"]
+    for delta in deltas:
+        record = entry.record(
+            RefAction.APPEND,
+            entry.text + "\nx",
+            function=function,
+            signals={"confidence": 0.5},
+        )
+        record.signals["outcome_confidence"] = 0.5 + delta
+
+
+class TestPlanner:
+    def test_plan_orders_by_utility_and_respects_budget(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        candidates = [
+            _candidate("cheap_good", "short hint", prior=0.10),
+            _candidate("expensive_good", "a much longer refinement " * 5, prior=0.12),
+            _candidate("cheap_ok", "tiny", prior=0.05),
+        ]
+        plan = RefinementPlanner().plan(state, candidates, budget_tokens=15)
+        chosen = [step.refiner.name for step in plan.steps]
+        assert chosen[0] == "cheap_good"
+        assert "expensive_good" in plan.skipped  # does not fit the budget
+        assert plan.total_cost_tokens <= 15
+
+    def test_history_outweighs_prior(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        _seed_history(state, "proven", [0.3, 0.25, 0.28])
+        _seed_history(state, "dud", [-0.2, -0.15])
+        candidates = [
+            _candidate("proven", "proven hint", prior=0.01),
+            _candidate("dud", "dud hint", prior=0.20),
+        ]
+        plan = RefinementPlanner().plan(state, candidates, budget_tokens=100)
+        chosen = [step.refiner.name for step in plan.steps]
+        assert chosen[0] == "proven"
+
+    def test_negative_expected_gain_skipped_outright(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        _seed_history(state, "harmful", [-0.3, -0.3, -0.3, -0.3])
+        plan = RefinementPlanner().plan(
+            state, [_candidate("harmful", "bad idea", prior=0.0)], budget_tokens=100
+        )
+        assert plan.steps == ()
+        assert "harmful" in plan.skipped
+
+    def test_plan_apply_executes_refiners(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        plan = RefinementPlanner().plan(
+            state, [_candidate("add", "extra line", prior=0.2)], budget_tokens=100
+        )
+        state = plan.apply(state)
+        assert "extra line" in state.prompts.text("qa")
+
+    def test_plan_emits_event(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "base")
+        RefinementPlanner().plan(state, [_candidate("a", "x")], budget_tokens=10)
+        from repro.runtime.events import EventKind
+
+        events = state.events.of_kind(EventKind.PLAN)
+        assert events and events[0].payload["chosen"] == ["a"]
+
+    def test_negative_budget_rejected(self):
+        state = ExecutionState()
+        with pytest.raises(PlanningError):
+            RefinementPlanner().plan(state, [], budget_tokens=-1)
+
+    def test_from_text_estimates_cost(self):
+        candidate = CandidateRefiner.from_text(
+            "c", lambda: EXPAND("qa", "x"), "one two three"
+        )
+        assert candidate.est_cost_tokens == 3
+
+
+class TestHeuristicRiskModel:
+    def test_weak_prompt_riskier_than_strong(self):
+        state = ExecutionState()
+        state.prompts.create("weak", "tweet stuff")
+        state.prompts.create(
+            "strong",
+            "### Task\nClassify the tweet. Respond with yes or no.\n"
+            "General guidance:\n- be careful\nExample: 'x' -> yes",
+        )
+        model = HeuristicRiskModel(QWEN)
+        assert model.predict(state, "weak") > model.predict(state, "strong")
+
+    def test_difficulty_raises_risk(self):
+        state = ExecutionState()
+        state.prompts.create("p", "Classify this.")
+        easy = HeuristicRiskModel(QWEN, difficulty=0.1)
+        hard = HeuristicRiskModel(QWEN, difficulty=0.9)
+        assert hard.predict(state, "p") > easy.predict(state, "p")
+
+
+class TestOnlineRiskModel:
+    def test_falls_back_before_observations(self):
+        state = ExecutionState()
+        state.prompts.create("p", "Classify this.")
+        fallback = HeuristicRiskModel(QWEN)
+        online = OnlineRiskModel(fallback)
+        assert online.predict(state, "p") == fallback.predict(state, "p")
+
+    def test_learns_from_observations(self):
+        state = ExecutionState()
+        state.prompts.create("p", "Classify this.")
+        online = OnlineRiskModel(HeuristicRiskModel(QWEN))
+        for confidence in (0.9, 0.95, 0.85):
+            online.observe(state, "p", confidence)
+        assert online.observations() == 3
+        assert online.predict(state, "p") == pytest.approx(1 - 0.9, abs=0.01)
+
+    def test_feature_level_generalization(self):
+        # Two prompts with identical features share learned risk.
+        state = ExecutionState()
+        state.prompts.create("p1", "Classify the text now please today")
+        state.prompts.create("p2", "Classify the note now please today")
+        online = OnlineRiskModel(HeuristicRiskModel(QWEN))
+        online.observe(state, "p1", 0.9)
+        assert online.predict(state, "p2") == pytest.approx(0.1)
+
+
+class TestPredictiveRefine:
+    def test_refines_when_risk_high(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "judge this")  # weak prompt, high risk
+        op = PredictiveRefine(
+            "qa",
+            HeuristicRiskModel(QWEN),
+            EXPAND("qa", "Respond with yes or no."),
+            threshold=0.1,
+        )
+        state = op.apply(state)
+        assert "Respond with yes or no." in state.prompts.text("qa")
+        assert state.metadata["predictive_refinements"] == 1
+        assert state.metadata["predicted_risk"] > 0.1
+
+    def test_skips_when_risk_low(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "judge this")
+        op = PredictiveRefine(
+            "qa", HeuristicRiskModel(QWEN), EXPAND("qa", "extra"), threshold=0.99
+        )
+        state = op.apply(state)
+        assert state.prompts.text("qa") == "judge this"
+        assert "predictive_refinements" not in state.metadata
+
+    def test_refinement_factory_supported(self):
+        state = ExecutionState()
+        state.prompts.create("qa", "judge this")
+        op = PredictiveRefine(
+            "qa",
+            HeuristicRiskModel(QWEN),
+            lambda: EXPAND("qa", "factory-made"),
+            threshold=0.0,
+        )
+        state = op.apply(state)
+        assert "factory-made" in state.prompts.text("qa")

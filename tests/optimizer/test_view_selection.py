@@ -1,0 +1,159 @@
+"""Tests for cost-based view selection (view-guided refinement, §5)."""
+
+import pytest
+
+from repro.core.views import ViewRegistry
+from repro.errors import PlanningError
+from repro.optimizer.view_selection import refine_missing_terms, select_view
+
+
+@pytest.fixture
+def registry():
+    views = ViewRegistry()
+    views.define(
+        "general",
+        "### Task\nAnswer questions about the patient chart.",
+    )
+    views.define(
+        "med_focused",
+        "### Task\nAnswer questions about medications, dosage, and timing "
+        "from the patient chart.",
+    )
+    views.define(
+        "radiology",
+        "### Task\nDescribe imaging findings and impressions.",
+    )
+    return views
+
+
+class TestSelectView:
+    def test_picks_view_covering_most_required_terms(self, registry):
+        winner, scores = select_view(
+            registry,
+            ["general", "med_focused", "radiology"],
+            ["dosage", "timing"],
+        )
+        assert winner == "med_focused"
+        assert scores[0].missing_terms == ()
+
+    def test_scores_sorted_best_first(self, registry):
+        __, scores = select_view(
+            registry, ["general", "med_focused"], ["dosage"]
+        )
+        assert scores[0].total_cost <= scores[1].total_cost
+
+    def test_base_length_breaks_ties(self, registry):
+        registry.define("verbose", "word " * 300 + "nothing relevant")
+        winner, __ = select_view(registry, ["general", "verbose"], ["dosage"])
+        assert winner == "general"
+
+    def test_term_matching_case_insensitive(self, registry):
+        winner, scores = select_view(registry, ["med_focused"], ["DOSAGE"])
+        assert scores[0].missing_terms == ()
+
+    def test_empty_candidates_rejected(self, registry):
+        with pytest.raises(PlanningError):
+            select_view(registry, [], ["x"])
+
+    def test_parameterized_views_expanded_before_scoring(self):
+        views = ViewRegistry()
+        views.define("param", "Focus on {topic}.", params=("topic",))
+        winner, scores = select_view(
+            views, ["param"], ["dosage"], params={"topic": "dosage"}
+        )
+        assert scores[0].missing_terms == ()
+
+
+class TestRefineMissingTerms:
+    def test_covered_view_needs_no_refinement(self, registry):
+        __, scores = select_view(registry, ["med_focused"], ["dosage"])
+        assert refine_missing_terms(scores[0]) is None
+
+    def test_refinement_text_lists_missing_terms(self, registry):
+        __, scores = select_view(registry, ["general"], ["dosage", "timing"])
+        text = refine_missing_terms(scores[0])
+        assert "dosage" in text and "timing" in text
+
+    def test_refined_view_then_covers_terms(self, registry):
+        __, scores = select_view(registry, ["general"], ["dosage"])
+        refined = registry.expand("general") + "\n" + refine_missing_terms(scores[0])
+        __, rescored = select_view_with_text(refined, ["dosage"])
+        assert rescored == ()
+
+
+def select_view_with_text(text, required_terms):
+    """Helper: score an already-expanded text against required terms."""
+    from repro.optimizer.view_selection import _missing_terms
+
+    return None, _missing_terms(text, required_terms)
+
+
+class TestSelectViewOperator:
+    @pytest.fixture
+    def wired_state(self, llm, registry):
+        from repro.core import ExecutionState
+
+        state = ExecutionState(model=llm, clock=llm.clock, views=registry)
+        return state
+
+    def test_instantiates_winner_into_store(self, wired_state):
+        from repro.optimizer import SelectView
+
+        state = SelectView(
+            ["general", "med_focused", "radiology"],
+            ["dosage", "timing"],
+            key="qa",
+        ).apply(wired_state)
+        assert state.prompts["qa"].view == "med_focused"
+        assert state.metadata["selected_view"] == "med_focused"
+
+    def test_missing_terms_covered_by_refinement(self, wired_state):
+        from repro.optimizer import SelectView
+
+        state = SelectView(
+            ["radiology"], ["dosage", "timing"], key="qa"
+        ).apply(wired_state)
+        text = state.prompts.text("qa").lower()
+        assert "dosage" in text and "timing" in text
+        assert state.prompts["qa"].ref_log[-1].function == "f_cover_missing_terms"
+
+    def test_replaces_existing_key_with_history(self, wired_state):
+        from repro.optimizer import SelectView
+
+        wired_state.prompts.create("qa", "old prompt")
+        state = SelectView(
+            ["med_focused"], ["dosage"], key="qa"
+        ).apply(wired_state)
+        assert state.prompts["qa"].text_at(0) == "old prompt"
+        assert state.prompts["qa"].view == "med_focused"
+
+    def test_plan_event_records_scores(self, wired_state):
+        from repro.optimizer import SelectView
+        from repro.runtime.events import EventKind
+
+        state = SelectView(
+            ["general", "med_focused"], ["dosage"], key="qa"
+        ).apply(wired_state)
+        event = state.events.last(EventKind.PLAN)
+        assert event.payload["winner"] == "med_focused"
+        assert set(event.payload["scores"]) == {"general", "med_focused"}
+
+    def test_selected_prompt_generates(self, wired_state, clinical_corpus):
+        from repro.core import GEN
+        from repro.optimizer import SelectView
+
+        patient = next(p for p in clinical_corpus if p.on_enoxaparin)
+        notes = "\n".join(note.text for note in patient.notes)
+        wired_state.views.define(
+            "enox_focused",
+            "### Task\nHighlight any use of enoxaparin; be specific about "
+            "dosage and timing.\nNotes:\n{notes}",
+        )
+        state = SelectView(
+            ["general", "enox_focused"],
+            ["enoxaparin", "dosage", "timing"],
+            key="qa",
+        ).apply(wired_state)
+        state.context.put("notes", notes)
+        state = GEN("answer", prompt="qa").apply(state)
+        assert "Enoxaparin" in state.C["answer"]

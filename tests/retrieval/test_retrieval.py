@@ -1,0 +1,169 @@
+"""Tests for the retrieval substrate: documents, BM25 index, retrievers."""
+
+import pytest
+
+from repro.errors import RetrievalError
+from repro.retrieval import (
+    Document,
+    DocumentStore,
+    InvertedIndex,
+    PromptRetriever,
+    StructuredRetriever,
+    clinical_sources,
+    corpus_documents,
+    tokenize_query,
+)
+
+
+@pytest.fixture
+def store():
+    documents = [
+        Document("d1", "enoxaparin 40 mg administered daily", {"kind": "order", "patient_id": "p1"}),
+        Document("d2", "patient resting comfortably, vitals stable", {"kind": "nursing_note", "patient_id": "p1"}),
+        Document("d3", "ct angiography consistent with pulmonary embolism", {"kind": "radiology_report", "patient_id": "p2"}),
+        Document("d4", "enoxaparin continued for dvt prophylaxis", {"kind": "discharge_summary", "patient_id": "p2"}),
+    ]
+    return DocumentStore(documents)
+
+
+class TestDocumentStore:
+    def test_add_get_len(self, store):
+        assert len(store) == 4
+        assert store.get("d1").text.startswith("enoxaparin")
+        assert store.get("ghost") is None
+        assert "d1" in store
+
+    def test_where_filters_by_attributes(self, store):
+        assert [doc.doc_id for doc in store.where(patient_id="p1")] == ["d1", "d2"]
+        assert [doc.doc_id for doc in store.where(patient_id="p1", kind="order")] == ["d1"]
+
+    def test_filter_predicate(self, store):
+        hits = store.filter(lambda doc: "enoxaparin" in doc.text)
+        assert {doc.doc_id for doc in hits} == {"d1", "d4"}
+
+    def test_replace_on_same_id(self, store):
+        store.add(Document("d1", "replaced"))
+        assert store.get("d1").text == "replaced"
+        assert len(store) == 4
+
+
+class TestTokenizeQuery:
+    def test_stopwords_and_retrieval_verbs_removed(self):
+        tokens = tokenize_query("Retrieve the notes about enoxaparin orders")
+        assert "retrieve" not in tokens
+        assert "the" not in tokens
+        assert "enoxaparin" in tokens
+
+    def test_lowercased(self):
+        assert tokenize_query("ENOXAPARIN") == ["enoxaparin"]
+
+
+class TestInvertedIndex:
+    def test_search_ranks_relevant_docs_first(self, store):
+        index = InvertedIndex(store)
+        results = index.search("enoxaparin dvt prophylaxis")
+        assert results
+        assert results[0][0].doc_id == "d4"
+
+    def test_search_no_hits(self, store):
+        index = InvertedIndex(store)
+        assert index.search("zebra rainbows") == []
+
+    def test_empty_query(self, store):
+        index = InvertedIndex(store)
+        assert index.search("the and of") == []
+
+    def test_top_k_limits(self, store):
+        index = InvertedIndex(store)
+        assert len(index.search("enoxaparin", top_k=1)) == 1
+
+    def test_add_indexes_new_document(self, store):
+        index = InvertedIndex(store)
+        index.add(Document("d5", "warfarin bridging with enoxaparin"))
+        ids = [doc.doc_id for doc, __ in index.search("warfarin")]
+        assert ids == ["d5"]
+
+    def test_scores_positive_and_sorted(self, store):
+        index = InvertedIndex(store)
+        results = index.search("enoxaparin")
+        scores = [score for __, score in results]
+        assert all(score > 0 for score in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_term_frequency_saturation(self):
+        store = DocumentStore(
+            [
+                Document("a", "drug " * 50),
+                Document("b", "drug mention once in a short note"),
+            ]
+        )
+        index = InvertedIndex(store)
+        score_a = index.score("a", ["drug"])
+        score_b = index.score("b", ["drug"])
+        # BM25 saturates term frequency: 50 mentions is not 50x the score.
+        assert score_a < 5 * score_b
+
+
+class TestRetrievers:
+    def test_structured_retriever_dict_query(self, store):
+        retriever = StructuredRetriever(store)
+        hits = retriever(None, {"kind": "order"})
+        assert [doc.doc_id for doc in hits] == ["d1"]
+
+    def test_structured_retriever_none_returns_all(self, store):
+        assert len(StructuredRetriever(store)(None, None)) == 4
+
+    def test_structured_retriever_rejects_non_dict(self, store):
+        with pytest.raises(RetrievalError):
+            StructuredRetriever(store)(None, "free text")
+
+    def test_prompt_retriever(self, store):
+        retriever = PromptRetriever(InvertedIndex(store), top_k=2)
+        hits = retriever(None, "find enoxaparin prophylaxis orders")
+        assert hits
+        assert all(isinstance(doc, Document) for doc in hits)
+
+    def test_prompt_retriever_rejects_empty(self, store):
+        retriever = PromptRetriever(InvertedIndex(store))
+        with pytest.raises(RetrievalError):
+            retriever(None, "   ")
+
+
+class TestClinicalSources:
+    def test_corpus_documents_projects_everything(self, clinical_corpus):
+        store = corpus_documents(clinical_corpus)
+        kinds = {doc.get("kind") for doc in store}
+        assert {"discharge_summary", "radiology_report", "nursing_note", "lab"} <= kinds
+
+    def test_initial_notes_source(self, clinical_corpus, state):
+        sources = clinical_sources(clinical_corpus)
+        notes = sources["initial_notes"](state, "p0000")
+        assert "Patient p0000" in notes
+        assert "LAB:" not in notes
+
+    def test_initial_notes_unknown_patient_raises(self, clinical_corpus, state):
+        sources = clinical_sources(clinical_corpus)
+        with pytest.raises(RetrievalError):
+            sources["initial_notes"](state, "p9999")
+
+    def test_order_lookup_reports_none_on_file(self, clinical_corpus, state):
+        sources = clinical_sources(clinical_corpus)
+        patient = next(p for p in clinical_corpus if not p.has_orders)
+        result = sources["order_lookup"](state, patient.patient_id)
+        assert result == "ORDER: none on file"
+
+    def test_order_lookup_finds_orders(self, clinical_corpus, state):
+        sources = clinical_sources(clinical_corpus)
+        patient = next(p for p in clinical_corpus if p.has_orders)
+        result = sources["order_lookup"](state, patient.patient_id)
+        assert "ORDER: enoxaparin" in result
+
+    def test_lab_lookup(self, clinical_corpus, state):
+        sources = clinical_sources(clinical_corpus)
+        result = sources["lab_lookup"](state, "p0000")
+        assert result.count("LAB:") == 2
+
+    def test_note_search_prompt_based(self, clinical_corpus, state):
+        sources = clinical_sources(clinical_corpus)
+        result = sources["note_search"](state, "enoxaparin dosage administered")
+        assert "enoxaparin" in result.lower()

@@ -1,0 +1,115 @@
+"""Tests for the batch runner."""
+
+import pytest
+
+from repro.core import ExecutionState, GEN, Pipeline, REF, RefAction
+from repro.core.algebra import FunctionOperator
+from repro.runtime.batch import BatchRunner
+
+
+def _bind_tweet(state, tweet):
+    state.context.put("tweet", tweet.text, producer="bind")
+
+
+@pytest.fixture
+def filter_pipeline(state):
+    state.prompts.create(
+        "filter",
+        "Select the tweet only if its sentiment is negative. "
+        "Respond with yes or no.\nTweet:\n{tweet}",
+    )
+    return Pipeline([GEN("verdict", prompt="filter")])
+
+
+class TestBatchRunner:
+    def test_runs_pipeline_per_item(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:10])
+        assert len(batch.items) == 10
+        assert all(result.ok for result in batch.items)
+        assert all(isinstance(v, str) for v in batch.outputs("verdict"))
+
+    def test_items_isolated_from_each_other(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:5])
+        tweets_seen = [result.context["tweet"] for result in batch.items]
+        assert tweets_seen == [t.text for t in tweet_corpus.tweets[:5]]
+        # The base state never saw any item's context writes.
+        assert "tweet" not in state.context
+        assert "verdict" not in state.context
+
+    def test_prompt_store_and_caches_shared(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        runner.run(filter_pipeline, tweet_corpus.tweets[:10])
+        # The shared instruction prefix accumulates hits across items.
+        assert state.model.overall_cache_hit_rate > 0.3
+
+    def test_elapsed_accounting(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:4])
+        assert batch.elapsed == pytest.approx(
+            sum(result.elapsed for result in batch.items)
+        )
+        assert batch.mean_item_seconds > 0
+
+    def test_signals_per_item(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:3])
+        confidences = batch.signals("confidence")
+        assert len(confidences) == 3
+        assert all(0 <= value <= 1 for value in confidences)
+
+    def test_on_error_raise(self, state):
+        def boom(item_state):
+            raise RuntimeError("kaput")
+
+        runner = BatchRunner(state, bind=lambda s, item: None)
+        with pytest.raises(RuntimeError):
+            runner.run(Pipeline([FunctionOperator(boom, "BOOM")]), [1, 2])
+
+    def test_on_error_collect(self, state):
+        calls = []
+
+        def sometimes_boom(item_state):
+            calls.append(1)
+            if len(calls) == 1:
+                raise RuntimeError("first item fails")
+            return item_state
+
+        runner = BatchRunner(state, bind=lambda s, item: None, on_error="collect")
+        batch = runner.run(
+            Pipeline([FunctionOperator(sometimes_boom, "MAYBE")]), [1, 2, 3]
+        )
+        assert len(batch.failures()) == 1
+        assert not batch.items[0].ok
+        assert batch.items[1].ok
+
+    def test_invalid_on_error_policy(self, state):
+        with pytest.raises(ValueError):
+            BatchRunner(state, bind=lambda s, i: None, on_error="ignore")
+
+    def test_internal_result_objects_not_exposed(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:2])
+        for result in batch.items:
+            assert not any(key.endswith("__result") for key in result.context)
+
+    def test_empty_items(self, state, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, [])
+        assert batch.items == []
+        assert batch.mean_item_seconds == 0.0
+
+    def test_shared_prompt_refinements_visible_across_items(self, state, tweet_corpus):
+        # Refinements made during item k apply to item k+1 (shared P).
+        state.prompts.create(
+            "filter",
+            "Select the tweet only if its sentiment is negative. "
+            "Respond with yes or no.\nTweet:\n{tweet}",
+        )
+        pipeline = Pipeline(
+            [REF(RefAction.APPEND, "extra", key="filter"), GEN("v", prompt="filter")]
+        )
+        runner = BatchRunner(state, bind=_bind_tweet)
+        runner.run(pipeline, tweet_corpus.tweets[:3])
+        assert state.prompts["filter"].version == 3

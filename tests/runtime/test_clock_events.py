@@ -1,0 +1,91 @@
+"""Tests for the virtual clock and structured event log."""
+
+import pytest
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import EventKind, EventLog
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_custom_start(self):
+        assert VirtualClock(10.0).now == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance(5)
+        clock.reset()
+        assert clock.now == 0.0
+        clock.reset(2.0)
+        assert clock.now == 2.0
+
+
+class TestEventLog:
+    def test_emit_assigns_monotonic_sequence(self):
+        log = EventLog()
+        first = log.emit(EventKind.CHECK, "A")
+        second = log.emit(EventKind.REFINE, "B")
+        assert second.seq == first.seq + 1
+        assert len(log) == 2
+
+    def test_payload_and_timestamp_captured(self):
+        log = EventLog()
+        event = log.emit(EventKind.GENERATE, 'GEN["x"]', at=1.25, confidence=0.8)
+        assert event.at == 1.25
+        assert event.payload["confidence"] == 0.8
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.emit(EventKind.CHECK, "A")
+        log.emit(EventKind.REFINE, "B")
+        log.emit(EventKind.CHECK, "C")
+        assert [event.operator for event in log.of_kind(EventKind.CHECK)] == ["A", "C"]
+
+    def test_for_operator_matches_label_prefix(self):
+        log = EventLog()
+        log.emit(EventKind.GENERATE, 'GEN["answer"]')
+        log.emit(EventKind.GENERATE, 'GEN["other"]')
+        assert len(log.for_operator('GEN["answer"]')) == 1
+
+    def test_last_with_and_without_kind(self):
+        log = EventLog()
+        assert log.last() is None
+        log.emit(EventKind.CHECK, "A")
+        log.emit(EventKind.REFINE, "B")
+        assert log.last().operator == "B"
+        assert log.last(EventKind.CHECK).operator == "A"
+        assert log.last(EventKind.MERGE) is None
+
+    def test_subscribers_receive_events(self):
+        log = EventLog()
+        received = []
+        log.subscribe(received.append)
+        log.emit(EventKind.CHECK, "A")
+        assert len(received) == 1
+        assert received[0].operator == "A"
+
+    def test_to_dicts_serializes(self):
+        log = EventLog()
+        log.emit(EventKind.PLAN, "P", budget=10)
+        record = log.to_dicts()[0]
+        assert record["kind"] == "plan"
+        assert record["payload"] == {"budget": 10}
+
+    def test_clear_keeps_subscribers(self):
+        log = EventLog()
+        received = []
+        log.subscribe(received.append)
+        log.emit(EventKind.CHECK, "A")
+        log.clear()
+        assert len(log) == 0
+        log.emit(EventKind.CHECK, "B")
+        assert len(received) == 2

@@ -1,0 +1,69 @@
+"""Tests for the Executor runtime entry point."""
+
+from repro.core import GEN, Pipeline, RET
+from repro.llm import SimulatedLLM
+from repro.runtime import Executor
+
+
+class TestExecutor:
+    def test_shares_clock_with_model(self, llm):
+        executor = Executor(model=llm)
+        assert executor.clock is llm.clock
+
+    def test_new_state_wired_with_services(self, llm):
+        executor = Executor(model=llm)
+        executor.register_source("notes", lambda s, q: "payload")
+        executor.register_agent("echo", object())
+        state = executor.new_state(context={"seed": 1})
+        assert state.model is llm
+        assert state.context["seed"] == 1
+        assert state.sources() == ["notes"]
+        assert state.agents() == ["echo"]
+
+    def test_run_returns_elapsed_and_events(self, llm, tweet_corpus):
+        executor = Executor(model=llm)
+        executor.register_source("tweets", lambda s, q: tweet_corpus[0].text)
+        state = executor.new_state()
+        state.prompts.create(
+            "map", "Summarize the tweet in at most 30 words.\nTweet:\n{tweets}"
+        )
+        pipeline = Pipeline([RET("tweets"), GEN("summary", prompt="map")])
+        result = executor.run(pipeline, state=state)
+        assert result.elapsed > 0
+        assert result.output("summary")
+        assert "summary" in result.context
+        assert result.metadata["gen_calls"] == 1
+        assert any(event.kind.value == "generate" for event in result.events)
+
+    def test_run_builds_state_when_missing(self, llm):
+        executor = Executor(model=llm)
+        result = executor.run(Pipeline([]), context={"a": 1})
+        assert result.context["a"] == 1
+        assert result.elapsed == 0
+
+    def test_generate_once_quickstart(self, llm, tweet_corpus):
+        executor = Executor(model=llm)
+        result = executor.generate_once(
+            "map",
+            f"Summarize the tweet in at most 30 words.\nTweet:\n{tweet_corpus[0].text}",
+        )
+        assert isinstance(result.output("answer"), str)
+
+    def test_views_shared_across_states(self, llm):
+        executor = Executor(model=llm)
+        executor.views.define("v", "text")
+        state_1 = executor.new_state()
+        state_2 = executor.new_state()
+        assert state_1.views is state_2.views
+
+    def test_default_clock_without_model(self):
+        executor = Executor()
+        assert executor.clock.now == 0.0
+
+    def test_events_slice_per_run(self, llm):
+        executor = Executor(model=llm)
+        state = executor.new_state()
+        first = executor.run(Pipeline([]), state=state)
+        second = executor.run(Pipeline([]), state=state)
+        # Each RunResult carries only its own events.
+        assert len(first.events) == len(second.events) == 2

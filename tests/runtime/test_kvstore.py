@@ -1,0 +1,83 @@
+"""Tests for pluggable KV backends and their PromptStore integration."""
+
+from repro.core import PromptStore
+from repro.runtime.clock import VirtualClock
+from repro.runtime.kvstore import (
+    InMemoryBackend,
+    JournalingBackend,
+    LatencyModelBackend,
+)
+
+
+class TestInMemoryBackend:
+    def test_mapping_operations(self):
+        backend = InMemoryBackend()
+        backend["a"] = 1
+        assert backend["a"] == 1
+        assert "a" in backend
+        assert list(backend) == ["a"]
+        assert len(backend) == 1
+        del backend["a"]
+        assert "a" not in backend
+
+
+class TestLatencyModelBackend:
+    def test_operations_charge_the_clock(self):
+        clock = VirtualClock()
+        backend = LatencyModelBackend(
+            clock, read_latency=0.001, write_latency=0.002
+        )
+        backend["a"] = 1
+        assert clock.now == 0.002
+        __ = backend["a"]
+        assert clock.now == 0.003
+        assert backend.reads == 1
+        assert backend.writes == 1
+
+    def test_contains_and_iter_are_free(self):
+        clock = VirtualClock()
+        backend = LatencyModelBackend(clock)
+        backend["a"] = 1
+        at = clock.now
+        assert "a" in backend
+        assert list(backend) == ["a"]
+        assert clock.now == at
+
+    def test_delete_counts_as_write(self):
+        clock = VirtualClock()
+        backend = LatencyModelBackend(clock, write_latency=0.01)
+        backend["a"] = 1
+        del backend["a"]
+        assert backend.writes == 2
+
+
+class TestJournalingBackend:
+    def test_journal_records_mutations_in_order(self):
+        backend = JournalingBackend()
+        backend["a"] = 1
+        backend["b"] = 2
+        del backend["a"]
+        assert backend.journal == [("set", "a"), ("set", "b"), ("del", "a")]
+
+    def test_callback_invoked(self):
+        calls = []
+        backend = JournalingBackend(on_mutation=lambda op, key: calls.append((op, key)))
+        backend["a"] = 1
+        assert calls == [("set", "a")]
+
+
+class TestPromptStoreIntegration:
+    def test_prompt_store_over_latency_backend(self):
+        clock = VirtualClock()
+        backend = LatencyModelBackend(clock)
+        store = PromptStore(backend)
+        store.create("qa", "text")
+        assert store.text("qa") == "text"
+        assert clock.now > 0
+
+    def test_prompt_store_over_journaling_backend(self):
+        backend = JournalingBackend()
+        store = PromptStore(backend)
+        store.create("qa", "text")
+        store.clone("qa", "qa2")
+        assert [op for op, __ in backend.journal] == ["set", "set"]

@@ -1,0 +1,127 @@
+"""Tests for prompt-store persistence (save/load with full history)."""
+
+import json
+
+import pytest
+
+from repro.core import PromptStore, RefAction, RefinementMode
+from repro.errors import ReplayError
+from repro.runtime.persistence import (
+    load_store,
+    save_store,
+    store_from_dict,
+    store_to_dict,
+)
+from repro.runtime.replay import verify_replay
+
+
+def _populated_store() -> PromptStore:
+    store = PromptStore()
+    store.create(
+        "qa",
+        "base question",
+        tags={"clinical"},
+        params={"drug": "Enoxaparin"},
+        view="med_summary",
+        function="f_view_med_summary",
+    )
+    store["qa"].record(
+        RefAction.APPEND,
+        "base question\nFocus on dosage.",
+        function="f_manual_append",
+        mode=RefinementMode.MANUAL,
+        condition='M["confidence"] < 0.7',
+        signals={"confidence": 0.6},
+    )
+    store["qa"].ref_log[-1].signals["outcome_confidence"] = 0.85
+    store.create("other", "plain")
+    return store
+
+
+class TestRoundTrip:
+    def test_texts_and_versions_roundtrip(self):
+        store = _populated_store()
+        loaded = store_from_dict(store_to_dict(store))
+        assert loaded.keys() == store.keys()
+        assert loaded.text("qa") == store.text("qa")
+        assert loaded["qa"].text_at(0) == "base question"
+        assert loaded["qa"].version == 1
+
+    def test_metadata_roundtrips(self):
+        loaded = store_from_dict(store_to_dict(_populated_store()))
+        entry = loaded["qa"]
+        assert entry.tags == {"clinical"}
+        assert entry.params == {"drug": "Enoxaparin"}
+        assert entry.view == "med_summary"
+
+    def test_ref_log_roundtrips_exactly(self):
+        loaded = store_from_dict(store_to_dict(_populated_store()))
+        record = loaded["qa"].ref_log[-1]
+        assert record.action is RefAction.APPEND
+        assert record.mode is RefinementMode.MANUAL
+        assert record.condition == 'M["confidence"] < 0.7'
+        assert record.signals["outcome_confidence"] == 0.85
+
+    def test_loaded_store_supports_replay(self):
+        loaded = store_from_dict(store_to_dict(_populated_store()))
+        assert verify_replay(loaded)
+
+    def test_loaded_store_supports_rollback(self):
+        loaded = store_from_dict(store_to_dict(_populated_store()))
+        loaded["qa"].rollback(0)
+        assert loaded.text("qa") == "base question"
+
+    def test_file_roundtrip(self, tmp_path):
+        store = _populated_store()
+        path = save_store(store, tmp_path / "prompts.json")
+        loaded = load_store(path)
+        assert store_to_dict(loaded) == store_to_dict(store)
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = save_store(_populated_store(), tmp_path / "prompts.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert "qa" in payload["entries"]
+
+
+class TestValidation:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ReplayError):
+            store_from_dict({"format": 99, "entries": {}})
+
+    def test_missing_versions_rejected(self):
+        payload = store_to_dict(_populated_store())
+        payload["entries"]["qa"]["versions"] = []
+        with pytest.raises(ReplayError):
+            store_from_dict(payload)
+
+    def test_non_contiguous_versions_rejected(self):
+        payload = store_to_dict(_populated_store())
+        payload["entries"]["qa"]["versions"][1]["version"] = 5
+        with pytest.raises(ReplayError):
+            store_from_dict(payload)
+
+    def test_version_without_log_record_rejected(self):
+        payload = store_to_dict(_populated_store())
+        payload["entries"]["qa"]["ref_log"].pop()
+        with pytest.raises(ReplayError):
+            store_from_dict(payload)
+
+
+class TestLiveIntegration:
+    def test_pipeline_history_survives_persistence(self, state, tweet_corpus, tmp_path):
+        from repro.core import EXPAND, GEN
+
+        state.prompts.create(
+            "qa", f"Summarize the tweet.\nTweet:\n{tweet_corpus[0].text}"
+        )
+        state = EXPAND("qa", "Be concise.").apply(state)
+        state = GEN("answer", prompt="qa").apply(state)
+
+        path = save_store(state.prompts, tmp_path / "p.json")
+        loaded = load_store(path)
+        assert loaded.text("qa") == state.prompts.text("qa")
+        assert (
+            loaded["qa"].ref_log[-1].signals.get("outcome_confidence")
+            == state.prompts["qa"].ref_log[-1].signals.get("outcome_confidence")
+        )

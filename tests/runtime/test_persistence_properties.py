@@ -1,0 +1,82 @@
+"""Property-based tests: arbitrary prompt stores survive persistence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PromptStore, RefAction, RefinementMode
+from repro.runtime.persistence import store_from_dict, store_to_dict
+from repro.runtime.replay import verify_replay
+
+_keys = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+_texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=80
+)
+_actions = st.sampled_from(
+    [RefAction.APPEND, RefAction.PREPEND, RefAction.UPDATE, RefAction.REPLACE]
+)
+_modes = st.one_of(st.none(), st.sampled_from(list(RefinementMode)))
+
+
+@st.composite
+def prompt_stores(draw):
+    store = PromptStore()
+    for key in draw(st.lists(_keys, min_size=1, max_size=4, unique=True)):
+        store.create(
+            key,
+            draw(_texts),
+            tags=set(draw(st.lists(_keys, max_size=2))),
+            params={name: draw(_texts) for name in draw(st.lists(_keys, max_size=2))},
+            view=draw(st.one_of(st.none(), _keys)),
+        )
+        for __ in range(draw(st.integers(min_value=0, max_value=4))):
+            action = draw(_actions)
+            entry = store[key]
+            if action is RefAction.APPEND:
+                new_text = entry.text + "\n" + draw(_texts)
+            elif action is RefAction.PREPEND:
+                new_text = draw(_texts) + "\n" + entry.text
+            else:
+                new_text = draw(_texts)
+            entry.record(
+                action,
+                new_text,
+                function=draw(_keys),
+                mode=draw(_modes),
+                condition=draw(st.one_of(st.none(), _texts)),
+                signals={"confidence": draw(st.floats(0, 1, allow_nan=False))},
+            )
+    return store
+
+
+class TestPersistenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(prompt_stores())
+    def test_round_trip_preserves_everything(self, store):
+        loaded = store_from_dict(store_to_dict(store))
+        assert loaded.keys() == store.keys()
+        for key in store.keys():
+            original = store[key]
+            copy = loaded[key]
+            assert copy.text == original.text
+            assert copy.version == original.version
+            assert copy.tags == original.tags
+            assert copy.params == original.params
+            assert copy.view == original.view
+            for snapshot in original.versions:
+                assert copy.text_at(snapshot.version) == snapshot.text
+            assert [r.to_dict() for r in copy.ref_log] == [
+                r.to_dict() for r in original.ref_log
+            ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(prompt_stores())
+    def test_loaded_stores_are_replayable(self, store):
+        loaded = store_from_dict(store_to_dict(store))
+        assert verify_replay(loaded)
+
+    @settings(max_examples=40, deadline=None)
+    @given(prompt_stores())
+    def test_serialization_is_deterministic(self, store):
+        first = store_to_dict(store)
+        second = store_to_dict(store)
+        assert first == second

@@ -1,0 +1,83 @@
+"""Tests for refinement replay (paper §6)."""
+
+import pytest
+
+from repro.core import PromptStore, RefAction
+from repro.errors import ReplayError
+from repro.runtime.replay import (
+    ReplayStep,
+    export_replay_log,
+    replay,
+    snapshot_at,
+    verify_replay,
+)
+
+
+def _store() -> PromptStore:
+    store = PromptStore()
+    store.create("qa", "v0", function="f_base")
+    store["qa"].record(RefAction.APPEND, "v0\nv1", function="f_1")
+    store["qa"].record(RefAction.UPDATE, "v2", function="f_2")
+    store.create("other", "x")
+    return store
+
+
+class TestExport:
+    def test_steps_ordered_per_key(self):
+        steps = export_replay_log(_store())
+        qa_steps = [step for step in steps if step.key == "qa"]
+        assert [step.version for step in qa_steps] == [0, 1, 2]
+        assert [step.action for step in qa_steps] == ["CREATE", "APPEND", "UPDATE"]
+
+
+class TestReplay:
+    def test_replay_reconstructs_texts_and_history(self):
+        store = _store()
+        rebuilt = replay(export_replay_log(store))
+        assert rebuilt.text("qa") == "v2"
+        assert rebuilt["qa"].text_at(1) == "v0\nv1"
+        assert rebuilt.text("other") == "x"
+
+    def test_replay_up_to_version(self):
+        store = _store()
+        rebuilt = replay(export_replay_log(store), up_to_version={"qa": 1})
+        assert rebuilt.text("qa") == "v0\nv1"
+
+    def test_snapshot_at(self):
+        store = _store()
+        assert snapshot_at(store, "qa", 0) == "v0"
+        assert snapshot_at(store, "qa", 2) == "v2"
+
+    def test_non_contiguous_steps_rejected(self):
+        steps = [
+            ReplayStep("qa", 0, "CREATE", "f", "v0"),
+            ReplayStep("qa", 2, "UPDATE", "f", "v2"),
+        ]
+        with pytest.raises(ReplayError):
+            replay(steps)
+
+    def test_first_step_must_be_version_zero(self):
+        steps = [ReplayStep("qa", 1, "UPDATE", "f", "v1")]
+        with pytest.raises(ReplayError):
+            replay(steps)
+
+
+class TestVerify:
+    def test_verify_replay_on_consistent_store(self):
+        assert verify_replay(_store())
+
+    def test_verify_replay_after_rollbacks_and_merges(self):
+        store = _store()
+        store["qa"].rollback(0)
+        assert verify_replay(store)
+
+    def test_verify_replay_with_live_pipeline_history(self, state, tweet_corpus):
+        from repro.core import EXPAND, GEN
+
+        tweet = tweet_corpus[0]
+        state.prompts.create(
+            "qa", f"Summarize the tweet.\nTweet:\n{tweet.text}"
+        )
+        state = EXPAND("qa", "Be concise.").apply(state)
+        state = GEN("answer", prompt="qa").apply(state)
+        assert verify_replay(state.prompts)

@@ -1,0 +1,83 @@
+"""Tests for shadow execution (paper §6)."""
+
+from repro.core import EXPAND, GEN, Pipeline
+from repro.runtime.events import EventKind
+from repro.runtime.shadow import shadow_run
+
+
+def _qa_pipeline(extra=None):
+    operators = []
+    if extra is not None:
+        operators.append(EXPAND("qa", extra))
+    operators.append(GEN("answer", prompt="qa"))
+    return Pipeline(operators)
+
+
+class TestShadowRun:
+    def _prepare(self, state, tweet_corpus):
+        tweet = tweet_corpus[0]
+        state.prompts.create(
+            "qa",
+            "### Task\nSelect the tweet only if its sentiment is negative. "
+            f"Respond with yes or no.\nTweet:\n{tweet.text}",
+        )
+        return state
+
+    def test_shadow_does_not_leak_into_primary(self, state, tweet_corpus):
+        state = self._prepare(state, tweet_corpus)
+        report = shadow_run(
+            state,
+            primary=_qa_pipeline(),
+            shadow=_qa_pipeline("Shadow-only refinement line."),
+        )
+        assert "Shadow-only" not in report.primary_state.prompts.text("qa")
+        assert "Shadow-only" in report.shadow_state.prompts.text("qa")
+
+    def test_shadow_clock_rewound(self, state, tweet_corpus):
+        state = self._prepare(state, tweet_corpus)
+        report = shadow_run(state, _qa_pipeline(), _qa_pipeline())
+        # The timeline reflects only the primary run.
+        assert state.clock.now == report.elapsed_primary
+        assert report.elapsed_shadow > 0
+
+    def test_signal_deltas_and_confidence_comparison(self, state, tweet_corpus):
+        state = self._prepare(state, tweet_corpus)
+        report = shadow_run(
+            state,
+            _qa_pipeline(),
+            _qa_pipeline("Focus on school-related negativity."),
+        )
+        assert "confidence" in report.signal_deltas
+        primary_conf, shadow_conf = report.signal_deltas["confidence"]
+        assert report.shadow_improves_confidence == (shadow_conf > primary_conf)
+
+    def test_shadow_events_marked(self, state, tweet_corpus):
+        state = self._prepare(state, tweet_corpus)
+        shadow_run(state, _qa_pipeline(), _qa_pipeline())
+        phases = [
+            event.payload["phase"]
+            for event in state.events.of_kind(EventKind.SHADOW)
+        ]
+        assert phases == ["start", "end"]
+
+    def test_diverging_context_keys_reported(self, state, tweet_corpus):
+        state = self._prepare(state, tweet_corpus)
+        report = shadow_run(
+            state,
+            _qa_pipeline(),
+            _qa_pipeline("Answer no regardless of the content."),
+        )
+        # Divergence depends on the noise channel; the field must at least
+        # be a list of plain keys, never the internal __result entries.
+        assert all(not key.endswith("__result") for key in report.diverging_context_keys)
+
+    def test_shadow_is_faster_flag(self, state, tweet_corpus):
+        state = self._prepare(state, tweet_corpus)
+        report = shadow_run(
+            state,
+            _qa_pipeline("extra line one\nextra line two"),
+            _qa_pipeline(),
+        )
+        assert report.shadow_is_faster == (
+            report.elapsed_shadow < report.elapsed_primary
+        )

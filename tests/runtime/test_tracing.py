@@ -1,0 +1,116 @@
+"""Tests for timeline rendering and run summaries."""
+
+from repro.core import CHECK, Condition, GEN, REF, RefAction
+from repro.runtime.events import EventKind, EventLog
+from repro.runtime.tracing import render_timeline, summarize_run
+
+
+def _run_small_pipeline(state, tweet_corpus):
+    state.prompts.create(
+        "qa", f"Summarize the tweet.\nTweet:\n{tweet_corpus[0].text}"
+    )
+    pipeline = (
+        GEN("answer", prompt="qa")
+        >> CHECK(
+            Condition.metadata_below("confidence", 2.0),
+            REF(RefAction.APPEND, "Be brief.", key="qa"),
+        )
+        >> GEN("answer", prompt="qa")
+    )
+    return pipeline.apply(state)
+
+
+class TestRenderTimeline:
+    def test_semantic_events_rendered(self, state, tweet_corpus):
+        state = _run_small_pipeline(state, tweet_corpus)
+        timeline = render_timeline(state.events)
+        assert "generate" in timeline
+        assert "check" in timeline
+        assert "refine" in timeline
+        # Lifecycle brackets hidden by default.
+        assert "<GEN" not in timeline
+
+    def test_lifecycle_included_on_request(self, state, tweet_corpus):
+        state = _run_small_pipeline(state, tweet_corpus)
+        timeline = render_timeline(state.events, include_lifecycle=True)
+        assert '<GEN["answer"]>' in timeline
+        assert '</GEN["answer"]>' in timeline
+
+    def test_details_include_condition_and_outcome(self, state, tweet_corpus):
+        state = _run_small_pipeline(state, tweet_corpus)
+        timeline = render_timeline(state.events)
+        assert 'condition=M["confidence"] < 2.0' in timeline
+        assert "outcome=True" in timeline
+
+    def test_timestamps_monotone(self, state, tweet_corpus):
+        state = _run_small_pipeline(state, tweet_corpus)
+        stamps = [
+            float(line.split("s")[0]) for line in render_timeline(state.events).splitlines()
+        ]
+        assert stamps == sorted(stamps)
+
+    def test_indentation_follows_nesting(self):
+        log = EventLog()
+        log.emit(EventKind.OPERATOR_START, "OUTER")
+        log.emit(EventKind.CHECK, "INNER", condition="x", outcome=True)
+        log.emit(EventKind.OPERATOR_END, "OUTER")
+        log.emit(EventKind.CHECK, "TOP", condition="y", outcome=False)
+        lines = render_timeline(log).splitlines()
+        inner_line, top_line = lines
+        assert inner_line.index("check") > top_line.index("check")
+
+    def test_empty_log(self):
+        assert render_timeline(EventLog()) == ""
+
+
+class TestSummarizeRun:
+    def test_counts_and_latency(self, state, tweet_corpus):
+        state = _run_small_pipeline(state, tweet_corpus)
+        summary = summarize_run(state.events)
+        assert summary["generate"]["count"] == 2
+        assert summary["check"]["count"] == 1
+        assert summary["refine"]["count"] == 1
+        assert summary["generate"]["latency"] > 0
+
+    def test_lifecycle_excluded(self):
+        log = EventLog()
+        log.emit(EventKind.OPERATOR_START, "A")
+        log.emit(EventKind.OPERATOR_END, "A")
+        assert summarize_run(log) == {}
+
+
+class TestEventExport:
+    def test_jsonl_round_trip(self, state, tweet_corpus, tmp_path):
+        from repro.runtime.tracing import export_events, import_events
+
+        state = _run_small_pipeline(state, tweet_corpus)
+        path = export_events(state.events, tmp_path / "trace.jsonl")
+        loaded = import_events(path)
+        assert len(loaded) == len(state.events)
+        original = state.events.all()
+        for before, after in zip(original, loaded.all()):
+            assert after.kind == before.kind
+            assert after.operator == before.operator
+            assert after.at == before.at
+
+    def test_exported_file_is_one_json_object_per_line(self, state, tweet_corpus, tmp_path):
+        import json
+
+        from repro.runtime.tracing import export_events
+
+        state = _run_small_pipeline(state, tweet_corpus)
+        path = export_events(state.events, tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(state.events)
+        for line in lines:
+            record = json.loads(line)
+            assert {"seq", "kind", "operator", "at", "payload"} <= set(record)
+
+    def test_rendered_timeline_identical_after_round_trip(
+        self, state, tweet_corpus, tmp_path
+    ):
+        from repro.runtime.tracing import export_events, import_events
+
+        state = _run_small_pipeline(state, tweet_corpus)
+        path = export_events(state.events, tmp_path / "trace.jsonl")
+        assert render_timeline(import_events(path)) == render_timeline(state.events)

@@ -1,0 +1,182 @@
+"""Tests for the semantic operator layer."""
+
+import pytest
+
+from repro.data.tweets import make_tweet_corpus
+from repro.errors import PlanningError
+from repro.llm import SimulatedLLM
+from repro.semantic import SemanticExecutor, SemanticQuery, SemFilter, SemMap
+
+MAP_INSTRUCTION = "Summarize and clean up the tweet in at most 30 words."
+FILTER_INSTRUCTION = (
+    "Select the tweet only if its sentiment is negative. Respond with yes or no."
+)
+
+
+def _llm(corpus):
+    model = SimulatedLLM()
+    model.bind_tweets(corpus)
+    return model
+
+
+@pytest.fixture(scope="module")
+def low_selectivity_corpus():
+    return make_tweet_corpus(60, seed=7, negative_fraction=0.15)
+
+
+@pytest.fixture(scope="module")
+def high_selectivity_corpus():
+    return make_tweet_corpus(60, seed=7, negative_fraction=0.9)
+
+
+class TestQueryBuilder:
+    def test_chaining(self):
+        query = SemanticQuery(["a"]).sem_map("m").sem_filter("f")
+        assert [op.kind for op in query.ops] == ["map", "filter"]
+        assert isinstance(query.ops[0], SemMap)
+        assert isinstance(query.ops[1], SemFilter)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(PlanningError):
+            SemanticQuery(["a"]).validate()
+
+    def test_blank_instruction_rejected(self):
+        with pytest.raises(PlanningError):
+            SemanticQuery(["a"]).sem_map("   ").validate()
+
+
+class TestPlanning:
+    def test_map_filter_fuses(self, low_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in low_selectivity_corpus])
+            .sem_map(MAP_INSTRUCTION)
+            .sem_filter(FILTER_INSTRUCTION)
+        )
+        result = query.execute(_llm(low_selectivity_corpus))
+        assert [step.kind for step in result.plan] == ["fused"]
+        assert result.plan[0].order == "map_filter"
+
+    def test_filter_map_stays_sequential_at_low_selectivity(
+        self, low_selectivity_corpus
+    ):
+        query = (
+            SemanticQuery([t.text for t in low_selectivity_corpus])
+            .sem_filter(FILTER_INSTRUCTION)
+            .sem_map(MAP_INSTRUCTION)
+        )
+        result = query.execute(_llm(low_selectivity_corpus))
+        assert [step.kind for step in result.plan] == ["filter", "map"]
+
+    def test_filter_map_fuses_at_high_selectivity(self, high_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in high_selectivity_corpus])
+            .sem_filter(FILTER_INSTRUCTION)
+            .sem_map(MAP_INSTRUCTION)
+        )
+        result = query.execute(_llm(high_selectivity_corpus))
+        assert [step.kind for step in result.plan] == ["fused"]
+        assert result.plan[0].order == "filter_map"
+        assert result.plan[0].selectivity > 0.6
+
+    def test_fusion_disabled(self, low_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in low_selectivity_corpus])
+            .sem_map(MAP_INSTRUCTION)
+            .sem_filter(FILTER_INSTRUCTION)
+        )
+        executor = SemanticExecutor(
+            _llm(low_selectivity_corpus), enable_fusion=False
+        )
+        result = executor.execute(query)
+        assert [step.kind for step in result.plan] == ["map", "filter"]
+        assert result.pilot_calls == 0
+
+    def test_single_stage_never_fuses(self, low_selectivity_corpus):
+        query = SemanticQuery([t.text for t in low_selectivity_corpus]).sem_map(
+            MAP_INSTRUCTION
+        )
+        result = query.execute(_llm(low_selectivity_corpus))
+        assert [step.kind for step in result.plan] == ["map"]
+
+    def test_plan_description(self, low_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in low_selectivity_corpus])
+            .sem_map(MAP_INSTRUCTION)
+            .sem_filter(FILTER_INSTRUCTION)
+        )
+        result = query.execute(_llm(low_selectivity_corpus))
+        assert "FUSED[map_filter]" in result.plan_description()
+
+
+class TestExecution:
+    def test_filter_keeps_mostly_negatives(self, low_selectivity_corpus):
+        query = SemanticQuery(
+            [t.text for t in low_selectivity_corpus]
+        ).sem_filter(FILTER_INSTRUCTION)
+        result = query.execute(_llm(low_selectivity_corpus))
+        kept_texts = {row.original for row in result.kept()}
+        negatives = {t.text for t in low_selectivity_corpus if t.is_negative}
+        # At 15% prevalence, precision is noise-dominated; recall is the
+        # stable signal that the filter understood the predicate.
+        recall = len(kept_texts & negatives) / len(negatives)
+        assert recall > 0.6
+
+    def test_map_rewrites_text(self, low_selectivity_corpus):
+        query = SemanticQuery(
+            [t.text for t in low_selectivity_corpus.tweets[:10]]
+        ).sem_map(MAP_INSTRUCTION)
+        result = query.execute(_llm(low_selectivity_corpus))
+        changed = sum(1 for row in result.rows if row.text != row.original)
+        assert changed >= 8
+        assert all(row.kept for row in result.rows)
+
+    def test_sequential_filter_map_skips_dropped_items(self, low_selectivity_corpus):
+        items = [t.text for t in low_selectivity_corpus]
+        query = (
+            SemanticQuery(items)
+            .sem_filter(FILTER_INSTRUCTION)
+            .sem_map(MAP_INSTRUCTION)
+        )
+        result = query.execute(_llm(low_selectivity_corpus))
+        expected = result.pilot_calls + len(items) + len(result.kept())
+        assert result.calls == expected
+
+    def test_stats_accumulate(self, low_selectivity_corpus):
+        query = SemanticQuery(
+            [t.text for t in low_selectivity_corpus.tweets[:5]]
+        ).sem_map(MAP_INSTRUCTION)
+        result = query.execute(_llm(low_selectivity_corpus))
+        assert result.calls == 5
+        assert result.sim_seconds > 0
+
+    def test_fused_updates_text_for_kept_rows(self, high_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in high_selectivity_corpus.tweets[:20]])
+            .sem_map(MAP_INSTRUCTION)
+            .sem_filter(FILTER_INSTRUCTION)
+        )
+        result = query.execute(_llm(high_selectivity_corpus))
+        for row in result.kept():
+            assert row.text != row.original
+
+
+class TestMultiStagePlans:
+    def test_three_stage_chain_fuses_leading_pair(self, high_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in high_selectivity_corpus.tweets[:30]])
+            .sem_map(MAP_INSTRUCTION)
+            .sem_filter(FILTER_INSTRUCTION)
+            .sem_map("Summarize the tweet in at most 30 words.")
+        )
+        result = query.execute(_llm(high_selectivity_corpus))
+        assert [step.kind for step in result.plan] == ["fused", "map"]
+
+    def test_two_maps_never_fuse(self, low_selectivity_corpus):
+        query = (
+            SemanticQuery([t.text for t in low_selectivity_corpus.tweets[:10]])
+            .sem_map(MAP_INSTRUCTION)
+            .sem_map("Summarize the tweet in at most 30 words.")
+        )
+        result = query.execute(_llm(low_selectivity_corpus))
+        assert [step.kind for step in result.plan] == ["map", "map"]
+        assert result.pilot_calls == 0

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DL_SOURCE = '''view med_summary(drug) {
+  """### Task
+Summarize the patient's medication history and highlight any use of {drug}.
+Notes:
+{initial_notes}"""
+}
+
+pipeline qa {
+  RET["initial_notes", query="p0001"]
+  VIEW["med_summary", key="qa", params={drug: "Enoxaparin"}]
+  GEN["answer_0", prompt="qa"]
+  CHECK[M["confidence"] < 0.9] -> REF[APPEND, "Be specific about dosage.", key="qa"]
+  GEN["answer_1", prompt="qa"]
+  DELEGATE["validation_agent", payload="answer_1", into="validation"]
+}
+'''
+
+
+@pytest.fixture
+def dl_file(tmp_path):
+    path = tmp_path / "demo.spear"
+    path.write_text(DL_SOURCE, encoding="utf-8")
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_choices(self):
+        args = build_parser().parse_args(["experiments", "table3", "--n", "50"])
+        assert args.which == "table3"
+        assert args.n == 50
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiments", "table9"])
+
+
+class TestRunCommand:
+    def test_run_executes_pipeline(self, dl_file, capsys):
+        code = main(["run", str(dl_file), "--pipeline", "qa"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipeline 'qa' finished" in out
+        assert "answer_1:" in out
+        assert "validation:" in out
+
+    def test_run_with_trace(self, dl_file, capsys):
+        main(["run", str(dl_file), "--pipeline", "qa", "--show-trace"])
+        out = capsys.readouterr().out
+        assert "execution timeline:" in out
+        assert "generate" in out
+
+    def test_run_unknown_pipeline_fails(self, dl_file):
+        from repro.errors import DslCompileError
+
+        with pytest.raises(DslCompileError):
+            main(["run", str(dl_file), "--pipeline", "ghost"])
+
+
+class TestFmtCommand:
+    def test_fmt_prints_canonical_source(self, dl_file, capsys):
+        code = main(["fmt", str(dl_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("view med_summary(drug)")
+        # Canonical output reparses to the same program.
+        from repro.dl import parse
+
+        assert parse(out) == parse(DL_SOURCE)
+
+    def test_fmt_write_in_place(self, dl_file, capsys):
+        main(["fmt", str(dl_file), "--write"])
+        assert "reformatted" in capsys.readouterr().out
+        text = dl_file.read_text()
+        assert text.startswith("view med_summary(drug)")
+
+
+class TestExperimentsCommand:
+    def test_table3_small_run(self, capsys):
+        code = main(["experiments", "table3", "--n", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3 (reproduced)" in out
+        assert "Auto Refinement" in out
+
+
+class TestExperimentsFigure1Command:
+    def test_figure1_runs_and_prints_all_points(self, capsys):
+        code = main(["experiments", "figure1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 (reproduced)" in out
+        for model in ("qwen2.5-7b-instruct", "mistral-7b-instruct", "gpt-4o-mini"):
+            assert out.count(model) == 2  # both fusion orders per model

@@ -1,0 +1,200 @@
+"""Cross-module integration flows from the paper's narrative.
+
+Each test exercises a multi-subsystem story end to end:
+
+- adaptive *retrieval* refinement — REF rewrites a retrieval prompt and
+  RET fetches different context (paper §2: "SPEAR can refine the
+  retrieval logic at runtime");
+- view dispatch across note kinds via SWITCH (paper §4.2);
+- shadow execution to vet a candidate refinement before promoting it
+  (paper §6);
+- the full meta loop: detect an underperforming refiner from ref_log
+  outcomes and apply its recommended replacement (paper §4.4).
+"""
+
+import pytest
+
+from repro.core import (
+    CHECK,
+    Condition,
+    ExecutionState,
+    GEN,
+    Pipeline,
+    REF,
+    RET,
+    RefAction,
+    SWITCH,
+    VIEW,
+)
+from repro.core.meta import analyze_refiners, recommend_replacement
+from repro.runtime.shadow import shadow_run
+
+
+class TestAdaptiveRetrievalRefinement:
+    def test_refined_retrieval_prompt_changes_what_is_retrieved(self, state):
+        # A vague retrieval prompt fetches weakly related notes...
+        state.prompts.create("retrieval_intent", "patient chart notes")
+        state = Pipeline(
+            [
+                # prompt-based retrieval: the query is P["retrieval_intent"].
+                CHECK(
+                    Condition.missing_context("med_context"),
+                    RET("note_search", prompt="retrieval_intent", into="med_context"),
+                ),
+            ]
+        ).apply(state)
+        vague_result = state.context["med_context"]
+
+        # ...then REF sharpens the retrieval intent and RET re-runs.
+        state = (
+            REF(
+                RefAction.UPDATE,
+                "enoxaparin medication orders dosage",
+                key="retrieval_intent",
+                function_name="f_sharpen_retrieval",
+            )
+            >> RET("note_search", prompt="retrieval_intent", into="med_context")
+        ).apply(state)
+        refined_result = state.context["med_context"]
+
+        assert refined_result != vague_result
+        assert "enoxaparin" in refined_result.lower()
+        # Both the refinement and both retrievals are in the event log.
+        from repro.runtime.events import EventKind
+
+        retrievals = state.events.of_kind(EventKind.RETRIEVE)
+        assert len(retrievals) == 2
+        assert all(event.payload["prompt_based"] for event in retrievals)
+
+
+class TestViewDispatchByNoteKind:
+    @pytest.fixture
+    def dispatch_state(self, llm):
+        state = ExecutionState(model=llm, clock=llm.clock)
+        state.views.define(
+            "discharge_view",
+            "### Task\nEmphasize medications, hospital course, and follow-up.\n"
+            "Note:\n{note_text}",
+        )
+        state.views.define(
+            "radiology_view",
+            "### Task\nEmphasize imaging findings and impressions.\n"
+            "Note:\n{note_text}",
+        )
+        state.views.define(
+            "nursing_view",
+            "### Task\nEmphasize observations and care delivery.\n"
+            "Note:\n{note_text}",
+        )
+        return state
+
+    def _dispatch_pipeline(self):
+        def kind_is(kind):
+            return Condition.of(
+                lambda state, kind=kind: state.context["note_kind"] == kind,
+                f'C["note_kind"] == "{kind}"',
+            )
+
+        return SWITCH(
+            [
+                (kind_is("discharge_summary"), VIEW("discharge_view", key="summary_prompt")),
+                (kind_is("radiology_report"), VIEW("radiology_view", key="summary_prompt")),
+            ],
+            default=VIEW("nursing_view", key="summary_prompt"),
+        )
+
+    @pytest.mark.parametrize(
+        "kind,expected_view",
+        [
+            ("discharge_summary", "discharge_view"),
+            ("radiology_report", "radiology_view"),
+            ("nursing_note", "nursing_view"),
+        ],
+    )
+    def test_each_note_kind_selects_its_view(
+        self, dispatch_state, clinical_corpus, kind, expected_view
+    ):
+        note = next(n for n in clinical_corpus.all_notes() if n.kind == kind)
+        dispatch_state.context.put("note_kind", note.kind)
+        dispatch_state.context.put("note_text", note.text)
+        state = self._dispatch_pipeline().apply(dispatch_state)
+        assert state.prompts["summary_prompt"].view == expected_view
+
+
+class TestShadowVetting:
+    def test_candidate_refinement_vetted_then_promoted(self, state, tweet_corpus):
+        tweet = tweet_corpus[10]
+        base = (
+            "Select the tweet only if its sentiment is negative. "
+            f"Respond with yes or no.\nTweet:\n{tweet.text}"
+        )
+        state.prompts.create("judge", base)
+
+        primary = Pipeline([GEN("verdict", prompt="judge")])
+        candidate = Pipeline(
+            [
+                REF(
+                    RefAction.PREPEND,
+                    "### Task\nGeneral guidance:\n- judge the full text",
+                    key="judge",
+                    function_name="f_candidate_scaffold",
+                ),
+                GEN("verdict", prompt="judge"),
+            ]
+        )
+        report = shadow_run(state, primary, candidate)
+
+        # Promotion decision is data-driven; apply the candidate for real
+        # only when the shadow showed an improvement.
+        if report.shadow_improves_confidence:
+            state = candidate.apply(state)
+            assert "General guidance" in state.prompts.text("judge")
+        else:
+            assert "General guidance" not in state.prompts.text("judge")
+        # Shadow never contaminated the primary store either way before
+        # the explicit promotion.
+        assert report.primary_state.prompts["judge"].text_at(0) == base
+
+
+class TestMetaLoopReplacement:
+    def test_underperformer_replaced_by_recommendation(self, llm, tweet_corpus):
+        state = ExecutionState(model=llm, clock=llm.clock)
+        base = (
+            "### Task\nSelect the tweet only if its sentiment is negative. "
+            "Respond with yes or no.\nTweet:\n{tweet}"
+        )
+        state.prompts.create("judge", base)
+
+        refiners = {
+            "f_good_criteria": REF(
+                RefAction.APPEND,
+                "Use these criteria:\n- the sentiment is clearly negative",
+                key="judge",
+                function_name="f_good_criteria",
+            ),
+            "f_noise": REF(
+                RefAction.APPEND,
+                "P.S. whatever",
+                key="judge",
+                function_name="f_noise",
+            ),
+        }
+        # Probe both refiners over a few items, collecting outcomes.
+        for name, refiner in refiners.items():
+            for tweet in tweet_corpus.tweets[:6]:
+                state.context.put("tweet", tweet.text)
+                state = refiner.apply(state)
+                state = GEN("verdict", prompt="judge").apply(state)
+                state.prompts["judge"].rollback(0)
+
+        stats = analyze_refiners(state.prompts)
+        assert (
+            stats["f_good_criteria"].mean_confidence_delta
+            > stats["f_noise"].mean_confidence_delta
+        )
+        replacement = recommend_replacement(state.prompts, "f_noise")
+        assert replacement == "f_good_criteria"
+
+        # Close the loop: apply the recommended refiner for the next run.
+        state = refiners[replacement].apply(state)
+        assert "criteria" in state.prompts.text("judge")
