@@ -10,6 +10,8 @@ Regenerate at full scale with: ``python -m repro.experiments.refinement_strategi
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.data.tweets import make_tweet_corpus
@@ -19,6 +21,8 @@ from repro.experiments.refinement_strategies import (
     run_strategy,
     run_table3,
 )
+from repro.obs import ObsCollector, build_report
+from repro.obs.exporters import write_json_report
 
 N_ITEMS = 200
 _corpus = make_tweet_corpus(N_ITEMS, seed=7)
@@ -37,9 +41,15 @@ def test_strategy_pipeline(once, strategy):
     assert 0.5 < result.f1 < 0.95
 
 
-def test_table3_full(once):
-    """The whole table in one run; prints measured vs paper rows."""
-    table = once(run_table3, n=N_ITEMS, seed=7)
+def test_table3_full(once, tmp_path):
+    """The whole table in one run; prints measured vs paper rows.
+
+    The run is observed by an :class:`ObsCollector`; alongside the table a
+    JSON :class:`RunReport` is persisted and checked to be numerically
+    identical to the in-process registry.
+    """
+    collector = ObsCollector()
+    table = once(run_table3, n=N_ITEMS, seed=7, collector=collector)
     # Headline shape claims (paper §7, Table 3).
     assert table.speedup("manual") > 1.15
     assert table.speedup("assisted") > 1.15
@@ -50,3 +60,24 @@ def test_table3_full(once):
     assert auto >= table.results["manual"].f1
     for row in table.rows():
         print(row)
+
+    report = build_report(collector)
+    path = write_json_report(report, tmp_path / "table3_run_report.json")
+    loaded = json.loads(path.read_text())
+    registry = collector.registry
+    # The persisted report and the in-process registry agree exactly.
+    assert loaded["totals"]["model_gen_calls"] == int(
+        registry.sum_counter("spear_model_gen_calls_total")
+    )
+    for strategy in STRATEGIES:
+        label = f"qwen2.5-7b-instruct/{strategy}"
+        section = loaded["model"][label]
+        # Map + Filter per item, plus any strategy-specific rewrite calls.
+        assert section["calls"] >= 2 * N_ITEMS
+        assert section["calls"] == int(
+            registry.get("spear_model_gen_calls_total", model=label).value
+        )
+        assert section["prompt_tokens"] == int(
+            registry.get("spear_model_prompt_tokens_total", model=label).value
+        )
+    print(f"run report written to {path}")

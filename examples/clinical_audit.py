@@ -108,11 +108,20 @@ def main() -> None:
 
     # Introspection: the run summary and the tail of the timeline.
     summary = summarize_run(base_state.events)
+    operators = summary.pop("operators", {})
     for kind, stats in sorted(summary.items()):
         line = f"  {kind}: {int(stats['count'])} events"
         if stats["latency"]:
             line += f", {stats['latency']:.1f}s generation latency"
         print(line)
+    slowest = sorted(
+        operators.items(), key=lambda item: -item[1]["wall_time"]
+    )[:3]
+    for label, stats in slowest:
+        print(
+            f"  {label}: {int(stats['count'])} applications, "
+            f"{stats['wall_time']:.1f}s wall"
+        )
     print("\nlast item's timeline:")
     tail = render_timeline(base_state.events).splitlines()[-6:]
     print("\n".join(tail))

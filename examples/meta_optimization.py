@@ -10,7 +10,6 @@ Run: ``python examples/meta_optimization.py``
 """
 
 from repro import ExecutionState, GEN, REF, RefAction, SimulatedLLM
-from repro.core.derived import EXPAND
 from repro.core.meta import (
     analyze_refiners,
     evolution_summary,

@@ -4,8 +4,14 @@ Builds the smallest meaningful SPEAR pipeline: create a prompt in the
 store P, generate, react to the confidence signal in M with a runtime
 refinement, regenerate, and inspect the prompt's provenance.
 
-Run: ``python examples/quickstart.py``
+Run: ``python examples/quickstart.py [TRACE_PATH]``
+
+With a ``TRACE_PATH`` argument the run's event log is exported as JSONL,
+ready for offline analysis with ``spear stats`` / ``spear trace``.
 """
+
+import sys
+from pathlib import Path
 
 from repro import (
     CHECK,
@@ -20,7 +26,7 @@ from repro.core.history import trace
 from repro.data import make_tweet_corpus
 
 
-def main() -> None:
+def main(trace_path: str | Path | None = None) -> None:
     # A seeded corpus grounds the simulated backend: it actually performs
     # the tasks prompts ask for, with accuracy that depends on the prompt.
     corpus = make_tweet_corpus(50, seed=7)
@@ -66,6 +72,13 @@ def main() -> None:
     for line in trace(state.prompts["judge"]):
         print(f"  {line}")
 
+    if trace_path is not None:
+        from repro.runtime.tracing import export_events
+
+        path = export_events(state.events, trace_path)
+        print(f"\nevent trace exported to {path}"
+              f" — try: spear stats {path}")
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

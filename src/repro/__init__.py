@@ -59,6 +59,13 @@ from repro.llm import (
     Tokenizer,
     get_profile,
 )
+from repro.obs import (
+    MetricsRegistry,
+    ObsCollector,
+    RunReport,
+    build_run_report,
+    to_prometheus,
+)
 from repro.runtime import Executor, RunResult, shadow_run, verify_replay
 
 __version__ = "0.1.0"
@@ -103,5 +110,10 @@ __all__ = [
     "RunResult",
     "shadow_run",
     "verify_replay",
+    "MetricsRegistry",
+    "ObsCollector",
+    "RunReport",
+    "build_run_report",
+    "to_prometheus",
     "__version__",
 ]

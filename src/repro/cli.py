@@ -5,10 +5,14 @@ Subcommands::
     python -m repro experiments {table3|table4|figure1|all} [--n N] [--seed S]
     python -m repro run PIPELINE_FILE --pipeline NAME [--patient ID] [--show-trace]
     python -m repro fmt PIPELINE_FILE
+    python -m repro stats RUN_JSONL [--format {table,json,prometheus}] [--top N]
+    python -m repro trace RUN_JSONL [--timeline]
 
 ``run`` executes a SPEAR-DL file against a fully wired state: the
 simulated model grounded on the seeded synthetic corpora, the clinical
-retrieval sources, and the validation agent.
+retrieval sources, and the validation agent.  ``stats`` and ``trace``
+analyse an exported JSONL event trace offline (see
+:func:`repro.runtime.tracing.export_events` and docs/observability.md).
 """
 
 from __future__ import annotations
@@ -64,6 +68,31 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument("file", type=Path)
     fmt.add_argument(
         "--write", action="store_true", help="rewrite the file in place"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="aggregate metrics from an exported JSONL event trace"
+    )
+    stats.add_argument("file", type=Path, help="JSONL trace (export_events output)")
+    stats.add_argument(
+        "--format",
+        dest="format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help="output format (default: human-readable tables)",
+    )
+    stats.add_argument(
+        "--top", type=int, default=5, help="how many slowest spans to report"
+    )
+
+    trace = commands.add_parser(
+        "trace", help="render the span tree of an exported JSONL event trace"
+    )
+    trace.add_argument("file", type=Path, help="JSONL trace (export_events output)")
+    trace.add_argument(
+        "--timeline",
+        action="store_true",
+        help="print the flat event timeline instead of the span tree",
     )
     return parser
 
@@ -130,6 +159,99 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.eval.tables import format_table
+    from repro.obs import ObsCollector, build_report, to_prometheus
+    from repro.runtime.tracing import import_events
+
+    collector = ObsCollector()
+    collector.replay(import_events(args.file))
+
+    if args.format == "prometheus":
+        print(to_prometheus(collector.registry), end="")
+        return 0
+
+    report = build_report(collector, top_k=args.top)
+    if args.format == "json":
+        print(report.to_json())
+        return 0
+
+    operator_rows = [
+        [
+            op,
+            stats["invocations"],
+            stats["errors"],
+            round(stats["wall_seconds"]["total"], 2),
+            round(stats["wall_seconds"]["p50"], 2),
+            round(stats["wall_seconds"]["p95"], 2),
+            round(stats["wall_seconds"]["p99"], 2),
+        ]
+        for op, stats in report.operators.items()
+    ]
+    print(
+        format_table(
+            ["Operator", "Calls", "Errors", "Wall (s)", "p50", "p95", "p99"],
+            operator_rows,
+            title="Per-operator rollup",
+        )
+    )
+    print()
+    generation_rows = [
+        [
+            prompt,
+            stats["calls"],
+            round(stats["latency_seconds"]["total"], 2),
+            round(stats["latency_seconds"]["p95"], 2),
+            stats["prompt_tokens"],
+            stats["cached_tokens"],
+            stats["output_tokens"],
+            f"{stats['cache_hit_ratio'] * 100:.1f}",
+            f"{stats['cost_usd']:.6f}",
+        ]
+        for prompt, stats in report.generation.items()
+    ]
+    print(
+        format_table(
+            [
+                "Prompt", "Calls", "Latency (s)", "p95",
+                "Prompt tok", "Cached tok", "Output tok",
+                "Cache hit (%)", "Cost ($)",
+            ],
+            generation_rows,
+            title="Per-prompt generation rollup",
+        )
+    )
+    print()
+    totals = report.totals
+    print(
+        f"totals: {totals['events']} events, {totals['gen_calls']} gen calls, "
+        f"{totals['prompt_tokens']} prompt / {totals['cached_tokens']} cached / "
+        f"{totals['output_tokens']} output tokens, "
+        f"cache hit ratio {totals['cache_hit_ratio'] * 100:.1f}%, "
+        f"est. cost ${totals['cost_usd']:.6f}"
+    )
+    if report.slowest_spans:
+        print("\nslowest spans:")
+        for span in report.slowest_spans:
+            print(
+                f"  {span['wall']:8.2f}s  {span['operator']}"
+                f"  (start {span['start']:.2f}s, gen={span['gen_calls']})"
+            )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import build_span_tree, render_span_tree
+    from repro.runtime.tracing import import_events, render_timeline
+
+    log = import_events(args.file)
+    if args.timeline:
+        print(render_timeline(log, include_lifecycle=True))
+    else:
+        print(render_span_tree(build_span_tree(log)))
+    return 0
+
+
 def _cmd_fmt(args: argparse.Namespace) -> int:
     source = args.file.read_text(encoding="utf-8")
     formatted = format_program(parse(source))
@@ -148,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "run": _cmd_run,
         "fmt": _cmd_fmt,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -146,6 +146,7 @@ class GEN(Operator):
             latency=result.latency.total,
             prompt_tokens=result.prompt_tokens,
             cached_tokens=result.cached_tokens,
+            output_tokens=result.output_tokens,
         )
         return state
 

@@ -122,3 +122,7 @@ class DslCompileError(DslError):
 
 class ReplayError(SpearError):
     """A refinement replay log was inconsistent with the store."""
+
+
+class ObservabilityError(SpearError):
+    """A metric, span, or exporter in repro.obs was misused."""

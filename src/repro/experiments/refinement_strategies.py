@@ -25,6 +25,7 @@ Run directly: ``python -m repro.experiments.refinement_strategies``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.derived import VIEW
 from repro.core.refinement import (
@@ -44,6 +45,9 @@ from repro.experiments.common import (
     make_llm,
 )
 from repro.llm.model import SimulatedLLM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsCollector
 
 __all__ = [
     "StrategyResult",
@@ -204,10 +208,18 @@ def run_strategy(
     corpus: TweetCorpus,
     *,
     profile: str = "qwen2.5-7b-instruct",
+    collector: "ObsCollector | None" = None,
 ) -> StrategyResult:
-    """Execute the full Map + refined-Filter pipeline for one strategy."""
+    """Execute the full Map + refined-Filter pipeline for one strategy.
+
+    Pass an :class:`~repro.obs.ObsCollector` to accrue model-layer
+    metrics (calls, tokens, latency, cache gauges) for the run; each
+    strategy's model is attached under the label ``profile/strategy``.
+    """
     llm = make_llm(profile)
     llm.bind_tweets(corpus)
+    if collector is not None:
+        collector.attach_model(llm, name=f"{profile}/{strategy}")
     views = build_views()
     map_instruction = views.expand("map_stage")
     filter_instructions = _build_filter_instructions(strategy, llm)
@@ -256,6 +268,7 @@ def run_table3(
     profile: str = "qwen2.5-7b-instruct",
     negative_fraction: float = 0.5,
     school_fraction: float = 0.5,
+    collector: "ObsCollector | None" = None,
 ) -> Table3Result:
     """Run all five strategies on one seeded corpus."""
     corpus = make_tweet_corpus(
@@ -265,7 +278,9 @@ def run_table3(
         school_fraction=school_fraction,
     )
     results = {
-        strategy: run_strategy(strategy, corpus, profile=profile)
+        strategy: run_strategy(
+            strategy, corpus, profile=profile, collector=collector
+        )
         for strategy in STRATEGIES
     }
     return Table3Result(results=results, corpus_size=n)

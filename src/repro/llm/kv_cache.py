@@ -122,6 +122,21 @@ class BlockPrefixCache:
         self.insert(tokens)
         return cached
 
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time statistics for gauges and reports."""
+        return {
+            "blocks": len(self._blocks),
+            "capacity_blocks": self.capacity_blocks,
+            "block_size": self.block_size,
+            "lookups": self.stats.lookups,
+            "prompt_tokens": self.stats.prompt_tokens,
+            "cached_tokens": self.stats.cached_tokens,
+            "block_hits": self.stats.block_hits,
+            "block_misses": self.stats.block_misses,
+            "evictions": self.stats.evictions,
+            "hit_rate": self.stats.hit_rate,
+        }
+
     def __len__(self) -> int:
         return len(self._blocks)
 

@@ -15,7 +15,7 @@ Everything is deterministic given (profile, bound corpora, prompt).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.errors import ModelError, TokenBudgetExceededError
 from repro.llm.features import PromptFeatures, extract_features
@@ -80,6 +80,11 @@ class SimulatedLLM:
         self.total_prompt_tokens = 0
         self.total_cached_tokens = 0
         self.total_output_tokens = 0
+        #: observability hooks: called with every GenerationResult.  A
+        #: listener that raises must not break generation; its failure is
+        #: recorded in ``listener_errors`` instead.
+        self._listeners: list[Callable[[GenerationResult], None]] = []
+        self.listener_errors: list[str] = []
 
     # -- corpus binding (grounds the task engine) ----------------------------
 
@@ -90,6 +95,22 @@ class SimulatedLLM:
     def bind_clinical(self, corpus: Any) -> None:
         """Ground clinical QA against a :class:`ClinicalCorpus`."""
         self.engine.bind_clinical(corpus)
+
+    # -- observability hooks ----------------------------------------------
+
+    def add_listener(self, listener: Callable[[GenerationResult], None]) -> None:
+        """Call ``listener`` with every future :class:`GenerationResult`."""
+        self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[GenerationResult], None]
+    ) -> bool:
+        """Detach a listener; returns False when it was not registered."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            return False
+        return True
 
     # -- generation -----------------------------------------------------------
 
@@ -141,7 +162,7 @@ class SimulatedLLM:
         self.total_cached_tokens += cached
         self.total_output_tokens += output_tokens
 
-        return GenerationResult(
+        result = GenerationResult(
             text=text,
             task=output.task,
             prompt_tokens=len(tokens),
@@ -151,6 +172,14 @@ class SimulatedLLM:
             confidence=output.confidence,
             extras=dict(output.extras),
         )
+        for listener in list(self._listeners):
+            try:
+                listener(result)
+            except Exception as error:  # noqa: BLE001 - observers must not break serving
+                self.listener_errors.append(
+                    f"{type(error).__name__}: {error}"
+                )
+        return result
 
     # -- accounting -------------------------------------------------------------
 
@@ -160,6 +189,20 @@ class SimulatedLLM:
         if self.total_prompt_tokens == 0:
             return 0.0
         return self.total_cached_tokens / self.total_prompt_tokens
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time accounting for gauges and reports."""
+        return {
+            "profile": self.profile.name,
+            "calls": self.calls,
+            "total_latency": self.total_latency,
+            "total_prompt_tokens": self.total_prompt_tokens,
+            "total_cached_tokens": self.total_cached_tokens,
+            "total_output_tokens": self.total_output_tokens,
+            "overall_cache_hit_rate": self.overall_cache_hit_rate,
+            "kv_cache": self.kv_cache.snapshot(),
+            "prompt_cache": self.prompt_cache.snapshot(),
+        }
 
     def reset_stats(self, *, clear_cache: bool = False) -> None:
         """Zero the aggregate counters (and optionally drop the caches)."""

@@ -91,6 +91,16 @@ class StructuredPromptCache:
             return 0.0
         return self.hits / total
 
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time statistics for gauges and reports."""
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

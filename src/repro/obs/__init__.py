@@ -1,0 +1,56 @@
+"""repro.obs — unified metrics and span tracing for SPEAR pipelines.
+
+The observability layer turns the structured event log (paper §6) into
+production-grade introspection:
+
+- :class:`MetricsRegistry` — counters / gauges / fixed-bucket histograms;
+- :class:`ObsCollector` — an :meth:`EventLog.subscribe` subscriber that
+  accrues metrics and spans live, with optional model-layer attachment;
+- :mod:`~repro.obs.spans` — span-tree reconstruction from
+  OPERATOR_START/END pairs;
+- :class:`RunReport` + exporters — JSON run reports and Prometheus text
+  exposition, surfaced on the CLI as ``spear stats`` / ``spear trace``.
+"""
+
+from repro.obs.collector import ObsCollector, operator_kind
+from repro.obs.exporters import to_prometheus, write_json_report
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    TOKEN_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import Pricing, RunReport, build_report, build_run_report
+from repro.obs.spans import (
+    Span,
+    SpanBuilder,
+    build_span_tree,
+    iter_spans,
+    render_span_tree,
+    top_slowest,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "TOKEN_BUCKETS",
+    "ObsCollector",
+    "operator_kind",
+    "Span",
+    "SpanBuilder",
+    "build_span_tree",
+    "iter_spans",
+    "top_slowest",
+    "render_span_tree",
+    "Pricing",
+    "RunReport",
+    "build_report",
+    "build_run_report",
+    "to_prometheus",
+    "write_json_report",
+]

@@ -1,0 +1,251 @@
+"""The live collector: event stream in, metrics + spans out.
+
+:class:`ObsCollector` is the glue of the observability layer.  It hangs
+off :meth:`EventLog.subscribe` — so metrics accrue during execution with
+zero changes to operator code — and optionally off the model layer's
+generation listener and cache snapshots for the numbers that never reach
+the event log (cache occupancy, eviction counts, model totals).
+
+The same collector replays exported JSONL logs offline (``spear stats`` /
+``spear trace``), so live serving and post-hoc analysis agree by
+construction.
+
+Metric catalog (see docs/observability.md for semantics):
+
+=============================================  =========  ==============
+name                                           type       labels
+=============================================  =========  ==============
+spear_events_total                             counter    kind
+spear_operator_invocations_total               counter    operator
+spear_operator_errors_total                    counter    operator
+spear_operator_wall_seconds                    histogram  operator
+spear_gen_calls_total                          counter    prompt
+spear_gen_latency_seconds                      histogram  prompt
+spear_prompt_tokens_total                      counter    prompt
+spear_cached_tokens_total                      counter    prompt
+spear_output_tokens_total                      counter    prompt
+spear_plans_total                              counter    —
+spear_plan_refiners_chosen_total               counter    —
+spear_plan_refiners_skipped_total              counter    —
+spear_shadow_phases_total                      counter    phase
+spear_model_gen_calls_total                    counter    model
+spear_model_gen_latency_seconds                histogram  model
+spear_model_prompt_tokens_total                counter    model
+spear_model_cached_tokens_total                counter    model
+spear_model_output_tokens_total                counter    model
+spear_model_calls                              gauge      model
+spear_model_latency_seconds_total              gauge      model
+spear_kv_cache_blocks                          gauge      model
+spear_kv_cache_hit_rate                        gauge      model
+spear_kv_cache_evictions_total                 gauge      model
+spear_prompt_cache_entries                     gauge      model
+spear_prompt_cache_hit_rate                    gauge      model
+=============================================  =========  ==============
+
+Operator labels are *kinds* (``GEN``, ``CHECK``, …) rather than full
+labels like ``GEN["answer"]`` — full labels live on spans; metric
+cardinality stays bounded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.obs.spans import Span, SpanBuilder
+from repro.runtime.events import Event, EventKind, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.llm.model import GenerationResult
+
+__all__ = ["ObsCollector", "operator_kind"]
+
+
+def operator_kind(label: str) -> str:
+    """Collapse an operator label to its kind: ``GEN["answer"]`` → ``GEN``."""
+    bracket = label.find("[")
+    return label[:bracket] if bracket > 0 else label
+
+
+class ObsCollector:
+    """Subscribes to event logs / models and accrues metrics and spans."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = SpanBuilder()
+        self._open_starts: dict[str, list[float]] = {}
+        self._subscribed: set[int] = set()
+
+    # -- wiring -------------------------------------------------------------
+
+    def subscribe_to(self, log: EventLog) -> None:
+        """Attach to ``log`` so every future event updates the metrics."""
+        if id(log) in self._subscribed:
+            return
+        self._subscribed.add(id(log))
+        log.subscribe(self.on_event)
+
+    def unsubscribe_from(self, log: EventLog) -> None:
+        """Detach from ``log``."""
+        if log.unsubscribe(self.on_event):
+            self._subscribed.discard(id(log))
+
+    def replay(self, log: EventLog) -> None:
+        """Feed an already-recorded log through the collector (offline path)."""
+        for event in log:
+            self.on_event(event)
+
+    def attach_model(self, model: Any, name: str | None = None) -> None:
+        """Instrument a :class:`SimulatedLLM`-shaped model.
+
+        Registers pull gauges over the model's aggregate accounting and
+        its kv/prompt cache snapshots; if the model supports generation
+        listeners, per-call latency/token histograms accrue there too
+        (useful for direct ``model.generate`` callers that bypass GEN).
+        """
+        label = name or getattr(
+            getattr(model, "profile", None), "name", type(model).__name__
+        )
+        gauges = self.registry
+        gauges.gauge(
+            "spear_model_calls", "Generation calls served by the model.",
+            model=label,
+        ).set_function(lambda: float(model.calls))
+        gauges.gauge(
+            "spear_model_latency_seconds_total",
+            "Total simulated generation latency.", model=label,
+        ).set_function(lambda: float(model.total_latency))
+        kv = getattr(model, "kv_cache", None)
+        if kv is not None:
+            gauges.gauge(
+                "spear_kv_cache_blocks", "Blocks resident in the prefix cache.",
+                model=label,
+            ).set_function(lambda: float(len(kv)))
+            gauges.gauge(
+                "spear_kv_cache_hit_rate",
+                "Token-level prefix-cache hit rate.", model=label,
+            ).set_function(lambda: kv.stats.hit_rate)
+            gauges.gauge(
+                "spear_kv_cache_evictions_total",
+                "Blocks evicted from the prefix cache.", model=label,
+            ).set_function(lambda: float(kv.stats.evictions))
+        prompt_cache = getattr(model, "prompt_cache", None)
+        if prompt_cache is not None:
+            gauges.gauge(
+                "spear_prompt_cache_entries",
+                "Entries in the structured prompt cache.", model=label,
+            ).set_function(lambda: float(len(prompt_cache)))
+            gauges.gauge(
+                "spear_prompt_cache_hit_rate",
+                "Structured prompt cache hit rate.", model=label,
+            ).set_function(lambda: prompt_cache.hit_rate)
+        if hasattr(model, "add_listener"):
+            model.add_listener(
+                lambda result: self.on_generation(result, model=label)
+            )
+
+    # -- event handling -----------------------------------------------------
+
+    def on_event(self, event: Event) -> None:
+        """The :meth:`EventLog.subscribe` callback."""
+        self.spans.add(event)
+        self.registry.counter(
+            "spear_events_total", "Events observed, by kind.",
+            kind=event.kind.value,
+        ).inc()
+        kind = event.kind
+        if kind is EventKind.OPERATOR_START:
+            op = operator_kind(event.operator)
+            self.registry.counter(
+                "spear_operator_invocations_total",
+                "Operator applications started.", operator=op,
+            ).inc()
+            self._open_starts.setdefault(event.operator, []).append(event.at)
+        elif kind is EventKind.OPERATOR_END:
+            starts = self._open_starts.get(event.operator)
+            if starts:
+                wall = max(event.at - starts.pop(), 0.0)
+                self.registry.histogram(
+                    "spear_operator_wall_seconds",
+                    "Wall time per operator application (virtual clock).",
+                    buckets=LATENCY_BUCKETS,
+                    operator=operator_kind(event.operator),
+                ).observe(wall)
+        elif kind is EventKind.GENERATE:
+            prompt = str(event.payload.get("prompt_key", "?"))
+            self.registry.counter(
+                "spear_gen_calls_total", "GEN operator calls.", prompt=prompt
+            ).inc()
+            self.registry.histogram(
+                "spear_gen_latency_seconds",
+                "Simulated latency per generation call.",
+                buckets=LATENCY_BUCKETS,
+                prompt=prompt,
+            ).observe(float(event.payload.get("latency", 0.0) or 0.0))
+            for signal, metric in (
+                ("prompt_tokens", "spear_prompt_tokens_total"),
+                ("cached_tokens", "spear_cached_tokens_total"),
+                ("output_tokens", "spear_output_tokens_total"),
+            ):
+                value = event.payload.get(signal)
+                if value is not None:
+                    self.registry.counter(
+                        metric, f"Sum of {signal} across GEN calls.",
+                        prompt=prompt,
+                    ).inc(float(value))
+        elif kind is EventKind.ERROR:
+            self.registry.counter(
+                "spear_operator_errors_total", "Operator errors.",
+                operator=operator_kind(event.operator),
+            ).inc()
+        elif kind is EventKind.PLAN:
+            self.registry.counter(
+                "spear_plans_total", "Refinement plans produced."
+            ).inc()
+            self.registry.counter(
+                "spear_plan_refiners_chosen_total",
+                "Refiners chosen across all plans.",
+            ).inc(len(event.payload.get("chosen", ()) or ()))
+            self.registry.counter(
+                "spear_plan_refiners_skipped_total",
+                "Refiners skipped across all plans.",
+            ).inc(len(event.payload.get("skipped", ()) or ()))
+        elif kind is EventKind.SHADOW:
+            self.registry.counter(
+                "spear_shadow_phases_total", "Shadow execution phase markers.",
+                phase=str(event.payload.get("phase", "?")),
+            ).inc()
+
+    def on_generation(self, result: "GenerationResult", model: str = "?") -> None:
+        """Model-layer listener: every ``generate`` call, however reached.
+
+        These land in a separate ``spear_model_*`` metric family from the
+        event-derived ``spear_gen_*`` metrics — a GEN operator call shows
+        up in both layers (that is the point: the two layers cross-check
+        each other), and callers that bypass the operator layer entirely
+        (benchmarks, batch harnesses) still show up here.
+        """
+        self.registry.counter(
+            "spear_model_gen_calls_total",
+            "Generation calls observed at the model layer.", model=model,
+        ).inc()
+        self.registry.histogram(
+            "spear_model_gen_latency_seconds",
+            "Simulated latency per model-layer generation call.",
+            buckets=LATENCY_BUCKETS,
+            model=model,
+        ).observe(result.latency.total)
+        for value, metric in (
+            (result.prompt_tokens, "spear_model_prompt_tokens_total"),
+            (result.cached_tokens, "spear_model_cached_tokens_total"),
+            (result.output_tokens, "spear_model_output_tokens_total"),
+        ):
+            self.registry.counter(
+                metric, "Model-layer token totals.", model=model
+            ).inc(float(value))
+
+    # -- read side ----------------------------------------------------------
+
+    def span_roots(self) -> list[Span]:
+        """The span forest seen so far (open spans left untouched)."""
+        return self.spans.roots

@@ -1,0 +1,82 @@
+"""Exporters: Prometheus text exposition and the JSON run report.
+
+``to_prometheus`` renders a :class:`MetricsRegistry` in the Prometheus
+text exposition format (version 0.0.4) — ``# HELP`` / ``# TYPE`` headers,
+escaped labels, and the ``_bucket``/``_sum``/``_count`` triplet for
+histograms — so a scrape endpoint or ``spear stats --format prometheus``
+output drops straight into any Prometheus/Grafana stack.
+
+``write_json_report`` persists a :class:`RunReport` next to benchmark or
+experiment output.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import RunReport
+
+__all__ = ["to_prometheus", "write_json_report"]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_number(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family of ``registry`` as exposition text."""
+    lines: list[str] = []
+    for name, kind, help_text, samples in registry.collect():
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, instrument in samples:
+            if isinstance(instrument, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_format_number(instrument.value)}"
+                )
+            elif isinstance(instrument, Histogram):
+                for bound, cumulative in instrument.cumulative_counts():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_number(bound)
+                    lines.append(
+                        f"{name}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_number(instrument.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {instrument.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_json_report(report: RunReport, path: str | Path) -> Path:
+    """Write ``report`` as pretty-printed JSON; returns the path."""
+    target = Path(path)
+    target.write_text(report.to_json() + "\n", encoding="utf-8")
+    return target

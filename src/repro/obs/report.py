@@ -1,0 +1,258 @@
+"""The run report: one JSON-serializable summary of a whole execution.
+
+A :class:`RunReport` is built *from* a collector's registry and span
+forest — never recomputed from scratch — so the report a benchmark writes
+to disk is numerically identical to the in-process metrics by
+construction.  It rolls up:
+
+- per-operator-kind invocation counts and wall-time quantiles;
+- per-prompt generation counts, latency quantiles, token totals, cache
+  hit ratios, and estimated dollar cost;
+- run totals (events, calls, tokens, simulated seconds, cost);
+- the top-k slowest spans;
+- cache statistics from the model layer, when a model was attached.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.collector import ObsCollector
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.spans import top_slowest
+from repro.runtime.events import EventLog
+
+__all__ = ["Pricing", "RunReport", "build_report", "build_run_report"]
+
+
+@dataclass(frozen=True)
+class Pricing:
+    """USD per 1M tokens, by token class.
+
+    Defaults are an order-of-magnitude stand-in for small hosted models
+    (the simulation has no real billing); pass your own for real costing.
+    Cached prompt tokens are billed at a discount, as on every major API.
+    """
+
+    prompt_usd_per_1m: float = 0.60
+    cached_usd_per_1m: float = 0.06
+    output_usd_per_1m: float = 2.40
+
+    def cost(self, prompt: float, cached: float, output: float) -> float:
+        """Dollar cost of one token triple (cached ⊆ prompt)."""
+        uncached = max(prompt - cached, 0.0)
+        return (
+            uncached * self.prompt_usd_per_1m
+            + cached * self.cached_usd_per_1m
+            + output * self.output_usd_per_1m
+        ) / 1_000_000
+
+
+def _hist_summary(hist: Histogram | None) -> dict[str, float]:
+    if hist is None or hist.count == 0:
+        return {"count": 0, "total": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return {
+        "count": hist.count,
+        "total": round(hist.sum, 6),
+        "mean": round(hist.mean, 6),
+        "p50": round(hist.quantile(0.50), 6),
+        "p95": round(hist.quantile(0.95), 6),
+        "p99": round(hist.quantile(0.99), 6),
+    }
+
+
+@dataclass
+class RunReport:
+    """Aggregated view of one run; ``to_dict``/``to_json`` for export."""
+
+    operators: dict[str, dict[str, Any]] = field(default_factory=dict)
+    generation: dict[str, dict[str, Any]] = field(default_factory=dict)
+    model: dict[str, dict[str, Any]] = field(default_factory=dict)
+    totals: dict[str, Any] = field(default_factory=dict)
+    cache: dict[str, Any] = field(default_factory=dict)
+    slowest_spans: list[dict[str, Any]] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, stable key order, JSON-ready."""
+        return {
+            "operators": self.operators,
+            "generation": self.generation,
+            "model": self.model,
+            "totals": self.totals,
+            "cache": self.cache,
+            "slowest_spans": self.slowest_spans,
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+
+def _family_children(registry, name: str) -> list[tuple[dict[str, str], Any]]:
+    for family_name, _, _, samples in registry.collect():
+        if family_name == name:
+            return samples
+    return []
+
+
+def _counter_by_label(registry, name: str, label: str) -> dict[str, float]:
+    return {
+        labels.get(label, "?"): child.value
+        for labels, child in _family_children(registry, name)
+        if isinstance(child, Counter)
+    }
+
+
+def build_report(
+    collector: ObsCollector,
+    *,
+    top_k: int = 5,
+    pricing: Pricing | None = None,
+) -> RunReport:
+    """Roll a collector's registry + spans up into a :class:`RunReport`."""
+    pricing = pricing if pricing is not None else Pricing()
+    registry = collector.registry
+    report = RunReport()
+
+    # -- per-operator-kind rollups -----------------------------------------
+    invocations = _counter_by_label(
+        registry, "spear_operator_invocations_total", "operator"
+    )
+    errors = _counter_by_label(registry, "spear_operator_errors_total", "operator")
+    wall_hists = {
+        labels.get("operator", "?"): child
+        for labels, child in _family_children(registry, "spear_operator_wall_seconds")
+        if isinstance(child, Histogram)
+    }
+    for op in sorted(set(invocations) | set(wall_hists)):
+        report.operators[op] = {
+            "invocations": int(invocations.get(op, 0)),
+            "errors": int(errors.get(op, 0)),
+            "wall_seconds": _hist_summary(wall_hists.get(op)),
+        }
+
+    # -- per-prompt generation rollups -------------------------------------
+    calls = _counter_by_label(registry, "spear_gen_calls_total", "prompt")
+    prompt_tokens = _counter_by_label(registry, "spear_prompt_tokens_total", "prompt")
+    cached_tokens = _counter_by_label(registry, "spear_cached_tokens_total", "prompt")
+    output_tokens = _counter_by_label(registry, "spear_output_tokens_total", "prompt")
+    latency_hists = {
+        labels.get("prompt", "?"): child
+        for labels, child in _family_children(registry, "spear_gen_latency_seconds")
+        if isinstance(child, Histogram)
+    }
+    for prompt in sorted(set(calls) | set(latency_hists)):
+        p_tok = prompt_tokens.get(prompt, 0.0)
+        c_tok = cached_tokens.get(prompt, 0.0)
+        o_tok = output_tokens.get(prompt, 0.0)
+        report.generation[prompt] = {
+            "calls": int(calls.get(prompt, 0)),
+            "latency_seconds": _hist_summary(latency_hists.get(prompt)),
+            "prompt_tokens": int(p_tok),
+            "cached_tokens": int(c_tok),
+            "output_tokens": int(o_tok),
+            "cache_hit_ratio": round(c_tok / p_tok, 4) if p_tok else 0.0,
+            "cost_usd": round(pricing.cost(p_tok, c_tok, o_tok), 6),
+        }
+
+    # -- model layer (listener counters + pull gauges) ---------------------
+    model_calls = _counter_by_label(registry, "spear_model_gen_calls_total", "model")
+    model_prompt = _counter_by_label(registry, "spear_model_prompt_tokens_total", "model")
+    model_cached = _counter_by_label(registry, "spear_model_cached_tokens_total", "model")
+    model_output = _counter_by_label(registry, "spear_model_output_tokens_total", "model")
+    model_latency = {
+        labels.get("model", "?"): child
+        for labels, child in _family_children(
+            registry, "spear_model_gen_latency_seconds"
+        )
+        if isinstance(child, Histogram)
+    }
+    for name in sorted(set(model_calls) | set(model_latency)):
+        p_tok = model_prompt.get(name, 0.0)
+        c_tok = model_cached.get(name, 0.0)
+        o_tok = model_output.get(name, 0.0)
+        report.model[name] = {
+            "calls": int(model_calls.get(name, 0)),
+            "latency_seconds": _hist_summary(model_latency.get(name)),
+            "prompt_tokens": int(p_tok),
+            "cached_tokens": int(c_tok),
+            "output_tokens": int(o_tok),
+            "cache_hit_ratio": round(c_tok / p_tok, 4) if p_tok else 0.0,
+            "cost_usd": round(pricing.cost(p_tok, c_tok, o_tok), 6),
+        }
+
+    # -- cache gauges -------------------------------------------------------
+    for gauge_name in (
+        "spear_kv_cache_blocks",
+        "spear_kv_cache_hit_rate",
+        "spear_kv_cache_evictions_total",
+        "spear_prompt_cache_entries",
+        "spear_prompt_cache_hit_rate",
+    ):
+        for labels, child in _family_children(registry, gauge_name):
+            if isinstance(child, Gauge):
+                bucket = report.cache.setdefault(labels.get("model", "?"), {})
+                bucket[gauge_name.removeprefix("spear_")] = round(child.value, 6)
+
+    # -- totals -------------------------------------------------------------
+    total_prompt = registry.sum_counter("spear_prompt_tokens_total")
+    total_cached = registry.sum_counter("spear_cached_tokens_total")
+    total_output = registry.sum_counter("spear_output_tokens_total")
+    report.totals = {
+        "events": int(registry.sum_counter("spear_events_total")),
+        "operator_invocations": int(
+            registry.sum_counter("spear_operator_invocations_total")
+        ),
+        "gen_calls": int(registry.sum_counter("spear_gen_calls_total")),
+        "prompt_tokens": int(total_prompt),
+        "cached_tokens": int(total_cached),
+        "output_tokens": int(total_output),
+        "cache_hit_ratio": (
+            round(total_cached / total_prompt, 4) if total_prompt else 0.0
+        ),
+        "cost_usd": round(
+            pricing.cost(total_prompt, total_cached, total_output), 6
+        ),
+        "model_gen_calls": int(
+            registry.sum_counter("spear_model_gen_calls_total")
+        ),
+        "errors": int(registry.sum_counter("spear_operator_errors_total")),
+    }
+
+    # -- slowest spans ------------------------------------------------------
+    roots = collector.spans.finish()
+    for span in top_slowest(roots, top_k):
+        report.slowest_spans.append(
+            {
+                "operator": span.operator,
+                "start": round(span.start, 4),
+                "wall": round(span.wall, 4),
+                "gen_calls": span.gen_calls,
+                "prompt_tokens": span.prompt_tokens,
+                "cached_tokens": span.cached_tokens,
+                "output_tokens": span.output_tokens,
+                "complete": span.complete,
+            }
+        )
+    return report
+
+
+def build_run_report(
+    log: EventLog,
+    *,
+    top_k: int = 5,
+    pricing: Pricing | None = None,
+    model: Any = None,
+) -> RunReport:
+    """Offline path: replay a (possibly imported) event log into a report.
+
+    Pass ``model`` to also fold in model-layer cache statistics, as the
+    live :class:`ObsCollector` would.
+    """
+    collector = ObsCollector()
+    if model is not None:
+        collector.attach_model(model)
+    collector.replay(log)
+    return build_report(collector, top_k=top_k, pricing=pricing)

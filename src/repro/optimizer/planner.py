@@ -145,5 +145,6 @@ class RefinementPlanner:
             chosen=[step.refiner.name for step in plan.steps],
             skipped=list(plan.skipped),
             budget_tokens=budget_tokens,
+            total_cost_tokens=plan.total_cost_tokens,
         )
         return plan

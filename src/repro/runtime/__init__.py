@@ -12,7 +12,13 @@ from repro.runtime.kvstore import (
 from repro.runtime.batch import BatchResult, BatchRunner, ItemResult
 from repro.runtime.persistence import load_store, save_store, store_from_dict, store_to_dict
 from repro.runtime.replay import ReplayStep, export_replay_log, replay, verify_replay
-from repro.runtime.tracing import render_timeline, summarize_run
+from repro.runtime.tracing import (
+    export_events,
+    import_events,
+    operator_wall_times,
+    render_timeline,
+    summarize_run,
+)
 from repro.runtime.shadow import ShadowReport, compare_states, shadow_run
 
 __all__ = [
@@ -35,6 +41,9 @@ __all__ = [
     "store_to_dict",
     "render_timeline",
     "summarize_run",
+    "operator_wall_times",
+    "export_events",
+    "import_events",
     "ReplayStep",
     "export_replay_log",
     "replay",

@@ -73,7 +73,13 @@ class EventLog:
         at: float = 0.0,
         **payload: Any,
     ) -> Event:
-        """Append an event and notify subscribers; returns the event."""
+        """Append an event and notify subscribers; returns the event.
+
+        A subscriber that raises must not break the run (or starve later
+        subscribers): its exception is recorded as an ``ERROR`` event
+        appended directly to the log — without re-notifying subscribers,
+        so a persistently failing subscriber cannot recurse.
+        """
         event = Event(
             seq=next(self._counter),
             kind=kind,
@@ -82,13 +88,39 @@ class EventLog:
             payload=payload,
         )
         self._events.append(event)
-        for subscriber in self._subscribers:
-            subscriber(event)
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(event)
+            except Exception as error:  # noqa: BLE001 - subscribers are user code
+                name = getattr(subscriber, "__qualname__", None) or getattr(
+                    subscriber, "__name__", type(subscriber).__name__
+                )
+                self._events.append(
+                    Event(
+                        seq=next(self._counter),
+                        kind=EventKind.ERROR,
+                        operator=f"subscriber[{name}]",
+                        at=at,
+                        payload={
+                            "error": type(error).__name__,
+                            "message": str(error),
+                            "during_seq": event.seq,
+                        },
+                    )
+                )
         return event
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
         """Register ``callback`` to receive every future event."""
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> bool:
+        """Remove a subscriber; returns False when it was not registered."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            return False
+        return True
 
     # -- queries -----------------------------------------------------------
 

@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.state import ExecutionState
     from repro.core.store import PromptStore
     from repro.core.views import ViewRegistry
+    from repro.obs.collector import ObsCollector
 
 __all__ = ["RunResult", "Executor"]
 
@@ -59,6 +60,7 @@ class Executor:
         model: Any = None,
         views: "ViewRegistry | None" = None,
         clock: VirtualClock | None = None,
+        collector: "ObsCollector | None" = None,
     ) -> None:
         self.model = model
         from repro.core.views import ViewRegistry
@@ -72,6 +74,12 @@ class Executor:
             self.clock = model.clock
         else:
             self.clock = VirtualClock()
+        #: optional observability collector; every state this executor
+        #: builds (or runs) has its event log subscribed, and the model is
+        #: attached once, so metrics accrue live without operator changes.
+        self.collector = collector
+        if collector is not None and model is not None:
+            collector.attach_model(model)
         self._sources: dict[str, Callable[..., Any]] = {}
         self._agents: dict[str, Any] = {}
 
@@ -104,6 +112,8 @@ class Executor:
             state.register_source(name, fn)
         for name, agent in self._agents.items():
             state.register_agent(name, agent)
+        if self.collector is not None:
+            self.collector.subscribe_to(state.events)
         return state
 
     def run(
@@ -116,6 +126,9 @@ class Executor:
         """Execute ``pipeline``; returns the final state plus run artefacts."""
         if state is None:
             state = self.new_state(context=context)
+        elif self.collector is not None:
+            # Externally built states still get observed (idempotent).
+            self.collector.subscribe_to(state.events)
         started_at = self.clock.now
         event_start = len(state.events)
         final = pipeline.apply(state)

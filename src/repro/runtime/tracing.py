@@ -11,12 +11,23 @@ pipeline wants:
 
 from __future__ import annotations
 
+import dataclasses
+import importlib
 import json
+from enum import Enum
 from pathlib import Path
+from typing import Any
 
+from repro.errors import SpearError
 from repro.runtime.events import Event, EventKind, EventLog
 
-__all__ = ["render_timeline", "summarize_run", "export_events", "import_events"]
+__all__ = [
+    "render_timeline",
+    "summarize_run",
+    "operator_wall_times",
+    "export_events",
+    "import_events",
+]
 
 #: events that open / close a nesting level.
 _OPENERS = {EventKind.OPERATOR_START}
@@ -81,16 +92,93 @@ def render_timeline(log: EventLog, *, include_lifecycle: bool = False) -> str:
     return "\n".join(lines)
 
 
+#: marker key used to tag enum / dataclass payload values in JSONL exports.
+_TAG = "__spear__"
+
+
+def _type_spec(value: object) -> str:
+    cls = type(value)
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+def _resolve_type(spec: str) -> type:
+    module_name, _, qualname = spec.partition(":")
+    try:
+        obj: Any = importlib.import_module(module_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as error:
+        raise SpearError(
+            f"cannot rebuild payload value of type {spec!r}: {error}"
+        ) from error
+    return obj
+
+
+def _encode_value(value: Any) -> Any:
+    """Encode enums and dataclasses losslessly; reject everything else.
+
+    This walks the payload tree *before* ``json.dumps`` because str/int
+    backed enums (``RefAction``, ``EventKind``…) are JSON-natives to the
+    encoder and would silently degrade to bare strings otherwise.
+    Anything outside JSON-natives / enums / dataclasses fails loudly
+    rather than degrading to ``repr`` strings that :func:`import_events`
+    cannot undo.
+    """
+    if isinstance(value, Enum):
+        return {
+            _TAG: "enum",
+            "type": _type_spec(value),
+            "value": _encode_value(value.value),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            _TAG: "dataclass",
+            "type": _type_spec(value),
+            "fields": {
+                field.name: _encode_value(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"event payload dict key {key!r} is not a string; "
+                    "JSONL export requires string keys"
+                )
+        return {key: _encode_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(
+        f"event payload value {value!r} ({type(value).__name__}) is not "
+        "JSONL-exportable; use JSON types, enums, or dataclasses"
+    )
+
+
+def _object_hook(record: dict[str, Any]) -> Any:
+    tag = record.get(_TAG)
+    if tag == "enum":
+        return _resolve_type(record["type"])(record["value"])
+    if tag == "dataclass":
+        return _resolve_type(record["type"])(**record["fields"])
+    return record
+
+
 def export_events(log: EventLog, path: str | Path) -> Path:
     """Write the log as JSON Lines (one event per line); returns the path.
 
     JSONL is the interchange format for offline analysis — ship a run's
-    trace to a notebook, diff two runs, or feed a dashboard.
+    trace to a notebook, diff two runs, or feed ``spear stats`` /
+    ``spear trace``.  Enum and dataclass payload values are encoded with
+    a type tag so :func:`import_events` rebuilds them losslessly; other
+    non-JSON values raise :class:`TypeError` instead of degrading silently.
     """
     target = Path(path)
     with target.open("w", encoding="utf-8") as handle:
         for event in log:
-            handle.write(json.dumps(event.to_dict(), default=repr))
+            handle.write(json.dumps(_encode_value(event.to_dict())))
             handle.write("\n")
     return target
 
@@ -99,14 +187,15 @@ def import_events(path: str | Path) -> EventLog:
     """Rebuild an :class:`EventLog` from a JSONL export.
 
     Sequence numbers are regenerated (append-only invariant); kinds,
-    operators, timestamps and payloads are preserved.
+    operators, timestamps and payloads — including tagged enum and
+    dataclass values — are preserved.
     """
     log = EventLog()
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             if not line.strip():
                 continue
-            record = json.loads(line)
+            record = json.loads(line, object_hook=_object_hook)
             log.emit(
                 EventKind(record["kind"]),
                 record["operator"],
@@ -116,8 +205,47 @@ def import_events(path: str | Path) -> EventLog:
     return log
 
 
+def operator_wall_times(log: EventLog) -> dict[str, dict[str, float]]:
+    """Per-operator wall time derived from START/END lifecycle pairs.
+
+    Pairs are matched per operator label (LIFO, so re-entrant operators
+    accumulate correctly).  Unbalanced logs are handled gracefully:
+    an END without a START is ignored, and a START never closed counts
+    toward ``unclosed`` without contributing wall time.
+    """
+    open_starts: dict[str, list[float]] = {}
+    stats: dict[str, dict[str, float]] = {}
+    for event in log:
+        if event.kind in _OPENERS:
+            open_starts.setdefault(event.operator, []).append(event.at)
+        elif event.kind in _CLOSERS:
+            starts = open_starts.get(event.operator)
+            if not starts:
+                continue  # unbalanced: END with no matching START
+            started = starts.pop()
+            bucket = stats.setdefault(
+                event.operator, {"count": 0, "wall_time": 0.0, "unclosed": 0}
+            )
+            bucket["count"] += 1
+            bucket["wall_time"] += max(event.at - started, 0.0)
+    for operator, starts in open_starts.items():
+        if starts:  # unbalanced: STARTs never closed
+            bucket = stats.setdefault(
+                operator, {"count": 0, "wall_time": 0.0, "unclosed": 0}
+            )
+            bucket["unclosed"] += len(starts)
+    return stats
+
+
 def summarize_run(log: EventLog) -> dict[str, dict[str, float]]:
-    """Aggregate per-kind counts and (where present) total latency."""
+    """Aggregate per-kind counts / latency plus per-operator wall time.
+
+    Semantic events land in per-kind buckets (``count`` and, where the
+    payload carries one, summed ``latency``).  Lifecycle events are not
+    counted as a kind, but their START/END pairs are distilled into the
+    ``"operators"`` entry: per-operator-label ``count``, ``wall_time``,
+    and ``unclosed`` (starts with no matching end in a truncated log).
+    """
     summary: dict[str, dict[str, float]] = {}
     for event in log:
         if event.kind in _OPENERS or event.kind in _CLOSERS:
@@ -129,4 +257,7 @@ def summarize_run(log: EventLog) -> dict[str, dict[str, float]]:
         latency = event.payload.get("latency")
         if isinstance(latency, (int, float)):
             bucket["latency"] += float(latency)
+    walls = operator_wall_times(log)
+    if walls:
+        summary["operators"] = walls  # type: ignore[assignment]
     return summary

@@ -1,0 +1,82 @@
+"""Tests for the Prometheus text exposition and JSON report exporters."""
+
+import json
+
+from repro.obs import MetricsRegistry, to_prometheus
+from repro.obs.report import RunReport
+from repro.obs.exporters import write_json_report
+
+#: full exposition snapshot for a small, deterministically built registry.
+PROMETHEUS_SNAPSHOT = """\
+# HELP spear_events_total Events observed by kind.
+# TYPE spear_events_total counter
+spear_events_total{kind="check"} 1
+spear_events_total{kind="generate"} 2
+# HELP spear_gen_latency_seconds Per-call generation latency.
+# TYPE spear_gen_latency_seconds histogram
+spear_gen_latency_seconds_bucket{le="1"} 1
+spear_gen_latency_seconds_bucket{le="5"} 2
+spear_gen_latency_seconds_bucket{le="+Inf"} 2
+spear_gen_latency_seconds_sum 3.5
+spear_gen_latency_seconds_count 2
+# HELP spear_kv_cache_hit_rate Block cache hit rate.
+# TYPE spear_kv_cache_hit_rate gauge
+spear_kv_cache_hit_rate{model="qwen"} 0.75
+"""
+
+
+def _small_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter(
+        "spear_events_total", "Events observed by kind.", kind="generate"
+    ).inc(2)
+    registry.counter("spear_events_total", kind="check").inc()
+    hist = registry.histogram(
+        "spear_gen_latency_seconds",
+        "Per-call generation latency.",
+        buckets=(1.0, 5.0),
+    )
+    hist.observe(0.5)
+    hist.observe(3.0)
+    registry.gauge(
+        "spear_kv_cache_hit_rate", "Block cache hit rate.", model="qwen"
+    ).set(0.75)
+    return registry
+
+
+class TestPrometheusExposition:
+    def test_snapshot(self):
+        assert to_prometheus(_small_registry()) == PROMETHEUS_SNAPSHOT
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", operator='GEN["a\\b"]\n').inc()
+        text = to_prometheus(registry)
+        assert r'operator="GEN[\"a\\b\"]\n"' in text
+        # Exposition lines must never contain raw newlines inside labels.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0 or line.startswith("#")
+
+    def test_non_integer_values_keep_precision(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(0.123456789)
+        assert "g 0.123456789" in to_prometheus(registry)
+
+
+class TestJsonReport:
+    def test_write_json_report_round_trips(self, tmp_path):
+        report = RunReport(
+            operators={"GEN": {"invocations": 2}},
+            generation={},
+            model={},
+            totals={"events": 4},
+            cache={},
+            slowest_spans=[],
+        )
+        path = write_json_report(report, tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["operators"]["GEN"]["invocations"] == 2
+        assert loaded["totals"]["events"] == 4

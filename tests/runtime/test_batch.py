@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ExecutionState, GEN, Pipeline, REF, RefAction
+from repro.core import GEN, Pipeline, REF, RefAction
 from repro.core.algebra import FunctionOperator
 from repro.runtime.batch import BatchRunner
 

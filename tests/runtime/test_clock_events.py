@@ -89,3 +89,49 @@ class TestEventLog:
         assert len(log) == 0
         log.emit(EventKind.CHECK, "B")
         assert len(received) == 2
+
+    def test_unsubscribe_stops_delivery(self):
+        log = EventLog()
+        received = []
+        log.subscribe(received.append)
+        log.emit(EventKind.CHECK, "A")
+        assert log.unsubscribe(received.append) is True
+        log.emit(EventKind.CHECK, "B")
+        assert len(received) == 1
+        # Unsubscribing an unknown callback is a no-op, not an error.
+        assert log.unsubscribe(received.append) is False
+
+    def test_failing_subscriber_does_not_break_emit(self):
+        log = EventLog()
+        received = []
+
+        def bad_subscriber(event):
+            raise RuntimeError("boom")
+
+        log.subscribe(bad_subscriber)
+        log.subscribe(received.append)
+        event = log.emit(EventKind.CHECK, "A", at=1.5)
+        # emit returns normally and later subscribers still ran...
+        assert event.operator == "A"
+        assert len(received) == 1
+        # ...and the failure is recorded as an ERROR event, not raised.
+        errors = log.of_kind(EventKind.ERROR)
+        assert len(errors) == 1
+        assert errors[0].payload["error"] == "RuntimeError"
+        assert errors[0].payload["message"] == "boom"
+        assert errors[0].payload["during_seq"] == event.seq
+        assert "bad_subscriber" in errors[0].operator
+
+    def test_failing_subscriber_error_does_not_recurse(self):
+        log = EventLog()
+
+        def always_fails(event):
+            raise ValueError("persistent")
+
+        log.subscribe(always_fails)
+        log.emit(EventKind.CHECK, "A")
+        log.emit(EventKind.CHECK, "B")
+        # One ERROR per emitted event — the ERROR records themselves do
+        # not re-notify subscribers (no runaway growth).
+        assert len(log) == 4
+        assert len(log.of_kind(EventKind.ERROR)) == 2

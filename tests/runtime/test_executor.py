@@ -1,7 +1,6 @@
 """Tests for the Executor runtime entry point."""
 
 from repro.core import GEN, Pipeline, RET
-from repro.llm import SimulatedLLM
 from repro.runtime import Executor
 
 

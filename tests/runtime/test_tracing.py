@@ -72,11 +72,56 @@ class TestSummarizeRun:
         assert summary["refine"]["count"] == 1
         assert summary["generate"]["latency"] > 0
 
-    def test_lifecycle_excluded(self):
+    def test_lifecycle_not_counted_as_kind(self):
         log = EventLog()
         log.emit(EventKind.OPERATOR_START, "A")
         log.emit(EventKind.OPERATOR_END, "A")
-        assert summarize_run(log) == {}
+        summary = summarize_run(log)
+        # Lifecycle events never form per-kind buckets; they are distilled
+        # into the per-operator wall-time rollup instead.
+        assert EventKind.OPERATOR_START.value not in summary
+        assert EventKind.OPERATOR_END.value not in summary
+        assert summary["operators"]["A"]["count"] == 1
+
+    def test_operator_wall_time_from_lifecycle_pairs(self):
+        log = EventLog()
+        log.emit(EventKind.OPERATOR_START, "A", at=1.0)
+        log.emit(EventKind.OPERATOR_START, "B", at=2.0)
+        log.emit(EventKind.OPERATOR_END, "B", at=5.0)
+        log.emit(EventKind.OPERATOR_END, "A", at=6.0)
+        operators = summarize_run(log)["operators"]
+        assert operators["A"] == {"count": 1, "wall_time": 5.0, "unclosed": 0}
+        assert operators["B"] == {"count": 1, "wall_time": 3.0, "unclosed": 0}
+
+    def test_reentrant_operator_accumulates(self):
+        log = EventLog()
+        log.emit(EventKind.OPERATOR_START, "A", at=0.0)
+        log.emit(EventKind.OPERATOR_START, "A", at=1.0)
+        log.emit(EventKind.OPERATOR_END, "A", at=2.0)
+        log.emit(EventKind.OPERATOR_END, "A", at=4.0)
+        operators = summarize_run(log)["operators"]
+        # Inner pair (1→2) + outer pair (0→4).
+        assert operators["A"]["count"] == 2
+        assert operators["A"]["wall_time"] == 5.0
+
+    def test_unbalanced_logs_handled_gracefully(self):
+        log = EventLog()
+        log.emit(EventKind.OPERATOR_END, "ghost", at=1.0)  # END, no START
+        log.emit(EventKind.OPERATOR_START, "truncated", at=2.0)  # never ends
+        operators = summarize_run(log)["operators"]
+        assert "ghost" not in operators
+        assert operators["truncated"] == {
+            "count": 0,
+            "wall_time": 0.0,
+            "unclosed": 1,
+        }
+
+    def test_wall_time_present_for_real_run(self, state, tweet_corpus):
+        state = _run_small_pipeline(state, tweet_corpus)
+        operators = summarize_run(state.events)["operators"]
+        gen_labels = [label for label in operators if label.startswith("GEN")]
+        assert gen_labels
+        assert sum(operators[label]["wall_time"] for label in gen_labels) > 0
 
 
 class TestEventExport:
@@ -114,3 +159,87 @@ class TestEventExport:
         state = _run_small_pipeline(state, tweet_corpus)
         path = export_events(state.events, tmp_path / "trace.jsonl")
         assert render_timeline(import_events(path)) == render_timeline(state.events)
+
+
+class TestLosslessRoundTrip:
+    """Enum and dataclass payload values survive export/import unchanged."""
+
+    def test_enum_payload_round_trips_as_enum(self, tmp_path):
+        from repro.core.entry import RefAction
+        from repro.runtime.tracing import export_events, import_events
+
+        log = EventLog()
+        log.emit(EventKind.REFINE, "REF[x]", action=RefAction.APPEND)
+        loaded = import_events(export_events(log, tmp_path / "t.jsonl"))
+        value = loaded.all()[0].payload["action"]
+        assert value is RefAction.APPEND
+
+    def test_dataclass_payload_round_trips(self, tmp_path):
+        from repro.llm.latency import LatencyBreakdown
+        from repro.runtime.tracing import export_events, import_events
+
+        breakdown = LatencyBreakdown(
+            overhead=0.5, prefill=1.0, cached_prefill=0.1, decode=2.0
+        )
+        log = EventLog()
+        log.emit(EventKind.GENERATE, "GEN[x]", breakdown=breakdown)
+        loaded = import_events(export_events(log, tmp_path / "t.jsonl"))
+        assert loaded.all()[0].payload["breakdown"] == breakdown
+
+    def test_unserializable_payload_fails_loudly(self, tmp_path):
+        import pytest
+
+        log = EventLog()
+        log.emit(EventKind.GENERATE, "GEN[x]", bad=object())
+        with pytest.raises(TypeError, match="not\\s+JSONL-exportable"):
+            from repro.runtime.tracing import export_events
+
+            export_events(log, tmp_path / "t.jsonl")
+
+    def test_property_round_trip(self, tmp_path):
+        """Property test: arbitrary JSON/enum/dataclass payloads round-trip."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.core.entry import RefAction, RefinementMode
+        from repro.llm.latency import LatencyBreakdown
+        from repro.runtime.tracing import export_events, import_events
+
+        scalars = st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**31), max_value=2**31),
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.text(max_size=20),
+            st.sampled_from(list(RefAction)),
+            st.sampled_from(list(RefinementMode)),
+            st.builds(
+                LatencyBreakdown,
+                overhead=st.floats(0, 10, allow_nan=False),
+                prefill=st.floats(0, 10, allow_nan=False),
+                cached_prefill=st.floats(0, 10, allow_nan=False),
+                decode=st.floats(0, 10, allow_nan=False),
+            ),
+        )
+        payloads = st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ).filter(lambda key: key != "at"),  # "at" is emit()'s own kwarg
+            st.one_of(scalars, st.lists(scalars, max_size=3)),
+            max_size=4,
+        )
+
+        @settings(max_examples=40, deadline=None)
+        @given(payload=payloads)
+        def round_trips(payload):
+            log = EventLog()
+            log.emit(EventKind.GENERATE, "GEN[p]", at=1.25, **payload)
+            loaded = import_events(export_events(log, tmp_path / "prop.jsonl"))
+            event = loaded.all()[0]
+            assert dict(event.payload) == payload
+            assert event.kind is EventKind.GENERATE
+            assert event.at == 1.25
+
+        round_trips()

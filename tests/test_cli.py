@@ -1,5 +1,11 @@
 """Tests for the command-line interface."""
 
+import importlib
+import json
+import re
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -82,6 +88,88 @@ class TestFmtCommand:
         assert "reformatted" in capsys.readouterr().out
         text = dl_file.read_text()
         assert text.startswith("view med_summary(drug)")
+
+
+@pytest.fixture
+def trace_file(tmp_path, monkeypatch, capsys):
+    """A JSONL event trace exported by the quickstart example."""
+    examples_dir = Path(__file__).resolve().parent.parent / "examples"
+    monkeypatch.syspath_prepend(str(examples_dir))
+    quickstart = importlib.import_module("quickstart")
+    try:
+        path = tmp_path / "quickstart_run.jsonl"
+        quickstart.main(trace_path=path)
+        capsys.readouterr()  # swallow the example's own output
+        yield path
+    finally:
+        sys.modules.pop("quickstart", None)
+
+
+class TestStatsCommand:
+    def test_stats_table_rollups(self, trace_file, capsys):
+        code = main(["stats", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-operator rollup" in out
+        assert "GEN" in out and "CHECK" in out
+        assert "Per-prompt generation rollup" in out
+        assert "judge" in out
+        assert re.search(r"cache hit ratio \d+\.\d%", out)
+        assert "totals:" in out
+        assert "slowest spans:" in out
+
+    def test_stats_json_matches_offline_report(self, trace_file, capsys):
+        code = main(["stats", str(trace_file), "--format", "json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+
+        from repro.obs import build_run_report
+        from repro.runtime.tracing import import_events
+
+        expected = build_run_report(import_events(trace_file))
+        assert report["operators"] == expected.operators
+        assert report["generation"] == expected.generation
+        assert report["totals"] == expected.totals
+        assert report["generation"]["judge"]["calls"] >= 1
+
+    def test_stats_prometheus_is_valid_exposition(self, trace_file, capsys):
+        code = main(["stats", str(trace_file), "--format", "prometheus"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE spear_gen_calls_total counter" in out
+        assert "# TYPE spear_operator_wall_seconds histogram" in out
+        assert 'spear_gen_calls_total{prompt="judge"}' in out
+        # Every line is either a comment or `name{labels} value`.
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*='
+            r'"(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? '
+            r"(?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf|NaN))$"
+        )
+        for line in out.splitlines():
+            assert line.startswith("#") or sample.match(line), line
+
+    def test_stats_top_limits_slowest_spans(self, trace_file, capsys):
+        main(["stats", str(trace_file), "--top", "1"])
+        out = capsys.readouterr().out
+        _, _, spans_block = out.partition("slowest spans:")
+        assert len([ln for ln in spans_block.splitlines() if ln.strip()]) == 1
+
+
+class TestTraceCommand:
+    def test_trace_renders_span_tree(self, trace_file, capsys):
+        code = main(["trace", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'GEN["verdict"]' in out
+        assert re.search(r"\(\d+\.\d{2}s\)", out)
+        assert "tokens=" in out
+
+    def test_trace_timeline_shows_lifecycle(self, trace_file, capsys):
+        code = main(["trace", str(trace_file), "--timeline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '<GEN["verdict"]>' in out
+        assert '</GEN["verdict"]>' in out
 
 
 class TestExperimentsCommand:
