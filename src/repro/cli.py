@@ -26,6 +26,7 @@ from repro.core import ExecutionState
 from repro.data import make_clinical_corpus, make_tweet_corpus
 from repro.dl import compile_source, parse
 from repro.dl.formatter import format_program
+from repro.errors import SpearError
 from repro.llm import SimulatedLLM
 from repro.retrieval import clinical_sources
 from repro.runtime.tracing import render_timeline
@@ -273,6 +274,14 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
     }
+    if args.command in ("stats", "trace"):
+        # Trace files are untrusted input: a rejected or malformed file
+        # is a clean CLI error, not a traceback.
+        try:
+            return handlers[args.command](args)
+        except SpearError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     return handlers[args.command](args)
 
 

@@ -75,6 +75,7 @@ class ObsCollector:
         self.spans = SpanBuilder()
         self._open_starts: dict[str, list[float]] = {}
         self._subscribed: set[int] = set()
+        self._attached_models: set[int] = set()
 
     # -- wiring -------------------------------------------------------------
 
@@ -102,7 +103,14 @@ class ObsCollector:
         its kv/prompt cache snapshots; if the model supports generation
         listeners, per-call latency/token histograms accrue there too
         (useful for direct ``model.generate`` callers that bypass GEN).
+
+        Idempotent per model instance: attaching the same model again is
+        a no-op, so two executors sharing one collector + model do not
+        double-count ``spear_model_*`` metrics.
         """
+        if id(model) in self._attached_models:
+            return
+        self._attached_models.add(id(model))
         label = name or getattr(
             getattr(model, "profile", None), "name", type(model).__name__
         )

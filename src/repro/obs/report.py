@@ -222,7 +222,10 @@ def build_report(
     }
 
     # -- slowest spans ------------------------------------------------------
-    roots = collector.spans.finish()
+    # A snapshot, not finish(): reports may be generated mid-run (live
+    # scrape), and closing the live span stack would orphan every event
+    # that follows.
+    roots = collector.spans.snapshot()
     for span in top_slowest(roots, top_k):
         report.slowest_spans.append(
             {

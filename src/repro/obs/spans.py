@@ -20,6 +20,7 @@ logs degrade gracefully:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -134,12 +135,32 @@ class SpanBuilder:
                 span.gen_latency += latency
 
     def finish(self) -> list[Span]:
-        """Close still-open spans at the last seen timestamp; return roots."""
+        """Close still-open spans at the last seen timestamp; return roots.
+
+        Destructive: the builder stops tracking the open spans, so later
+        ``add`` calls would start a fresh forest.  For a mid-run view
+        that leaves the live stack intact, use :meth:`snapshot`.
+        """
         while self._stack:
             span = self._stack.pop()
             span.end = self._last_at
             span.complete = False
         return self.roots
+
+    def snapshot(self) -> list[Span]:
+        """A finished *copy* of the forest; the live builder is untouched.
+
+        Open spans are closed at the last seen timestamp and marked
+        incomplete in the copy only — safe to call mid-run (a metrics
+        scrape or live report) without breaking reconstruction of the
+        events that follow.
+        """
+        roots = copy.deepcopy(self.roots)
+        for span in iter_spans(roots):
+            if span.end is None:
+                span.end = self._last_at
+                span.complete = False
+        return roots
 
 
 def build_span_tree(log: EventLog) -> list[Span]:

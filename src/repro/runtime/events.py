@@ -76,39 +76,68 @@ class EventLog:
         """Append an event and notify subscribers; returns the event.
 
         A subscriber that raises must not break the run (or starve later
-        subscribers): its exception is recorded as an ``ERROR`` event
-        appended directly to the log — without re-notifying subscribers,
-        so a persistently failing subscriber cannot recurse.
+        subscribers): its exception is recorded as an ``ERROR`` event and
+        delivered to the remaining subscribers — so a live collector sees
+        the same ERROR events an offline replay of the export does.  A
+        failure while handling such an ERROR event is recorded but not
+        re-delivered, so a persistently failing subscriber cannot recurse.
+        """
+        return self.record(kind, operator, at=at, payload=payload)
+
+    def record(
+        self,
+        kind: EventKind,
+        operator: str,
+        *,
+        at: float = 0.0,
+        payload: Mapping[str, Any] | None = None,
+    ) -> Event:
+        """Like :meth:`emit`, but with the payload as one explicit mapping.
+
+        Payload keys that collide with ``emit``'s own parameters
+        (``kind``, ``operator``, ``at``) are only representable this way;
+        the import/replay path depends on it.
         """
         event = Event(
             seq=next(self._counter),
             kind=kind,
             operator=operator,
             at=at,
-            payload=payload,
+            payload=dict(payload) if payload else {},
         )
         self._events.append(event)
-        for subscriber in list(self._subscribers):
+        self._notify(list(self._subscribers), event, fanout_errors=True)
+        return event
+
+    def _notify(
+        self,
+        subscribers: list[Callable[[Event], None]],
+        event: Event,
+        *,
+        fanout_errors: bool,
+    ) -> None:
+        for index, subscriber in enumerate(subscribers):
             try:
                 subscriber(event)
             except Exception as error:  # noqa: BLE001 - subscribers are user code
                 name = getattr(subscriber, "__qualname__", None) or getattr(
                     subscriber, "__name__", type(subscriber).__name__
                 )
-                self._events.append(
-                    Event(
-                        seq=next(self._counter),
-                        kind=EventKind.ERROR,
-                        operator=f"subscriber[{name}]",
-                        at=at,
-                        payload={
-                            "error": type(error).__name__,
-                            "message": str(error),
-                            "during_seq": event.seq,
-                        },
-                    )
+                error_event = Event(
+                    seq=next(self._counter),
+                    kind=EventKind.ERROR,
+                    operator=f"subscriber[{name}]",
+                    at=event.at,
+                    payload={
+                        "error": type(error).__name__,
+                        "message": str(error),
+                        "during_seq": event.seq,
+                    },
                 )
-        return event
+                self._events.append(error_event)
+                if fanout_errors:
+                    others = subscribers[:index] + subscribers[index + 1 :]
+                    self._notify(others, error_event, fanout_errors=False)
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
         """Register ``callback`` to receive every future event."""

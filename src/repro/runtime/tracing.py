@@ -101,8 +101,23 @@ def _type_spec(value: object) -> str:
     return f"{cls.__module__}:{cls.__qualname__}"
 
 
-def _resolve_type(spec: str) -> type:
+#: modules whose types may be rebuilt from a trace file.  Trace files are
+#: untrusted input (``spear stats`` / ``spear trace`` accept any path), so
+#: resolving an arbitrary ``module:qualname`` and calling it would be
+#: arbitrary code execution — only types from this package qualify.
+_TRUSTED_PACKAGE = "repro"
+
+
+def _resolve_type(spec: str, expected: str) -> type:
     module_name, _, qualname = spec.partition(":")
+    if module_name != _TRUSTED_PACKAGE and not module_name.startswith(
+        _TRUSTED_PACKAGE + "."
+    ):
+        raise SpearError(
+            f"refusing to rebuild payload value of type {spec!r}: trace "
+            f"files may only reference types from the "
+            f"{_TRUSTED_PACKAGE!r} package"
+        )
     try:
         obj: Any = importlib.import_module(module_name)
         for part in qualname.split("."):
@@ -111,6 +126,15 @@ def _resolve_type(spec: str) -> type:
         raise SpearError(
             f"cannot rebuild payload value of type {spec!r}: {error}"
         ) from error
+    if expected == "enum":
+        valid = isinstance(obj, type) and issubclass(obj, Enum)
+    else:
+        valid = isinstance(obj, type) and dataclasses.is_dataclass(obj)
+    if not valid:
+        raise SpearError(
+            f"refusing to rebuild payload value of type {spec!r}: "
+            f"not {'an enum' if expected == 'enum' else 'a dataclass'} type"
+        )
     return obj
 
 
@@ -160,9 +184,9 @@ def _encode_value(value: Any) -> Any:
 def _object_hook(record: dict[str, Any]) -> Any:
     tag = record.get(_TAG)
     if tag == "enum":
-        return _resolve_type(record["type"])(record["value"])
+        return _resolve_type(record["type"], "enum")(record["value"])
     if tag == "dataclass":
-        return _resolve_type(record["type"])(**record["fields"])
+        return _resolve_type(record["type"], "dataclass")(**record["fields"])
     return record
 
 
@@ -196,11 +220,11 @@ def import_events(path: str | Path) -> EventLog:
             if not line.strip():
                 continue
             record = json.loads(line, object_hook=_object_hook)
-            log.emit(
+            log.record(
                 EventKind(record["kind"]),
                 record["operator"],
                 at=float(record["at"]),
-                **record.get("payload", {}),
+                payload=record.get("payload", {}),
             )
     return log
 

@@ -71,6 +71,14 @@ class TestLiveCollection:
         state.events.emit(EventKind.CHECK, "A")
         assert collector.registry.sum_counter("spear_events_total") == 1
 
+    def test_attach_model_is_idempotent(self, state, tweet_corpus):
+        collector = ObsCollector()
+        collector.attach_model(state.model)
+        collector.attach_model(state.model)  # second call is a no-op
+        _run_pipeline(state, tweet_corpus)
+        # One listener registered → model-layer calls counted once.
+        assert collector.registry.sum_counter("spear_model_gen_calls_total") == 2
+
 
 class TestRunReport:
     def test_report_sections_populated(self, state, tweet_corpus):
@@ -89,6 +97,31 @@ class TestRunReport:
         assert report.slowest_spans[0]["wall"] >= report.slowest_spans[-1]["wall"]
         model_label = state.model.profile.name
         assert "kv_cache_hit_rate" in report.cache[model_label]
+
+    def test_mid_run_report_leaves_live_spans_intact(self):
+        # Generating a report between events (live scrape) must not close
+        # the open span stack: later ENDs still pair up and children stay
+        # children.
+        collector = ObsCollector()
+        log = EventLog()
+        collector.subscribe_to(log)
+        log.emit(EventKind.OPERATOR_START, "OUTER", at=0.0)
+        log.emit(EventKind.OPERATOR_START, "INNER", at=1.0)
+
+        mid = build_report(collector)
+        # The snapshot sees the open spans, closed and marked incomplete.
+        assert any(not span["complete"] for span in mid.slowest_spans)
+
+        log.emit(EventKind.OPERATOR_END, "INNER", at=2.0)
+        log.emit(EventKind.OPERATOR_END, "OUTER", at=3.0)
+        final = build_report(collector)
+        roots = collector.span_roots()
+        assert len(roots) == 1
+        outer = roots[0]
+        assert outer.complete and outer.end == 3.0
+        assert len(outer.children) == 1
+        assert outer.children[0].complete and outer.children[0].end == 2.0
+        assert all(span["complete"] for span in final.slowest_spans)
 
     def test_pricing_flows_into_costs(self, state, tweet_corpus):
         collector = ObsCollector()

@@ -113,7 +113,7 @@ class TestEventLog:
         event = log.emit(EventKind.CHECK, "A", at=1.5)
         # emit returns normally and later subscribers still ran...
         assert event.operator == "A"
-        assert len(received) == 1
+        assert event in received
         # ...and the failure is recorded as an ERROR event, not raised.
         errors = log.of_kind(EventKind.ERROR)
         assert len(errors) == 1
@@ -121,6 +121,39 @@ class TestEventLog:
         assert errors[0].payload["message"] == "boom"
         assert errors[0].payload["during_seq"] == event.seq
         assert "bad_subscriber" in errors[0].operator
+
+    def test_subscriber_failure_error_reaches_other_subscribers(self):
+        # Live subscribers must see the synthesized ERROR event too,
+        # else a live collector and an offline replay of the export
+        # would disagree on error counts.
+        log = EventLog()
+        received = []
+
+        def bad_subscriber(event):
+            raise RuntimeError("boom")
+
+        log.subscribe(bad_subscriber)
+        log.subscribe(received.append)
+        log.emit(EventKind.CHECK, "A")
+        kinds = [event.kind for event in received]
+        assert EventKind.ERROR in kinds
+        assert EventKind.CHECK in kinds
+        # The failing subscriber's ERROR is delivered, but a failure
+        # while *handling* an ERROR event is only recorded: two CHECK
+        # emits → exactly two ERROR events, no cascade.
+        log.emit(EventKind.CHECK, "B")
+        assert len(log.of_kind(EventKind.ERROR)) == 2
+
+    def test_record_allows_payload_keys_shadowing_emit_params(self):
+        log = EventLog()
+        event = log.record(
+            EventKind.GENERATE,
+            "GEN[x]",
+            at=2.0,
+            payload={"kind": "custom", "operator": "inner", "at": 9.9},
+        )
+        assert event.payload == {"kind": "custom", "operator": "inner", "at": 9.9}
+        assert event.at == 2.0
 
     def test_failing_subscriber_error_does_not_recurse(self):
         log = EventLog()

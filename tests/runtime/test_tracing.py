@@ -226,7 +226,7 @@ class TestLosslessRoundTrip:
                 alphabet=st.characters(min_codepoint=97, max_codepoint=122),
                 min_size=1,
                 max_size=8,
-            ).filter(lambda key: key != "at"),  # "at" is emit()'s own kwarg
+            ),
             st.one_of(scalars, st.lists(scalars, max_size=3)),
             max_size=4,
         )
@@ -235,7 +235,7 @@ class TestLosslessRoundTrip:
         @given(payload=payloads)
         def round_trips(payload):
             log = EventLog()
-            log.emit(EventKind.GENERATE, "GEN[p]", at=1.25, **payload)
+            log.record(EventKind.GENERATE, "GEN[p]", at=1.25, payload=payload)
             loaded = import_events(export_events(log, tmp_path / "prop.jsonl"))
             event = loaded.all()[0]
             assert dict(event.payload) == payload
@@ -243,3 +243,98 @@ class TestLosslessRoundTrip:
             assert event.at == 1.25
 
         round_trips()
+
+    def test_payload_keys_shadowing_emit_params_round_trip(self, tmp_path):
+        """Keys named like emit()'s own parameters must still import."""
+        from repro.runtime.tracing import export_events, import_events
+
+        log = EventLog()
+        log.record(
+            EventKind.GENERATE,
+            "GEN[x]",
+            at=3.0,
+            payload={"kind": "custom", "operator": "inner", "at": 1.0},
+        )
+        loaded = import_events(export_events(log, tmp_path / "t.jsonl"))
+        event = loaded.all()[0]
+        assert dict(event.payload) == {"kind": "custom", "operator": "inner", "at": 1.0}
+        assert event.kind is EventKind.GENERATE
+        assert event.at == 3.0
+
+
+class TestUntrustedTraceFiles:
+    """Trace files are untrusted input: type tags must not execute code."""
+
+    def _write_trace(self, tmp_path, payload_value):
+        import json
+
+        record = {
+            "seq": 0,
+            "kind": "generate",
+            "operator": "GEN[x]",
+            "at": 0.0,
+            "payload": {"value": payload_value},
+        }
+        path = tmp_path / "evil.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        return path
+
+    def test_non_repro_module_rejected(self, tmp_path):
+        import pytest
+
+        from repro.errors import SpearError
+        from repro.runtime.tracing import import_events
+
+        path = self._write_trace(
+            tmp_path,
+            {"__spear__": "enum", "type": "os:system", "value": "echo pwned"},
+        )
+        with pytest.raises(SpearError, match="repro"):
+            import_events(path)
+
+    def test_repro_prefix_spoof_rejected(self, tmp_path):
+        import pytest
+
+        from repro.errors import SpearError
+        from repro.runtime.tracing import import_events
+
+        path = self._write_trace(
+            tmp_path,
+            {"__spear__": "enum", "type": "reprox.evil:run", "value": 1},
+        )
+        with pytest.raises(SpearError):
+            import_events(path)
+
+    def test_repro_callable_that_is_not_an_enum_rejected(self, tmp_path):
+        import pytest
+
+        from repro.errors import SpearError
+        from repro.runtime.tracing import import_events
+
+        path = self._write_trace(
+            tmp_path,
+            {
+                "__spear__": "enum",
+                "type": "repro.runtime.tracing:import_events",
+                "value": "/etc/passwd",
+            },
+        )
+        with pytest.raises(SpearError, match="not an enum"):
+            import_events(path)
+
+    def test_repro_class_that_is_not_a_dataclass_rejected(self, tmp_path):
+        import pytest
+
+        from repro.errors import SpearError
+        from repro.runtime.tracing import import_events
+
+        path = self._write_trace(
+            tmp_path,
+            {
+                "__spear__": "dataclass",
+                "type": "repro.runtime.events:EventLog",
+                "fields": {},
+            },
+        )
+        with pytest.raises(SpearError, match="not a dataclass"):
+            import_events(path)

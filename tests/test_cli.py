@@ -154,6 +154,29 @@ class TestStatsCommand:
         _, _, spans_block = out.partition("slowest spans:")
         assert len([ln for ln in spans_block.splitlines() if ln.strip()]) == 1
 
+    def test_stats_rejects_untrusted_type_tags_cleanly(self, tmp_path, capsys):
+        # A malicious trace must produce a clean CLI error (exit 1), not
+        # code execution and not a traceback.
+        evil = tmp_path / "evil.jsonl"
+        evil.write_text(
+            json.dumps(
+                {
+                    "seq": 0,
+                    "kind": "generate",
+                    "operator": "GEN[x]",
+                    "at": 0.0,
+                    "payload": {
+                        "v": {"__spear__": "enum", "type": "os:system", "value": "id"}
+                    },
+                }
+            )
+            + "\n"
+        )
+        code = main(["stats", str(evil)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "repro" in err
+
 
 class TestTraceCommand:
     def test_trace_renders_span_tree(self, trace_file, capsys):
