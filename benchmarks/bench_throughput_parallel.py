@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Throughput benchmark: sequential BatchRunner vs ParallelBatchRunner.
+
+Runs the Table-3 workload (Map: summarize + Filter: negative sentiment
+over the seeded tweet corpus, sharing the scaffold prefix) sequentially
+and then in parallel at several worker counts, and reports items per
+simulated second and the simulated-time speedup at each width.  Output
+texts are asserted identical across all runs — parallelism must change
+*when* work happens, never *what* is produced.
+
+Writes ``BENCH_parallel.json`` next to the repo root (or ``--output``)
+and exits non-zero when the speedup at the widest configuration falls
+below ``--min-speedup`` (CI smoke uses 2.0; the acceptance bar for the
+full workload is 4.0 at 16 workers).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_throughput_parallel.py
+    PYTHONPATH=src python benchmarks/bench_throughput_parallel.py --tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core import GEN, Pipeline  # noqa: E402
+from repro.core.state import ExecutionState  # noqa: E402
+from repro.data import make_tweet_corpus  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    FILTER_NEG_INSTRUCTION,
+    MAP_INSTRUCTION,
+    SCAFFOLD,
+)
+from repro.llm.model import SimulatedLLM  # noqa: E402
+from repro.runtime.batch import BatchRunner  # noqa: E402
+from repro.runtime.parallel import ParallelBatchRunner  # noqa: E402
+
+PROFILE = "qwen2.5-7b-instruct"
+WORKER_COUNTS = (1, 4, 16)
+
+
+def build_state(n_items: int, seed: int) -> tuple[ExecutionState, list]:
+    """Fresh model + corpus + prompts (cold caches) for one run."""
+    llm = SimulatedLLM(PROFILE)
+    corpus = make_tweet_corpus(n_items, seed=seed)
+    llm.bind_tweets(corpus)
+    state = ExecutionState(model=llm, clock=llm.clock)
+    state.prompts.create(
+        "map_p", SCAFFOLD + "\n" + MAP_INSTRUCTION + "\nTweet:\n{tweet}"
+    )
+    state.prompts.create(
+        "filter_p", SCAFFOLD + "\n" + FILTER_NEG_INSTRUCTION + "\nTweet:\n{tweet}"
+    )
+    return state, list(corpus)
+
+
+def bind(state: ExecutionState, tweet) -> None:
+    state.context.put("tweet", tweet.text, producer="bind")
+
+
+def build_pipeline() -> Pipeline:
+    return Pipeline(
+        [GEN("summary", prompt="map_p"), GEN("neg", prompt="filter_p")]
+    )
+
+
+def outputs_of(batch) -> list[tuple]:
+    return [
+        (result.context.get("summary"), result.context.get("neg"))
+        for result in batch.items
+    ]
+
+
+def run_benchmark(
+    n_items: int, seed: int, worker_counts: tuple[int, ...]
+) -> dict:
+    pipeline = build_pipeline()
+
+    state, items = build_state(n_items, seed)
+    wall0 = time.perf_counter()
+    sequential = BatchRunner(state, bind=bind).run(pipeline, items)
+    seq_wall = time.perf_counter() - wall0
+    baseline_outputs = outputs_of(sequential)
+    result = {
+        "profile": PROFILE,
+        "items": n_items,
+        "seed": seed,
+        "sequential": {
+            "sim_elapsed_s": sequential.elapsed,
+            "items_per_sim_s": sequential.throughput,
+            "host_wall_s": round(seq_wall, 4),
+        },
+        "parallel": {},
+    }
+
+    for workers in worker_counts:
+        state_w, items_w = build_state(n_items, seed)
+        runner = ParallelBatchRunner(state_w, bind=bind, workers=workers)
+        wall0 = time.perf_counter()
+        batch = runner.run(pipeline, items_w)
+        host_wall = time.perf_counter() - wall0
+        if outputs_of(batch) != baseline_outputs:
+            raise AssertionError(
+                f"parallel outputs diverged from sequential at {workers} workers"
+            )
+        stats = runner.last_batcher.snapshot() if runner.last_batcher else {}
+        result["parallel"][str(workers)] = {
+            "sim_elapsed_s": batch.elapsed,
+            "items_per_sim_s": batch.throughput,
+            "speedup": (
+                sequential.elapsed / batch.elapsed if batch.elapsed else 0.0
+            ),
+            "host_wall_s": round(host_wall, 4),
+            "gen_batches": int(stats.get("flushes", 0)),
+            "mean_batch_size": round(stats.get("mean_batch_size", 0.0), 2),
+            "largest_batch": int(stats.get("largest_batch", 0)),
+        }
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--items", type=int, default=120, help="corpus size (default 120)"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke: 24 items, same worker sweep",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail when speedup at the widest worker count is below this",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_parallel.json"
+    )
+    args = parser.parse_args(argv)
+
+    n_items = 24 if args.tiny else args.items
+    result = run_benchmark(n_items, args.seed, WORKER_COUNTS)
+
+    widest = str(max(WORKER_COUNTS))
+    speedup = result["parallel"][widest]["speedup"]
+    result["widest_workers"] = int(widest)
+    result["widest_speedup"] = round(speedup, 3)
+    result["min_speedup"] = args.min_speedup
+    result["ok"] = speedup >= args.min_speedup
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"sequential: {result['sequential']['sim_elapsed_s']:.2f}s simulated, "
+        f"{result['sequential']['items_per_sim_s']:.3f} items/s"
+    )
+    for workers in WORKER_COUNTS:
+        row = result["parallel"][str(workers)]
+        print(
+            f"workers={workers:3d}: {row['sim_elapsed_s']:.2f}s simulated, "
+            f"{row['items_per_sim_s']:.3f} items/s, "
+            f"speedup {row['speedup']:.2f}x, "
+            f"{row['gen_batches']} micro-batches "
+            f"(mean size {row['mean_batch_size']})"
+        )
+    if not result["ok"]:
+        print(
+            f"FAIL: speedup at {widest} workers is {speedup:.2f}x "
+            f"< required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -222,6 +222,30 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             title="Per-prompt generation rollup",
         )
     )
+    if report.batches:
+        print()
+        batch_rows = [
+            [
+                mode,
+                stats["runs"],
+                stats["items"],
+                stats["failures"],
+                stats["workers"],
+                round(stats["elapsed_seconds"]["total"], 2),
+                f"{stats['throughput']:.3f}",
+            ]
+            for mode, stats in report.batches.items()
+        ]
+        print(
+            format_table(
+                [
+                    "Mode", "Runs", "Items", "Failures", "Workers",
+                    "Elapsed (s)", "Items/s",
+                ],
+                batch_rows,
+                title="Batch runs",
+            )
+        )
     print()
     totals = report.totals
     print(

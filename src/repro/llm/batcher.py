@@ -1,0 +1,321 @@
+"""Continuous GEN micro-batching (paper §6: vLLM-style batched serving).
+
+A real serving stack gets its throughput from running many per-item
+pipelines concurrently and batching their generation calls into shared
+engine steps.  :class:`GenMicroBatcher` reproduces that mechanism for the
+simulated backend: concurrent ``generate`` calls from parallel worker
+lanes are coalesced into *micro-batches* that pay one shared overhead,
+one compute-bound prefill over the batch's uncached tokens (shared
+structured prefixes hit the block prefix cache at the cheap cached rate),
+and one overlapped decode of ``max(output_tokens)`` steps — the
+first-order model in :func:`repro.llm.latency.estimate_batch_latency`.
+
+Scheduling model
+----------------
+
+Lanes register with :meth:`open_lane` and submit calls through the
+returned :class:`LaneModel` proxy (a drop-in for
+:class:`~repro.llm.model.SimulatedLLM` on an execution state).  A submit
+blocks until the batch it joins completes.  The batcher flushes when
+every *open* lane has a call waiting — a full barrier — so micro-batch
+composition is a pure function of the workload, independent of thread
+timing: the batch always contains exactly the next generation call of
+each still-active lane.  Lanes that finish their work call
+:meth:`close_lane`, shrinking the barrier.  Oversized barriers are split
+into chunks of ``max_batch`` (in lane order) modelling bounded per-step
+batch capacity; the chunks run as concurrent engine steps (each starts
+from its own participants' clocks), like replicas sharing the load.
+
+Determinism: task outputs are computed by the model's deterministic
+``execute_task`` path per request (in lane order), so every item's text
+is identical to what a sequential run produces; only the *latency*
+accounting differs, which is the point.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.llm.latency import estimate_batch_latency
+from repro.runtime.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.llm.model import GenerationResult, SimulatedLLM
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["GenMicroBatcher", "LaneModel", "MICROBATCH_SIZE_BUCKETS"]
+
+#: histogram buckets for micro-batch sizes (requests per flush).
+MICROBATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class _Request:
+    """One pending generation call of one lane."""
+
+    __slots__ = (
+        "lane_id", "prompt", "max_tokens", "use_cache", "clock",
+        "result", "error", "done",
+    )
+
+    def __init__(
+        self,
+        lane_id: int,
+        prompt: str,
+        max_tokens: int | None,
+        use_cache: bool | None,
+        clock: VirtualClock,
+    ) -> None:
+        self.lane_id = lane_id
+        self.prompt = prompt
+        self.max_tokens = max_tokens
+        self.use_cache = use_cache
+        self.clock = clock
+        self.result: "GenerationResult | None" = None
+        self.error: BaseException | None = None
+        self.done = False
+
+
+class LaneModel:
+    """Per-lane view of the shared model.
+
+    ``generate`` routes through the micro-batcher and charges the lane's
+    virtual clock; every other attribute (caches, profile, tokenizer,
+    counters) transparently delegates to the wrapped
+    :class:`~repro.llm.model.SimulatedLLM`, so operators and
+    observability code see the shared backend.
+    """
+
+    def __init__(
+        self, batcher: "GenMicroBatcher", lane_id: int, clock: VirtualClock
+    ) -> None:
+        self._batcher = batcher
+        self.lane_id = lane_id
+        self.clock = clock
+
+    def generate(
+        self,
+        prompt: str,
+        *,
+        max_tokens: int | None = None,
+        use_cache: bool | None = None,
+    ) -> "GenerationResult":
+        """Submit one call to the micro-batcher; blocks until the batch runs."""
+        return self._batcher.submit(
+            self.lane_id, prompt, max_tokens=max_tokens, use_cache=use_cache
+        )
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._batcher.model, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LaneModel(lane={self.lane_id}, model={self._batcher.model!r})"
+
+
+class GenMicroBatcher:
+    """Coalesces concurrent generation calls into batched engine steps."""
+
+    def __init__(
+        self,
+        model: "SimulatedLLM",
+        *,
+        max_batch: int = 64,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.model = model
+        self.max_batch = max_batch
+        self.metrics = metrics
+        self._cond = threading.Condition()
+        self._open_lanes: set[int] = set()
+        self._lane_clocks: dict[int, VirtualClock] = {}
+        self._pending: dict[int, _Request] = {}
+        # aggregate accounting (guarded by the condition's lock)
+        self.flushes = 0
+        self.batched_calls = 0
+        self.largest_batch = 0
+        self.total_batch_wall = 0.0
+        self._size_sum = 0
+
+    # -- lane lifecycle ------------------------------------------------------
+
+    def open_lane(self, lane_id: int, clock: VirtualClock) -> LaneModel:
+        """Register a worker lane; returns its model proxy.
+
+        An open lane is part of the flush barrier: the batcher waits for
+        its next call (or its close) before running a micro-batch.
+        """
+        with self._cond:
+            if lane_id in self._open_lanes:
+                raise ValueError(f"lane {lane_id} is already open")
+            self._open_lanes.add(lane_id)
+            self._lane_clocks[lane_id] = clock
+            return LaneModel(self, lane_id, clock)
+
+    def close_lane(self, lane_id: int) -> None:
+        """Remove a lane from the barrier (it will submit no more calls)."""
+        with self._cond:
+            self._open_lanes.discard(lane_id)
+            self._lane_clocks.pop(lane_id, None)
+            self._maybe_flush_locked()
+            self._cond.notify_all()
+
+    # -- the submit / flush path ---------------------------------------------
+
+    def submit(
+        self,
+        lane_id: int,
+        prompt: str,
+        *,
+        max_tokens: int | None = None,
+        use_cache: bool | None = None,
+    ) -> "GenerationResult":
+        """Enqueue one call and block until its micro-batch completes."""
+        with self._cond:
+            if lane_id not in self._open_lanes:
+                raise RuntimeError(f"lane {lane_id} is not open")
+            if lane_id in self._pending:
+                raise RuntimeError(f"lane {lane_id} already has a pending call")
+            request = _Request(
+                lane_id, prompt, max_tokens, use_cache,
+                self._lane_clocks.get(lane_id, self.model.clock),
+            )
+            self._pending[lane_id] = request
+            self._observe_queue_depth_locked()
+            self._maybe_flush_locked()
+            self._cond.notify_all()
+            while not request.done:
+                self._cond.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def _maybe_flush_locked(self) -> None:
+        """Flush while every open lane has a pending call (full barrier)."""
+        while self._pending and len(self._pending) >= len(self._open_lanes):
+            batch = [self._pending[lane] for lane in sorted(self._pending)]
+            self._pending.clear()
+            self._observe_queue_depth_locked()
+            for start in range(0, len(batch), self.max_batch):
+                self._run_chunk_locked(batch[start : start + self.max_batch])
+            self._cond.notify_all()
+
+    def _run_chunk_locked(self, chunk: list[_Request]) -> None:
+        """Execute one micro-batch (all barrier peers are blocked waiting)."""
+        model = self.model
+        prepared: list[tuple[_Request, list[int], Any]] = []
+        for request in chunk:
+            try:
+                tokens, features = model.prepare(request.prompt)
+            except Exception as error:  # noqa: BLE001 - delivered to the lane
+                request.error = error
+                request.done = True
+                continue
+            prepared.append((request, tokens, features))
+        if not prepared:
+            return
+
+        triples: list[tuple[int, int, int]] = []
+        outputs: list[tuple[str, int, Any]] = []
+        for request, tokens, features in prepared:
+            caching = (
+                model.enable_prefix_cache
+                if request.use_cache is None
+                else request.use_cache
+            )
+            cached = model.kv_cache.lookup_and_insert(tokens) if caching else 0
+            text, output_tokens, output = model.execute_task(
+                request.prompt, features, max_tokens=request.max_tokens
+            )
+            triples.append((len(tokens), cached, output_tokens))
+            outputs.append((text, output_tokens, output))
+
+        batch = estimate_batch_latency(model.profile, triples)
+        # The batched step starts when its last participant arrives and
+        # completes for everyone at once: lanes merge to the same time.
+        batch_start = max(request.clock.now for request, _, _ in prepared)
+        batch_end = batch_start + batch.wall
+
+        from repro.llm.model import GenerationResult
+
+        for index, (request, tokens, _features) in enumerate(prepared):
+            text, output_tokens, output = outputs[index]
+            prompt_tokens, cached, _ = triples[index]
+            result = GenerationResult(
+                text=text,
+                task=output.task,
+                prompt_tokens=prompt_tokens,
+                cached_tokens=cached,
+                output_tokens=output_tokens,
+                latency=batch.per_request[index],
+                confidence=output.confidence,
+                extras={
+                    **output.extras,
+                    "microbatch_size": batch.size,
+                    "microbatch_wall": batch.wall,
+                },
+            )
+            request.clock.advance_to(batch_end)
+            model.record_result(result)
+            request.result = result
+            request.done = True
+
+        self.flushes += 1
+        self.batched_calls += len(prepared)
+        self.largest_batch = max(self.largest_batch, len(prepared))
+        self.total_batch_wall += batch.wall
+        self._size_sum += len(prepared)
+        self._observe_flush_locked(len(prepared), batch.wall)
+
+    # -- observability -------------------------------------------------------
+
+    def _observe_queue_depth_locked(self) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge(
+            "spear_gen_queue_depth",
+            "Generation calls waiting for a micro-batch flush.",
+            model=self.model.profile.name,
+        ).set(float(len(self._pending)))
+
+    def _observe_flush_locked(self, size: int, wall: float) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "spear_microbatch_flushes_total",
+            "Micro-batches executed.", model=self.model.profile.name,
+        ).inc()
+        self.metrics.histogram(
+            "spear_microbatch_size",
+            "Generation calls coalesced per micro-batch.",
+            buckets=MICROBATCH_SIZE_BUCKETS,
+            model=self.model.profile.name,
+        ).observe(float(size))
+        self.metrics.histogram(
+            "spear_microbatch_wall_seconds",
+            "Simulated wall time per micro-batch engine step.",
+            model=self.model.profile.name,
+        ).observe(wall)
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time batching statistics for gauges and reports."""
+        with self._cond:
+            return {
+                "flushes": self.flushes,
+                "batched_calls": self.batched_calls,
+                "largest_batch": self.largest_batch,
+                "mean_batch_size": (
+                    self._size_sum / self.flushes if self.flushes else 0.0
+                ),
+                "total_batch_wall": self.total_batch_wall,
+                "open_lanes": len(self._open_lanes),
+                "pending": len(self._pending),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GenMicroBatcher(lanes={len(self._open_lanes)}, "
+            f"flushes={self.flushes}, largest={self.largest_batch})"
+        )

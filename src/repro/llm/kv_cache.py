@@ -14,6 +14,7 @@ Table 3 is ``cached_tokens / prompt_tokens`` over all GEN calls.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -51,7 +52,14 @@ def _chain_hash(prev: int, block: tuple[int, ...]) -> int:
 
 
 class BlockPrefixCache:
-    """Hash-chained block prefix cache with LRU eviction."""
+    """Hash-chained block prefix cache with LRU eviction.
+
+    Thread-safe: concurrent lookups/inserts from parallel worker lanes
+    are serialized by one reentrant lock, so LRU order, stats, and the
+    combined :meth:`lookup_and_insert` are atomic (no lost hits or
+    double-counted evictions under contention) and :meth:`snapshot`
+    returns a consistent point-in-time view.
+    """
 
     def __init__(
         self,
@@ -69,6 +77,7 @@ class BlockPrefixCache:
         # OrderedDict used as an LRU set of chain-hashes.
         self._blocks: OrderedDict[int, None] = OrderedDict()
         self.stats = CacheStats()
+        self._lock = threading.RLock()
 
     def _chain(self, tokens: list[int]) -> list[int]:
         """Chain-hashes for every *complete* block of ``tokens``."""
@@ -87,60 +96,66 @@ class BlockPrefixCache:
         only reusable when its whole prefix matched, which the chain hash
         guarantees).  Updates stats and LRU recency.
         """
-        cached_blocks = 0
-        for chain in self._chain(tokens):
-            if chain in self._blocks:
-                self._blocks.move_to_end(chain)
-                cached_blocks += 1
-                self.stats.block_hits += 1
-            else:
-                self.stats.block_misses += 1
-                break
-        cached = cached_blocks * self.block_size
-        self.stats.lookups += 1
-        self.stats.prompt_tokens += len(tokens)
-        self.stats.cached_tokens += cached
-        return cached
+        with self._lock:
+            cached_blocks = 0
+            for chain in self._chain(tokens):
+                if chain in self._blocks:
+                    self._blocks.move_to_end(chain)
+                    cached_blocks += 1
+                    self.stats.block_hits += 1
+                else:
+                    self.stats.block_misses += 1
+                    break
+            cached = cached_blocks * self.block_size
+            self.stats.lookups += 1
+            self.stats.prompt_tokens += len(tokens)
+            self.stats.cached_tokens += cached
+            return cached
 
     def insert(self, tokens: list[int]) -> int:
         """Cache every complete block of ``tokens``; returns blocks added."""
-        added = 0
-        for chain in self._chain(tokens):
-            if chain not in self._blocks:
-                self._blocks[chain] = None
-                added += 1
-            else:
-                self._blocks.move_to_end(chain)
-        while len(self._blocks) > self.capacity_blocks:
-            self._blocks.popitem(last=False)
-            self.stats.evictions += 1
-        return added
+        with self._lock:
+            added = 0
+            for chain in self._chain(tokens):
+                if chain not in self._blocks:
+                    self._blocks[chain] = None
+                    added += 1
+                else:
+                    self._blocks.move_to_end(chain)
+            while len(self._blocks) > self.capacity_blocks:
+                self._blocks.popitem(last=False)
+                self.stats.evictions += 1
+            return added
 
     def lookup_and_insert(self, tokens: list[int]) -> int:
         """The per-request path: match the prefix, then cache the prompt."""
-        cached = self.match_prefix(tokens)
-        self.insert(tokens)
-        return cached
+        with self._lock:
+            cached = self.match_prefix(tokens)
+            self.insert(tokens)
+            return cached
 
     def snapshot(self) -> dict[str, float]:
-        """Point-in-time statistics for gauges and reports."""
-        return {
-            "blocks": len(self._blocks),
-            "capacity_blocks": self.capacity_blocks,
-            "block_size": self.block_size,
-            "lookups": self.stats.lookups,
-            "prompt_tokens": self.stats.prompt_tokens,
-            "cached_tokens": self.stats.cached_tokens,
-            "block_hits": self.stats.block_hits,
-            "block_misses": self.stats.block_misses,
-            "evictions": self.stats.evictions,
-            "hit_rate": self.stats.hit_rate,
-        }
+        """Point-in-time statistics for gauges and reports (atomic)."""
+        with self._lock:
+            return {
+                "blocks": len(self._blocks),
+                "capacity_blocks": self.capacity_blocks,
+                "block_size": self.block_size,
+                "lookups": self.stats.lookups,
+                "prompt_tokens": self.stats.prompt_tokens,
+                "cached_tokens": self.stats.cached_tokens,
+                "block_hits": self.stats.block_hits,
+                "block_misses": self.stats.block_misses,
+                "evictions": self.stats.evictions,
+                "hit_rate": self.stats.hit_rate,
+            }
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        with self._lock:
+            return len(self._blocks)
 
     def clear(self) -> None:
         """Drop all cached blocks and reset statistics."""
-        self._blocks.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._blocks.clear()
+            self.stats = CacheStats()

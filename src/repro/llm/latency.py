@@ -10,15 +10,38 @@ seconds, with the per-token rates taken from the backend's
 model of transformer serving cost (prefill is compute-bound per prompt
 token, decode is memory-bound per output token, KV-cached prefix tokens are
 ~10–20× cheaper), and it is all the paper's experiments depend on.
+
+Batched serving (:func:`estimate_batch_latency`): a vLLM-style engine runs
+many requests per engine step, so a *micro-batch* of B concurrent calls
+does not cost the sum of B call latencies.  First-order model of one
+batched step:
+
+- the per-call overhead (scheduling / API round trip) is paid **once**;
+- prefill is compute-bound, so uncached prompt tokens still **sum**
+  across the batch (cached prefix tokens stay at the cheap cached rate —
+  this is where shared structured prefixes across items pay off);
+- decode is memory-bound and all sequences step together, so the batch
+  decodes for **max** output tokens, not the sum — the throughput win of
+  continuous batching.
+
+The batch's wall time charges every participating lane's virtual clock;
+each request additionally keeps its own attributed breakdown (its share
+of overhead, its own prefill, its own decode) for accounting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.llm.profiles import ModelProfile
 
-__all__ = ["LatencyBreakdown", "estimate_latency"]
+__all__ = [
+    "LatencyBreakdown",
+    "BatchLatency",
+    "estimate_latency",
+    "estimate_batch_latency",
+]
 
 
 @dataclass(frozen=True)
@@ -61,3 +84,78 @@ def estimate_latency(
         cached_prefill=profile.cached_prefill_s_per_token * cached_tokens,
         decode=profile.decode_s_per_token * output_tokens,
     )
+
+
+@dataclass(frozen=True)
+class BatchLatency:
+    """Latency of one micro-batch of concurrent generation calls."""
+
+    #: attributed per-request breakdowns, in submission order.  Their
+    #: totals sum to *more* than ``wall`` whenever decode overlaps.
+    per_request: tuple[LatencyBreakdown, ...]
+    #: simulated wall time of the whole batched step — what every
+    #: participating lane's clock advances by.
+    wall: float
+
+    @property
+    def size(self) -> int:
+        """Number of requests in the micro-batch."""
+        return len(self.per_request)
+
+    @property
+    def serialized(self) -> float:
+        """Sum of attributed request totals plus the amortized overhead
+        savings — roughly what running the batch one-by-one would cost."""
+        return sum(request.total for request in self.per_request)
+
+
+def estimate_batch_latency(
+    profile: ModelProfile,
+    requests: Sequence[tuple[int, int, int]],
+) -> BatchLatency:
+    """Latency of one micro-batch under ``profile``.
+
+    ``requests`` is a sequence of ``(prompt_tokens, cached_tokens,
+    output_tokens)`` triples.  The batch wall time is::
+
+        overhead + prefill · Σ uncached + cached_prefill · Σ cached
+                 + decode · max(output)
+
+    while each request's attributed :class:`LatencyBreakdown` carries its
+    share of the overhead (``overhead / B``), its own prefill cost, and
+    its own full decode cost.  A batch of one degenerates exactly to
+    :func:`estimate_latency`.
+    """
+    if not requests:
+        raise ValueError("a micro-batch needs at least one request")
+    size = len(requests)
+    per_request: list[LatencyBreakdown] = []
+    total_uncached = 0
+    total_cached = 0
+    max_output = 0
+    for prompt_tokens, cached_tokens, output_tokens in requests:
+        if cached_tokens > prompt_tokens:
+            raise ValueError(
+                f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
+            )
+        if min(prompt_tokens, cached_tokens, output_tokens) < 0:
+            raise ValueError("token counts must be non-negative")
+        uncached = prompt_tokens - cached_tokens
+        total_uncached += uncached
+        total_cached += cached_tokens
+        max_output = max(max_output, output_tokens)
+        per_request.append(
+            LatencyBreakdown(
+                overhead=profile.overhead_s / size,
+                prefill=profile.prefill_s_per_token * uncached,
+                cached_prefill=profile.cached_prefill_s_per_token * cached_tokens,
+                decode=profile.decode_s_per_token * output_tokens,
+            )
+        )
+    wall = (
+        profile.overhead_s
+        + profile.prefill_s_per_token * total_uncached
+        + profile.cached_prefill_s_per_token * total_cached
+        + profile.decode_s_per_token * max_output
+    )
+    return BatchLatency(per_request=tuple(per_request), wall=wall)

@@ -14,6 +14,7 @@ Everything is deterministic given (profile, bound corpora, prompt).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -74,7 +75,10 @@ class SimulatedLLM:
         )
         self.enable_prefix_cache = enable_prefix_cache
         self.engine = TaskEngine(self.profile)
-        # aggregate accounting across all calls
+        # aggregate accounting across all calls; guarded by ``_lock`` so
+        # concurrent lanes (parallel batch runner / micro-batcher) never
+        # lose an increment or drop a listener notification.
+        self._lock = threading.RLock()
         self.calls = 0
         self.total_latency = 0.0
         self.total_prompt_tokens = 0
@@ -100,19 +104,82 @@ class SimulatedLLM:
 
     def add_listener(self, listener: Callable[[GenerationResult], None]) -> None:
         """Call ``listener`` with every future :class:`GenerationResult`."""
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def remove_listener(
         self, listener: Callable[[GenerationResult], None]
     ) -> bool:
         """Detach a listener; returns False when it was not registered."""
-        try:
-            self._listeners.remove(listener)
-        except ValueError:
-            return False
-        return True
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                return False
+            return True
 
     # -- generation -----------------------------------------------------------
+    #
+    # ``generate`` composes three backend steps that the GEN micro-batcher
+    # (:mod:`repro.llm.batcher`) also drives individually: ``prepare``
+    # (tokenize + validate), ``execute_task`` (deterministic task output),
+    # and ``record_result`` (counters + listeners).  Keeping them public
+    # means batched and unbatched calls share one code path for
+    # everything except latency accounting.
+
+    def prepare(self, prompt: str) -> tuple[list[int], PromptFeatures]:
+        """Tokenize and validate a prompt; returns (tokens, features).
+
+        Raises :class:`ModelError` for an empty prompt and
+        :class:`TokenBudgetExceededError` past the context window.
+        """
+        if not prompt:
+            raise ModelError("cannot generate from an empty prompt")
+        features = extract_features(prompt)
+        tokens = self.tokenizer.encode(prompt)
+        if len(tokens) > self.profile.context_window:
+            raise TokenBudgetExceededError(len(tokens), self.profile.context_window)
+        return tokens, features
+
+    def execute_task(
+        self,
+        prompt: str,
+        features: PromptFeatures,
+        *,
+        max_tokens: int | None = None,
+    ) -> tuple[str, int, TaskOutput]:
+        """Route and run the task; returns (text, output_tokens, output).
+
+        Deterministic given (profile, bound corpora, prompt) and free of
+        shared mutable state, so concurrent lanes may execute tasks in
+        any order without changing any item's output.
+        """
+        output: TaskOutput = self.engine.run(prompt, features)
+        text = output.text
+        output_tokens = self.tokenizer.count(text)
+        if max_tokens is not None and output_tokens > max_tokens:
+            pieces = self.tokenizer.pieces(text)[:max_tokens]
+            text = " ".join(pieces)
+            output_tokens = max_tokens
+        return text, output_tokens, output
+
+    def record_result(self, result: GenerationResult) -> None:
+        """Fold one result into the aggregate counters and notify listeners."""
+        with self._lock:
+            self.calls += 1
+            self.total_latency += result.latency.total
+            self.total_prompt_tokens += result.prompt_tokens
+            self.total_cached_tokens += result.cached_tokens
+            self.total_output_tokens += result.output_tokens
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(result)
+            except Exception as error:  # noqa: BLE001 - observers must not break serving
+                with self._lock:
+                    self.listener_errors.append(
+                        f"{type(error).__name__}: {error}"
+                    )
 
     def generate(
         self,
@@ -130,23 +197,14 @@ class SimulatedLLM:
             use_cache: override the instance-level prefix-cache setting
                 for this call.
         """
-        if not prompt:
-            raise ModelError("cannot generate from an empty prompt")
-        features: PromptFeatures = extract_features(prompt)
-        tokens = self.tokenizer.encode(prompt)
-        if len(tokens) > self.profile.context_window:
-            raise TokenBudgetExceededError(len(tokens), self.profile.context_window)
+        tokens, features = self.prepare(prompt)
 
         caching = self.enable_prefix_cache if use_cache is None else use_cache
         cached = self.kv_cache.lookup_and_insert(tokens) if caching else 0
 
-        output: TaskOutput = self.engine.run(prompt, features)
-        text = output.text
-        output_tokens = self.tokenizer.count(text)
-        if max_tokens is not None and output_tokens > max_tokens:
-            pieces = self.tokenizer.pieces(text)[:max_tokens]
-            text = " ".join(pieces)
-            output_tokens = max_tokens
+        text, output_tokens, output = self.execute_task(
+            prompt, features, max_tokens=max_tokens
+        )
 
         latency = estimate_latency(
             self.profile,
@@ -155,12 +213,6 @@ class SimulatedLLM:
             output_tokens=output_tokens,
         )
         self.clock.advance(latency.total)
-
-        self.calls += 1
-        self.total_latency += latency.total
-        self.total_prompt_tokens += len(tokens)
-        self.total_cached_tokens += cached
-        self.total_output_tokens += output_tokens
 
         result = GenerationResult(
             text=text,
@@ -172,13 +224,7 @@ class SimulatedLLM:
             confidence=output.confidence,
             extras=dict(output.extras),
         )
-        for listener in list(self._listeners):
-            try:
-                listener(result)
-            except Exception as error:  # noqa: BLE001 - observers must not break serving
-                self.listener_errors.append(
-                    f"{type(error).__name__}: {error}"
-                )
+        self.record_result(result)
         return result
 
     # -- accounting -------------------------------------------------------------
@@ -191,26 +237,28 @@ class SimulatedLLM:
         return self.total_cached_tokens / self.total_prompt_tokens
 
     def snapshot(self) -> dict[str, Any]:
-        """Point-in-time accounting for gauges and reports."""
-        return {
-            "profile": self.profile.name,
-            "calls": self.calls,
-            "total_latency": self.total_latency,
-            "total_prompt_tokens": self.total_prompt_tokens,
-            "total_cached_tokens": self.total_cached_tokens,
-            "total_output_tokens": self.total_output_tokens,
-            "overall_cache_hit_rate": self.overall_cache_hit_rate,
-            "kv_cache": self.kv_cache.snapshot(),
-            "prompt_cache": self.prompt_cache.snapshot(),
-        }
+        """Point-in-time accounting for gauges and reports (atomic)."""
+        with self._lock:
+            return {
+                "profile": self.profile.name,
+                "calls": self.calls,
+                "total_latency": self.total_latency,
+                "total_prompt_tokens": self.total_prompt_tokens,
+                "total_cached_tokens": self.total_cached_tokens,
+                "total_output_tokens": self.total_output_tokens,
+                "overall_cache_hit_rate": self.overall_cache_hit_rate,
+                "kv_cache": self.kv_cache.snapshot(),
+                "prompt_cache": self.prompt_cache.snapshot(),
+            }
 
     def reset_stats(self, *, clear_cache: bool = False) -> None:
         """Zero the aggregate counters (and optionally drop the caches)."""
-        self.calls = 0
-        self.total_latency = 0.0
-        self.total_prompt_tokens = 0
-        self.total_cached_tokens = 0
-        self.total_output_tokens = 0
+        with self._lock:
+            self.calls = 0
+            self.total_latency = 0.0
+            self.total_prompt_tokens = 0
+            self.total_cached_tokens = 0
+            self.total_output_tokens = 0
         if clear_cache:
             self.kv_cache.clear()
             self.prompt_cache.clear()

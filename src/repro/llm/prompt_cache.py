@@ -10,6 +10,7 @@ cache instead of re-rendering templates.
 from __future__ import annotations
 
 import json
+import threading
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -41,7 +42,12 @@ class PromptCacheKey:
 
 
 class StructuredPromptCache:
-    """LRU cache of rendered prompt texts keyed by view/params/version."""
+    """LRU cache of rendered prompt texts keyed by view/params/version.
+
+    Thread-safe: lookups, inserts, and invalidation from concurrent
+    worker lanes are serialized by one reentrant lock, so hit/miss
+    accounting never races and :meth:`snapshot` is atomic.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
@@ -50,6 +56,7 @@ class StructuredPromptCache:
         self._entries: OrderedDict[PromptCacheKey, str] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     def key(
         self,
@@ -62,26 +69,29 @@ class StructuredPromptCache:
 
     def get(self, key: PromptCacheKey) -> str | None:
         """Return the cached rendering for ``key`` or None."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
-        self.misses += 1
-        return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
 
     def put(self, key: PromptCacheKey, rendered: str) -> None:
         """Cache ``rendered`` under ``key``, evicting LRU entries."""
-        self._entries[key] = rendered
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = rendered
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate_view(self, view: str) -> int:
         """Drop all entries of one view (e.g. after its definition changed)."""
-        stale = [key for key in self._entries if key.view == view]
-        for key in stale:
-            del self._entries[key]
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key.view == view]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
 
     @property
     def hit_rate(self) -> float:
@@ -92,20 +102,23 @@ class StructuredPromptCache:
         return self.hits / total
 
     def snapshot(self) -> dict[str, float]:
-        """Point-in-time statistics for gauges and reports."""
-        return {
-            "entries": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate,
-        }
+        """Point-in-time statistics for gauges and reports (atomic)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all entries and reset statistics."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

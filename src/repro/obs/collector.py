@@ -28,6 +28,17 @@ spear_plans_total                              counter    —
 spear_plan_refiners_chosen_total               counter    —
 spear_plan_refiners_skipped_total              counter    —
 spear_shadow_phases_total                      counter    phase
+spear_batch_runs_total                         counter    mode
+spear_batch_items_total                        counter    mode
+spear_batch_failures_total                     counter    mode
+spear_batch_elapsed_seconds                    histogram  mode
+spear_batch_throughput                         gauge      mode
+spear_batch_workers                            gauge      mode
+spear_gen_queue_depth                          gauge      model
+spear_microbatch_flushes_total                 counter    model
+spear_microbatch_size                          histogram  model
+spear_microbatch_wall_seconds                  histogram  model
+spear_lane_elapsed_seconds                     histogram  —
 spear_model_gen_calls_total                    counter    model
 spear_model_gen_latency_seconds                histogram  model
 spear_model_prompt_tokens_total                counter    model
@@ -223,6 +234,35 @@ class ObsCollector:
                 "spear_shadow_phases_total", "Shadow execution phase markers.",
                 phase=str(event.payload.get("phase", "?")),
             ).inc()
+        elif kind is EventKind.BATCH:
+            mode = str(event.payload.get("mode", "?"))
+            self.registry.counter(
+                "spear_batch_runs_total", "Batch runs completed, by mode.",
+                mode=mode,
+            ).inc()
+            self.registry.counter(
+                "spear_batch_items_total", "Items processed by batch runs.",
+                mode=mode,
+            ).inc(float(event.payload.get("items", 0) or 0))
+            self.registry.counter(
+                "spear_batch_failures_total",
+                "Item failures collected by batch runs.", mode=mode,
+            ).inc(float(event.payload.get("failures", 0) or 0))
+            self.registry.histogram(
+                "spear_batch_elapsed_seconds",
+                "Simulated elapsed time per batch run.",
+                buckets=LATENCY_BUCKETS,
+                mode=mode,
+            ).observe(float(event.payload.get("elapsed", 0.0) or 0.0))
+            self.registry.gauge(
+                "spear_batch_throughput",
+                "Items per simulated second of the last batch run.",
+                mode=mode,
+            ).set(float(event.payload.get("throughput", 0.0) or 0.0))
+            self.registry.gauge(
+                "spear_batch_workers",
+                "Lanes used by the last batch run.", mode=mode,
+            ).set(float(event.payload.get("workers", 1) or 1))
 
     def on_generation(self, result: "GenerationResult", model: str = "?") -> None:
         """Model-layer listener: every ``generate`` call, however reached.

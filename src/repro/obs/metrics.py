@@ -14,12 +14,16 @@ dashboard expect:
   same math as PromQL's ``histogram_quantile``.
 
 Everything is plain Python on the virtual-clock timeline: deterministic,
-dependency-free, and cheap enough for the hot path.
+dependency-free, and cheap enough for the hot path.  Instruments and the
+registry are thread-safe: concurrent worker lanes (the parallel batch
+runner and GEN micro-batcher) update them without losing increments or
+observations.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Callable, Iterator, Sequence
 
 from repro.errors import ObservabilityError
@@ -54,42 +58,50 @@ def _label_key(labels: dict[str, str]) -> LabelKey:
 class Counter:
     """A monotonically increasing total."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the total."""
         if amount < 0:
             raise ObservabilityError(f"counter increments must be >= 0: {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A point-in-time value; may be backed by a pull callback."""
 
-    __slots__ = ("_value", "_fn")
+    __slots__ = ("_value", "_fn", "_lock")
 
     def __init__(self) -> None:
         self._value: float = 0.0
         self._fn: Callable[[], float] | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Record the current value (clears any pull callback)."""
-        self._value = float(value)
-        self._fn = None
+        with self._lock:
+            self._value = float(value)
+            self._fn = None
 
     def set_function(self, fn: Callable[[], float]) -> None:
         """Read the value from ``fn`` at collection time (pull-style)."""
-        self._fn = fn
+        with self._lock:
+            self._fn = fn
 
     @property
     def value(self) -> float:
         """The current value (invoking the pull callback when set)."""
-        if self._fn is not None:
-            return float(self._fn())
-        return self._value
+        with self._lock:
+            fn = self._fn
+            value = self._value
+        if fn is not None:
+            return float(fn())
+        return value
 
 
 class Histogram:
@@ -102,7 +114,7 @@ class Histogram:
     possible here because we track min/max exactly).
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max", "_lock")
 
     def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -118,6 +130,7 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -127,11 +140,12 @@ class Histogram:
             if value <= bound:
                 index = i
                 break
-        self.bucket_counts[index] += 1
-        self.count += 1
-        self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
 
     @property
     def mean(self) -> float:
@@ -142,32 +156,34 @@ class Histogram:
         """Estimated ``q``-quantile (q in [0, 1]); 0 when empty."""
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1]: {q}")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, bucket_count in enumerate(self.bucket_counts):
-            previous = cumulative
-            cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
-                if i == len(self.bounds):
-                    return self.max  # overflow bucket: exact max is known
-                lower = self.bounds[i - 1] if i else max(self.min, 0.0)
-                lower = min(lower, self.bounds[i])
-                upper = self.bounds[i]
-                fraction = (rank - previous) / bucket_count
-                return lower + (upper - lower) * fraction
-        return self.max
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = q * self.count
+            cumulative = 0
+            for i, bucket_count in enumerate(self.bucket_counts):
+                previous = cumulative
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if i == len(self.bounds):
+                        return self.max  # overflow bucket: exact max is known
+                    lower = self.bounds[i - 1] if i else max(self.min, 0.0)
+                    lower = min(lower, self.bounds[i])
+                    upper = self.bounds[i]
+                    fraction = (rank - previous) / bucket_count
+                    return lower + (upper - lower) * fraction
+            return self.max
 
     def cumulative_counts(self) -> list[tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
-        pairs: list[tuple[float, int]] = []
-        running = 0
-        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
-            running += bucket_count
-            pairs.append((bound, running))
-        pairs.append((math.inf, running + self.bucket_counts[-1]))
-        return pairs
+        with self._lock:
+            pairs: list[tuple[float, int]] = []
+            running = 0
+            for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+                running += bucket_count
+                pairs.append((bound, running))
+            pairs.append((math.inf, running + self.bucket_counts[-1]))
+            return pairs
 
 
 class MetricsRegistry:
@@ -182,6 +198,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         #: name -> (type, help, {label_key: instrument})
         self._families: dict[str, tuple[str, str, dict[LabelKey, object]]] = {}
+        # one registry lock guards family and child creation, so two lanes
+        # asking for the same (name, labels) always get the same instrument.
+        self._lock = threading.RLock()
 
     def _family(
         self, name: str, kind: str, help_text: str
@@ -203,21 +222,23 @@ class MetricsRegistry:
 
     def counter(self, name: str, help_text: str = "", **labels: str) -> Counter:
         """Get or create the counter ``name{labels}``."""
-        children = self._family(name, "counter", help_text)
-        key = _label_key(labels)
-        child = children.get(key)
-        if child is None:
-            child = children[key] = Counter()
-        return child  # type: ignore[return-value]
+        with self._lock:
+            children = self._family(name, "counter", help_text)
+            key = _label_key(labels)
+            child = children.get(key)
+            if child is None:
+                child = children[key] = Counter()
+            return child  # type: ignore[return-value]
 
     def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
         """Get or create the gauge ``name{labels}``."""
-        children = self._family(name, "gauge", help_text)
-        key = _label_key(labels)
-        child = children.get(key)
-        if child is None:
-            child = children[key] = Gauge()
-        return child  # type: ignore[return-value]
+        with self._lock:
+            children = self._family(name, "gauge", help_text)
+            key = _label_key(labels)
+            child = children.get(key)
+            if child is None:
+                child = children[key] = Gauge()
+            return child  # type: ignore[return-value]
 
     def histogram(
         self,
@@ -228,12 +249,13 @@ class MetricsRegistry:
         **labels: str,
     ) -> Histogram:
         """Get or create the histogram ``name{labels}``."""
-        children = self._family(name, "histogram", help_text)
-        key = _label_key(labels)
-        child = children.get(key)
-        if child is None:
-            child = children[key] = Histogram(buckets)
-        return child  # type: ignore[return-value]
+        with self._lock:
+            children = self._family(name, "histogram", help_text)
+            key = _label_key(labels)
+            child = children.get(key)
+            if child is None:
+                child = children[key] = Histogram(buckets)
+            return child  # type: ignore[return-value]
 
     # -- read side ----------------------------------------------------------
 
@@ -242,8 +264,13 @@ class MetricsRegistry:
     ) -> Iterator[tuple[str, str, str, list[tuple[dict[str, str], object]]]]:
         """Yield (name, type, help, [(labels, instrument), ...]) families,
         names sorted, children sorted by label set."""
-        for name in sorted(self._families):
-            kind, help_text, children = self._families[name]
+        with self._lock:
+            families = {
+                name: (kind, help_text, dict(children))
+                for name, (kind, help_text, children) in self._families.items()
+            }
+        for name in sorted(families):
+            kind, help_text, children = families[name]
             samples = [
                 (dict(key), instrument)
                 for key, instrument in sorted(children.items())
@@ -252,21 +279,25 @@ class MetricsRegistry:
 
     def get(self, name: str, **labels: str) -> object | None:
         """The instrument registered under (name, labels), or None."""
-        family = self._families.get(name)
-        if family is None:
-            return None
-        return family[2].get(_label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family[2].get(_label_key(labels))
 
     def names(self) -> list[str]:
         """All registered family names, sorted."""
-        return sorted(self._families)
+        with self._lock:
+            return sorted(self._families)
 
     def sum_counter(self, name: str) -> float:
         """Total of a counter family across every label set (0 if absent)."""
-        family = self._families.get(name)
-        if family is None:
-            return 0.0
-        kind, _, children = family
-        if kind != "counter":
-            raise ObservabilityError(f"metric {name!r} is a {kind}, not a counter")
-        return sum(child.value for child in children.values())  # type: ignore[attr-defined]
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            kind, _, children = family
+            if kind != "counter":
+                raise ObservabilityError(f"metric {name!r} is a {kind}, not a counter")
+            instruments = list(children.values())
+        return sum(child.value for child in instruments)  # type: ignore[attr-defined]

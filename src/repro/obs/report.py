@@ -70,6 +70,7 @@ class RunReport:
     operators: dict[str, dict[str, Any]] = field(default_factory=dict)
     generation: dict[str, dict[str, Any]] = field(default_factory=dict)
     model: dict[str, dict[str, Any]] = field(default_factory=dict)
+    batches: dict[str, dict[str, Any]] = field(default_factory=dict)
     totals: dict[str, Any] = field(default_factory=dict)
     cache: dict[str, Any] = field(default_factory=dict)
     slowest_spans: list[dict[str, Any]] = field(default_factory=list)
@@ -80,6 +81,7 @@ class RunReport:
             "operators": self.operators,
             "generation": self.generation,
             "model": self.model,
+            "batches": self.batches,
             "totals": self.totals,
             "cache": self.cache,
             "slowest_spans": self.slowest_spans,
@@ -181,6 +183,41 @@ def build_report(
             "output_tokens": int(o_tok),
             "cache_hit_ratio": round(c_tok / p_tok, 4) if p_tok else 0.0,
             "cost_usd": round(pricing.cost(p_tok, c_tok, o_tok), 6),
+        }
+
+    # -- batch runs (sequential / parallel runners) ------------------------
+    batch_runs = _counter_by_label(registry, "spear_batch_runs_total", "mode")
+    batch_items = _counter_by_label(registry, "spear_batch_items_total", "mode")
+    batch_failures = _counter_by_label(
+        registry, "spear_batch_failures_total", "mode"
+    )
+    batch_elapsed = {
+        labels.get("mode", "?"): child
+        for labels, child in _family_children(
+            registry, "spear_batch_elapsed_seconds"
+        )
+        if isinstance(child, Histogram)
+    }
+    batch_throughput = {
+        labels.get("mode", "?"): child
+        for labels, child in _family_children(registry, "spear_batch_throughput")
+        if isinstance(child, Gauge)
+    }
+    batch_workers = {
+        labels.get("mode", "?"): child
+        for labels, child in _family_children(registry, "spear_batch_workers")
+        if isinstance(child, Gauge)
+    }
+    for mode in sorted(set(batch_runs) | set(batch_elapsed)):
+        throughput = batch_throughput.get(mode)
+        workers = batch_workers.get(mode)
+        report.batches[mode] = {
+            "runs": int(batch_runs.get(mode, 0)),
+            "items": int(batch_items.get(mode, 0)),
+            "failures": int(batch_failures.get(mode, 0)),
+            "elapsed_seconds": _hist_summary(batch_elapsed.get(mode)),
+            "throughput": round(throughput.value, 4) if throughput else 0.0,
+            "workers": int(workers.value) if workers else 1,
         }
 
     # -- cache gauges -------------------------------------------------------

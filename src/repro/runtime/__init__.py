@@ -1,6 +1,6 @@
 """SPEAR runtime: executor, events, shadow execution, replay, KV backends."""
 
-from repro.runtime.clock import VirtualClock
+from repro.runtime.clock import LaneClockGroup, VirtualClock
 from repro.runtime.events import Event, EventKind, EventLog
 from repro.runtime.executor import Executor, RunResult
 from repro.runtime.kvstore import (
@@ -10,6 +10,7 @@ from repro.runtime.kvstore import (
     LatencyModelBackend,
 )
 from repro.runtime.batch import BatchResult, BatchRunner, ItemResult
+from repro.runtime.parallel import ParallelBatchRunner
 from repro.runtime.persistence import load_store, save_store, store_from_dict, store_to_dict
 from repro.runtime.replay import ReplayStep, export_replay_log, replay, verify_replay
 from repro.runtime.tracing import (
@@ -23,6 +24,7 @@ from repro.runtime.shadow import ShadowReport, compare_states, shadow_run
 
 __all__ = [
     "VirtualClock",
+    "LaneClockGroup",
     "Event",
     "EventKind",
     "EventLog",
@@ -35,6 +37,7 @@ __all__ = [
     "BatchResult",
     "BatchRunner",
     "ItemResult",
+    "ParallelBatchRunner",
     "load_store",
     "save_store",
     "store_from_dict",

@@ -6,6 +6,12 @@ pipeline once per item on a forked state — shared prompt store, model and
 caches (so prefix reuse across items behaves like real batched serving),
 but isolated context/metadata per item — and aggregates outputs, signals,
 and latency.
+
+This module is the *sequential* engine: items run one at a time on the
+state's single clock, so batch elapsed is the sum of item latencies.  The
+concurrent engine with GEN micro-batching lives in
+:mod:`repro.runtime.parallel` and shares :class:`ItemResult` /
+:class:`BatchResult` with this one.
 """
 
 from __future__ import annotations
@@ -13,13 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
+from repro.runtime.events import EventKind
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     # repro.core.state imports repro.runtime.clock; module-level imports of
     # core here would be circular.
     from repro.core.pipeline import Pipeline
     from repro.core.state import ExecutionState
 
-__all__ = ["ItemResult", "BatchResult", "BatchRunner"]
+__all__ = [
+    "ItemResult",
+    "BatchResult",
+    "BatchRunner",
+    "collect_item_result",
+    "emit_batch_event",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +58,8 @@ class BatchResult:
 
     items: list[ItemResult] = field(default_factory=list)
     elapsed: float = 0.0
+    #: worker lanes the batch ran on (1 for the sequential runner).
+    workers: int = 1
 
     def outputs(self, label: str) -> list[Any]:
         """Per-item values of C[label] (None where missing or failed)."""
@@ -63,6 +79,65 @@ class BatchResult:
         if not self.items:
             return 0.0
         return self.elapsed / len(self.items)
+
+    @property
+    def throughput(self) -> float:
+        """Items per simulated second (0 for an empty or instant batch)."""
+        if self.elapsed <= 0.0:
+            return 0.0
+        return len(self.items) / self.elapsed
+
+
+def collect_item_result(
+    item: Any,
+    item_state: "ExecutionState",
+    elapsed: float,
+    error: Exception | None,
+) -> ItemResult:
+    """Snapshot one item's forked state into an :class:`ItemResult`.
+
+    Shared by the sequential and parallel runners so both report items
+    identically (``*__result`` carrier keys are dropped from the context).
+    """
+    return ItemResult(
+        item=item,
+        context={
+            key: item_state.context[key]
+            for key in item_state.context.keys()
+            if not key.endswith("__result")
+        },
+        metadata=item_state.metadata.as_dict(),
+        elapsed=elapsed,
+        error=error,
+    )
+
+
+def emit_batch_event(
+    state: "ExecutionState",
+    batch: BatchResult,
+    *,
+    mode: str,
+    runner: str,
+    extra: dict[str, Any] | None = None,
+) -> None:
+    """Record a ``BATCH`` summary event for the whole run.
+
+    The observability layer rolls these into batch metrics, and
+    ``spear stats`` renders them as the batch-runs table.
+    """
+    payload: dict[str, Any] = {
+        "mode": mode,
+        "items": len(batch.items),
+        "failures": len(batch.failures()),
+        "workers": batch.workers,
+        "elapsed": batch.elapsed,
+        "throughput": batch.throughput,
+    }
+    if extra:
+        payload.update(extra)
+    state.events.record(
+        EventKind.BATCH, runner, at=state.clock.now, payload=payload
+    )
 
 
 class BatchRunner:
@@ -100,27 +175,25 @@ class BatchRunner:
         batch_start = clock.now
         for item in items:
             item_state = self.base_state.fork()
-            self.bind(item_state, item)
             item_start = clock.now
             error: Exception | None = None
             try:
+                # bind runs inside the error policy: a failing bind is an
+                # item failure like any other, not a batch abort under
+                # on_error="collect".
+                self.bind(item_state, item)
                 item_state = pipeline.apply(item_state)
             except Exception as exc:  # noqa: BLE001 - collected by policy
                 if self.on_error == "raise":
                     raise
                 error = exc
             batch.items.append(
-                ItemResult(
-                    item=item,
-                    context={
-                        key: item_state.context[key]
-                        for key in item_state.context.keys()
-                        if not key.endswith("__result")
-                    },
-                    metadata=item_state.metadata.as_dict(),
-                    elapsed=clock.now - item_start,
-                    error=error,
+                collect_item_result(
+                    item, item_state, clock.now - item_start, error
                 )
             )
         batch.elapsed = clock.now - batch_start
+        emit_batch_event(
+            self.base_state, batch, mode="sequential", runner="BatchRunner"
+        )
         return batch

@@ -9,9 +9,10 @@ paper §4.4, and refinement replay (§6).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 __all__ = ["EventKind", "Event", "EventLog"]
 
@@ -31,6 +32,7 @@ class EventKind(str, Enum):
     CACHE = "cache"
     PLAN = "plan"
     SHADOW = "shadow"
+    BATCH = "batch"
     ERROR = "error"
 
 
@@ -56,11 +58,19 @@ class Event:
 
 
 class EventLog:
-    """Append-only event sink with query helpers."""
+    """Append-only event sink with query helpers.
+
+    Thread-safe: ``record``/``emit``, ``subscribe``/``unsubscribe``, and
+    the query helpers may be called from concurrent worker lanes.  One
+    reentrant lock serializes appends, so sequence numbers are unique and
+    subscribers see a totally ordered stream (a subscriber that records
+    back into the same log from its callback re-enters safely).
+    """
 
     def __init__(self) -> None:
         self._events: list[Event] = []
         self._counter = itertools.count()
+        self._lock = threading.RLock()
         #: optional live subscribers (e.g. a shadow executor); each is
         #: called with every appended event.
         self._subscribers: list[Callable[[Event], None]] = []
@@ -98,16 +108,38 @@ class EventLog:
         (``kind``, ``operator``, ``at``) are only representable this way;
         the import/replay path depends on it.
         """
-        event = Event(
-            seq=next(self._counter),
-            kind=kind,
-            operator=operator,
-            at=at,
-            payload=dict(payload) if payload else {},
-        )
-        self._events.append(event)
-        self._notify(list(self._subscribers), event, fanout_errors=True)
-        return event
+        with self._lock:
+            event = Event(
+                seq=next(self._counter),
+                kind=kind,
+                operator=operator,
+                at=at,
+                payload=dict(payload) if payload else {},
+            )
+            self._events.append(event)
+            self._notify(list(self._subscribers), event, fanout_errors=True)
+            return event
+
+    def extend(self, events: Iterable[Event]) -> list[Event]:
+        """Re-record foreign events into this log, renumbering their ``seq``.
+
+        The parallel batch runner records per-lane events into private
+        lane logs (so concurrent lanes never interleave span brackets),
+        then folds each lane's stream into the base log when the run
+        completes.  Kind, operator, timestamp and payload are preserved;
+        subscribers are notified exactly as for live records.  Returns
+        the renumbered events.
+        """
+        with self._lock:
+            return [
+                self.record(
+                    event.kind,
+                    event.operator,
+                    at=event.at,
+                    payload=event.payload,
+                )
+                for event in events
+            ]
 
     def _notify(
         self,
@@ -141,15 +173,17 @@ class EventLog:
 
     def subscribe(self, callback: Callable[[Event], None]) -> None:
         """Register ``callback`` to receive every future event."""
-        self._subscribers.append(callback)
+        with self._lock:
+            self._subscribers.append(callback)
 
     def unsubscribe(self, callback: Callable[[Event], None]) -> bool:
         """Remove a subscriber; returns False when it was not registered."""
-        try:
-            self._subscribers.remove(callback)
-        except ValueError:
-            return False
-        return True
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                return False
+            return True
 
     # -- queries -----------------------------------------------------------
 
@@ -157,37 +191,41 @@ class EventLog:
         return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
-        return iter(self._events)
+        # Iterate a snapshot so concurrent appends cannot skew iteration.
+        return iter(self.all())
 
     def all(self) -> list[Event]:
         """All events, oldest first."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def of_kind(self, kind: EventKind) -> list[Event]:
         """Events of one kind, oldest first."""
-        return [event for event in self._events if event.kind is kind]
+        return [event for event in self.all() if event.kind is kind]
 
     def for_operator(self, operator: str) -> list[Event]:
         """Events emitted by operators whose label starts with ``operator``."""
         return [
             event
-            for event in self._events
+            for event in self.all()
             if event.operator == operator or event.operator.startswith(operator + "[")
         ]
 
     def last(self, kind: EventKind | None = None) -> Event | None:
         """The most recent event (optionally of one kind)."""
+        events = self.all()
         if kind is None:
-            return self._events[-1] if self._events else None
-        for event in reversed(self._events):
+            return events[-1] if events else None
+        for event in reversed(events):
             if event.kind is kind:
                 return event
         return None
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Serialize the full log."""
-        return [event.to_dict() for event in self._events]
+        return [event.to_dict() for event in self.all()]
 
     def clear(self) -> None:
         """Drop all events (subscribers are kept)."""
-        self._events.clear()
+        with self._lock:
+            self._events.clear()

@@ -1,0 +1,281 @@
+"""Concurrent batch execution with continuous GEN micro-batching.
+
+The paper's runtime (§6) sits on a vLLM-style serving stack: many
+per-item pipelines run concurrently and their generation calls are
+batched into shared engine steps.  :class:`ParallelBatchRunner` is that
+engine for the reproduction:
+
+- items are assigned **round-robin** to ``workers`` lanes (lane ``i``
+  runs items ``i, i+W, i+2W, …``), so the item→lane mapping is a pure
+  function of the workload, independent of thread timing;
+- each lane is a real thread with its **own virtual clock** (spawned
+  from a :class:`~repro.runtime.clock.LaneClockGroup`) and its own
+  private event log, so span brackets never interleave across threads;
+- generation calls route through a
+  :class:`~repro.llm.batcher.GenMicroBatcher`, which coalesces the next
+  call of every active lane into one micro-batch: one shared overhead,
+  summed (mostly cache-hit) prefill, overlapped decode;
+- the batch's simulated elapsed is the **max** over lane clocks, not the
+  sum — overlap, not serialization.
+
+Determinism: item outputs are produced by the model's deterministic task
+engine from the prompt alone, micro-batch composition is fixed by the
+barrier discipline (see :mod:`repro.llm.batcher`), and item→lane
+assignment is static — so per-item outputs are identical to the
+sequential :class:`~repro.runtime.batch.BatchRunner`'s, run after run.
+
+After the run, each lane's event stream is folded into the base state's
+log bracketed by ``LANE[i]`` spans, a ``BATCH`` summary event is
+recorded, and the base clock is advanced to the merged lane time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from repro.runtime.batch import (
+    BatchResult,
+    collect_item_result,
+    emit_batch_event,
+)
+from repro.runtime.clock import LaneClockGroup
+from repro.runtime.events import EventKind, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import Pipeline
+    from repro.core.state import ExecutionState
+    from repro.llm.batcher import GenMicroBatcher
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ParallelBatchRunner"]
+
+
+class ParallelBatchRunner:
+    """Runs a pipeline over items on concurrent worker lanes.
+
+    Drop-in for :class:`~repro.runtime.batch.BatchRunner` with the same
+    ``bind`` / ``on_error`` contract plus:
+
+    Args:
+        workers: number of worker lanes (threads).  The effective lane
+            count is ``min(workers, len(items))``.
+        microbatch: coalesce concurrent generation calls into
+            micro-batches (the default).  ``False`` still runs lanes
+            concurrently but gives every call its own engine step —
+            lane-parallelism without batched prefill/decode sharing.
+        max_batch: cap on requests per micro-batch engine step; an
+            oversized barrier is split into concurrently-running steps.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            that receives lane/queue/micro-batch instrumentation.
+        isolate_prompts: fork items with private prompt stores (see
+            :meth:`ExecutionState.fork`); use when the pipeline refines
+            prompts per item and lanes must not observe each other.
+    """
+
+    def __init__(
+        self,
+        base_state: "ExecutionState",
+        *,
+        bind: "Callable[[ExecutionState, Any], None]",
+        on_error: str = "raise",
+        workers: int = 4,
+        microbatch: bool = True,
+        max_batch: int = 64,
+        metrics: "MetricsRegistry | None" = None,
+        isolate_prompts: bool = False,
+    ) -> None:
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect': {on_error!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.base_state = base_state
+        self.bind = bind
+        self.on_error = on_error
+        self.workers = workers
+        self.microbatch = microbatch
+        self.max_batch = max_batch
+        self.metrics = metrics
+        self.isolate_prompts = isolate_prompts
+        #: the micro-batcher of the most recent run (introspection/tests).
+        self.last_batcher: "GenMicroBatcher | None" = None
+
+    # -- the run --------------------------------------------------------------
+
+    def run(
+        self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]"
+    ) -> BatchResult:
+        """Execute ``pipeline`` once per item across the worker lanes."""
+        items = list(items)
+        if not items:
+            batch = BatchResult(workers=0)
+            emit_batch_event(
+                self.base_state, batch, mode="parallel",
+                runner="ParallelBatchRunner",
+            )
+            return batch
+
+        lanes = min(self.workers, len(items))
+        base = self.base_state
+        clock_group = LaneClockGroup(base.clock.now)
+        lane_clocks = [clock_group.spawn() for _ in range(lanes)]
+        lane_logs = [EventLog() for _ in range(lanes)]
+
+        batcher = self._make_batcher()
+        lane_models: list[Any] = []
+        for lane_id in range(lanes):
+            if batcher is not None:
+                lane_models.append(
+                    batcher.open_lane(lane_id, lane_clocks[lane_id])
+                )
+            else:
+                lane_models.append(base.model)
+
+        results: list[Any] = [None] * len(items)
+        errors: list[tuple[int, Exception]] = []
+        errors_lock = threading.Lock()
+        stop = threading.Event()
+
+        def lane_worker(lane_id: int) -> None:
+            lane_clock = lane_clocks[lane_id]
+            lane_log = lane_logs[lane_id]
+            lane_model = lane_models[lane_id]
+            try:
+                for index in range(lane_id, len(items), lanes):
+                    if stop.is_set():
+                        break
+                    item = items[index]
+                    item_state = base.fork(
+                        share_prompts=not self.isolate_prompts
+                    )
+                    item_state.clock = lane_clock
+                    item_state.events = lane_log
+                    item_state.model = lane_model
+                    item_start = lane_clock.now
+                    error: Exception | None = None
+                    try:
+                        # bind runs inside the error policy, matching the
+                        # sequential runner.
+                        self.bind(item_state, item)
+                        item_state = pipeline.apply(item_state)
+                    except Exception as exc:  # noqa: BLE001 - routed by policy
+                        error = exc
+                        if self.on_error == "raise":
+                            with errors_lock:
+                                errors.append((index, exc))
+                            stop.set()
+                            break
+                    results[index] = collect_item_result(
+                        item, item_state, lane_clock.now - item_start, error
+                    )
+            except Exception as exc:  # noqa: BLE001 - lane infrastructure failure
+                with errors_lock:
+                    errors.append((-1, exc))
+                stop.set()
+            finally:
+                # Always shrink the barrier, or peers would wait forever.
+                if batcher is not None:
+                    batcher.close_lane(lane_id)
+
+        threads = [
+            threading.Thread(
+                target=lane_worker, args=(lane_id,),
+                name=f"spear-lane-{lane_id}", daemon=True,
+            )
+            for lane_id in range(lanes)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if errors and self.on_error == "raise":
+            errors.sort(key=lambda pair: pair[0])
+            raise errors[0][1]
+
+        batch = BatchResult(
+            items=[result for result in results if result is not None],
+            elapsed=clock_group.elapsed,
+            workers=lanes,
+        )
+
+        self._fold_lane_events(lane_logs, lane_clocks, clock_group)
+        # Later sequential work continues after the batch completed.
+        base.clock.advance_to(clock_group.now)
+        self._observe(batch, clock_group)
+
+        extra: dict[str, Any] = {
+            "serialized_elapsed": clock_group.serialized_elapsed,
+        }
+        if batcher is not None:
+            stats = batcher.snapshot()
+            extra.update(
+                gen_batches=int(stats["flushes"]),
+                batched_calls=int(stats["batched_calls"]),
+                largest_batch=int(stats["largest_batch"]),
+                mean_batch_size=stats["mean_batch_size"],
+            )
+        emit_batch_event(
+            base, batch, mode="parallel", runner="ParallelBatchRunner",
+            extra=extra,
+        )
+        return batch
+
+    # -- helpers --------------------------------------------------------------
+
+    def _make_batcher(self) -> "GenMicroBatcher | None":
+        """A fresh micro-batcher per run (lane registration is per-run)."""
+        if self.base_state.model is None:
+            self.last_batcher = None
+            return None
+        from repro.llm.batcher import GenMicroBatcher
+
+        batcher = GenMicroBatcher(
+            self.base_state.model,
+            # max_batch=1 gives every call its own engine step: lanes
+            # still overlap, but nothing is coalesced.
+            max_batch=self.max_batch if self.microbatch else 1,
+            metrics=self.metrics,
+        )
+        self.last_batcher = batcher
+        return batcher
+
+    def _fold_lane_events(
+        self,
+        lane_logs: list[EventLog],
+        lane_clocks: list[Any],
+        clock_group: LaneClockGroup,
+    ) -> None:
+        """Replay each lane's private log into the base log as a LANE span.
+
+        Lane streams are appended whole, one lane after another, so span
+        nesting stays well-formed (each lane's events are already a
+        well-bracketed sequence on its own clock).
+        """
+        events = self.base_state.events
+        for lane_id, lane_log in enumerate(lane_logs):
+            events.record(
+                EventKind.OPERATOR_START,
+                f"LANE[{lane_id}]",
+                at=clock_group.start,
+            )
+            events.extend(lane_log.all())
+            events.record(
+                EventKind.OPERATOR_END,
+                f"LANE[{lane_id}]",
+                at=lane_clocks[lane_id].now,
+            )
+
+    def _observe(self, batch: BatchResult, clock_group: LaneClockGroup) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.gauge(
+            "spear_batch_workers", "Lanes used by the last batch run.",
+            mode="parallel",
+        ).set(float(batch.workers))
+        lane_hist = self.metrics.histogram(
+            "spear_lane_elapsed_seconds",
+            "Per-lane simulated elapsed time of a parallel batch run.",
+        )
+        for lane in clock_group.lanes:
+            lane_hist.observe(lane.now - clock_group.start)

@@ -44,6 +44,7 @@ _DETAIL_FIELDS = {
     EventKind.VIEW_EXPAND: ("view", "key"),
     EventKind.PLAN: ("chosen", "skipped", "risk", "refined"),
     EventKind.SHADOW: ("phase",),
+    EventKind.BATCH: ("mode", "items", "failures", "workers", "elapsed", "throughput"),
     EventKind.ERROR: ("error", "message"),
 }
 

@@ -1,0 +1,167 @@
+"""Tests for the GEN micro-batcher and the batched latency model."""
+
+import threading
+
+import pytest
+
+from repro.data import make_tweet_corpus
+from repro.errors import ModelError
+from repro.llm.batcher import GenMicroBatcher
+from repro.llm.latency import estimate_batch_latency, estimate_latency
+from repro.llm.model import SimulatedLLM
+from repro.llm.profiles import get_profile
+from repro.runtime.clock import VirtualClock
+
+PROFILE = get_profile("qwen2.5-7b-instruct")
+
+
+def _model():
+    llm = SimulatedLLM(PROFILE)
+    llm.bind_tweets(make_tweet_corpus(10, seed=3))
+    return llm
+
+
+PROMPT = (
+    "Select the tweet only if its sentiment is negative. "
+    "Respond with yes or no.\nTweet:\nthis day was awful and I hate it"
+)
+
+
+class TestBatchLatency:
+    def test_batch_of_one_degenerates_to_single_call(self):
+        single = estimate_latency(
+            PROFILE, prompt_tokens=100, cached_tokens=40, output_tokens=20
+        )
+        batch = estimate_batch_latency(PROFILE, [(100, 40, 20)])
+        assert batch.wall == pytest.approx(single.total)
+        assert batch.per_request[0].total == pytest.approx(single.total)
+        assert batch.size == 1
+
+    def test_batched_wall_below_serialized_sum(self):
+        requests = [(100, 80, 30), (100, 80, 25), (100, 80, 30)]
+        batch = estimate_batch_latency(PROFILE, requests)
+        serialized = sum(
+            estimate_latency(
+                PROFILE, prompt_tokens=p, cached_tokens=c, output_tokens=o
+            ).total
+            for p, c, o in requests
+        )
+        assert batch.wall < serialized
+        assert batch.serialized > batch.wall
+
+    def test_decode_charged_at_max_not_sum(self):
+        batch = estimate_batch_latency(PROFILE, [(10, 0, 50), (10, 0, 10)])
+        expected = (
+            PROFILE.overhead_s
+            + PROFILE.prefill_s_per_token * 20
+            + PROFILE.decode_s_per_token * 50
+        )
+        assert batch.wall == pytest.approx(expected)
+
+    def test_overhead_amortized_across_requests(self):
+        batch = estimate_batch_latency(PROFILE, [(10, 0, 5)] * 4)
+        for request in batch.per_request:
+            assert request.overhead == pytest.approx(PROFILE.overhead_s / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_batch_latency(PROFILE, [])
+        with pytest.raises(ValueError):
+            estimate_batch_latency(PROFILE, [(10, 20, 5)])  # cached > prompt
+        with pytest.raises(ValueError):
+            estimate_batch_latency(PROFILE, [(10, 0, -1)])
+
+
+class TestGenMicroBatcher:
+    def test_single_lane_passthrough_matches_direct_generate(self):
+        direct = _model()
+        expected = direct.generate(PROMPT)
+
+        batched = _model()
+        batcher = GenMicroBatcher(batched)
+        clock = VirtualClock()
+        lane = batcher.open_lane(0, clock)
+        result = lane.generate(PROMPT)
+        batcher.close_lane(0)
+
+        assert result.text == expected.text
+        assert result.prompt_tokens == expected.prompt_tokens
+        assert result.latency.total == pytest.approx(expected.latency.total)
+        assert clock.now == pytest.approx(direct.clock.now)
+
+    def test_two_lanes_coalesce_and_merge_clocks(self):
+        model = _model()
+        batcher = GenMicroBatcher(model)
+        clocks = [VirtualClock(), VirtualClock()]
+        lanes = [batcher.open_lane(i, clocks[i]) for i in range(2)]
+
+        results = [None, None]
+
+        def worker(i):
+            results[i] = lanes[i].generate(PROMPT)
+            batcher.close_lane(i)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert results[0].extras["microbatch_size"] == 2
+        assert results[1].extras["microbatch_size"] == 2
+        # Both lanes land on the same post-batch time.
+        assert clocks[0].now == pytest.approx(clocks[1].now)
+        assert batcher.snapshot()["flushes"] == 1
+
+    def test_lane_must_be_open(self):
+        batcher = GenMicroBatcher(_model())
+        with pytest.raises(RuntimeError):
+            batcher.submit(0, PROMPT)
+
+    def test_duplicate_lane_rejected(self):
+        batcher = GenMicroBatcher(_model())
+        batcher.open_lane(0, VirtualClock())
+        with pytest.raises(ValueError):
+            batcher.open_lane(0, VirtualClock())
+
+    def test_prepare_error_delivered_to_caller_only(self):
+        model = _model()
+        batcher = GenMicroBatcher(model)
+        lane = batcher.open_lane(0, VirtualClock())
+        with pytest.raises(ModelError):
+            lane.generate("")
+        batcher.close_lane(0)
+        assert batcher.snapshot()["pending"] == 0
+
+    def test_max_batch_splits_barrier(self):
+        model = _model()
+        batcher = GenMicroBatcher(model, max_batch=2)
+        clocks = [VirtualClock() for _ in range(4)]
+        lanes = [batcher.open_lane(i, clocks[i]) for i in range(4)]
+        results = [None] * 4
+
+        def worker(i):
+            results[i] = lanes[i].generate(PROMPT)
+            batcher.close_lane(i)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(r is not None for r in results)
+        assert batcher.largest_batch <= 2
+        assert batcher.batched_calls == 4
+
+    def test_lane_model_delegates_attributes(self):
+        model = _model()
+        batcher = GenMicroBatcher(model)
+        lane = batcher.open_lane(0, VirtualClock())
+        assert lane.profile is model.profile
+        assert lane.kv_cache is model.kv_cache
+        assert lane.tokenizer is model.tokenizer

@@ -69,6 +69,32 @@ class TestPackFragments:
         result = pack_fragments([], budget_tokens=10)
         assert result.text == ""
         assert result.kept == ()
+        assert result.utilization == 0.0
+
+    def test_single_fragment_larger_than_window(self):
+        result = pack_fragments([_fragment(200, name="huge")], budget_tokens=16)
+        # The oversized fragment is truncated into the window, not dropped.
+        assert result.truncated == "huge"
+        assert result.tokens_used <= 16
+        assert 0.0 < result.utilization <= 1.0
+
+    def test_single_oversized_fragment_without_truncation(self):
+        result = pack_fragments(
+            [_fragment(200, name="huge")], budget_tokens=16,
+            allow_truncation=False,
+        )
+        assert result.kept == ()
+        assert result.dropped == ("huge",)
+        assert result.text == ""
+        assert result.utilization == 0.0
+
+    def test_utilization_bounds(self):
+        # Full budget use stays capped at exactly 1.0.
+        exact = pack_fragments([_fragment(50, name="big")], budget_tokens=10)
+        assert 0.0 <= exact.utilization <= 1.0
+        # Partial use is strictly between the bounds.
+        partial = pack_fragments([_fragment(3, name="small")], budget_tokens=100)
+        assert 0.0 < partial.utilization < 1.0
 
     def test_packed_prompt_fits_model_window(self, clinical_corpus):
         from dataclasses import replace

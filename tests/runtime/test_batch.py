@@ -84,6 +84,54 @@ class TestBatchRunner:
         assert not batch.items[0].ok
         assert batch.items[1].ok
 
+    def test_bind_failure_collected_not_raised(self, state, tweet_corpus, filter_pipeline):
+        def flaky_bind(item_state, tweet):
+            if tweet is tweet_corpus.tweets[1]:
+                raise KeyError("bind exploded")
+            _bind_tweet(item_state, tweet)
+
+        runner = BatchRunner(state, bind=flaky_bind, on_error="collect")
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:3])
+        # The failing bind becomes an item failure, not a batch abort.
+        assert len(batch.items) == 3
+        assert batch.items[0].ok
+        assert not batch.items[1].ok
+        assert isinstance(batch.items[1].error, KeyError)
+        assert batch.items[2].ok
+
+    def test_bind_failure_raises_under_raise_policy(self, state, tweet_corpus, filter_pipeline):
+        def bad_bind(item_state, tweet):
+            raise KeyError("bind exploded")
+
+        runner = BatchRunner(state, bind=bad_bind)
+        with pytest.raises(KeyError):
+            runner.run(filter_pipeline, tweet_corpus.tweets[:2])
+
+    def test_throughput(self, state, tweet_corpus, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:5])
+        assert batch.elapsed > 0
+        assert batch.throughput == pytest.approx(5 / batch.elapsed)
+        assert batch.workers == 1
+
+    def test_throughput_zero_for_empty_batch(self, state, filter_pipeline):
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, [])
+        assert batch.throughput == 0.0
+
+    def test_batch_event_emitted(self, state, tweet_corpus, filter_pipeline):
+        from repro.runtime.events import EventKind
+
+        runner = BatchRunner(state, bind=_bind_tweet)
+        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:4])
+        events = state.events.of_kind(EventKind.BATCH)
+        assert len(events) == 1
+        payload = events[0].payload
+        assert payload["mode"] == "sequential"
+        assert payload["items"] == 4
+        assert payload["workers"] == 1
+        assert payload["throughput"] == pytest.approx(batch.throughput)
+
     def test_invalid_on_error_policy(self, state):
         with pytest.raises(ValueError):
             BatchRunner(state, bind=lambda s, i: None, on_error="ignore")

@@ -148,6 +148,38 @@ class TestStatsCommand:
         for line in out.splitlines():
             assert line.startswith("#") or sample.match(line), line
 
+    def test_stats_batch_table(self, tmp_path, tweet_corpus, capsys):
+        """A trace containing BATCH events renders the batch-runs table."""
+        from repro.core import GEN, Pipeline
+        from repro.core.state import ExecutionState
+        from repro.llm.model import SimulatedLLM
+        from repro.runtime.batch import BatchRunner
+        from repro.runtime.tracing import export_events
+
+        llm = SimulatedLLM("qwen2.5-7b-instruct")
+        llm.bind_tweets(tweet_corpus)
+        state = ExecutionState(model=llm, clock=llm.clock)
+        state.prompts.create(
+            "filter",
+            "Select the tweet only if its sentiment is negative. "
+            "Respond with yes or no.\nTweet:\n{tweet}",
+        )
+        runner = BatchRunner(
+            state, bind=lambda s, t: s.context.put("tweet", t.text, producer="b")
+        )
+        batch = runner.run(
+            Pipeline([GEN("verdict", prompt="filter")]), tweet_corpus.tweets[:5]
+        )
+        trace = tmp_path / "batch_run.jsonl"
+        export_events(state.events, trace)
+
+        code = main(["stats", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Batch runs" in out
+        assert "sequential" in out
+        assert f"{batch.throughput:.3f}" in out
+
     def test_stats_top_limits_slowest_spans(self, trace_file, capsys):
         main(["stats", str(trace_file), "--top", "1"])
         out = capsys.readouterr().out
