@@ -5,27 +5,64 @@ synthetic Sentiment140 stand-in; the produced simulated-latency /
 F1 / cache-hit numbers are asserted against the paper's shape and printed
 in the paper's row format.
 
+Alongside the pytest run, the measured table is persisted as
+``BENCH_table3.json`` at the repo root (mirroring ``BENCH_parallel.json``)
+so CI can archive it.  The module is also directly executable for the CI
+bench-smoke job: ``python benchmarks/bench_table3_refinement.py --tiny``.
+
 Regenerate at full scale with: ``python -m repro.experiments.refinement_strategies``
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
+from pathlib import Path
 
-import pytest
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
-from repro.data.tweets import make_tweet_corpus
-from repro.experiments.refinement_strategies import (
+import pytest  # noqa: E402
+
+from repro.data.tweets import make_tweet_corpus  # noqa: E402
+from repro.experiments.refinement_strategies import (  # noqa: E402
     PAPER_TABLE3,
     STRATEGIES,
+    Table3Result,
     run_strategy,
     run_table3,
 )
-from repro.obs import ObsCollector, build_report
-from repro.obs.exporters import write_json_report
+from repro.obs import ObsCollector, build_report  # noqa: E402
+from repro.obs.exporters import write_json_report  # noqa: E402
 
 N_ITEMS = 200
 _corpus = make_tweet_corpus(N_ITEMS, seed=7)
+
+
+def table_to_dict(table: Table3Result) -> dict:
+    """Serialize a measured table next to the paper's reference rows."""
+    return {
+        "corpus_size": table.corpus_size,
+        "strategies": {
+            strategy: {
+                "mean_item_seconds": round(result.mean_item_seconds, 4),
+                "speedup": round(table.speedup(strategy), 3),
+                "f1": round(result.f1, 4),
+                "f1_gain_pct": round(table.f1_gain_pct(strategy), 2),
+                "filter_cache_hit_pct": round(result.filter_cache_hit * 100.0, 2),
+            }
+            for strategy, result in table.results.items()
+        },
+        "paper": PAPER_TABLE3,
+    }
+
+
+def write_bench_json(table: Table3Result, path: Path) -> Path:
+    path.write_text(json.dumps(table_to_dict(table), indent=2) + "\n")
+    return path
 
 
 @pytest.mark.parametrize("strategy", STRATEGIES)
@@ -60,6 +97,7 @@ def test_table3_full(once, tmp_path):
     assert auto >= table.results["manual"].f1
     for row in table.rows():
         print(row)
+    print(f"wrote {write_bench_json(table, REPO_ROOT / 'BENCH_table3.json')}")
 
     report = build_report(collector)
     path = write_json_report(report, tmp_path / "table3_run_report.json")
@@ -81,3 +119,44 @@ def test_table3_full(once, tmp_path):
             registry.get("spear_model_prompt_tokens_total", model=label).value
         )
     print(f"run report written to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Direct execution for the CI bench-smoke job (no pytest harness)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--items", type=int, default=N_ITEMS, help=f"corpus size (default {N_ITEMS})"
+    )
+    parser.add_argument("--tiny", action="store_true", help="CI smoke: 60 items")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_table3.json"
+    )
+    args = parser.parse_args(argv)
+
+    n_items = 60 if args.tiny else args.items
+    table = run_table3(n=n_items, seed=args.seed)
+    for row in table.rows():
+        print(row)
+    print(f"wrote {write_bench_json(table, args.output)}")
+
+    # The pytest bench's headline shape claims, repeated here so the
+    # smoke run fails on a behaviour regression, not just on a crash.
+    failures = [
+        claim
+        for claim, ok in (
+            ("manual speedup > 1.15", table.speedup("manual") > 1.15),
+            ("assisted speedup > 1.15", table.speedup("assisted") > 1.15),
+            ("auto speedup > 1.15", table.speedup("auto") > 1.15),
+            ("1.0 < agentic speedup < 1.25", 1.0 < table.speedup("agentic") < 1.25),
+            ("auto f1 >= static f1", table.results["auto"].f1 >= table.results["static"].f1),
+        )
+        if not ok
+    ]
+    for claim in failures:
+        print(f"FAIL: {claim}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

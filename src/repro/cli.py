@@ -246,6 +246,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 title="Batch runs",
             )
         )
+    result_cache = report.result_cache.get("by_operator", {})
+    if result_cache:
+        print()
+        rc_rows = [
+            [op, stats["hits"], round(stats["saved_seconds"], 2)]
+            for op, stats in result_cache.items()
+        ]
+        print(
+            format_table(
+                ["Operator", "Hits", "Saved (s)"],
+                rc_rows,
+                title="Result cache",
+            )
+        )
     print()
     totals = report.totals
     print(
@@ -255,6 +269,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"cache hit ratio {totals['cache_hit_ratio'] * 100:.1f}%, "
         f"est. cost ${totals['cost_usd']:.6f}"
     )
+    if totals.get("result_cache_hits"):
+        print(
+            f"result cache: {totals['result_cache_hits']} hits, "
+            f"{totals['result_cache_saved_seconds']:.2f}s simulated time saved"
+        )
     if report.slowest_spans:
         print("\nslowest spans:")
         for span in report.slowest_spans:

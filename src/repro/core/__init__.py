@@ -12,6 +12,7 @@ from repro.core.entry import (
     render_template,
     template_placeholders,
 )
+from repro.core.footprint import ABSENT, Footprint, stable_digest
 from repro.core.metadata import Metadata
 from repro.core.operators import CHECK, DELEGATE, GEN, MERGE, REF, RET
 from repro.core.pipeline import Pipeline
@@ -31,6 +32,9 @@ __all__ = [
     "Condition",
     "FunctionOperator",
     "Operator",
+    "ABSENT",
+    "Footprint",
+    "stable_digest",
     "Context",
     "DIFF",
     "EXPAND",

@@ -20,6 +20,7 @@ from repro.errors import SpearError
 from repro.runtime.events import EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.footprint import Footprint
     from repro.core.pipeline import Pipeline
 
 __all__ = ["Operator", "Condition", "FunctionOperator"]
@@ -34,11 +35,50 @@ class Operator:
     def _run(self, state: ExecutionState) -> ExecutionState:
         raise NotImplementedError
 
+    def footprint(self, state: ExecutionState) -> "Footprint | None":
+        """The declared input set of this application, or None.
+
+        Returning a :class:`~repro.core.footprint.Footprint` opts this
+        application into the operator-level result cache; ``None`` (the
+        default) marks it uncacheable.  Only operators whose effect on
+        ``(C, M)`` is a pure function of the declared inputs may opt in.
+        """
+        return None
+
     def apply(self, state: ExecutionState) -> ExecutionState:
-        """Apply this operator to ``state``, with event tracing."""
+        """Apply this operator to ``state``, with event tracing.
+
+        When the state carries a result cache and this application
+        declares a footprint, a cache hit replays the memoized ``(C, M)``
+        delta, charges :attr:`~repro.runtime.result_cache.ResultCache.hit_cost`
+        to the virtual clock, and emits a synthetic ``CACHE_HIT`` event in
+        place of the operator's own event stream; a miss executes live
+        under a mutation recorder and inserts the delta afterwards.
+        """
+        cache = getattr(state, "result_cache", None)
+        footprint = self.footprint(state) if cache is not None else None
         state.events.emit(
             EventKind.OPERATOR_START, self.label, at=state.clock.now
         )
+        if footprint is not None:
+            cached = cache.lookup(footprint)
+            if cached is not None:
+                cached.replay(state)
+                state.clock.advance(cache.hit_cost)
+                state.events.emit(
+                    EventKind.CACHE_HIT,
+                    self.label,
+                    at=state.clock.now,
+                    fingerprint=footprint.digest,
+                    saved_seconds=max(cached.elapsed - cache.hit_cost, 0.0),
+                    prompt_keys=list(footprint.prompt_keys),
+                )
+                state.events.emit(
+                    EventKind.OPERATOR_END, self.label, at=state.clock.now
+                )
+                return state
+        recording = cache.recorder(state) if footprint is not None else None
+        started = state.clock.now
         try:
             result = self._run(state)
         except SpearError as error:
@@ -50,6 +90,14 @@ class Operator:
                 message=str(error),
             )
             raise
+        finally:
+            if recording is not None:
+                recording.restore()
+        if recording is not None and result is state:
+            cache.insert(
+                footprint,
+                recording.delta(footprint, elapsed=state.clock.now - started),
+            )
         state.events.emit(EventKind.OPERATOR_END, self.label, at=state.clock.now)
         return result
 

@@ -1,0 +1,96 @@
+"""Input footprints: what an operator application *reads* (paper §5).
+
+Because prompts are first-class, versioned data, the runtime can know
+exactly which inputs fed an operator application: the operator's own
+parameters, the referenced prompt keys at their current versions, the
+context slots the rendered template actually interpolates, and the model
+profile.  A :class:`Footprint` captures that input set as plain data; its
+:attr:`~Footprint.digest` is the content fingerprint the operator-level
+result cache (:mod:`repro.runtime.result_cache`) is keyed by.
+
+Operators declare their footprint via :meth:`Operator.footprint
+<repro.core.algebra.Operator.footprint>`; returning ``None`` marks the
+application as uncacheable (the default — only operators whose outputs
+are a pure function of their declared inputs opt in).
+
+Transitivity falls out of value fingerprints: a downstream GEN reads the
+*values* an upstream GEN wrote into C, so when a refinement changes the
+upstream output, every transitively dependent fingerprint changes too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ABSENT", "Footprint", "stable_digest"]
+
+#: placeholder digest for a context slot the template references but the
+#: context does not (yet) hold — absence is part of the input set, because
+#: an unbound placeholder renders literally.
+ABSENT = "<absent>"
+
+
+def stable_digest(value: Any) -> str:
+    """A short, stable content digest of an arbitrary value.
+
+    Values are JSON-serialized with sorted keys (``repr`` fallback for
+    arbitrary objects, which is deterministic for the package's frozen
+    dataclasses), then SHA-256 hashed.  16 hex chars keep fingerprints
+    readable in event payloads while leaving collisions negligible.
+    """
+    try:
+        payload = json.dumps(value, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        payload = repr(value)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """The declared input set of one operator application.
+
+    Fields:
+
+    - ``operator``: the printable operator label (``GEN["answer"]``).
+    - ``identity``: digest of the operator's own parameters (label key,
+      prompt key, literal extras, max_tokens, …).
+    - ``model_key``: identity of the model backend the operator will call
+      (None for model-free operators such as pure RET).
+    - ``prompt_deps``: one ``(key, version, text_digest, params_digest)``
+      tuple per referenced prompt.  The version makes invalidation
+      precise; the text digest keeps hits correct even across cloned
+      stores whose histories diverged at the same version number.
+    - ``context_reads``: ``(key, value_digest)`` per context slot the
+      operator reads (``ABSENT`` when the slot is missing).
+    - ``context_writes``: context keys the operator will write — not part
+      of the fingerprint (writes are outputs), but recorded so the cache
+      can chain dependency edges writer → reader at insert time.
+    """
+
+    operator: str
+    identity: str
+    model_key: str | None
+    prompt_deps: tuple[tuple[str, int, str, str], ...] = ()
+    context_reads: tuple[tuple[str, str], ...] = ()
+    context_writes: tuple[str, ...] = ()
+
+    @property
+    def digest(self) -> str:
+        """The content fingerprint cache entries are keyed by."""
+        return stable_digest(
+            {
+                "operator": self.operator,
+                "identity": self.identity,
+                "model": self.model_key,
+                "prompts": self.prompt_deps,
+                "reads": self.context_reads,
+            }
+        )
+
+    @property
+    def prompt_keys(self) -> tuple[str, ...]:
+        """The referenced prompt keys (for dependency indexing)."""
+        return tuple(dep[0] for dep in self.prompt_deps)

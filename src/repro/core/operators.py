@@ -17,10 +17,42 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.core.algebra import Condition, Operator, as_condition
-from repro.core.entry import PromptEntry, RefAction, RefinementMode
+from repro.core.entry import PromptEntry, RefAction, RefinementMode, template_placeholders
+from repro.core.footprint import ABSENT, Footprint, stable_digest
 from repro.core.state import ExecutionState
 from repro.errors import OperatorError, RefinementError
 from repro.runtime.events import EventKind
+
+
+def _context_reads_for_template(
+    state: ExecutionState,
+    text: str,
+    *,
+    shadowed: frozenset[str] = frozenset(),
+) -> tuple[tuple[str, str], ...]:
+    """Fingerprint the context slots a template interpolates.
+
+    Dotted placeholders resolve from their root key; roots bound by the
+    operator's literal ``extra`` values are part of the operator identity
+    instead.  A missing slot fingerprints as :data:`ABSENT` — absence is
+    an input too, because an unbound placeholder renders literally.
+    """
+    reads: dict[str, str] = {}
+    for name in template_placeholders(text):
+        root = name.split(".", 1)[0]
+        if root in shadowed or root in reads:
+            continue
+        if root in state.context:
+            reads[root] = stable_digest(state.context[root])
+        else:
+            reads[root] = ABSENT
+    return tuple(reads.items())
+
+
+def _model_cache_key(model: Any) -> str:
+    """Identity of the model backend for result-cache fingerprints."""
+    key = getattr(model, "result_cache_key", None)
+    return key if key is not None else f"id:{id(model):x}"
 
 __all__ = ["RET", "GEN", "REF", "CHECK", "MERGE", "DELEGATE"]
 
@@ -57,6 +89,43 @@ class RET(Operator):
         self.prompt_key = prompt
         self.into = into or source
         self.label = f'RET["{source}"]'
+
+    def footprint(self, state: ExecutionState) -> Footprint | None:
+        """Cacheable only for sources registered with ``pure=True``."""
+        if not state.is_pure_source(self.source):
+            return None
+        identity = stable_digest(
+            {
+                "op": "RET",
+                "source": self.source,
+                "query": self.query,
+                "prompt": self.prompt_key,
+                "into": self.into,
+            }
+        )
+        prompt_deps: tuple[tuple[str, int, str, str], ...] = ()
+        context_reads: tuple[tuple[str, str], ...] = ()
+        if self.prompt_key is not None:
+            if self.prompt_key not in state.prompts:
+                return None
+            entry = state.prompts[self.prompt_key]
+            prompt_deps = (
+                (
+                    self.prompt_key,
+                    entry.version,
+                    stable_digest(entry.text),
+                    stable_digest(entry.params),
+                ),
+            )
+            context_reads = _context_reads_for_template(state, entry.text)
+        return Footprint(
+            operator=self.label,
+            identity=identity,
+            model_key=None,
+            prompt_deps=prompt_deps,
+            context_reads=context_reads,
+            context_writes=(self.into,),
+        )
 
     def _run(self, state: ExecutionState) -> ExecutionState:
         source_fn = state.source(self.source)
@@ -104,6 +173,49 @@ class GEN(Operator):
         self.extra = dict(extra or {})
         self.max_tokens = max_tokens
         self.label = f'GEN["{label_key}"]'
+
+    def footprint(self, state: ExecutionState) -> Footprint | None:
+        """GEN's inputs: its params, the prompt at its version, the context
+        slots the template interpolates, and the model backend.
+
+        Opts out (returns None) when the model keeps a warm prefix cache:
+        then latency/cached-token signals depend on kv-cache state that is
+        not part of the declared inputs, and replay could diverge from a
+        live re-execution.  Disable ``enable_prefix_cache`` to combine the
+        tiers deterministically in simulation.
+        """
+        model = state.model
+        if model is None or self.prompt_key not in state.prompts:
+            return None
+        if getattr(model, "enable_prefix_cache", False):
+            return None
+        entry = state.prompts[self.prompt_key]
+        identity = stable_digest(
+            {
+                "op": "GEN",
+                "label": self.label_key,
+                "prompt": self.prompt_key,
+                "extra": self.extra,
+                "max_tokens": self.max_tokens,
+            }
+        )
+        return Footprint(
+            operator=self.label,
+            identity=identity,
+            model_key=_model_cache_key(model),
+            prompt_deps=(
+                (
+                    self.prompt_key,
+                    entry.version,
+                    stable_digest(entry.text),
+                    stable_digest(entry.params),
+                ),
+            ),
+            context_reads=_context_reads_for_template(
+                state, entry.text, shadowed=frozenset(self.extra)
+            ),
+            context_writes=(self.label_key, f"{self.label_key}__result"),
+        )
 
     def _run(self, state: ExecutionState) -> ExecutionState:
         if state.model is None:

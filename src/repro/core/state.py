@@ -53,8 +53,12 @@ class ExecutionState:
         self.model = model
         self.events = events if events is not None else EventLog()
         self.clock = clock if clock is not None else VirtualClock()
+        #: optional :class:`repro.runtime.result_cache.ResultCache` (or a
+        #: read-only view); None disables operator-level result caching.
+        self.result_cache: Any = None
         self._views = views
         self._sources: dict[str, SourceFn] = {}
+        self._pure_sources: set[str] = set()
         self._agents: dict[str, Any] = {}
 
     # -- convenient aliases matching the paper's notation -------------------
@@ -87,9 +91,22 @@ class ExecutionState:
 
     # -- retrieval sources ----------------------------------------------------
 
-    def register_source(self, name: str, fn: SourceFn) -> None:
-        """Register a retrieval source usable by ``RET[name]``."""
+    def register_source(self, name: str, fn: SourceFn, *, pure: bool = False) -> None:
+        """Register a retrieval source usable by ``RET[name]``.
+
+        Mark deterministic sources (same query → same payload, no side
+        effects) with ``pure=True`` to make their RET applications
+        eligible for the operator-level result cache.
+        """
         self._sources[name] = fn
+        if pure:
+            self._pure_sources.add(name)
+        else:
+            self._pure_sources.discard(name)
+
+    def is_pure_source(self, name: str) -> bool:
+        """Whether ``name`` was registered as a pure (cacheable) source."""
+        return name in self._pure_sources
 
     def source(self, name: str) -> SourceFn:
         """Look up a retrieval source; raises :class:`RetrievalError`."""
@@ -160,7 +177,9 @@ class ExecutionState:
             events=self.events,
             clock=self.clock,
         )
+        forked.result_cache = self.result_cache
         forked._sources = dict(self._sources)
+        forked._pure_sources = set(self._pure_sources)
         forked._agents = dict(self._agents)
         return forked
 

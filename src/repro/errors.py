@@ -39,9 +39,16 @@ class ContextError(SpearError):
 class UnknownContextKeyError(ContextError):
     """A context key was requested that does not exist in C."""
 
-    def __init__(self, key: str) -> None:
-        super().__init__(f"unknown context key: {key!r}")
+    def __init__(self, key: str, *, available: "list[str] | None" = None) -> None:
+        message = f"unknown context key: {key!r}"
+        if available is not None:
+            listing = ", ".join(repr(name) for name in sorted(available))
+            message += f"; available labels: [{listing}]" if listing else (
+                "; the context is empty"
+            )
+        super().__init__(message)
         self.key = key
+        self.available = sorted(available) if available is not None else None
 
 
 class MetadataError(SpearError):

@@ -100,6 +100,25 @@ class SimulatedLLM:
         """Ground clinical QA against a :class:`ClinicalCorpus`."""
         self.engine.bind_clinical(corpus)
 
+    @property
+    def result_cache_key(self) -> str:
+        """Backend identity for operator-result-cache fingerprints.
+
+        Generation is deterministic given (profile, bound corpora,
+        prompt), so the key is the profile plus the identities of the
+        bound corpora: two models grounded against the same corpus
+        objects produce identical outputs and may share cache entries
+        (e.g. a fresh executor per refinement iteration); models bound to
+        different corpora never alias.
+        """
+        engine = self.engine
+        parts = [self.profile.name]
+        for attr in ("_tweets", "_clinical"):
+            corpus = getattr(engine, attr, None)
+            if corpus is not None:
+                parts.append(f"{attr.lstrip('_')}:{id(corpus):x}")
+        return "/".join(parts)
+
     # -- observability hooks ----------------------------------------------
 
     def add_listener(self, listener: Callable[[GenerationResult], None]) -> None:

@@ -51,6 +51,12 @@ spear_kv_cache_hit_rate                        gauge      model
 spear_kv_cache_evictions_total                 gauge      model
 spear_prompt_cache_entries                     gauge      model
 spear_prompt_cache_hit_rate                    gauge      model
+spear_result_cache_hits_total                  counter    operator
+spear_result_cache_saved_seconds_total         counter    operator
+spear_result_cache_entries                     gauge      —
+spear_result_cache_hit_rate                    gauge      —
+spear_result_cache_invalidations_total         gauge      —
+spear_result_cache_evictions_total             gauge      —
 =============================================  =========  ==============
 
 Operator labels are *kinds* (``GEN``, ``CHECK``, …) rather than full
@@ -87,6 +93,7 @@ class ObsCollector:
         self._open_starts: dict[str, list[float]] = {}
         self._subscribed: set[int] = set()
         self._attached_models: set[int] = set()
+        self._attached_result_caches: set[int] = set()
 
     # -- wiring -------------------------------------------------------------
 
@@ -163,6 +170,35 @@ class ObsCollector:
                 lambda result: self.on_generation(result, model=label)
             )
 
+    def attach_result_cache(self, cache: Any) -> None:
+        """Register pull gauges over an operator-level result cache.
+
+        Complements the event-driven ``spear_result_cache_hits_total``
+        counter (from CACHE_HIT events) with the cache's own aggregate
+        accounting: occupancy, lifetime hit rate, invalidation and
+        eviction counts.  Idempotent per cache instance.
+        """
+        if id(cache) in self._attached_result_caches:
+            return
+        self._attached_result_caches.add(id(cache))
+        gauges = self.registry
+        gauges.gauge(
+            "spear_result_cache_entries",
+            "Entries resident in the operator result cache.",
+        ).set_function(lambda: cache.snapshot()["entries"])
+        gauges.gauge(
+            "spear_result_cache_hit_rate",
+            "Lifetime hit rate of the operator result cache.",
+        ).set_function(lambda: cache.snapshot()["hit_rate"])
+        gauges.gauge(
+            "spear_result_cache_invalidations_total",
+            "Entries invalidated by prompt refinements.",
+        ).set_function(lambda: cache.snapshot()["invalidations"])
+        gauges.gauge(
+            "spear_result_cache_evictions_total",
+            "Entries evicted by the result cache's LRU policy.",
+        ).set_function(lambda: cache.snapshot()["evictions"])
+
     # -- event handling -----------------------------------------------------
 
     def on_event(self, event: Event) -> None:
@@ -212,6 +248,18 @@ class ObsCollector:
                         metric, f"Sum of {signal} across GEN calls.",
                         prompt=prompt,
                     ).inc(float(value))
+        elif kind is EventKind.CACHE_HIT:
+            op = operator_kind(event.operator)
+            self.registry.counter(
+                "spear_result_cache_hits_total",
+                "Operator applications served from the result cache.",
+                operator=op,
+            ).inc()
+            self.registry.counter(
+                "spear_result_cache_saved_seconds_total",
+                "Simulated seconds saved by result-cache hits.",
+                operator=op,
+            ).inc(float(event.payload.get("saved_seconds", 0.0) or 0.0))
         elif kind is EventKind.ERROR:
             self.registry.counter(
                 "spear_operator_errors_total", "Operator errors.",

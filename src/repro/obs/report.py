@@ -73,6 +73,7 @@ class RunReport:
     batches: dict[str, dict[str, Any]] = field(default_factory=dict)
     totals: dict[str, Any] = field(default_factory=dict)
     cache: dict[str, Any] = field(default_factory=dict)
+    result_cache: dict[str, Any] = field(default_factory=dict)
     slowest_spans: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
@@ -84,6 +85,7 @@ class RunReport:
             "batches": self.batches,
             "totals": self.totals,
             "cache": self.cache,
+            "result_cache": self.result_cache,
             "slowest_spans": self.slowest_spans,
         }
 
@@ -233,6 +235,33 @@ def build_report(
                 bucket = report.cache.setdefault(labels.get("model", "?"), {})
                 bucket[gauge_name.removeprefix("spear_")] = round(child.value, 6)
 
+    # -- operator result cache ---------------------------------------------
+    rc_hits = _counter_by_label(
+        registry, "spear_result_cache_hits_total", "operator"
+    )
+    rc_saved = _counter_by_label(
+        registry, "spear_result_cache_saved_seconds_total", "operator"
+    )
+    if rc_hits or rc_saved:
+        report.result_cache["by_operator"] = {
+            op: {
+                "hits": int(rc_hits.get(op, 0)),
+                "saved_seconds": round(rc_saved.get(op, 0.0), 6),
+            }
+            for op in sorted(set(rc_hits) | set(rc_saved))
+        }
+    for gauge_name in (
+        "spear_result_cache_entries",
+        "spear_result_cache_hit_rate",
+        "spear_result_cache_invalidations_total",
+        "spear_result_cache_evictions_total",
+    ):
+        for _labels, child in _family_children(registry, gauge_name):
+            if isinstance(child, Gauge):
+                report.result_cache[
+                    gauge_name.removeprefix("spear_result_cache_")
+                ] = round(child.value, 6)
+
     # -- totals -------------------------------------------------------------
     total_prompt = registry.sum_counter("spear_prompt_tokens_total")
     total_cached = registry.sum_counter("spear_cached_tokens_total")
@@ -256,6 +285,12 @@ def build_report(
             registry.sum_counter("spear_model_gen_calls_total")
         ),
         "errors": int(registry.sum_counter("spear_operator_errors_total")),
+        "result_cache_hits": int(
+            registry.sum_counter("spear_result_cache_hits_total")
+        ),
+        "result_cache_saved_seconds": round(
+            registry.sum_counter("spear_result_cache_saved_seconds_total"), 6
+        ),
     }
 
     # -- slowest spans ------------------------------------------------------

@@ -9,6 +9,12 @@ from repro.optimizer.fusion import (
     build_fused_instruction,
     fuse_refs,
 )
+from repro.optimizer.incremental import (
+    IncrementalEstimate,
+    StepImpact,
+    dependent_suffix,
+    estimate_rerun,
+)
 from repro.optimizer.planner import (
     CandidateRefiner,
     RefinementPlan,
@@ -33,6 +39,10 @@ __all__ = [
     "LlmStage",
     "build_fused_instruction",
     "fuse_refs",
+    "IncrementalEstimate",
+    "StepImpact",
+    "dependent_suffix",
+    "estimate_rerun",
     "CandidateRefiner",
     "RefinementPlan",
     "RefinementPlanner",

@@ -33,9 +33,31 @@ class CallEstimate:
 class CostModel:
     """Estimates call costs under a model profile."""
 
-    def __init__(self, profile: ModelProfile, tokenizer: Tokenizer | None = None) -> None:
+    def __init__(
+        self,
+        profile: ModelProfile,
+        tokenizer: Tokenizer | None = None,
+        *,
+        cache_hit_seconds: float = 0.001,
+    ) -> None:
         self.profile = profile
         self.tokenizer = tokenizer if tokenizer is not None else _SHARED_TOKENIZER
+        #: what a step served from the operator-level result cache costs —
+        #: mirrors :attr:`repro.runtime.result_cache.ResultCache.hit_cost`.
+        self.cache_hit_seconds = cache_hit_seconds
+
+    def cached_call(self) -> CallEstimate:
+        """Estimate a call served from the operator-level result cache.
+
+        No tokens move: the memoized ``(C, M)`` delta is spliced in and
+        the only charge is the (near-zero) cache lookup itself.
+        """
+        return CallEstimate(
+            seconds=self.cache_hit_seconds,
+            prompt_tokens=0,
+            cached_tokens=0,
+            output_tokens=0,
+        )
 
     def call(
         self,

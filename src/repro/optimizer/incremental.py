@@ -1,0 +1,166 @@
+"""Incremental re-execution analysis: what must re-run after a refinement.
+
+With the operator-level result cache in place (paper §5), refining one
+prompt does not force a full pipeline re-run: operators whose declared
+inputs (:meth:`Operator.footprint <repro.core.algebra.Operator.footprint>`)
+do not transitively depend on the refined key keep hitting the cache, and
+only the dependent *suffix* executes live.  This module provides the
+static counterpart the planner needs: given a pipeline, the current
+state, and a candidate refinement target, which steps would re-run and
+what would the re-run cost?
+
+The analysis is a taint propagation over declared footprints:
+
+- a step is *dirty* when it reads the refined prompt key, or reads a
+  context slot written by an earlier dirty step;
+- dirty steps contribute their context writes to the taint set;
+- steps without a footprint (REF, CHECK, MERGE, glue) are treated as
+  always re-running — they are not cacheable — but taint only flows
+  through their *prompt* effects, which the refined-key seed already
+  covers, so they do not blindly poison downstream reads.
+
+This mirrors how the runtime actually behaves: cacheable clean steps hit,
+everything else executes (cheaply, for non-GEN steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.pipeline import Pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.algebra import Operator
+    from repro.core.state import ExecutionState
+    from repro.optimizer.cost_model import CostModel
+
+__all__ = ["StepImpact", "IncrementalEstimate", "dependent_suffix", "estimate_rerun"]
+
+#: default decode-length expectation when a GEN does not cap max_tokens.
+_DEFAULT_OUTPUT_TOKENS = 48
+
+
+@dataclass(frozen=True)
+class StepImpact:
+    """One pipeline step's fate after a hypothetical refinement."""
+
+    index: int
+    label: str
+    #: "rerun" (dirty or uncacheable) or "cached" (clean and cacheable).
+    fate: str
+    #: why the step re-runs: "prompt", "context", "uncacheable" — or ""
+    #: for cached steps.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class IncrementalEstimate:
+    """Estimated cost of re-running a pipeline after refining one key."""
+
+    prompt_key: str
+    steps: tuple[StepImpact, ...]
+    rerun_seconds: float
+    cached_seconds: float
+    rerun_tokens: int
+
+    @property
+    def seconds(self) -> float:
+        """Total estimated re-run time (live suffix + cache hits)."""
+        return self.rerun_seconds + self.cached_seconds
+
+    @property
+    def rerun_steps(self) -> tuple[StepImpact, ...]:
+        return tuple(step for step in self.steps if step.fate == "rerun")
+
+    @property
+    def cached_steps(self) -> tuple[StepImpact, ...]:
+        return tuple(step for step in self.steps if step.fate == "cached")
+
+
+def _flatten(operators: "Iterable[Operator]") -> "list[Operator]":
+    flat: "list[Operator]" = []
+    for operator in operators:
+        if isinstance(operator, Pipeline):
+            flat.extend(_flatten(operator.operators))
+        else:
+            flat.append(operator)
+    return flat
+
+
+def dependent_suffix(
+    pipeline: Pipeline,
+    state: "ExecutionState",
+    prompt_key: str,
+) -> tuple[StepImpact, ...]:
+    """Classify each step as re-running or cache-served after refining
+    ``prompt_key`` — the taint propagation described in the module doc."""
+    tainted_context: set[str] = set()
+    impacts: list[StepImpact] = []
+    for index, operator in enumerate(_flatten(pipeline.operators)):
+        footprint = operator.footprint(state)
+        if footprint is None:
+            impacts.append(
+                StepImpact(index, operator.label, "rerun", "uncacheable")
+            )
+            continue
+        if prompt_key in footprint.prompt_keys:
+            reason = "prompt"
+        elif any(root in tainted_context for root, _ in footprint.context_reads):
+            reason = "context"
+        else:
+            impacts.append(StepImpact(index, operator.label, "cached"))
+            continue
+        tainted_context.update(footprint.context_writes)
+        impacts.append(StepImpact(index, operator.label, "rerun", reason))
+    return tuple(impacts)
+
+
+def estimate_rerun(
+    pipeline: Pipeline,
+    state: "ExecutionState",
+    prompt_key: str,
+    cost_model: "CostModel",
+) -> IncrementalEstimate:
+    """Estimate the re-run cost of ``pipeline`` after refining ``prompt_key``.
+
+    GEN steps in the dirty suffix are charged a full
+    :meth:`~repro.optimizer.cost_model.CostModel.call` over their prompt
+    as currently rendered; cache-served steps are charged
+    :meth:`~repro.optimizer.cost_model.CostModel.cached_call`; other
+    re-running steps (REF/CHECK/glue) are free in the latency model.
+    """
+    from repro.core.operators import GEN
+
+    operators = _flatten(pipeline.operators)
+    impacts = dependent_suffix(pipeline, state, prompt_key)
+    rerun_seconds = 0.0
+    cached_seconds = 0.0
+    rerun_tokens = 0
+    for impact in impacts:
+        operator = operators[impact.index]
+        if impact.fate == "cached":
+            cached_seconds += cost_model.cached_call().seconds
+            continue
+        if not isinstance(operator, GEN):
+            continue
+        if operator.prompt_key not in state.prompts:
+            continue
+        rendered = state.render_prompt(operator.prompt_key, extra=operator.extra)
+        estimate = cost_model.call(
+            rendered,
+            expected_output_tokens=(
+                operator.max_tokens
+                if operator.max_tokens is not None
+                else _DEFAULT_OUTPUT_TOKENS
+            ),
+        )
+        rerun_seconds += estimate.seconds
+        rerun_tokens += estimate.prompt_tokens + estimate.output_tokens
+    return IncrementalEstimate(
+        prompt_key=prompt_key,
+        steps=impacts,
+        rerun_seconds=rerun_seconds,
+        cached_seconds=cached_seconds,
+        rerun_tokens=rerun_tokens,
+    )

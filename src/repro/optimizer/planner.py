@@ -10,7 +10,7 @@ low-impact ones, and applies only those that fit the task's budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.algebra import Operator
 from repro.core.meta import analyze_refiners
@@ -18,6 +18,10 @@ from repro.core.state import ExecutionState
 from repro.errors import PlanningError
 from repro.llm.tokenizer import Tokenizer
 from repro.runtime.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import Pipeline
+    from repro.optimizer.cost_model import CostModel
 
 __all__ = ["CandidateRefiner", "RefinementPlan", "RefinementPlanner"]
 
@@ -146,5 +150,96 @@ class RefinementPlanner:
             skipped=list(plan.skipped),
             budget_tokens=budget_tokens,
             total_cost_tokens=plan.total_cost_tokens,
+        )
+        return plan
+
+    def plan_incremental(
+        self,
+        state: ExecutionState,
+        candidates: list[CandidateRefiner],
+        *,
+        pipeline: "Pipeline",
+        cost_model: "CostModel",
+        budget_tokens: int,
+    ) -> RefinementPlan:
+        """Like :meth:`plan`, but cost in re-execution terms.
+
+        With the operator-level result cache, applying a refiner does not
+        force a full pipeline re-run — only the suffix that transitively
+        depends on the refined key.  Each candidate's cost is therefore
+        its prompt-token growth *plus* the tokens of the dependent suffix
+        it would force to re-run (:func:`~repro.optimizer.incremental.estimate_rerun`);
+        cache-served steps are free.  A refiner targeting a prompt late in
+        the pipeline thus wins over an equally promising one targeting the
+        first prompt, because it invalidates less.
+
+        Candidates whose built operator exposes no ``key`` attribute (not
+        a REF) are costed as full re-runs of every step.
+        """
+        from repro.optimizer.incremental import estimate_rerun
+
+        if budget_tokens < 0:
+            raise PlanningError(f"budget_tokens must be >= 0: {budget_tokens}")
+        scored: list[PlannedStep] = []
+        skipped: list[str] = []
+        rerun_detail: dict[str, dict[str, Any]] = {}
+        for candidate in candidates:
+            gain = self._expected_gain(state, candidate)
+            if gain <= self.min_expected_gain:
+                skipped.append(candidate.name)
+                continue
+            target_key = getattr(candidate.build(), "key", None)
+            if target_key is not None:
+                estimate = estimate_rerun(
+                    pipeline, state, target_key, cost_model
+                )
+                rerun_tokens = estimate.rerun_tokens
+                rerun_detail[candidate.name] = {
+                    "target_key": target_key,
+                    "rerun_steps": len(estimate.rerun_steps),
+                    "cached_steps": len(estimate.cached_steps),
+                    "rerun_seconds": estimate.rerun_seconds,
+                }
+            else:
+                # Unknown target: assume everything re-runs.
+                full = sum(
+                    estimate_rerun(pipeline, state, key, cost_model).rerun_tokens
+                    for key in state.prompts.keys()
+                )
+                rerun_tokens = full
+            cost = max(candidate.est_cost_tokens + rerun_tokens, 1)
+            scored.append(
+                PlannedStep(
+                    refiner=candidate,
+                    expected_gain=gain,
+                    utility=gain / cost,
+                )
+            )
+        scored.sort(key=lambda step: -step.utility)
+
+        chosen: list[PlannedStep] = []
+        remaining = budget_tokens
+        for step in scored:
+            if step.refiner.est_cost_tokens <= remaining:
+                chosen.append(step)
+                remaining -= step.refiner.est_cost_tokens
+            else:
+                skipped.append(step.refiner.name)
+
+        plan = RefinementPlan(
+            steps=tuple(chosen),
+            skipped=tuple(skipped),
+            budget_tokens=budget_tokens,
+        )
+        state.events.emit(
+            EventKind.PLAN,
+            "RefinementPlanner",
+            at=state.clock.now,
+            mode="incremental",
+            chosen=[step.refiner.name for step in plan.steps],
+            skipped=list(plan.skipped),
+            budget_tokens=budget_tokens,
+            total_cost_tokens=plan.total_cost_tokens,
+            rerun_detail=rerun_detail,
         )
         return plan

@@ -11,7 +11,9 @@ from repro.runtime.kvstore import (
 )
 from repro.runtime.batch import BatchResult, BatchRunner, ItemResult
 from repro.runtime.parallel import ParallelBatchRunner
+from repro.runtime.incremental import IterationReport, LoopReport, RefinementLoop
 from repro.runtime.persistence import load_store, save_store, store_from_dict, store_to_dict
+from repro.runtime.result_cache import CachedDelta, ReadOnlyResultCache, ResultCache
 from repro.runtime.replay import ReplayStep, export_replay_log, replay, verify_replay
 from repro.runtime.tracing import (
     export_events,
@@ -38,6 +40,12 @@ __all__ = [
     "BatchRunner",
     "ItemResult",
     "ParallelBatchRunner",
+    "CachedDelta",
+    "ReadOnlyResultCache",
+    "ResultCache",
+    "IterationReport",
+    "LoopReport",
+    "RefinementLoop",
     "load_store",
     "save_store",
     "store_from_dict",

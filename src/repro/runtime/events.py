@@ -30,6 +30,7 @@ class EventKind(str, Enum):
     DELEGATE = "delegate"
     VIEW_EXPAND = "view_expand"
     CACHE = "cache"
+    CACHE_HIT = "cache_hit"
     PLAN = "plan"
     SHADOW = "shadow"
     BATCH = "batch"

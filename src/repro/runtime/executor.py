@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.store import PromptStore
     from repro.core.views import ViewRegistry
     from repro.obs.collector import ObsCollector
+    from repro.runtime.result_cache import ResultCache
 
 __all__ = ["RunResult", "Executor"]
 
@@ -35,6 +36,9 @@ class RunResult:
     state: "ExecutionState"
     elapsed: float
     events: list[Event] = field(default_factory=list)
+    #: result-cache activity during this run (hits/misses/invalidations/
+    #: saved_seconds deltas); empty when no cache was attached.
+    cache: dict[str, float] = field(default_factory=dict)
 
     @property
     def context(self) -> Mapping[str, Any]:
@@ -48,7 +52,14 @@ class RunResult:
 
     def output(self, label: str) -> Any:
         """Shorthand for the generation output stored under ``label``."""
-        return self.state.context[label]
+        from repro.errors import UnknownContextKeyError
+
+        try:
+            return self.state.context[label]
+        except UnknownContextKeyError:
+            raise UnknownContextKeyError(
+                label, available=list(self.state.context.keys())
+            ) from None
 
 
 class Executor:
@@ -61,6 +72,7 @@ class Executor:
         views: "ViewRegistry | None" = None,
         clock: VirtualClock | None = None,
         collector: "ObsCollector | None" = None,
+        result_cache: "ResultCache | None" = None,
     ) -> None:
         self.model = model
         from repro.core.views import ViewRegistry
@@ -80,12 +92,28 @@ class Executor:
         self.collector = collector
         if collector is not None and model is not None:
             collector.attach_model(model)
-        self._sources: dict[str, Callable[..., Any]] = {}
+        #: optional operator-level result cache shared by every state this
+        #: executor builds or runs; refinement events on their logs drive
+        #: version-precise invalidation.
+        self.result_cache = result_cache
+        if collector is not None and result_cache is not None:
+            collector.attach_result_cache(result_cache)
+        self._sources: dict[str, tuple[Callable[..., Any], bool]] = {}
         self._agents: dict[str, Any] = {}
 
-    def register_source(self, name: str, fn: "Callable[[ExecutionState, Any], Any]") -> None:
-        """Make a retrieval source available to every state this builds."""
-        self._sources[name] = fn
+    def register_source(
+        self,
+        name: str,
+        fn: "Callable[[ExecutionState, Any], Any]",
+        *,
+        pure: bool = False,
+    ) -> None:
+        """Make a retrieval source available to every state this builds.
+
+        ``pure=True`` marks the source deterministic and side-effect free,
+        which lets the result cache memoize its RET applications.
+        """
+        self._sources[name] = (fn, pure)
 
     def register_agent(self, name: str, agent: Any) -> None:
         """Make a delegation agent available to every state this builds."""
@@ -108,12 +136,15 @@ class Executor:
             views=self.views,
             clock=self.clock,
         )
-        for name, fn in self._sources.items():
-            state.register_source(name, fn)
+        for name, (fn, pure) in self._sources.items():
+            state.register_source(name, fn, pure=pure)
         for name, agent in self._agents.items():
             state.register_agent(name, agent)
         if self.collector is not None:
             self.collector.subscribe_to(state.events)
+        if self.result_cache is not None:
+            state.result_cache = self.result_cache
+            self.result_cache.subscribe_to(state.events, state.prompts)
         return state
 
     def run(
@@ -126,16 +157,31 @@ class Executor:
         """Execute ``pipeline``; returns the final state plus run artefacts."""
         if state is None:
             state = self.new_state(context=context)
-        elif self.collector is not None:
-            # Externally built states still get observed (idempotent).
-            self.collector.subscribe_to(state.events)
+        else:
+            if self.collector is not None:
+                # Externally built states still get observed (idempotent).
+                self.collector.subscribe_to(state.events)
+            if self.result_cache is not None:
+                if state.result_cache is None:
+                    state.result_cache = self.result_cache
+                self.result_cache.subscribe_to(state.events, state.prompts)
+        cache = state.result_cache
+        cache_before = cache.snapshot() if cache is not None else None
         started_at = self.clock.now
         event_start = len(state.events)
         final = pipeline.apply(state)
+        cache_delta: dict[str, float] = {}
+        if cache is not None and cache_before is not None:
+            after = cache.snapshot()
+            cache_delta = {
+                key: after[key] - cache_before[key]
+                for key in ("hits", "misses", "invalidations", "saved_seconds")
+            }
         return RunResult(
             state=final,
             elapsed=self.clock.now - started_at,
             events=final.events.all()[event_start:],
+            cache=cache_delta,
         )
 
     # -- convenience -------------------------------------------------------

@@ -121,6 +121,15 @@ class ParallelBatchRunner:
         lane_clocks = [clock_group.spawn() for _ in range(lanes)]
         lane_logs = [EventLog() for _ in range(lanes)]
 
+        cache = base.result_cache
+        cache_before = cache.snapshot() if cache is not None else None
+        if cache is not None and not self.isolate_prompts:
+            # Lane refinements of the *shared* store must invalidate live;
+            # with isolated per-item stores the fold-back path suffices
+            # (the cache's store-bound guard rejects clone versions).
+            for lane_log in lane_logs:
+                cache.subscribe_to(lane_log, base.prompts)
+
         batcher = self._make_batcher()
         lane_models: list[Any] = []
         for lane_id in range(lanes):
@@ -207,6 +216,17 @@ class ParallelBatchRunner:
         extra: dict[str, Any] = {
             "serialized_elapsed": clock_group.serialized_elapsed,
         }
+        if cache is not None and cache_before is not None:
+            after = cache.snapshot()
+            extra.update(
+                result_cache_hits=int(after["hits"] - cache_before["hits"]),
+                result_cache_misses=int(
+                    after["misses"] - cache_before["misses"]
+                ),
+                result_cache_saved_seconds=(
+                    after["saved_seconds"] - cache_before["saved_seconds"]
+                ),
+            )
         if batcher is not None:
             stats = batcher.snapshot()
             extra.update(

@@ -80,8 +80,16 @@ def shadow_run(
     The shadow's clock charges are measured but then *rewound* — shadow
     execution must not slow down the primary timeline.  Its events are
     tagged into the shared log with a SHADOW marker for traceability.
+
+    When the primary carries a result cache, the shadow shares it
+    *read-only*: memoized steps splice into the shadow too (its cloned
+    store starts text-identical, so fingerprints are valid), but nothing
+    the shadow executes or refines can insert into — or invalidate — the
+    primary's entries.
     """
     fork = state.fork(share_prompts=False)
+    if state.result_cache is not None:
+        fork.result_cache = state.result_cache.read_only()
 
     start = state.clock.now
     primary_final = primary.apply(state)

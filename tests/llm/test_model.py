@@ -119,3 +119,40 @@ class TestDeterminism:
         qwen.bind_tweets(tweet_corpus)
         gpt.bind_tweets(tweet_corpus)
         assert qwen.generate(prompt).latency.total != gpt.generate(prompt).latency.total
+
+
+class TestResultCacheKey:
+    def test_profile_and_corpora_identity(self, tweet_corpus, clinical_corpus):
+        bare = SimulatedLLM("qwen2.5-7b-instruct")
+        assert bare.result_cache_key == "qwen2.5-7b-instruct"
+
+        bound = SimulatedLLM("qwen2.5-7b-instruct")
+        bound.bind_tweets(tweet_corpus)
+        bound.bind_clinical(clinical_corpus)
+        key = bound.result_cache_key
+        assert key.startswith("qwen2.5-7b-instruct/tweets:")
+        assert "/clinical:" in key
+
+    def test_same_corpus_objects_alias(self, tweet_corpus):
+        first = SimulatedLLM("qwen2.5-7b-instruct")
+        second = SimulatedLLM("qwen2.5-7b-instruct")
+        first.bind_tweets(tweet_corpus)
+        second.bind_tweets(tweet_corpus)
+        # Same profile + same corpus object => interchangeable backends.
+        assert first.result_cache_key == second.result_cache_key
+
+    def test_different_corpus_objects_never_alias(self, tweet_corpus):
+        from repro.data import make_tweet_corpus
+
+        first = SimulatedLLM("qwen2.5-7b-instruct")
+        second = SimulatedLLM("qwen2.5-7b-instruct")
+        first.bind_tweets(tweet_corpus)
+        second.bind_tweets(make_tweet_corpus(60, seed=7))
+        assert first.result_cache_key != second.result_cache_key
+
+    def test_different_profiles_never_alias(self, tweet_corpus):
+        qwen = SimulatedLLM("qwen2.5-7b-instruct")
+        gpt = SimulatedLLM("gpt-4o-mini")
+        qwen.bind_tweets(tweet_corpus)
+        gpt.bind_tweets(tweet_corpus)
+        assert qwen.result_cache_key != gpt.result_cache_key

@@ -141,6 +141,92 @@ class TestRunReport:
         assert pricing.cost(0, 0, 500_000) == 1.0
 
 
+class TestResultCacheMetrics:
+    """CACHE_HIT events and attached caches feed spear_result_cache_*."""
+
+    @staticmethod
+    def _cached_run(collector):
+        from repro.core import Pipeline
+        from repro.data import make_tweet_corpus
+        from repro.llm.model import SimulatedLLM
+        from repro.runtime.executor import Executor
+        from repro.runtime.result_cache import ResultCache
+
+        llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=False)
+        corpus = make_tweet_corpus(2, seed=7)
+        llm.bind_tweets(corpus)
+        cache = ResultCache()
+        executor = Executor(
+            model=llm, clock=llm.clock, collector=collector, result_cache=cache
+        )
+        state = executor.new_state()
+        state.prompts.create(
+            "qa", f"Summarize the tweet.\nTweet:\n{corpus[0].text}"
+        )
+        pipeline = Pipeline([GEN("answer", prompt="qa")])
+        executor.run(pipeline, state=state)
+        executor.run(pipeline, state=state)  # the hit
+        return cache, state
+
+    def test_hit_counters_accrue_from_events(self):
+        collector = ObsCollector()
+        cache, _state = self._cached_run(collector)
+        registry = collector.registry
+        hit_counter = registry.get(
+            "spear_result_cache_hits_total", operator="GEN"
+        )
+        assert hit_counter is not None and hit_counter.value == 1
+        assert (
+            registry.sum_counter("spear_result_cache_saved_seconds_total") > 0
+        )
+
+    def test_pull_gauges_read_cache_snapshot(self):
+        collector = ObsCollector()
+        cache, state = self._cached_run(collector)
+        registry = collector.registry
+        assert registry.get("spear_result_cache_entries").value == float(
+            len(cache)
+        )
+        assert registry.get(
+            "spear_result_cache_hit_rate"
+        ).value == cache.hit_rate
+        REF(RefAction.APPEND, "Be brief.", key="qa").apply(state)
+        assert registry.get(
+            "spear_result_cache_invalidations_total"
+        ).value == 1.0
+
+    def test_report_result_cache_section(self):
+        collector = ObsCollector()
+        cache, _state = self._cached_run(collector)
+        report = build_report(collector)
+        section = report.result_cache
+        assert section["by_operator"]["GEN"]["hits"] == 1
+        assert section["by_operator"]["GEN"]["saved_seconds"] > 0
+        assert section["entries"] == float(len(cache))
+        assert section["hit_rate"] == cache.hit_rate
+        assert report.totals["result_cache_hits"] == 1
+        assert report.totals["result_cache_saved_seconds"] > 0
+        assert report.to_dict()["result_cache"] == section
+
+    def test_attach_result_cache_idempotent(self):
+        from repro.runtime.result_cache import ResultCache
+
+        collector = ObsCollector()
+        cache = ResultCache()
+        collector.attach_result_cache(cache)
+        collector.attach_result_cache(cache)  # no duplicate-gauge error
+        assert collector.registry.get(
+            "spear_result_cache_entries"
+        ).value == 0.0
+
+    def test_reports_without_cache_have_empty_section(self, state, tweet_corpus):
+        collector = ObsCollector()
+        _run_pipeline(state, tweet_corpus, collector)
+        report = build_report(collector)
+        assert report.result_cache == {}
+        assert report.totals["result_cache_hits"] == 0
+
+
 class TestOfflineReplay:
     def test_exported_trace_reproduces_live_report(
         self, state, tweet_corpus, tmp_path

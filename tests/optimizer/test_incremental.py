@@ -1,0 +1,217 @@
+"""Tests for incremental re-execution analysis and cost-aware planning."""
+
+import pytest
+
+from repro.core import GEN, REF, Pipeline, RefAction
+from repro.core.algebra import FunctionOperator
+from repro.core.state import ExecutionState
+from repro.data import make_tweet_corpus
+from repro.llm.model import SimulatedLLM
+from repro.llm.profiles import get_profile
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.incremental import dependent_suffix, estimate_rerun
+from repro.optimizer.planner import CandidateRefiner, RefinementPlanner
+
+MAP_PROMPT = "Summarize the tweet in at most 30 words.\nTweet:\n{tweet}"
+DIGEST_PROMPT = "Condense the summary into one takeaway.\nSummary:\n{summary}"
+FILTER_PROMPT = (
+    "Select the tweet only if negative. Respond yes or no.\nTweet:\n{tweet}"
+)
+
+
+def _build_state():
+    llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=False)
+    corpus = make_tweet_corpus(2, seed=7)
+    llm.bind_tweets(corpus)
+    state = ExecutionState(model=llm, clock=llm.clock)
+    state.prompts.create("map_p", MAP_PROMPT)
+    state.prompts.create("digest_p", DIGEST_PROMPT)
+    state.prompts.create("filter_p", FILTER_PROMPT)
+    state.context.put("tweet", corpus[0].text, producer="test")
+    return state
+
+
+def _pipeline():
+    return Pipeline(
+        [
+            GEN("summary", prompt="map_p"),
+            GEN("takeaway", prompt="digest_p"),
+            GEN("verdict", prompt="filter_p"),
+        ]
+    )
+
+
+def _fates(impacts):
+    return [(impact.label, impact.fate, impact.reason) for impact in impacts]
+
+
+class TestDependentSuffix:
+    def test_leaf_refinement_dirties_only_its_reader(self):
+        impacts = dependent_suffix(_pipeline(), _build_state(), "filter_p")
+        assert _fates(impacts) == [
+            ('GEN["summary"]', "cached", ""),
+            ('GEN["takeaway"]', "cached", ""),
+            ('GEN["verdict"]', "rerun", "prompt"),
+        ]
+
+    def test_upstream_refinement_taints_context_readers(self):
+        impacts = dependent_suffix(_pipeline(), _build_state(), "map_p")
+        assert _fates(impacts) == [
+            ('GEN["summary"]', "rerun", "prompt"),
+            ('GEN["takeaway"]', "rerun", "context"),
+            ('GEN["verdict"]', "cached", ""),
+        ]
+
+    def test_uncacheable_steps_always_rerun(self):
+        def glue(state):
+            return state
+
+        pipeline = Pipeline(
+            [
+                FunctionOperator(glue, label="GLUE"),
+                GEN("verdict", prompt="filter_p"),
+            ]
+        )
+        impacts = dependent_suffix(pipeline, _build_state(), "map_p")
+        assert _fates(impacts) == [
+            ("GLUE", "rerun", "uncacheable"),
+            ('GEN["verdict"]', "cached", ""),
+        ]
+
+    def test_nested_pipelines_flattened(self):
+        pipeline = Pipeline(
+            [
+                Pipeline([GEN("summary", prompt="map_p")]),
+                GEN("takeaway", prompt="digest_p"),
+            ]
+        )
+        impacts = dependent_suffix(pipeline, _build_state(), "map_p")
+        assert [impact.fate for impact in impacts] == ["rerun", "rerun"]
+
+
+class TestEstimateRerun:
+    def test_leaf_refinement_cheaper_than_upstream(self):
+        state = _build_state()
+        cost_model = CostModel(get_profile("qwen2.5-7b-instruct"))
+        leaf = estimate_rerun(_pipeline(), state, "filter_p", cost_model)
+        root = estimate_rerun(_pipeline(), state, "map_p", cost_model)
+
+        assert len(leaf.rerun_steps) == 1
+        assert len(leaf.cached_steps) == 2
+        assert leaf.rerun_tokens < root.rerun_tokens
+        assert leaf.rerun_seconds < root.rerun_seconds
+        # Cache hits are nearly free but not quite.
+        assert 0 < leaf.cached_seconds < leaf.rerun_seconds
+        assert leaf.seconds == pytest.approx(
+            leaf.rerun_seconds + leaf.cached_seconds
+        )
+
+    def test_max_tokens_caps_expected_decode(self):
+        state = _build_state()
+        cost_model = CostModel(get_profile("qwen2.5-7b-instruct"))
+        short = Pipeline([GEN("verdict", prompt="filter_p", max_tokens=4)])
+        long = Pipeline([GEN("verdict", prompt="filter_p")])
+        capped = estimate_rerun(short, state, "filter_p", cost_model)
+        free = estimate_rerun(long, state, "filter_p", cost_model)
+        assert capped.rerun_tokens < free.rerun_tokens
+
+
+class TestPlanIncremental:
+    def _candidates(self):
+        return [
+            CandidateRefiner(
+                name="refine_map",
+                build=lambda: REF(
+                    RefAction.APPEND, "hint", key="map_p", function_name="refine_map"
+                ),
+                est_cost_tokens=1,
+                prior_gain=0.1,
+            ),
+            CandidateRefiner(
+                name="refine_filter",
+                build=lambda: REF(
+                    RefAction.APPEND,
+                    "hint",
+                    key="filter_p",
+                    function_name="refine_filter",
+                ),
+                est_cost_tokens=1,
+                prior_gain=0.1,
+            ),
+        ]
+
+    def test_leaf_target_wins_on_rerun_cost(self):
+        state = _build_state()
+        cost_model = CostModel(get_profile("qwen2.5-7b-instruct"))
+        plan = RefinementPlanner().plan_incremental(
+            state,
+            self._candidates(),
+            pipeline=_pipeline(),
+            cost_model=cost_model,
+            budget_tokens=100,
+        )
+        # Equal gain, equal prompt growth — the filter refiner invalidates
+        # a smaller suffix, so it ranks first.
+        chosen = [step.refiner.name for step in plan.steps]
+        assert chosen[0] == "refine_filter"
+        assert plan.steps[0].utility > plan.steps[1].utility
+
+    def test_plan_event_carries_rerun_detail(self):
+        from repro.runtime.events import EventKind
+
+        state = _build_state()
+        cost_model = CostModel(get_profile("qwen2.5-7b-instruct"))
+        RefinementPlanner().plan_incremental(
+            state,
+            self._candidates(),
+            pipeline=_pipeline(),
+            cost_model=cost_model,
+            budget_tokens=100,
+        )
+        events = state.events.of_kind(EventKind.PLAN)
+        assert events
+        payload = events[-1].payload
+        assert payload["mode"] == "incremental"
+        detail = payload["rerun_detail"]
+        assert detail["refine_filter"]["rerun_steps"] == 1
+        assert detail["refine_filter"]["cached_steps"] == 2
+        assert detail["refine_map"]["rerun_steps"] == 2
+
+    def test_non_ref_candidate_costed_as_full_rerun(self):
+        state = _build_state()
+        cost_model = CostModel(get_profile("qwen2.5-7b-instruct"))
+
+        def rebuild(current):
+            return current
+
+        candidates = self._candidates() + [
+            CandidateRefiner(
+                name="opaque",
+                build=lambda: FunctionOperator(rebuild, label="OPAQUE"),
+                est_cost_tokens=1,
+                prior_gain=0.1,
+            )
+        ]
+        plan = RefinementPlanner().plan_incremental(
+            state,
+            candidates,
+            pipeline=_pipeline(),
+            cost_model=cost_model,
+            budget_tokens=100,
+        )
+        by_name = {step.refiner.name: step for step in plan.steps}
+        assert by_name["opaque"].utility < by_name["refine_filter"].utility
+
+    def test_negative_budget_rejected(self):
+        from repro.errors import PlanningError
+
+        state = _build_state()
+        cost_model = CostModel(get_profile("qwen2.5-7b-instruct"))
+        with pytest.raises(PlanningError):
+            RefinementPlanner().plan_incremental(
+                state,
+                [],
+                pipeline=_pipeline(),
+                cost_model=cost_model,
+                budget_tokens=-1,
+            )

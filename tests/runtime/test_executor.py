@@ -1,6 +1,9 @@
 """Tests for the Executor runtime entry point."""
 
+import pytest
+
 from repro.core import GEN, Pipeline, RET
+from repro.errors import UnknownContextKeyError
 from repro.runtime import Executor
 
 
@@ -58,6 +61,22 @@ class TestExecutor:
     def test_default_clock_without_model(self):
         executor = Executor()
         assert executor.clock.now == 0.0
+
+    def test_output_unknown_label_names_available_labels(self, llm):
+        executor = Executor(model=llm)
+        result = executor.run(Pipeline([]), context={"summary": "s", "verdict": "v"})
+        with pytest.raises(UnknownContextKeyError) as excinfo:
+            result.output("sumary")
+        message = str(excinfo.value)
+        assert "unknown context key: 'sumary'" in message
+        assert "available labels: ['summary', 'verdict']" in message
+        assert excinfo.value.available == ["summary", "verdict"]
+
+    def test_output_unknown_label_on_empty_context(self, llm):
+        executor = Executor(model=llm)
+        result = executor.run(Pipeline([]))
+        with pytest.raises(UnknownContextKeyError, match="the context is empty"):
+            result.output("answer")
 
     def test_events_slice_per_run(self, llm):
         executor = Executor(model=llm)

@@ -1,0 +1,130 @@
+"""Tests for the cache-driven incremental refinement loop."""
+
+import pytest
+
+from repro.core import GEN, REF, Condition, Pipeline, RefAction
+from repro.core.state import ExecutionState
+from repro.data import make_tweet_corpus
+from repro.llm.model import SimulatedLLM
+from repro.runtime.executor import Executor
+from repro.runtime.incremental import RefinementLoop
+from repro.runtime.result_cache import ResultCache
+
+MAP_PROMPT = (
+    "Summarize and clean up the tweet in at most 30 words.\nTweet:\n{tweet}"
+)
+FILTER_PROMPT = (
+    "Select the tweet only if its sentiment is negative. "
+    "Respond with yes or no.\nTweet:\n{tweet}"
+)
+
+
+def _build_state(seed=7):
+    llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=False)
+    corpus = make_tweet_corpus(4, seed=seed)
+    llm.bind_tweets(corpus)
+    state = ExecutionState(model=llm, clock=llm.clock)
+    state.prompts.create("map_p", MAP_PROMPT)
+    state.prompts.create("filter_p", FILTER_PROMPT)
+    state.context.put("tweet", corpus[0].text, producer="test")
+    return state
+
+
+def _pipeline():
+    return Pipeline(
+        [GEN("summary", prompt="map_p"), GEN("verdict", prompt="filter_p")]
+    )
+
+
+def _loop(state, refiners, **kwargs):
+    executor = Executor(
+        model=state.model, clock=state.clock, result_cache=ResultCache()
+    )
+    return RefinementLoop(executor, _pipeline(), refiners=refiners, **kwargs)
+
+
+class TestRefinementLoop:
+    def test_sequence_of_refiners_runs_len_plus_one_iterations(self):
+        state = _build_state()
+        refiners = [
+            REF(RefAction.APPEND, "Focus on school.", key="filter_p"),
+            REF(RefAction.APPEND, "Count homework gripes.", key="filter_p"),
+        ]
+        report = _loop(state, refiners).run(state)
+
+        assert len(report.iterations) == 3
+        assert report.final is not None
+        first, second, third = report.iterations
+        # Cold first run: everything misses; the refiner then kills only
+        # the filter entry.
+        assert first.cache_hits == 0 and first.cache_misses == 2
+        assert first.invalidations == 1
+        assert first.refined_key == "filter_p"
+        # Later runs: the map stage hits, the refined filter re-runs.
+        for iteration in (second, third):
+            assert iteration.cache_hits == 1
+            assert iteration.cache_misses == 1
+        assert third.refined_key is None
+        assert second.elapsed < first.elapsed
+        assert report.total_saved_seconds > 0
+        assert report.cache_hits == 2
+        assert report.cache_misses == 4
+
+    def test_callable_refiner_stops_on_none(self):
+        state = _build_state()
+
+        def refine(current, iteration):
+            if iteration >= 1:
+                return None
+            return REF(RefAction.APPEND, f"hint {iteration}", key="filter_p")
+
+        report = _loop(state, refine).run(state)
+        assert len(report.iterations) == 2
+        assert report.iterations[0].refined_key == "filter_p"
+        assert report.iterations[1].refined_key is None
+
+    def test_stop_condition_halts_before_refining(self):
+        state = _build_state()
+        refiners = [REF(RefAction.APPEND, "never applied", key="filter_p")]
+        report = _loop(
+            state, refiners, stop=Condition.metadata_above("gen_calls", 0)
+        ).run(state)
+        # The condition holds after the first run, so no refinement.
+        assert len(report.iterations) == 1
+        assert report.iterations[0].refined_key is None
+        assert state.prompts["filter_p"].version == 0
+
+    def test_max_iterations_caps_callable_loops(self):
+        state = _build_state()
+
+        def always(current, iteration):
+            return REF(RefAction.APPEND, f"hint {iteration}", key="filter_p")
+
+        report = _loop(state, always, max_iterations=3).run(state)
+        assert len(report.iterations) == 3
+
+    def test_max_iterations_validation(self):
+        state = _build_state()
+        with pytest.raises(ValueError):
+            _loop(state, [], max_iterations=0)
+
+    def test_loop_without_cache_still_works(self):
+        state = _build_state()
+        executor = Executor(model=state.model, clock=state.clock)
+        refiners = [REF(RefAction.APPEND, "Focus.", key="filter_p")]
+        report = RefinementLoop(
+            executor, _pipeline(), refiners=refiners
+        ).run(state)
+        assert len(report.iterations) == 2
+        assert report.cache_hits == 0
+        assert report.total_saved_seconds == 0
+
+    def test_to_dict_round_trips_the_report(self):
+        state = _build_state()
+        refiners = [REF(RefAction.APPEND, "Focus.", key="filter_p")]
+        report = _loop(state, refiners).run(state)
+        payload = report.to_dict()
+        assert len(payload["iterations"]) == 2
+        assert payload["total_elapsed"] == pytest.approx(report.total_elapsed)
+        assert payload["cache_hits"] == report.cache_hits
+        assert payload["iterations"][0]["refined_key"] == "filter_p"

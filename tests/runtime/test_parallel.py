@@ -26,8 +26,8 @@ def _bind_tweet(state, tweet):
     state.context.put("tweet", tweet.text, producer="bind")
 
 
-def _build_state(n_items=20, seed=7):
-    llm = SimulatedLLM("qwen2.5-7b-instruct")
+def _build_state(n_items=20, seed=7, prefix_cache=True):
+    llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=prefix_cache)
     corpus = make_tweet_corpus(n_items, seed=seed)
     llm.bind_tweets(corpus)
     state = ExecutionState(model=llm, clock=llm.clock)
@@ -266,3 +266,77 @@ class TestParallelStress:
             seq_model["overall_cache_hit_rate"]
         )
         assert parallel.elapsed < sequential.elapsed
+
+    def test_stress_result_cache_stays_bit_identical(self):
+        """The Table-3 workload with the operator result cache enabled:
+        parallel lanes sharing one cache stay bit-identical to the
+        sequential baseline, on the cold batch and on a fully-cached
+        re-run."""
+        from repro.runtime.result_cache import ResultCache
+
+        n = 120
+        # The prefix cache is off in both arms: with it on, GEN declines
+        # result-caching (latency would depend on hidden cache warmth).
+        state_seq, items = _build_state(n_items=n, seed=11, prefix_cache=False)
+        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
+            _pipeline(), items
+        )
+
+        state_par, items_par = _build_state(
+            n_items=n, seed=11, prefix_cache=False
+        )
+        cache = ResultCache(capacity=8192)
+        state_par.result_cache = cache
+        cache.subscribe_to(state_par.events, state_par.prompts)
+        runner = ParallelBatchRunner(state_par, bind=_bind_tweet, workers=8)
+
+        cold = runner.run(_pipeline(), items_par)
+        assert _texts(cold) == _texts(sequential)
+
+        # Second pass over the same items: everything is memoized, the
+        # outputs stay identical, and the batch is dramatically faster.
+        warm = runner.run(_pipeline(), items_par)
+        assert _texts(warm) == _texts(sequential)
+        assert cache.hits >= 2 * n
+        assert warm.elapsed < cold.elapsed / 10
+
+        # The BATCH summary event accounts the cache activity.
+        batch_events = state_par.events.of_kind(EventKind.BATCH)
+        payload = batch_events[-1].payload
+        assert payload["result_cache_hits"] == 2 * n
+        assert payload["result_cache_saved_seconds"] > 0
+
+    def test_stress_cached_lanes_see_refinement_invalidation(self):
+        """A refinement between parallel batches invalidates exactly the
+        refined prompt's entries; the next batch re-runs only that stage."""
+        from repro.core import REF, RefAction
+        from repro.runtime.result_cache import ResultCache
+
+        n = 40
+        state, items = _build_state(n_items=n, seed=11, prefix_cache=False)
+        cache = ResultCache(capacity=8192)
+        state.result_cache = cache
+        cache.subscribe_to(state.events, state.prompts)
+        runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=8)
+        runner.run(_pipeline(), items)
+
+        REF(RefAction.APPEND, "Focus on school.", key="filter").apply(state)
+        assert cache.invalidations == n  # every verdict entry, nothing else
+
+        hits_before = cache.hits
+        misses_before = cache.misses
+        second = runner.run(_pipeline(), items)
+        # Map entries hit; every refined-filter entry re-executes.
+        assert cache.hits - hits_before == n
+        assert cache.misses - misses_before == n
+
+        # And the re-run output matches a fresh sequential run on an
+        # identically refined state.
+        state_seq, items_seq = _build_state(
+            n_items=n, seed=11, prefix_cache=False
+        )
+        REF(RefAction.APPEND, "Focus on school.", key="filter").apply(state_seq)
+        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
+            _pipeline(), items_seq
+        )
+        assert _texts(second) == _texts(sequential)

@@ -62,6 +62,72 @@ class TestReplay:
             replay(steps)
 
 
+def _mixed_store() -> PromptStore:
+    """A store whose history mixes refinement, rollback and clone.
+
+    ``qa`` is refined twice then rolled back; it is cloned to ``qa_b``,
+    which diverges with its own refinement and a rollback of its own.
+    """
+    store = _store()
+    store["qa"].rollback(0)  # qa: v3 == v0 text
+    store.clone("qa", "qa_b")
+    store["qa_b"].record(RefAction.APPEND, "v0\nbranch", function="f_branch")
+    store["qa"].record(RefAction.UPDATE, "v4", function="f_4")
+    store["qa_b"].rollback(1)
+    return store
+
+
+class TestMixedHistories:
+    """Rollback + clone interleavings (beyond the linear cases below)."""
+
+    def test_export_covers_both_lineages(self):
+        steps = export_replay_log(_mixed_store())
+        by_key = {}
+        for step in steps:
+            by_key.setdefault(step.key, []).append(step)
+        assert [step.version for step in by_key["qa"]] == [0, 1, 2, 3, 4]
+        assert [step.version for step in by_key["qa_b"]] == [0, 1, 2, 3, 4, 5]
+        # The clone's divergent suffix is its own, not the source's.
+        assert by_key["qa_b"][4].action == "APPEND"
+        assert by_key["qa"][4].action == "UPDATE"
+
+    def test_replay_reconstructs_both_lineages(self):
+        store = _mixed_store()
+        rebuilt = replay(export_replay_log(store))
+        assert rebuilt.text("qa") == "v4"
+        assert rebuilt.text("qa_b") == "v0\nv1"  # rolled back to v1
+        assert rebuilt["qa_b"].text_at(4) == "v0\nbranch"
+        assert rebuilt["qa"].text_at(3) == "v0"  # the rollback snapshot
+
+    def test_verify_replay_on_mixed_store(self):
+        assert verify_replay(_mixed_store())
+
+    def test_snapshot_at_on_cloned_lineage(self):
+        store = _mixed_store()
+        assert snapshot_at(store, "qa_b", 4) == "v0\nbranch"
+        assert snapshot_at(store, "qa_b", 3) == "v0"
+        assert snapshot_at(store, "qa", 3) == "v0"
+
+    def test_clone_of_fresh_entry_round_trips(self):
+        store = PromptStore()
+        store.create("src", "seed")
+        store.clone("src", "copy")
+        store["copy"].record(RefAction.APPEND, "seed\nmore", function="f_m")
+        assert verify_replay(store)
+        rebuilt = replay(export_replay_log(store))
+        assert rebuilt.text("copy") == "seed\nmore"
+        assert rebuilt.text("src") == "seed"
+
+    def test_rollback_of_rollback_round_trips(self):
+        store = _store()
+        store["qa"].rollback(1)
+        store["qa"].rollback(0)
+        store["qa"].rollback(3)  # restore the first rollback's text
+        assert verify_replay(store)
+        rebuilt = replay(export_replay_log(store))
+        assert rebuilt.text("qa") == "v0\nv1"
+
+
 class TestVerify:
     def test_verify_replay_on_consistent_store(self):
         assert verify_replay(_store())

@@ -180,6 +180,37 @@ class TestStatsCommand:
         assert "sequential" in out
         assert f"{batch.throughput:.3f}" in out
 
+    def test_stats_result_cache_table(self, tmp_path, tweet_corpus, capsys):
+        """A trace containing CACHE_HIT events renders the cache table."""
+        from repro.core import GEN, Pipeline
+        from repro.llm.model import SimulatedLLM
+        from repro.runtime.executor import Executor
+        from repro.runtime.result_cache import ResultCache
+        from repro.runtime.tracing import export_events
+
+        llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=False)
+        llm.bind_tweets(tweet_corpus)
+        executor = Executor(
+            model=llm, clock=llm.clock, result_cache=ResultCache()
+        )
+        state = executor.new_state()
+        state.prompts.create(
+            "filter",
+            "Select the tweet only if its sentiment is negative. "
+            f"Respond with yes or no.\nTweet:\n{tweet_corpus[0].text}",
+        )
+        pipeline = Pipeline([GEN("verdict", prompt="filter")])
+        executor.run(pipeline, state=state)
+        executor.run(pipeline, state=state)  # served from the cache
+        trace = tmp_path / "cached_run.jsonl"
+        export_events(state.events, trace)
+
+        code = main(["stats", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Result cache" in out
+        assert re.search(r"result cache: 1 hits?, \d+\.\d+s", out)
+
     def test_stats_top_limits_slowest_spans(self, trace_file, capsys):
         main(["stats", str(trace_file), "--top", "1"])
         out = capsys.readouterr().out
