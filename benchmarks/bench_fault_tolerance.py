@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Fault-tolerance benchmark: pipeline success under injected faults.
+
+Runs a Table-3-style per-item workload (Map: summarize, Filter: verdict —
+two GEN calls per tweet) through the sequential batch runner in four arms:
+
+1. ``baseline``      — no fault injection, no resilience.
+2. ``no_retries``    — a seeded :class:`~repro.resilience.faults.FaultPlan`
+   injects transient errors, rate limits, and truncated generations at a
+   combined 10% per-attempt rate; failures surface as item errors
+   (``on_error="collect"``).
+3. ``resilient``     — same fault seed, plus a
+   :class:`~repro.resilience.runtime.ResilienceRuntime` (exponential-
+   backoff retries, a per-model circuit breaker, and a cheaper-model
+   fallback).  Run twice to prove the whole arm is deterministic.
+4. ``resilient_no_faults`` — resilience attached but injection disabled;
+   outputs must be byte-identical to ``baseline`` (the clean path adds
+   no events, metadata, or clock charges).
+
+Writes ``BENCH_fault.json`` at the repo root (or ``--output``) and exits
+non-zero when the resilient arm's success rate falls below
+``--min-success`` (CI uses 0.99), when the no-retries arm is not
+measurably worse, or when any identity/determinism assertion fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.core import GEN, FunctionOperator, Pipeline  # noqa: E402
+from repro.core.state import ExecutionState  # noqa: E402
+from repro.data import make_tweet_corpus  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    FILTER_NEG_INSTRUCTION,
+    MAP_INSTRUCTION,
+    SCAFFOLD,
+)
+from repro.llm.model import SimulatedLLM  # noqa: E402
+from repro.resilience import (  # noqa: E402
+    BreakerPolicy,
+    FallbackChain,
+    FaultPlan,
+    FaultSpec,
+    ModelFallback,
+    ResilienceRuntime,
+    RetryPolicy,
+)
+from repro.runtime.batch import BatchRunner  # noqa: E402
+
+PROFILE = "qwen2.5-7b-instruct"
+FALLBACK_PROFILE = "gpt-4o-mini"
+
+#: 10% combined per-attempt failure rate, split across the channels real
+#: serving exhibits (the timeout channel is exercised in unit tests; here
+#: it would conflate per-attempt deadlines with the injection rate).
+FAULTS = FaultSpec(
+    transient_rate=0.06,
+    rate_limit_rate=0.02,
+    malformed_rate=0.02,
+    spike_rate=0.05,
+)
+
+RETRY = RetryPolicy(max_attempts=4, base_delay_s=0.2, multiplier=2.0, jitter=0.1)
+BREAKER = BreakerPolicy(failure_threshold=8, cooldown_s=5.0)
+FALLBACK = FallbackChain((ModelFallback(FALLBACK_PROFILE),))
+
+
+def build_state(
+    n_items: int,
+    seed: int,
+    *,
+    faults: bool,
+    resilient: bool,
+) -> tuple[ExecutionState, list]:
+    """Fresh model + corpus + prompts (cold everything) for one arm."""
+    llm = SimulatedLLM(
+        PROFILE,
+        enable_prefix_cache=False,
+        fault_plan=FaultPlan(seed, default=FAULTS) if faults else None,
+    )
+    corpus = make_tweet_corpus(n_items, seed=seed)
+    llm.bind_tweets(corpus)
+    state = ExecutionState(model=llm, clock=llm.clock)
+    if resilient:
+        state.resilience = ResilienceRuntime(
+            retry=RETRY, breaker=BREAKER, fallback=FALLBACK, seed=seed
+        )
+    state.prompts.create(
+        "map_p", SCAFFOLD + "\n" + MAP_INSTRUCTION + "\nTweet:\n{tweet}"
+    )
+    state.prompts.create(
+        "filter_p", FILTER_NEG_INSTRUCTION + "\nTweet:\n{tweet}"
+    )
+    return state, list(corpus)
+
+
+def build_pipeline() -> Pipeline:
+    return Pipeline(
+        [
+            GEN("summary", prompt="map_p"),
+            GEN("verdict", prompt="filter_p", max_tokens=8),
+        ],
+        name="bench_fault_tolerance",
+    )
+
+
+def bind(state: ExecutionState, tweet) -> None:
+    state.context.put("tweet", tweet.text, producer="bind")
+
+
+def freeze_outputs(batch) -> str:
+    """A byte-exact serialization of every item's final (C, M, error)."""
+    return json.dumps(
+        [
+            {
+                "context": {
+                    key: repr(value)
+                    for key, value in sorted(result.context.items())
+                },
+                "metadata": {
+                    key: repr(value)
+                    for key, value in sorted(result.metadata.items())
+                },
+                "error": type(result.error).__name__ if result.error else None,
+            }
+            for result in batch.items
+        ],
+        sort_keys=True,
+    )
+
+
+def run_arm(
+    n_items: int, seed: int, *, faults: bool, resilient: bool
+) -> dict:
+    state, items = build_state(
+        n_items, seed, faults=faults, resilient=resilient
+    )
+    runner = BatchRunner(state, bind=bind, on_error="collect")
+    wall0 = time.perf_counter()
+    batch = runner.run(build_pipeline(), items)
+    host_wall = time.perf_counter() - wall0
+    failures = batch.failures()
+    fault_plan = state.model.fault_plan
+    arm = {
+        "items": len(batch.items),
+        "failures": len(failures),
+        "success_rate": round(1.0 - len(failures) / len(batch.items), 4),
+        "sim_elapsed_s": round(batch.elapsed, 4),
+        "host_wall_s": round(host_wall, 4),
+        "retries": int(
+            sum(
+                result.metadata.get("resilience_retries", 0)
+                for result in batch.items
+            )
+        ),
+        "degraded_runs": int(
+            sum(
+                result.metadata.get("degraded_runs", 0)
+                for result in batch.items
+            )
+        ),
+        "faults_injected": (
+            fault_plan.snapshot()["injected"] if fault_plan is not None else None
+        ),
+        "error_kinds": sorted(
+            {type(result.error).__name__ for result in failures}
+        ),
+        "outputs": freeze_outputs(batch),
+    }
+    return arm
+
+
+def run_benchmark(n_items: int, seed: int) -> dict:
+    baseline = run_arm(n_items, seed, faults=False, resilient=False)
+    no_retries = run_arm(n_items, seed, faults=True, resilient=False)
+    resilient = run_arm(n_items, seed, faults=True, resilient=True)
+    resilient_repeat = run_arm(n_items, seed, faults=True, resilient=True)
+    clean_resilient = run_arm(n_items, seed, faults=False, resilient=True)
+
+    if resilient["outputs"] != resilient_repeat["outputs"]:
+        raise AssertionError(
+            "resilient arm is not deterministic: two runs with the same "
+            "seed produced different outputs"
+        )
+    if clean_resilient["outputs"] != baseline["outputs"]:
+        raise AssertionError(
+            "resilience runtime with injection disabled diverged from the "
+            "vanilla baseline — the clean path is supposed to be "
+            "byte-identical"
+        )
+
+    outputs_identical = True
+    for arm in (baseline, no_retries, resilient, resilient_repeat, clean_resilient):
+        arm.pop("outputs")
+    return {
+        "profile": PROFILE,
+        "fallback_profile": FALLBACK_PROFILE,
+        "items": n_items,
+        "seed": seed,
+        "fault_rate": FAULTS.failure_rate,
+        "retry_policy": {
+            "max_attempts": RETRY.max_attempts,
+            "base_delay_s": RETRY.base_delay_s,
+            "multiplier": RETRY.multiplier,
+        },
+        "baseline": baseline,
+        "no_retries": no_retries,
+        "resilient": resilient,
+        "resilient_no_faults": clean_resilient,
+        "deterministic": True,
+        "clean_path_byte_identical": outputs_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--items", type=int, default=80, help="corpus size (default 80)"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true", help="CI smoke: 24 items"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--min-success", type=float, default=0.99,
+        help="fail when the resilient arm's success rate is below this",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_fault.json"
+    )
+    args = parser.parse_args(argv)
+
+    n_items = 24 if args.tiny else args.items
+    result = run_benchmark(n_items, args.seed)
+    result["min_success"] = args.min_success
+    resilient = result["resilient"]
+    no_retries = result["no_retries"]
+    result["ok"] = (
+        resilient["success_rate"] >= args.min_success
+        and no_retries["success_rate"] < resilient["success_rate"]
+    )
+
+    args.output.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(
+        f"baseline:   {result['baseline']['success_rate'] * 100:.1f}% success "
+        f"({result['baseline']['items']} items, no faults)"
+    )
+    print(
+        f"no retries: {no_retries['success_rate'] * 100:.1f}% success at "
+        f"{result['fault_rate'] * 100:.0f}% injected fault rate "
+        f"({no_retries['failures']} failures)"
+    )
+    print(
+        f"resilient:  {resilient['success_rate'] * 100:.1f}% success, "
+        f"{resilient['retries']} retries, "
+        f"{resilient['degraded_runs']} degraded runs"
+    )
+    print(
+        "clean path: byte-identical to baseline with injection disabled; "
+        "resilient arm deterministic across two runs"
+    )
+    if not result["ok"]:
+        print(
+            f"FAIL: resilient success {resilient['success_rate']:.4f} "
+            f"< required {args.min_success} (or no measurable gap vs "
+            f"no-retries at {no_retries['success_rate']:.4f})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

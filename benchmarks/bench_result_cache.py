@@ -53,6 +53,7 @@ from repro.experiments.common import (  # noqa: E402
 from repro.llm.model import SimulatedLLM  # noqa: E402
 from repro.runtime.executor import Executor  # noqa: E402
 from repro.runtime.incremental import RefinementLoop  # noqa: E402
+from repro.runtime.options import RuntimeOptions  # noqa: E402
 from repro.runtime.result_cache import ResultCache  # noqa: E402
 
 PROFILE = "qwen2.5-7b-instruct"
@@ -137,7 +138,11 @@ def freeze_outputs(state: ExecutionState) -> str:
 def run_arm(n_items: int, seed: int, *, cached: bool) -> dict:
     state, items = build_state(n_items, seed)
     cache = ResultCache(capacity=16384) if cached else None
-    executor = Executor(model=state.model, clock=state.clock, result_cache=cache)
+    executor = Executor(
+        options=RuntimeOptions(
+            model=state.model, clock=state.clock, result_cache=cache
+        )
+    )
     loop = RefinementLoop(
         executor,
         build_pipeline(items),

@@ -50,6 +50,7 @@ from repro.core import (
     manual_refinement,
     refine_on_low_confidence,
 )
+from repro.errors import SpearError
 from repro.llm import (
     BlockPrefixCache,
     GenerationResult,
@@ -66,7 +67,21 @@ from repro.obs import (
     build_run_report,
     to_prometheus,
 )
-from repro.runtime import Executor, RunResult, shadow_run, verify_replay
+from repro.resilience import (
+    BreakerPolicy,
+    FallbackChain,
+    FaultPlan,
+    FaultSpec,
+    ResilienceRuntime,
+    RetryPolicy,
+)
+from repro.runtime import (
+    Executor,
+    RunResult,
+    RuntimeOptions,
+    shadow_run,
+    verify_replay,
+)
 
 __version__ = "0.1.0"
 
@@ -106,8 +121,16 @@ __all__ = [
     "StructuredPromptCache",
     "Tokenizer",
     "get_profile",
+    "SpearError",
+    "BreakerPolicy",
+    "FallbackChain",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilienceRuntime",
+    "RetryPolicy",
     "Executor",
     "RunResult",
+    "RuntimeOptions",
     "shadow_run",
     "verify_replay",
     "MetricsRegistry",

@@ -1,0 +1,170 @@
+"""The stable embedding surface: ``import repro.api as spear``.
+
+Everything an embedder needs, re-exported from one module with a curated
+``__all__`` — so applications stop importing from deep private paths
+(``repro.runtime.parallel``, ``repro.llm.model``, …) that are free to
+move between releases.  The facade is the compatibility contract:
+
+- the prompt algebra — :class:`Pipeline`, the core and derived
+  operators, :class:`ExecutionState` and its ``(P, C, M)`` stores;
+- the runners — :class:`Executor`, :class:`ParallelBatchRunner`,
+  :class:`RefinementLoop`, configured via :class:`RuntimeOptions`;
+- the serving substrate — :class:`SimulatedLLM`, :class:`ModelProfile`,
+  :class:`ResultCache`;
+- the resilience layer — :class:`FaultPlan`, :class:`RetryPolicy`,
+  :class:`BreakerPolicy`, :class:`CircuitBreaker`,
+    :class:`FallbackChain` + targets, :class:`ResilienceRuntime`;
+- observability — :class:`ObsCollector`, :class:`MetricsRegistry`,
+  :func:`build_run_report`.
+
+Importing this module (and touching every ``__all__`` name) emits no
+DeprecationWarning: the facade never routes through deprecated keywords,
+and CI imports it under ``-W error::DeprecationWarning`` to keep it that
+way.
+
+Quickstart::
+
+    import repro.api as spear
+
+    llm = spear.SimulatedLLM()
+    executor = spear.Executor(options=spear.RuntimeOptions(model=llm))
+    result = executor.generate_once(
+        "hello", "Summarize the tweet in at most 30 words.\\nTweet:\\ngreat day"
+    )
+    print(result.output("answer"))
+"""
+
+from repro.core import (
+    CHECK,
+    DELEGATE,
+    DIFF,
+    EXPAND,
+    GEN,
+    MAP,
+    MERGE,
+    REF,
+    RET,
+    RETRY,
+    SWITCH,
+    VIEW,
+    Condition,
+    Context,
+    ExecutionState,
+    Metadata,
+    Operator,
+    Pipeline,
+    PromptEntry,
+    PromptStore,
+    RefAction,
+    RefinementMode,
+    ViewRegistry,
+)
+from repro.errors import (
+    CircuitOpenError,
+    MalformedOutputError,
+    ModelError,
+    RateLimitError,
+    SpearError,
+    TransientModelError,
+)
+from repro.errors import TimeoutError  # noqa: A004 - the taxonomy's name
+from repro.llm import (
+    GenerationResult,
+    ModelProfile,
+    SimulatedLLM,
+    Tokenizer,
+    get_profile,
+)
+from repro.obs import (
+    MetricsRegistry,
+    ObsCollector,
+    RunReport,
+    build_run_report,
+)
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FallbackChain,
+    FaultPlan,
+    FaultSpec,
+    ModelFallback,
+    ResilienceRuntime,
+    RetryPolicy,
+    StaticFallback,
+)
+from repro.runtime import (
+    BatchRunner,
+    Executor,
+    ParallelBatchRunner,
+    RefinementLoop,
+    ResultCache,
+    RunResult,
+    RuntimeOptions,
+    VirtualClock,
+)
+
+__all__ = [
+    # algebra
+    "Pipeline",
+    "Operator",
+    "Condition",
+    "GEN",
+    "RET",
+    "REF",
+    "CHECK",
+    "MERGE",
+    "DELEGATE",
+    "EXPAND",
+    "RETRY",
+    "MAP",
+    "SWITCH",
+    "VIEW",
+    "DIFF",
+    # state
+    "ExecutionState",
+    "PromptStore",
+    "PromptEntry",
+    "Context",
+    "Metadata",
+    "RefAction",
+    "RefinementMode",
+    "ViewRegistry",
+    # runners
+    "Executor",
+    "BatchRunner",
+    "ParallelBatchRunner",
+    "RefinementLoop",
+    "RuntimeOptions",
+    "RunResult",
+    "ResultCache",
+    "VirtualClock",
+    # serving substrate
+    "SimulatedLLM",
+    "GenerationResult",
+    "ModelProfile",
+    "get_profile",
+    "Tokenizer",
+    # resilience
+    "FaultSpec",
+    "FaultPlan",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ModelFallback",
+    "StaticFallback",
+    "FallbackChain",
+    "ResilienceRuntime",
+    # errors
+    "SpearError",
+    "ModelError",
+    "TransientModelError",
+    "RateLimitError",
+    "TimeoutError",
+    "MalformedOutputError",
+    "CircuitOpenError",
+    # observability
+    "ObsCollector",
+    "MetricsRegistry",
+    "RunReport",
+    "build_run_report",
+]

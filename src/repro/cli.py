@@ -260,6 +260,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 title="Result cache",
             )
         )
+    if report.resilience:
+        print()
+        res = report.resilience
+        models = sorted(
+            set(res.get("failures_by_model", {}))
+            | set(res.get("retries_by_model", {}))
+            | set(res.get("breakers", {}))
+        )
+        res_rows = [
+            [
+                model,
+                res.get("failures_by_model", {}).get(model, 0),
+                res.get("retries_by_model", {}).get(model, 0),
+                round(
+                    res.get("backoff_seconds", {})
+                    .get(model, {})
+                    .get("total", 0.0),
+                    2,
+                ),
+                res.get("breakers", {}).get(model, {}).get("state", "closed"),
+                res.get("breakers", {}).get(model, {}).get("transitions", 0),
+            ]
+            for model in models
+        ]
+        print(
+            format_table(
+                [
+                    "Model", "Failures", "Retries", "Backoff (s)",
+                    "Breaker", "Transitions",
+                ],
+                res_rows,
+                title="Resilience",
+            )
+        )
+        summary = (
+            f"faults injected: {res.get('faults_injected_total', 0)}"
+        )
+        by_kind = res.get("faults_injected", {})
+        if by_kind:
+            summary += (
+                " ("
+                + ", ".join(f"{kind}={n}" for kind, n in by_kind.items())
+                + ")"
+            )
+        degraded_total = res.get("degraded_runs_total", 0)
+        if degraded_total:
+            targets = ", ".join(
+                f"{target}={n}"
+                for target, n in res.get("degraded_runs", {}).items()
+            )
+            summary += f"; degraded runs: {degraded_total} ({targets})"
+        print(summary)
     print()
     totals = report.totals
     print(

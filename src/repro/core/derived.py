@@ -15,13 +15,15 @@ they encapsulate common prompt patterns, not new semantics:
 from __future__ import annotations
 
 import difflib
+import hashlib
 from typing import Any, Callable, Mapping
 
 from repro.core.algebra import Condition, Operator, as_condition
 from repro.core.entry import RefAction, RefinementMode
 from repro.core.operators import REF
 from repro.core.state import ExecutionState
-from repro.errors import OperatorError
+from repro.errors import OperatorError, SpearError
+from repro.resilience.faults import unit_draw
 from repro.runtime.events import EventKind
 
 __all__ = ["EXPAND", "RETRY", "MAP", "SWITCH", "VIEW", "DIFF", "prompt_diff"]
@@ -48,6 +50,14 @@ class RETRY(Operator):  # noqa: N801 - paper operator name
     ``RETRY[GEN["answer"], M["conf"] < 0.7]``: run ``op`` once; while the
     condition holds and retries remain, apply ``refine`` (if any) and run
     ``op`` again.  The retry count lands in ``M["retries"]``.
+
+    A :class:`~repro.resilience.policies.RetryPolicy` can be passed as
+    ``policy=`` instead of a bare ``max_retries``: the retry budget then
+    comes from ``policy.max_attempts``, and *errors* raised by ``op`` that
+    the policy marks retryable (transient model faults, rate limits,
+    timeouts) are caught and retried too, with the policy's exponential
+    backoff charged to the virtual clock.  Exhausting the budget re-raises
+    the last error.
     """
 
     def __init__(
@@ -56,25 +66,79 @@ class RETRY(Operator):  # noqa: N801 - paper operator name
         condition: Condition | Callable[[ExecutionState], bool],
         *,
         refine: Operator | None = None,
-        max_retries: int = 2,
+        max_retries: int | None = None,
+        policy: Any = None,
     ) -> None:
+        if max_retries is not None and policy is not None:
+            raise OperatorError("pass either max_retries or policy, not both")
+        if policy is not None:
+            max_retries = policy.max_attempts - 1
+        elif max_retries is None:
+            max_retries = 2
         if max_retries < 0:
             raise OperatorError(f"max_retries must be >= 0: {max_retries}")
         self.op = op
         self.condition = as_condition(condition)
         self.refine = refine
         self.max_retries = max_retries
+        self.policy = policy
         self.label = f"RETRY[{op.label}, {self.condition.text}]"
 
+    def _apply_once(
+        self, state: ExecutionState, attempt: int
+    ) -> ExecutionState | None:
+        """Apply ``op``; under a policy, absorb one retryable error.
+
+        Returns the new state, or raises when the error is terminal (not
+        retryable, or the budget after ``attempt`` is spent).
+        """
+        if self.policy is None:
+            return self.op.apply(state)
+        try:
+            return self.op.apply(state)
+        except SpearError as error:
+            if not (
+                self.policy.retryable(error) and attempt < self.max_retries
+            ):
+                raise
+            digest = hashlib.sha256(
+                self.label.encode("utf-8")
+            ).hexdigest()[:24]
+            delay = self.policy.delay_for(
+                attempt,
+                draw=unit_draw("retry-op", self.label, digest, attempt),
+                retry_after=getattr(error, "retry_after", None),
+            )
+            state.events.emit(
+                EventKind.RETRY,
+                self.label,
+                at=state.clock.now,
+                attempt=attempt + 1,
+                delay=delay,
+                error=type(error).__name__,
+            )
+            state.clock.advance(delay)
+            return None  # signal: retry the attempt
+
     def _run(self, state: ExecutionState) -> ExecutionState:
-        state = self.op.apply(state)
         attempts = 0
+        result = self._apply_once(state, attempts)
+        while result is None:  # error-retry path (policy only)
+            attempts += 1
+            state.metadata.increment("retries")
+            result = self._apply_once(state, attempts)
+        state = result
         while attempts < self.max_retries and self.condition(state):
             attempts += 1
             state.metadata.increment("retries")
             if self.refine is not None:
                 state = self.refine.apply(state)
-            state = self.op.apply(state)
+            result = self._apply_once(state, attempts)
+            while result is None:
+                attempts += 1
+                state.metadata.increment("retries")
+                result = self._apply_once(state, attempts)
+            state = result
         return state
 
 

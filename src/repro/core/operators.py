@@ -189,6 +189,10 @@ class GEN(Operator):
             return None
         if getattr(model, "enable_prefix_cache", False):
             return None
+        if getattr(model, "fault_plan", None) is not None:
+            # Fault decisions are attempt-indexed: re-running the same call
+            # can fail differently, so GEN under injection is not pure.
+            return None
         entry = state.prompts[self.prompt_key]
         identity = stable_digest(
             {
@@ -221,7 +225,12 @@ class GEN(Operator):
         if state.model is None:
             raise OperatorError("GEN requires a model on the execution state")
         rendered = state.render_prompt(self.prompt_key, extra=self.extra)
-        result = state.model.generate(rendered, max_tokens=self.max_tokens)
+        if state.resilience is not None:
+            result = state.resilience.generate(
+                state, rendered, max_tokens=self.max_tokens
+            )
+        else:
+            result = state.model.generate(rendered, max_tokens=self.max_tokens)
 
         state.context.put(self.label_key, result.text, producer=self.label)
         state.context.put(

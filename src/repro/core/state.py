@@ -56,6 +56,11 @@ class ExecutionState:
         #: optional :class:`repro.runtime.result_cache.ResultCache` (or a
         #: read-only view); None disables operator-level result caching.
         self.result_cache: Any = None
+        #: optional :class:`repro.resilience.runtime.ResilienceRuntime`;
+        #: when set, GEN routes generation calls through it (retries,
+        #: circuit breakers, degraded fallback).  Forked lane states share
+        #: the same runtime object so breakers guard the model globally.
+        self.resilience: Any = None
         self._views = views
         self._sources: dict[str, SourceFn] = {}
         self._pure_sources: set[str] = set()
@@ -178,6 +183,7 @@ class ExecutionState:
             clock=self.clock,
         )
         forked.result_cache = self.result_cache
+        forked.resilience = self.resilience
         forked._sources = dict(self._sources)
         forked._pure_sources = set(self._pure_sources)
         forked._agents = dict(self._agents)

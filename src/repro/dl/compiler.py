@@ -207,11 +207,16 @@ class _Lowering:
         max_retries = call.kwargs.get("max_retries", 2)
         if not isinstance(max_retries, int):
             raise self._fail(call, "max_retries must be an integer")
+        # The DSL's retry budget lowers onto a first-class RetryPolicy so
+        # DSL retries and runtime-injected fault retries share semantics
+        # (error-retry with deterministic backoff included).
+        from repro.resilience.policies import RetryPolicy
+
         return RETRY(
             self.lower_op(inner),
             _condition_from_node(condition),
             refine=refine,
-            max_retries=max_retries,
+            policy=RetryPolicy(max_attempts=max_retries + 1),
         )
 
     def _lower_diff(self, call: OpCall) -> Operator:

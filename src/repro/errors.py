@@ -90,6 +90,18 @@ class RetrievalError(SpearError):
 class ModelError(SpearError):
     """The simulated LLM backend rejected a request."""
 
+    #: whether retrying the same call may succeed.  Resilience policies
+    #: consult this instead of hard-coding a type list, so user-defined
+    #: error subclasses can opt in.
+    retryable: bool = False
+    #: True when the error was injected by a :class:`repro.resilience.FaultPlan`
+    #: (vs. a genuine backend rejection); lets observability distinguish
+    #: simulated chaos from real failures.
+    injected: bool = False
+    #: which fault channel produced this error (``"transient"``,
+    #: ``"rate_limit"``, ``"timeout"``, ``"malformed"``) or None.
+    fault_kind: "str | None" = None
+
 
 class TokenBudgetExceededError(ModelError):
     """A generation request exceeded the configured token budget."""
@@ -100,6 +112,106 @@ class TokenBudgetExceededError(ModelError):
         )
         self.requested = requested
         self.budget = budget
+
+
+class TransientModelError(ModelError):
+    """The backend failed in a way that a retry may fix.
+
+    The base of the retryable taxonomy: network blips, 5xx-style engine
+    hiccups, scheduler preemptions.  Deterministic fault injection raises
+    these with ``injected=True``.
+    """
+
+    retryable = True
+    fault_kind = "transient"
+
+    def __init__(
+        self,
+        message: str = "transient backend failure",
+        *,
+        injected: bool = False,
+        attempt: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.injected = injected
+        self.attempt = attempt
+
+
+class RateLimitError(TransientModelError):
+    """The backend shed load; retry after ``retry_after`` simulated seconds."""
+
+    fault_kind = "rate_limit"
+
+    def __init__(
+        self,
+        message: str = "rate limited",
+        *,
+        retry_after: float = 0.0,
+        injected: bool = False,
+        attempt: int | None = None,
+    ) -> None:
+        super().__init__(message, injected=injected, attempt=attempt)
+        self.retry_after = retry_after
+
+
+class TimeoutError(TransientModelError, TimeoutError):  # noqa: A001 - paper taxonomy name
+    """A call exceeded its (virtual-clock) deadline.
+
+    Also subclasses the builtin ``TimeoutError`` so generic handlers
+    written against the standard library still catch it.
+    """
+
+    fault_kind = "timeout"
+
+    def __init__(
+        self,
+        message: str = "generation timed out",
+        *,
+        elapsed: float = 0.0,
+        deadline: float | None = None,
+        injected: bool = False,
+        attempt: int | None = None,
+    ) -> None:
+        super().__init__(message, injected=injected, attempt=attempt)
+        self.elapsed = elapsed
+        self.deadline = deadline
+
+
+class MalformedOutputError(TransientModelError):
+    """The backend returned a truncated or unparseable generation.
+
+    Carries the partial text so degraded consumers can still inspect it;
+    retryable because a fresh attempt usually completes.
+    """
+
+    fault_kind = "malformed"
+
+    def __init__(
+        self,
+        message: str = "malformed generation",
+        *,
+        partial_text: str = "",
+        injected: bool = False,
+        attempt: int | None = None,
+    ) -> None:
+        super().__init__(message, injected=injected, attempt=attempt)
+        self.partial_text = partial_text
+
+
+class CircuitOpenError(TransientModelError):
+    """A circuit breaker rejected the call before it reached the backend.
+
+    Retryable by design: backoff advances the virtual clock toward the
+    breaker's cooldown, after which a half-open probe is admitted.
+    """
+
+    fault_kind = "circuit_open"
+
+    def __init__(self, model: str, *, until: float | None = None) -> None:
+        suffix = f" (cooldown until t={until:.2f}s)" if until is not None else ""
+        super().__init__(f"circuit open for model {model!r}{suffix}")
+        self.model = model
+        self.until = until
 
 
 class PlanningError(SpearError):

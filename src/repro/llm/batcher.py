@@ -203,9 +203,18 @@ class GenMicroBatcher:
             self._cond.notify_all()
 
     def _run_chunk_locked(self, chunk: list[_Request]) -> None:
-        """Execute one micro-batch (all barrier peers are blocked waiting)."""
+        """Execute one micro-batch (all barrier peers are blocked waiting).
+
+        Fault injection happens here per request — this path bypasses
+        ``model.generate`` — using the same seeded
+        :attr:`~repro.llm.model.SimulatedLLM.fault_plan` decisions, so a
+        batched run injects exactly the faults a sequential run would.
+        Faulted requests charge their own lane clock and are excluded
+        from the micro-batch; latency spikes keep the request in the
+        batch and stretch only its lane's clock afterwards.
+        """
         model = self.model
-        prepared: list[tuple[_Request, list[int], Any]] = []
+        prepared: list[tuple[_Request, list[int], Any, Any]] = []
         for request in chunk:
             try:
                 tokens, features = model.prepare(request.prompt)
@@ -213,13 +222,28 @@ class GenMicroBatcher:
                 request.error = error
                 request.done = True
                 continue
-            prepared.append((request, tokens, features))
+            decision = (
+                model.fault_plan.decide(model.profile.name, request.prompt)
+                if model.fault_plan is not None
+                else None
+            )
+            if decision is not None and decision.kind is not None:
+                try:
+                    model.inject_fault(
+                        decision, request.prompt, tokens, features,
+                        max_tokens=request.max_tokens, clock=request.clock,
+                    )
+                except Exception as error:  # noqa: BLE001 - delivered to the lane
+                    request.error = error
+                request.done = True
+                continue
+            prepared.append((request, tokens, features, decision))
         if not prepared:
             return
 
         triples: list[tuple[int, int, int]] = []
         outputs: list[tuple[str, int, Any]] = []
-        for request, tokens, features in prepared:
+        for request, tokens, features, _decision in prepared:
             caching = (
                 model.enable_prefix_cache
                 if request.use_cache is None
@@ -235,29 +259,49 @@ class GenMicroBatcher:
         batch = estimate_batch_latency(model.profile, triples)
         # The batched step starts when its last participant arrives and
         # completes for everyone at once: lanes merge to the same time.
-        batch_start = max(request.clock.now for request, _, _ in prepared)
+        batch_start = max(request.clock.now for request, _, _, _ in prepared)
         batch_end = batch_start + batch.wall
 
+        from repro.llm.latency import LatencyBreakdown
         from repro.llm.model import GenerationResult
 
-        for index, (request, tokens, _features) in enumerate(prepared):
+        for index, (request, tokens, _features, decision) in enumerate(prepared):
             text, output_tokens, output = outputs[index]
             prompt_tokens, cached, _ = triples[index]
+            latency = batch.per_request[index]
+            extras = {
+                **output.extras,
+                "microbatch_size": batch.size,
+                "microbatch_wall": batch.wall,
+            }
+            spiked = decision is not None and decision.spike_factor != 1.0
+            if spiked:
+                factor = decision.spike_factor
+                latency = LatencyBreakdown(
+                    overhead=latency.overhead * factor,
+                    prefill=latency.prefill * factor,
+                    cached_prefill=latency.cached_prefill * factor,
+                    decode=latency.decode * factor,
+                )
+                extras["latency_spike"] = factor
             result = GenerationResult(
                 text=text,
                 task=output.task,
                 prompt_tokens=prompt_tokens,
                 cached_tokens=cached,
                 output_tokens=output_tokens,
-                latency=batch.per_request[index],
+                latency=latency,
                 confidence=output.confidence,
-                extras={
-                    **output.extras,
-                    "microbatch_size": batch.size,
-                    "microbatch_wall": batch.wall,
-                },
+                extras=extras,
             )
             request.clock.advance_to(batch_end)
+            if spiked:
+                # The slow-start request leaves the shared step late: its
+                # lane alone pays the stretched remainder.
+                request.clock.advance(
+                    batch.per_request[index].total
+                    * (decision.spike_factor - 1.0)
+                )
             model.record_result(result)
             request.result = result
             request.done = True

@@ -63,11 +63,16 @@ class SimulatedLLM:
         kv_cache: BlockPrefixCache | None = None,
         prompt_cache: StructuredPromptCache | None = None,
         enable_prefix_cache: bool = True,
+        fault_plan: Any = None,
     ) -> None:
         self.profile = (
             profile if isinstance(profile, ModelProfile) else get_profile(profile)
         )
         self.clock = clock if clock is not None else VirtualClock()
+        #: optional :class:`repro.resilience.FaultPlan` (duck-typed: any
+        #: object with ``decide(model, prompt) -> FaultDecision``); None
+        #: means every call succeeds, exactly as before.
+        self.fault_plan = fault_plan
         self.tokenizer = Tokenizer()
         self.kv_cache = kv_cache if kv_cache is not None else BlockPrefixCache()
         self.prompt_cache = (
@@ -200,6 +205,92 @@ class SimulatedLLM:
                         f"{type(error).__name__}: {error}"
                     )
 
+    def inject_fault(
+        self,
+        decision: Any,
+        prompt: str,
+        tokens: list[int],
+        features: PromptFeatures,
+        *,
+        max_tokens: int | None,
+        clock: VirtualClock,
+    ) -> None:
+        """Charge the fault's modelled cost to ``clock`` and raise it.
+
+        Shared by :meth:`generate` and the micro-batcher so faulted
+        calls cost the same simulated time on either path:
+
+        - ``transient`` / ``rate_limit`` fail fast — only the per-call
+          overhead is burned;
+        - ``timeout`` burns ``timeout_charge_factor`` × the full modelled
+          latency (the caller waited past the deadline);
+        - ``malformed`` runs the task, truncates the text, charges the
+          latency of the tokens actually produced, and carries the
+          partial text on the error.
+        """
+        from repro.errors import (
+            MalformedOutputError,
+            RateLimitError,
+            TransientModelError,
+        )
+        from repro.errors import TimeoutError as SpearTimeoutError
+
+        spec = decision.spec
+        kind = decision.kind
+        if kind == "transient":
+            clock.advance(self.profile.overhead_s)
+            raise TransientModelError(
+                "injected transient backend failure",
+                injected=True,
+                attempt=decision.attempt,
+            )
+        if kind == "rate_limit":
+            clock.advance(self.profile.overhead_s)
+            raise RateLimitError(
+                "injected rate limit",
+                retry_after=spec.retry_after_s,
+                injected=True,
+                attempt=decision.attempt,
+            )
+        if kind == "timeout":
+            _text, output_tokens, _output = self.execute_task(
+                prompt, features, max_tokens=max_tokens
+            )
+            full = estimate_latency(
+                self.profile,
+                prompt_tokens=len(tokens),
+                cached_tokens=0,
+                output_tokens=output_tokens,
+            )
+            elapsed = full.total * spec.timeout_charge_factor
+            clock.advance(elapsed)
+            raise SpearTimeoutError(
+                "injected generation timeout",
+                elapsed=elapsed,
+                injected=True,
+                attempt=decision.attempt,
+            )
+        if kind == "malformed":
+            text, output_tokens, _output = self.execute_task(
+                prompt, features, max_tokens=max_tokens
+            )
+            keep = max(1, int(output_tokens * spec.truncation_fraction))
+            partial = " ".join(self.tokenizer.pieces(text)[:keep])
+            latency = estimate_latency(
+                self.profile,
+                prompt_tokens=len(tokens),
+                cached_tokens=0,
+                output_tokens=keep,
+            )
+            clock.advance(latency.total)
+            raise MalformedOutputError(
+                f"injected truncation after {keep} tokens",
+                partial_text=partial,
+                injected=True,
+                attempt=decision.attempt,
+            )
+        raise ModelError(f"unknown fault kind: {kind!r}")  # pragma: no cover
+
     def generate(
         self,
         prompt: str,
@@ -218,6 +309,20 @@ class SimulatedLLM:
         """
         tokens, features = self.prepare(prompt)
 
+        # Fault decisions precede the kv-cache lookup so a faulted call
+        # leaves no cache side effects — its retry sees the same cache
+        # state the first attempt saw.
+        decision = (
+            self.fault_plan.decide(self.profile.name, prompt)
+            if self.fault_plan is not None
+            else None
+        )
+        if decision is not None and decision.kind is not None:
+            self.inject_fault(
+                decision, prompt, tokens, features,
+                max_tokens=max_tokens, clock=self.clock,
+            )
+
         caching = self.enable_prefix_cache if use_cache is None else use_cache
         cached = self.kv_cache.lookup_and_insert(tokens) if caching else 0
 
@@ -231,6 +336,16 @@ class SimulatedLLM:
             cached_tokens=cached,
             output_tokens=output_tokens,
         )
+        extras = dict(output.extras)
+        if decision is not None and decision.spike_factor != 1.0:
+            factor = decision.spike_factor
+            latency = LatencyBreakdown(
+                overhead=latency.overhead * factor,
+                prefill=latency.prefill * factor,
+                cached_prefill=latency.cached_prefill * factor,
+                decode=latency.decode * factor,
+            )
+            extras["latency_spike"] = factor
         self.clock.advance(latency.total)
 
         result = GenerationResult(
@@ -241,7 +356,7 @@ class SimulatedLLM:
             output_tokens=output_tokens,
             latency=latency,
             confidence=output.confidence,
-            extras=dict(output.extras),
+            extras=extras,
         )
         self.record_result(result)
         return result
@@ -268,6 +383,12 @@ class SimulatedLLM:
                 "overall_cache_hit_rate": self.overall_cache_hit_rate,
                 "kv_cache": self.kv_cache.snapshot(),
                 "prompt_cache": self.prompt_cache.snapshot(),
+                "faults": (
+                    self.fault_plan.snapshot()
+                    if self.fault_plan is not None
+                    and hasattr(self.fault_plan, "snapshot")
+                    else None
+                ),
             }
 
     def reset_stats(self, *, clear_cache: bool = False) -> None:

@@ -57,6 +57,14 @@ spear_result_cache_entries                     gauge      —
 spear_result_cache_hit_rate                    gauge      —
 spear_result_cache_invalidations_total         gauge      —
 spear_result_cache_evictions_total             gauge      —
+spear_faults_injected_total                    counter    kind
+spear_model_failures_total                     counter    model
+spear_retries_total                            counter    model
+spear_retry_attempts                           histogram  model
+spear_retry_backoff_seconds                    histogram  model
+spear_breaker_state                            gauge      model
+spear_breaker_transitions_total                counter    model
+spear_degraded_runs_total                      counter    target
 =============================================  =========  ==============
 
 Operator labels are *kinds* (``GEN``, ``CHECK``, …) rather than full
@@ -76,6 +84,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.llm.model import GenerationResult
 
 __all__ = ["ObsCollector", "operator_kind"]
+
+#: numeric encoding of breaker states for the ``spear_breaker_state`` gauge.
+_BREAKER_STATE_VALUES = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 
 def operator_kind(label: str) -> str:
@@ -264,6 +275,55 @@ class ObsCollector:
             self.registry.counter(
                 "spear_operator_errors_total", "Operator errors.",
                 operator=operator_kind(event.operator),
+            ).inc()
+        elif kind is EventKind.FAULT:
+            model = str(event.payload.get("model", "?"))
+            self.registry.counter(
+                "spear_model_failures_total",
+                "Generation attempts that failed, by model.", model=model,
+            ).inc()
+            if event.payload.get("injected"):
+                self.registry.counter(
+                    "spear_faults_injected_total",
+                    "Injected faults observed, by fault kind.",
+                    kind=str(event.payload.get("kind", "?")),
+                ).inc()
+        elif kind is EventKind.RETRY:
+            model = str(event.payload.get("model", "?"))
+            self.registry.counter(
+                "spear_retries_total",
+                "Retries performed by resilience policies.", model=model,
+            ).inc()
+            self.registry.histogram(
+                "spear_retry_attempts",
+                "Retry ordinal per retried call (1 = first retry).",
+                buckets=(1.0, 2.0, 3.0, 5.0, 8.0),
+                model=model,
+            ).observe(float(event.payload.get("attempt", 1) or 1))
+            self.registry.histogram(
+                "spear_retry_backoff_seconds",
+                "Backoff delay charged before each retry.",
+                buckets=LATENCY_BUCKETS,
+                model=model,
+            ).observe(float(event.payload.get("delay", 0.0) or 0.0))
+        elif kind is EventKind.BREAKER:
+            model = str(event.payload.get("model", "?"))
+            state_name = str(event.payload.get("state", "?"))
+            self.registry.gauge(
+                "spear_breaker_state",
+                "Circuit-breaker state (0 closed, 1 half-open, 2 open).",
+                model=model,
+            ).set(_BREAKER_STATE_VALUES.get(state_name, -1.0))
+            if event.payload.get("action") in ("tripped", "closed"):
+                self.registry.counter(
+                    "spear_breaker_transitions_total",
+                    "Circuit-breaker state transitions.", model=model,
+                ).inc()
+        elif kind is EventKind.FALLBACK:
+            self.registry.counter(
+                "spear_degraded_runs_total",
+                "Generations served by a degraded fallback target.",
+                target=str(event.payload.get("target", "?")),
             ).inc()
         elif kind is EventKind.PLAN:
             self.registry.counter(

@@ -74,6 +74,7 @@ class RunReport:
     totals: dict[str, Any] = field(default_factory=dict)
     cache: dict[str, Any] = field(default_factory=dict)
     result_cache: dict[str, Any] = field(default_factory=dict)
+    resilience: dict[str, Any] = field(default_factory=dict)
     slowest_spans: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
@@ -86,6 +87,7 @@ class RunReport:
             "totals": self.totals,
             "cache": self.cache,
             "result_cache": self.result_cache,
+            "resilience": self.resilience,
             "slowest_spans": self.slowest_spans,
         }
 
@@ -261,6 +263,57 @@ def build_report(
                 report.result_cache[
                     gauge_name.removeprefix("spear_result_cache_")
                 ] = round(child.value, 6)
+
+    # -- resilience (faults / retries / breakers / degraded serving) --------
+    faults = _counter_by_label(registry, "spear_faults_injected_total", "kind")
+    failures = _counter_by_label(registry, "spear_model_failures_total", "model")
+    retries = _counter_by_label(registry, "spear_retries_total", "model")
+    degraded = _counter_by_label(registry, "spear_degraded_runs_total", "target")
+    backoff = {
+        labels.get("model", "?"): child
+        for labels, child in _family_children(
+            registry, "spear_retry_backoff_seconds"
+        )
+        if isinstance(child, Histogram)
+    }
+    breaker_state = {
+        labels.get("model", "?"): child.value
+        for labels, child in _family_children(registry, "spear_breaker_state")
+        if isinstance(child, Gauge)
+    }
+    breaker_transitions = _counter_by_label(
+        registry, "spear_breaker_transitions_total", "model"
+    )
+    if faults or failures or retries or degraded or breaker_state:
+        state_names = {0.0: "closed", 1.0: "half_open", 2.0: "open"}
+        report.resilience = {
+            "faults_injected": {
+                kind: int(count) for kind, count in sorted(faults.items())
+            },
+            "faults_injected_total": int(sum(faults.values())),
+            "failures_by_model": {
+                name: int(count) for name, count in sorted(failures.items())
+            },
+            "retries_by_model": {
+                name: int(count) for name, count in sorted(retries.items())
+            },
+            "retries_total": int(sum(retries.values())),
+            "backoff_seconds": {
+                name: _hist_summary(hist)
+                for name, hist in sorted(backoff.items())
+            },
+            "breakers": {
+                name: {
+                    "state": state_names.get(value, "?"),
+                    "transitions": int(breaker_transitions.get(name, 0)),
+                }
+                for name, value in sorted(breaker_state.items())
+            },
+            "degraded_runs": {
+                target: int(count) for target, count in sorted(degraded.items())
+            },
+            "degraded_runs_total": int(sum(degraded.values())),
+        }
 
     # -- totals -------------------------------------------------------------
     total_prompt = registry.sum_counter("spear_prompt_tokens_total")

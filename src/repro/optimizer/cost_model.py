@@ -10,10 +10,14 @@ fraction, output tokens from the stage's expectation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.llm.latency import estimate_latency
 from repro.llm.profiles import ModelProfile
 from repro.llm.tokenizer import Tokenizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.policies import RetryPolicy
 
 __all__ = ["CallEstimate", "CostModel"]
 
@@ -89,6 +93,50 @@ class CostModel:
             prompt_tokens=prompt_tokens,
             cached_tokens=cached_tokens,
             output_tokens=expected_output_tokens,
+        )
+
+    def resilient_call(
+        self,
+        prompt_text: str,
+        *,
+        expected_output_tokens: int,
+        expected_cache_fraction: float = 0.0,
+        failure_rate: float = 0.0,
+        policy: "RetryPolicy | None" = None,
+    ) -> CallEstimate:
+        """Estimate a call under a fault rate and a retry policy.
+
+        A per-attempt failure probability ``p`` with up to ``k`` attempts
+        (``policy.max_attempts``; 1 when no policy) yields an expected
+        attempt count of ``sum_{i=0}^{k-1} p**i`` — every failed attempt
+        is paid for in full and retried.  Attempt ``i``'s backoff delay
+        (jitter-free midpoint) is incurred with probability ``p**(i+1)``:
+        only runs whose first ``i+1`` attempts all failed wait for it.
+        Token expectations scale by the expected attempt count, so the
+        optimizer prices retried traffic, not just retried time.
+        """
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(
+                f"failure_rate must be in [0, 1): {failure_rate}"
+            )
+        base = self.call(
+            prompt_text,
+            expected_output_tokens=expected_output_tokens,
+            expected_cache_fraction=expected_cache_fraction,
+        )
+        attempts = policy.max_attempts if policy is not None else 1
+        p = failure_rate
+        expected_attempts = sum(p**i for i in range(attempts))
+        expected_backoff = 0.0
+        if policy is not None:
+            expected_backoff = sum(
+                p ** (i + 1) * policy.delay_for(i) for i in range(attempts - 1)
+            )
+        return CallEstimate(
+            seconds=base.seconds * expected_attempts + expected_backoff,
+            prompt_tokens=int(round(base.prompt_tokens * expected_attempts)),
+            cached_tokens=int(round(base.cached_tokens * expected_attempts)),
+            output_tokens=int(round(base.output_tokens * expected_attempts)),
         )
 
     def per_item(

@@ -1,0 +1,43 @@
+"""Fault injection and resilience policies (retry, breakers, fallback).
+
+The package has two halves:
+
+- :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` that makes the simulated backend *fail* the way
+  real LLM serving fails (transient errors, rate limits, timeouts,
+  truncated generations, slow-start latency spikes), raising the typed
+  taxonomy under :class:`~repro.errors.SpearError`;
+- :mod:`repro.resilience.policies` / :mod:`repro.resilience.runtime` —
+  the declarative policies (:class:`RetryPolicy`, :class:`BreakerPolicy`
+  + :class:`CircuitBreaker`, :class:`FallbackChain`) and the
+  :class:`ResilienceRuntime` that wires them around every GEN call.
+
+Everything runs on the virtual clock and the seeded stable hash, so a
+faulty run is exactly reproducible — and with injection disabled, a
+resilience-equipped run is byte-identical to a vanilla one.
+"""
+
+from repro.resilience.faults import FaultDecision, FaultPlan, FaultSpec, unit_draw
+from repro.resilience.policies import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FallbackChain,
+    ModelFallback,
+    RetryPolicy,
+    StaticFallback,
+)
+from repro.resilience.runtime import ResilienceRuntime
+
+__all__ = [
+    "FaultSpec",
+    "FaultDecision",
+    "FaultPlan",
+    "unit_draw",
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "ModelFallback",
+    "StaticFallback",
+    "FallbackChain",
+    "ResilienceRuntime",
+]

@@ -12,6 +12,7 @@ from repro.runtime.kvstore import (
 from repro.runtime.batch import BatchResult, BatchRunner, ItemResult
 from repro.runtime.parallel import ParallelBatchRunner
 from repro.runtime.incremental import IterationReport, LoopReport, RefinementLoop
+from repro.runtime.options import RuntimeOptions
 from repro.runtime.persistence import load_store, save_store, store_from_dict, store_to_dict
 from repro.runtime.result_cache import CachedDelta, ReadOnlyResultCache, ResultCache
 from repro.runtime.replay import ReplayStep, export_replay_log, replay, verify_replay
@@ -46,6 +47,7 @@ __all__ = [
     "IterationReport",
     "LoopReport",
     "RefinementLoop",
+    "RuntimeOptions",
     "load_store",
     "save_store",
     "store_from_dict",

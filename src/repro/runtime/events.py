@@ -35,6 +35,10 @@ class EventKind(str, Enum):
     SHADOW = "shadow"
     BATCH = "batch"
     ERROR = "error"
+    FAULT = "fault"
+    RETRY = "retry"
+    BREAKER = "breaker"
+    FALLBACK = "fallback"
 
 
 @dataclass(frozen=True)

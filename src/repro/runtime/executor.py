@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.store import PromptStore
     from repro.core.views import ViewRegistry
     from repro.obs.collector import ObsCollector
+    from repro.runtime.options import RuntimeOptions
     from repro.runtime.result_cache import ResultCache
 
 __all__ = ["RunResult", "Executor"]
@@ -63,41 +64,66 @@ class RunResult:
 
 
 class Executor:
-    """Builds execution states and runs pipelines against them."""
+    """Builds execution states and runs pipelines against them.
+
+    Configure it with ``options=RuntimeOptions(...)`` (the supported
+    surface).  The individual service keywords (``model=``, ``views=``,
+    ``clock=``, ``collector=``, ``result_cache=``) are deprecated
+    equivalents kept for compatibility; they emit DeprecationWarning and
+    cannot be combined with ``options=``.
+    """
 
     def __init__(
         self,
         *,
+        options: "RuntimeOptions | None" = None,
         model: Any = None,
         views: "ViewRegistry | None" = None,
         clock: VirtualClock | None = None,
         collector: "ObsCollector | None" = None,
         result_cache: "ResultCache | None" = None,
     ) -> None:
-        self.model = model
+        from repro.runtime.options import resolve_legacy_kwargs
+
+        options = resolve_legacy_kwargs(
+            "Executor",
+            options,
+            {
+                "model": model,
+                "views": views,
+                "clock": clock,
+                "collector": collector,
+                "result_cache": result_cache,
+            },
+        )
+        self.options = options
+        self.model = options.model
         from repro.core.views import ViewRegistry
 
-        self.views = views if views is not None else ViewRegistry()
+        self.views = options.views if options.views is not None else ViewRegistry()
         # Share one clock between executor and model so GEN latency is the
         # dominant component of elapsed simulated time, as on real serving.
-        if clock is not None:
-            self.clock = clock
-        elif model is not None and hasattr(model, "clock"):
-            self.clock = model.clock
+        if options.clock is not None:
+            self.clock = options.clock
+        elif self.model is not None and hasattr(self.model, "clock"):
+            self.clock = self.model.clock
         else:
             self.clock = VirtualClock()
         #: optional observability collector; every state this executor
         #: builds (or runs) has its event log subscribed, and the model is
         #: attached once, so metrics accrue live without operator changes.
-        self.collector = collector
-        if collector is not None and model is not None:
-            collector.attach_model(model)
+        self.collector = options.collector
+        if self.collector is not None and self.model is not None:
+            self.collector.attach_model(self.model)
         #: optional operator-level result cache shared by every state this
         #: executor builds or runs; refinement events on their logs drive
         #: version-precise invalidation.
-        self.result_cache = result_cache
-        if collector is not None and result_cache is not None:
-            collector.attach_result_cache(result_cache)
+        self.result_cache = options.result_cache
+        if self.collector is not None and self.result_cache is not None:
+            self.collector.attach_result_cache(self.result_cache)
+        #: optional resilience runtime (retries / breakers / fallback)
+        #: attached to every state this executor builds or runs.
+        self.resilience = options.resilience
         self._sources: dict[str, tuple[Callable[..., Any], bool]] = {}
         self._agents: dict[str, Any] = {}
 
@@ -145,6 +171,8 @@ class Executor:
         if self.result_cache is not None:
             state.result_cache = self.result_cache
             self.result_cache.subscribe_to(state.events, state.prompts)
+        if self.resilience is not None:
+            state.resilience = self.resilience
         return state
 
     def run(
@@ -165,6 +193,8 @@ class Executor:
                 if state.result_cache is None:
                     state.result_cache = self.result_cache
                 self.result_cache.subscribe_to(state.events, state.prompts)
+            if self.resilience is not None and state.resilience is None:
+                state.resilience = self.resilience
         cache = state.result_cache
         cache_before = cache.snapshot() if cache is not None else None
         started_at = self.clock.now

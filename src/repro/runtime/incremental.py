@@ -24,6 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pipeline import Pipeline
     from repro.core.state import ExecutionState
     from repro.runtime.executor import Executor, RunResult
+    from repro.runtime.options import RuntimeOptions
 
 __all__ = ["IterationReport", "LoopReport", "RefinementLoop"]
 
@@ -111,20 +112,38 @@ class RefinementLoop:
         stop: optional :class:`~repro.core.algebra.Condition`; when it
             holds after a run, the loop ends without further refinement.
         max_iterations: hard cap on pipeline runs (safety for callables).
+        options: shared :class:`~repro.runtime.options.RuntimeOptions`
+            used to build the loop's executor when ``executor`` is None;
+            passing both is an error.
     """
 
     def __init__(
         self,
-        executor: "Executor",
-        pipeline: "Pipeline",
+        executor: "Executor | None" = None,
+        pipeline: "Pipeline | None" = None,
         *,
         refiners: "Sequence[Operator] | RefinerFn",
         stop: "Condition | None" = None,
         max_iterations: int = 16,
+        options: "RuntimeOptions | None" = None,
     ) -> None:
         if max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
-        self.executor = executor
+        if pipeline is None:
+            raise TypeError("RefinementLoop requires a pipeline")
+        if executor is None:
+            from repro.runtime.executor import Executor
+            from repro.runtime.options import RuntimeOptions
+
+            self.executor = Executor(
+                options=options if options is not None else RuntimeOptions()
+            )
+        elif options is not None:
+            raise TypeError(
+                "RefinementLoop: pass either executor= or options=, not both"
+            )
+        else:
+            self.executor = executor
         self.pipeline = pipeline
         self.refiners = refiners
         self.stop = stop

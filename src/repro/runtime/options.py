@@ -1,0 +1,95 @@
+"""Unified runner configuration: one options object for all runners.
+
+:class:`RuntimeOptions` consolidates the service knobs that used to be
+scattered (with varying names) across the :class:`~repro.runtime.executor.Executor`,
+:class:`~repro.runtime.parallel.ParallelBatchRunner`, and
+:class:`~repro.runtime.incremental.RefinementLoop` constructors — the
+model backend, view registry, virtual clock, observability collector,
+metrics registry, operator-level result cache, and the resilience
+runtime.  All three runners accept ``options=``; their legacy per-knob
+keyword arguments keep working but emit :class:`DeprecationWarning`.
+
+Passing both ``options=`` and a legacy keyword for the same knob is an
+error (there is no sensible precedence between them).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.views import ViewRegistry
+    from repro.obs.collector import ObsCollector
+    from repro.obs.metrics import MetricsRegistry
+    from repro.resilience.runtime import ResilienceRuntime
+    from repro.runtime.clock import VirtualClock
+    from repro.runtime.result_cache import ResultCache
+
+__all__ = ["RuntimeOptions"]
+
+
+@dataclass
+class RuntimeOptions:
+    """Shared runtime services for Executor / ParallelBatchRunner / RefinementLoop.
+
+    Every field is optional; a runner uses its usual default for any field
+    left as None.  One options object can be shared by several runners —
+    it is read, never mutated, by the runners.
+    """
+
+    #: the LLM backend (usually a :class:`~repro.llm.model.SimulatedLLM`).
+    model: Any = None
+    #: the view registry shared by built states.
+    views: "ViewRegistry | None" = None
+    #: the virtual clock; defaults to the model's clock when it has one.
+    clock: "VirtualClock | None" = None
+    #: observability collector subscribed to every built state's log.
+    collector: "ObsCollector | None" = None
+    #: metrics registry for runner-level instrumentation (lanes, batches).
+    metrics: "MetricsRegistry | None" = None
+    #: operator-level result cache shared by built states.
+    result_cache: "ResultCache | None" = None
+    #: resilience runtime (retries / breakers / fallback) attached to
+    #: every built state; forked lane states share the same object.
+    resilience: "ResilienceRuntime | None" = None
+
+    def replace(self, **overrides: Any) -> "RuntimeOptions":
+        """A copy with ``overrides`` applied (None fields stay inherited)."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        unknown = set(overrides) - set(values)
+        if unknown:
+            raise TypeError(f"unknown RuntimeOptions fields: {sorted(unknown)}")
+        values.update(overrides)
+        return RuntimeOptions(**values)
+
+
+def resolve_legacy_kwargs(
+    owner: str,
+    options: RuntimeOptions | None,
+    legacy: dict[str, Any],
+) -> RuntimeOptions:
+    """Fold deprecated per-knob kwargs into a :class:`RuntimeOptions`.
+
+    ``legacy`` maps field name → value-as-passed (None meaning "not
+    passed").  Every non-None legacy value emits a DeprecationWarning;
+    combining one with ``options=`` raises TypeError.
+    """
+    used = {name: value for name, value in legacy.items() if value is not None}
+    if options is not None:
+        if used:
+            raise TypeError(
+                f"{owner}: pass either options= or the legacy keyword(s) "
+                f"{sorted(used)}, not both"
+            )
+        return options
+    if used:
+        names = ", ".join(f"{name}=" for name in sorted(used))
+        warnings.warn(
+            f"{owner}({names}) is deprecated; pass "
+            f"options=RuntimeOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RuntimeOptions(**used)

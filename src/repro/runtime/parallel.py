@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.state import ExecutionState
     from repro.llm.batcher import GenMicroBatcher
     from repro.obs.metrics import MetricsRegistry
+    from repro.runtime.options import RuntimeOptions
 
 __all__ = ["ParallelBatchRunner"]
 
@@ -66,8 +67,12 @@ class ParallelBatchRunner:
             lane-parallelism without batched prefill/decode sharing.
         max_batch: cap on requests per micro-batch engine step; an
             oversized barrier is split into concurrently-running steps.
-        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
-            that receives lane/queue/micro-batch instrumentation.
+        options: shared :class:`~repro.runtime.options.RuntimeOptions`;
+            its ``metrics`` instruments lanes/queues/micro-batches, its
+            ``result_cache`` and ``resilience`` are attached to the base
+            state when that state has none (per-lane breaker state is
+            shared safely: forked item states carry the same runtime).
+        metrics: deprecated — pass ``options=RuntimeOptions(metrics=...)``.
         isolate_prompts: fork items with private prompt stores (see
             :meth:`ExecutionState.fork`); use when the pipeline refines
             prompts per item and lanes must not observe each other.
@@ -82,6 +87,7 @@ class ParallelBatchRunner:
         workers: int = 4,
         microbatch: bool = True,
         max_batch: int = 64,
+        options: "RuntimeOptions | None" = None,
         metrics: "MetricsRegistry | None" = None,
         isolate_prompts: bool = False,
     ) -> None:
@@ -89,13 +95,26 @@ class ParallelBatchRunner:
             raise ValueError(f"on_error must be 'raise' or 'collect': {on_error!r}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        from repro.runtime.options import resolve_legacy_kwargs
+
+        options = resolve_legacy_kwargs(
+            "ParallelBatchRunner", options, {"metrics": metrics}
+        )
+        self.options = options
         self.base_state = base_state
+        if options.result_cache is not None and base_state.result_cache is None:
+            base_state.result_cache = options.result_cache
+            options.result_cache.subscribe_to(
+                base_state.events, base_state.prompts
+            )
+        if options.resilience is not None and base_state.resilience is None:
+            base_state.resilience = options.resilience
         self.bind = bind
         self.on_error = on_error
         self.workers = workers
         self.microbatch = microbatch
         self.max_batch = max_batch
-        self.metrics = metrics
+        self.metrics = options.metrics
         self.isolate_prompts = isolate_prompts
         #: the micro-batcher of the most recent run (introspection/tests).
         self.last_batcher: "GenMicroBatcher | None" = None

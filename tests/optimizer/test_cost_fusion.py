@@ -61,6 +61,39 @@ class TestCostModel:
         assert cold.seconds > estimate.seconds
 
 
+class TestResilientCall:
+    def test_zero_failure_rate_matches_plain_call(self):
+        from repro.resilience import RetryPolicy
+
+        model = CostModel(QWEN)
+        plain = model.call("word " * 100, expected_output_tokens=10)
+        resilient = model.resilient_call(
+            "word " * 100, expected_output_tokens=10,
+            failure_rate=0.0, policy=RetryPolicy(max_attempts=4),
+        )
+        assert resilient == plain
+
+    def test_failure_rate_prices_expected_retries(self):
+        from repro.resilience import RetryPolicy
+
+        model = CostModel(QWEN)
+        policy = RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter=0.0)
+        plain = model.call("word " * 100, expected_output_tokens=10)
+        resilient = model.resilient_call(
+            "word " * 100, expected_output_tokens=10,
+            failure_rate=0.5, policy=policy,
+        )
+        # E[attempts] = 1 + 0.5 + 0.25; backoff = 0.5*1.0 + 0.25*2.0.
+        assert resilient.seconds == pytest.approx(plain.seconds * 1.75 + 1.0)
+        assert resilient.prompt_tokens == round(plain.prompt_tokens * 1.75)
+
+    def test_invalid_failure_rate(self):
+        with pytest.raises(ValueError):
+            CostModel(QWEN).resilient_call(
+                "x", expected_output_tokens=0, failure_rate=1.0
+            )
+
+
 class TestFusedInstruction:
     def test_map_filter_order(self):
         text = build_fused_instruction(MAP_STAGE, FILTER_STAGE)

@@ -1,0 +1,122 @@
+"""Tests for the seeded fault-injection plan (repro.resilience.faults)."""
+
+import pytest
+
+from repro.resilience.faults import FaultDecision, FaultPlan, FaultSpec, unit_draw
+
+
+class TestUnitDraw:
+    def test_deterministic(self):
+        assert unit_draw(1, "a", 2) == unit_draw(1, "a", 2)
+
+    def test_in_unit_interval(self):
+        draws = [unit_draw(7, "fault", i) for i in range(500)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+
+    def test_distinct_inputs_distinct_draws(self):
+        assert unit_draw(0, "x") != unit_draw(0, "y")
+
+    def test_roughly_uniform(self):
+        draws = [unit_draw(3, "u", i) for i in range(4000)]
+        below = sum(draw < 0.1 for draw in draws) / len(draws)
+        assert 0.07 < below < 0.13
+
+
+class TestFaultSpec:
+    def test_defaults_inject_nothing(self):
+        assert FaultSpec().failure_rate == 0.0
+
+    def test_failure_rate_sums_channels(self):
+        spec = FaultSpec(
+            transient_rate=0.1, rate_limit_rate=0.05,
+            timeout_rate=0.02, malformed_rate=0.03,
+        )
+        assert spec.failure_rate == pytest.approx(0.2)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            FaultSpec(transient_rate=-0.1)
+
+    def test_rejects_rates_summing_past_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec(transient_rate=0.6, timeout_rate=0.6)
+
+    def test_rejects_zero_truncation_fraction(self):
+        with pytest.raises(ValueError):
+            FaultSpec(truncation_fraction=0.0)
+
+
+class TestFaultPlan:
+    def test_clean_plan_never_fails(self):
+        plan = FaultPlan(0)
+        for i in range(50):
+            assert plan.decide("m", f"prompt {i}").kind is None
+
+    def test_same_seed_same_decisions(self):
+        spec = FaultSpec(transient_rate=0.3, malformed_rate=0.2)
+        plan_a = FaultPlan(42, default=spec)
+        plan_b = FaultPlan(42, default=spec)
+        decisions_a = [plan_a.decide("m", f"p{i}") for i in range(200)]
+        decisions_b = [plan_b.decide("m", f"p{i}") for i in range(200)]
+        assert decisions_a == decisions_b
+
+    def test_different_seed_different_decisions(self):
+        spec = FaultSpec(transient_rate=0.5)
+        kinds_a = [FaultPlan(1, default=spec).decide("m", f"p{i}").kind for i in range(60)]
+        kinds_b = [FaultPlan(2, default=spec).decide("m", f"p{i}").kind for i in range(60)]
+        assert kinds_a != kinds_b
+
+    def test_attempt_counter_advances_per_prompt(self):
+        plan = FaultPlan(0, default=FaultSpec(transient_rate=0.5))
+        first = plan.decide("m", "same prompt")
+        second = plan.decide("m", "same prompt")
+        other = plan.decide("m", "different prompt")
+        assert (first.attempt, second.attempt) == (0, 1)
+        assert other.attempt == 0
+
+    def test_retry_draws_independently(self):
+        # With a 50% rate, 20 attempts of one prompt should mix outcomes.
+        plan = FaultPlan(9, default=FaultSpec(transient_rate=0.5))
+        kinds = {plan.decide("m", "p").kind for _ in range(20)}
+        assert kinds == {None, "transient"}
+
+    def test_empirical_rate_matches_spec(self):
+        plan = FaultPlan(5, default=FaultSpec(transient_rate=0.06, rate_limit_rate=0.04))
+        decisions = [plan.decide("m", f"p{i}") for i in range(3000)]
+        failed = sum(d.kind is not None for d in decisions) / len(decisions)
+        assert 0.07 < failed < 0.13
+
+    def test_per_model_override(self):
+        plan = FaultPlan(
+            0,
+            default=FaultSpec(),
+            per_model={"flaky": FaultSpec(transient_rate=1.0)},
+        )
+        assert plan.decide("stable", "p").kind is None
+        assert plan.decide("flaky", "p").kind == "transient"
+
+    def test_spike_only_on_first_attempt(self):
+        plan = FaultPlan(0, default=FaultSpec(spike_rate=1.0, spike_factor=2.5))
+        first = plan.decide("m", "p")
+        second = plan.decide("m", "p")
+        assert first.spike_factor == 2.5
+        assert second.spike_factor == 1.0
+
+    def test_snapshot_and_reset(self):
+        plan = FaultPlan(3, default=FaultSpec(transient_rate=1.0))
+        plan.decide("m", "a")
+        plan.decide("m", "b")
+        snap = plan.snapshot()
+        assert snap["decisions"] == 2
+        assert snap["injected"] == {"transient": 2}
+        assert snap["injected_total"] == 2
+        plan.reset()
+        assert plan.snapshot()["decisions"] == 0
+        # attempt counters are also reset: same decision as the first call.
+        assert plan.decide("m", "a").attempt == 0
+
+    def test_decision_carries_spec(self):
+        spec = FaultSpec(transient_rate=1.0, retry_after_s=7.0)
+        decision = FaultPlan(0, default=spec).decide("m", "p")
+        assert isinstance(decision, FaultDecision)
+        assert decision.spec.retry_after_s == 7.0

@@ -1,0 +1,125 @@
+"""Tests for retry/breaker/fallback policy objects (repro.resilience.policies)."""
+
+import pytest
+
+from repro.errors import SpearError, TransientModelError
+from repro.resilience.policies import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FallbackChain,
+    ModelFallback,
+    RetryPolicy,
+    StaticFallback,
+)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(base_delay_s=1.0, multiplier=2.0, jitter=0.0)
+        assert policy.delay_for(0) == 1.0
+        assert policy.delay_for(1) == 2.0
+        assert policy.delay_for(2) == 4.0
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=10.0, max_delay_s=5.0, jitter=0.0
+        )
+        assert policy.delay_for(3) == 5.0
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.2)
+        low = policy.delay_for(0, draw=0.0)
+        high = policy.delay_for(0, draw=0.999999)
+        assert low == pytest.approx(0.8)
+        assert high == pytest.approx(1.2, rel=1e-4)
+        assert policy.delay_for(0, draw=0.5) == pytest.approx(1.0)
+
+    def test_retry_after_floor(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.0)
+        assert policy.delay_for(0, retry_after=3.0) == 3.0
+
+    def test_retryable_follows_error_flag(self):
+        policy = RetryPolicy()
+        assert policy.retryable(TransientModelError("x"))
+        assert not policy.retryable(SpearError("x"))
+        assert not policy.retryable(ValueError("x"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(BreakerPolicy())
+        assert breaker.state(0.0) == CircuitBreaker.CLOSED
+        assert breaker.allow(0.0)
+
+    def test_trips_open_at_threshold(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=3, cooldown_s=10.0))
+        assert breaker.record_failure(0.0) == CircuitBreaker.CLOSED
+        assert breaker.record_failure(1.0) == CircuitBreaker.CLOSED
+        assert breaker.record_failure(2.0) == CircuitBreaker.OPEN
+        assert not breaker.allow(2.5)
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        assert breaker.record_failure(2.0) == CircuitBreaker.CLOSED
+
+    def test_half_open_after_cooldown_admits_one_probe(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_s=10.0, half_open_probes=1)
+        )
+        breaker.record_failure(0.0)
+        assert not breaker.allow(5.0)
+        assert breaker.state(10.0) == CircuitBreaker.HALF_OPEN
+        assert breaker.allow(10.0)  # the probe
+        assert not breaker.allow(10.0)  # concurrent second call rejected
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, cooldown_s=5.0))
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        assert breaker.record_success(5.5) == CircuitBreaker.CLOSED
+        assert breaker.allow(5.5)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=1, cooldown_s=5.0))
+        breaker.record_failure(0.0)
+        assert breaker.allow(5.0)
+        assert breaker.record_failure(5.0) == CircuitBreaker.OPEN
+        assert not breaker.allow(9.0)  # new cooldown runs from t=5
+        assert breaker.allow(10.0)
+
+    def test_snapshot(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure(1.0)
+        snap = breaker.snapshot(1.0)
+        assert snap["state"] == CircuitBreaker.CLOSED
+        assert snap["consecutive_failures"] == 1
+        breaker.record_failure(2.0)
+        snap = breaker.snapshot(2.0)
+        assert snap["state"] == CircuitBreaker.OPEN
+        assert snap["opened_at"] == 2.0
+        assert snap["transitions"] == 1
+
+
+class TestFallbacks:
+    def test_static_fallback_resolves_literal_and_callable(self):
+        assert StaticFallback("canned").resolve(None, "p") == "canned"
+        dynamic = StaticFallback(lambda state, prompt: prompt.upper())
+        assert dynamic.resolve(None, "hi") == "HI"
+
+    def test_chain_coerces_and_validates(self):
+        chain = FallbackChain([ModelFallback("gpt-4o-mini"), StaticFallback("x")])
+        assert len(chain) == 2
+        assert bool(chain)
+        assert not FallbackChain()
+        with pytest.raises(SpearError):
+            FallbackChain(["not a target"])

@@ -1,0 +1,215 @@
+"""Tests for ResilienceRuntime: retry recovery, breakers, degraded fallback."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.state import ExecutionState
+from repro.errors import (
+    CircuitOpenError,
+    RateLimitError,
+    SpearError,
+    TransientModelError,
+)
+from repro.llm.model import SimulatedLLM
+from repro.resilience import (
+    BreakerPolicy,
+    FallbackChain,
+    FaultPlan,
+    FaultSpec,
+    ModelFallback,
+    ResilienceRuntime,
+    RetryPolicy,
+    StaticFallback,
+)
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import EventKind
+
+
+class FlakyModel:
+    """A stub backend that fails the first ``fail_times`` calls."""
+
+    def __init__(self, fail_times=0, error_factory=None):
+        self.profile = SimpleNamespace(name="stub-model")
+        self.calls = 0
+        self.fail_times = fail_times
+        self._error_factory = error_factory or (
+            lambda: TransientModelError("boom", injected=True)
+        )
+
+    def generate(self, prompt, *, max_tokens=None):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise self._error_factory()
+        return SimpleNamespace(text=f"ok after {self.calls}", task="stub")
+
+
+def make_state(model):
+    return ExecutionState(model=model, clock=VirtualClock())
+
+
+class TestRetryPath:
+    def test_recovers_after_transient_failures(self):
+        model = FlakyModel(fail_times=2)
+        state = make_state(model)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.5, jitter=0.0)
+        )
+        result = runtime.generate(state, "hello")
+        assert result.text == "ok after 3"
+        assert model.calls == 3
+        assert state.metadata["resilience_retries"] == 2
+        # backoff 0.5 then 1.0 charged to the virtual clock.
+        assert state.clock.now == pytest.approx(1.5)
+        assert len(state.events.of_kind(EventKind.FAULT)) == 2
+        retries = state.events.of_kind(EventKind.RETRY)
+        assert [event.payload["attempt"] for event in retries] == [1, 2]
+
+    def test_exhaustion_reraises_last_error(self):
+        model = FlakyModel(fail_times=10)
+        state = make_state(model)
+        runtime = ResilienceRuntime(retry=RetryPolicy(max_attempts=2, jitter=0.0))
+        with pytest.raises(TransientModelError):
+            runtime.generate(state, "hello")
+        assert model.calls == 2
+
+    def test_non_retryable_error_fails_fast(self):
+        model = FlakyModel(
+            fail_times=10, error_factory=lambda: SpearError("fatal")
+        )
+        state = make_state(model)
+        runtime = ResilienceRuntime(retry=RetryPolicy(max_attempts=5))
+        with pytest.raises(SpearError):
+            runtime.generate(state, "hello")
+        assert model.calls == 1
+
+    def test_retry_after_floors_the_backoff(self):
+        model = FlakyModel(
+            fail_times=1,
+            error_factory=lambda: RateLimitError(retry_after=5.0),
+        )
+        state = make_state(model)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1, jitter=0.0)
+        )
+        runtime.generate(state, "hello")
+        assert state.clock.now >= 5.0
+
+    def test_no_policy_means_single_attempt(self):
+        model = FlakyModel(fail_times=1)
+        state = make_state(model)
+        runtime = ResilienceRuntime()
+        with pytest.raises(TransientModelError):
+            runtime.generate(state, "hello")
+        assert model.calls == 1
+
+
+class TestCleanPathByteIdentity:
+    def test_first_attempt_success_leaves_no_trace(self):
+        model = FlakyModel(fail_times=0)
+        state = make_state(model)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=4),
+            breaker=BreakerPolicy(),
+            fallback=FallbackChain((StaticFallback("never used"),)),
+        )
+        result = runtime.generate(state, "hello")
+        assert result.text == "ok after 1"
+        assert state.clock.now == 0.0
+        assert state.events.all() == []
+        assert "resilience_retries" not in state.metadata
+        assert "degraded" not in state.metadata
+
+
+class TestBreaker:
+    def test_trips_then_rejects_with_circuit_open(self):
+        model = FlakyModel(fail_times=100)
+        state = make_state(model)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=5, base_delay_s=0.1, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_s=1e6),
+        )
+        with pytest.raises(CircuitOpenError):
+            runtime.generate(state, "hello")
+        # Two real calls trip the breaker; remaining attempts are rejected
+        # without touching the model.
+        assert model.calls == 2
+        tripped = [
+            event
+            for event in state.events.of_kind(EventKind.BREAKER)
+            if event.payload["action"] == "tripped"
+        ]
+        assert len(tripped) == 1
+        rejected = [
+            event
+            for event in state.events.of_kind(EventKind.BREAKER)
+            if event.payload["action"] == "rejected"
+        ]
+        assert len(rejected) == 3
+
+    def test_breaker_shared_across_calls(self):
+        model = FlakyModel(fail_times=100)
+        state = make_state(model)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1, jitter=0.0),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_s=1e6),
+        )
+        with pytest.raises(TransientModelError):
+            runtime.generate(state, "hello")
+        assert model.calls == 2  # breaker now open
+        with pytest.raises(CircuitOpenError):
+            runtime.generate(state, "hello again")
+        assert model.calls == 2  # rejected without calling the model
+
+    def test_breaker_for_is_per_model_label(self):
+        runtime = ResilienceRuntime(breaker=BreakerPolicy())
+        assert runtime.breaker_for("a") is runtime.breaker_for("a")
+        assert runtime.breaker_for("a") is not runtime.breaker_for("b")
+        assert ResilienceRuntime().breaker_for("a") is None
+
+
+class TestFallback:
+    def test_static_fallback_marks_degraded(self):
+        model = FlakyModel(fail_times=100)
+        state = make_state(model)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1, jitter=0.0),
+            fallback=FallbackChain((StaticFallback("canned answer"),)),
+        )
+        result = runtime.generate(state, "hello")
+        assert result.text == "canned answer"
+        assert result.extras["degraded"] is True
+        assert state.metadata["degraded"] is True
+        assert state.metadata["degraded_target"] == "static"
+        assert state.metadata["degraded_runs"] == 1
+        fallbacks = state.events.of_kind(EventKind.FALLBACK)
+        assert len(fallbacks) == 1
+        assert fallbacks[0].payload["reason"] == "TransientModelError"
+
+    def test_model_fallback_serves_from_cheaper_tier(self):
+        llm = SimulatedLLM(
+            "qwen2.5-7b-instruct",
+            enable_prefix_cache=False,
+            fault_plan=FaultPlan(0, default=FaultSpec(transient_rate=1.0)),
+        )
+        state = ExecutionState(model=llm, clock=llm.clock)
+        runtime = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.1, jitter=0.0),
+            fallback=FallbackChain((ModelFallback("gpt-4o-mini"),)),
+        )
+        before = state.clock.now
+        result = runtime.generate(
+            state,
+            "Summarize the tweet in at most 30 words.\nTweet:\ngreat day",
+        )
+        assert result.text
+        assert state.metadata["degraded_target"] == "gpt-4o-mini"
+        # The fallback tier's latency is charged to the run's clock.
+        assert state.clock.now > before
+
+    def test_all_tiers_exhausted_raises_last_error(self):
+        model = FlakyModel(fail_times=100)
+        state = make_state(model)
+        runtime = ResilienceRuntime(retry=RetryPolicy(max_attempts=2, jitter=0.0))
+        with pytest.raises(TransientModelError):
+            runtime.generate(state, "hello")

@@ -1,0 +1,193 @@
+"""Error-path behaviour: RETRY exhaustion, subscriber isolation, cache refusal."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import GEN, Condition, Pipeline, RETRY
+from repro.core.algebra import FunctionOperator, Operator
+from repro.core.footprint import Footprint
+from repro.core.state import ExecutionState
+from repro.data import make_tweet_corpus
+from repro.dl import compile_source
+from repro.errors import OperatorError, SpearError, TransientModelError
+from repro.llm.model import SimulatedLLM
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    ResilienceRuntime,
+    RetryPolicy,
+)
+from repro.runtime.clock import VirtualClock
+from repro.runtime.events import EventKind
+from repro.runtime.parallel import ParallelBatchRunner
+from repro.runtime.result_cache import ResultCache
+
+MAP_PROMPT = (
+    "Summarize and clean up the tweet in at most 30 words.\nTweet:\n{tweet}"
+)
+
+NEVER = Condition.of(lambda state: False, "never")
+
+
+class TestRetryPolicyOperator:
+    def _flaky_operator(self, fail_times):
+        calls = []
+
+        def attempt(state):
+            calls.append(1)
+            if len(calls) <= fail_times:
+                raise TransientModelError("flaky step", injected=True)
+            state.context.put("out", f"ok after {len(calls)}", producer="test")
+            return state
+
+        return FunctionOperator(attempt, "FLAKY"), calls
+
+    def test_policy_retries_retryable_errors(self):
+        op, calls = self._flaky_operator(fail_times=2)
+        retry = RETRY(
+            op, NEVER,
+            policy=RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter=0.0),
+        )
+        state = retry.apply(ExecutionState())
+        assert state.context["out"] == "ok after 3"
+        assert len(calls) == 3
+        assert state.M["retries"] == 2
+        # Exponential backoff (0.5 + 1.0) charged to the virtual clock.
+        assert state.clock.now == pytest.approx(1.5)
+        assert len(state.events.of_kind(EventKind.RETRY)) == 2
+
+    def test_policy_exhaustion_reraises(self):
+        op, calls = self._flaky_operator(fail_times=10)
+        retry = RETRY(op, NEVER, policy=RetryPolicy(max_attempts=2, jitter=0.0))
+        with pytest.raises(TransientModelError):
+            retry.apply(ExecutionState())
+        assert len(calls) == 2
+
+    def test_policy_leaves_non_retryable_alone(self):
+        def attempt(state):
+            raise OperatorError("configuration is broken")
+
+        retry = RETRY(
+            FunctionOperator(attempt, "BROKEN"), NEVER,
+            policy=RetryPolicy(max_attempts=5),
+        )
+        with pytest.raises(OperatorError):
+            retry.apply(ExecutionState())
+
+    def test_policy_and_max_retries_conflict(self):
+        with pytest.raises(OperatorError):
+            RETRY(
+                FunctionOperator(lambda s: s), NEVER,
+                max_retries=2, policy=RetryPolicy(),
+            )
+
+    def test_dsl_max_retries_lowers_onto_policy(self):
+        program = compile_source(
+            'pipeline p { RETRY[GEN["x", prompt="q"], M["c"] < 0.5, '
+            "max_retries=3] }"
+        )
+        retry = program.pipeline("p").operators[0]
+        assert isinstance(retry, RETRY)
+        assert retry.policy is not None
+        assert retry.policy.max_attempts == 4
+        assert retry.max_retries == 3
+
+
+class TestRetryExhaustionInParallelRunner:
+    def test_collected_errors_surface_per_item(self):
+        llm = SimulatedLLM(
+            "qwen2.5-7b-instruct",
+            enable_prefix_cache=False,
+            fault_plan=FaultPlan(0, default=FaultSpec(transient_rate=1.0)),
+        )
+        corpus = make_tweet_corpus(6, seed=7)
+        llm.bind_tweets(corpus)
+        state = ExecutionState(model=llm, clock=llm.clock)
+        state.prompts.create("map", MAP_PROMPT)
+        pipeline = Pipeline(
+            [
+                RETRY(
+                    GEN("summary", prompt="map"), NEVER,
+                    policy=RetryPolicy(
+                        max_attempts=2, base_delay_s=0.1, jitter=0.0
+                    ),
+                )
+            ]
+        )
+        runner = ParallelBatchRunner(
+            state, bind=lambda st, t: st.context.put(
+                "tweet", t.text, producer="bind"
+            ),
+            on_error="collect", workers=3,
+        )
+        batch = runner.run(pipeline, list(corpus))
+        failures = batch.failures()
+        # Every attempt faults, so every item exhausts its retries and the
+        # last TransientModelError is collected rather than aborting the run.
+        assert len(failures) == len(batch.items) == 6
+        assert {type(f.error).__name__ for f in failures} == {
+            "TransientModelError"
+        }
+        assert all(f.metadata.get("retries", 0) >= 1 for f in failures)
+
+
+class TestSubscriberIsolation:
+    def test_raising_subscriber_does_not_break_resilient_run(self):
+        class FlakyModel:
+            profile = SimpleNamespace(name="stub-model")
+
+            def __init__(self):
+                self.calls = 0
+
+            def generate(self, prompt, *, max_tokens=None):
+                self.calls += 1
+                if self.calls == 1:
+                    raise TransientModelError("boom", injected=True)
+                return SimpleNamespace(text="recovered", task="stub")
+
+        state = ExecutionState(model=FlakyModel(), clock=VirtualClock())
+        state.resilience = ResilienceRuntime(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.1, jitter=0.0)
+        )
+
+        def bad_subscriber(event):
+            raise RuntimeError("subscriber exploded")
+
+        state.events.subscribe(bad_subscriber)
+        result = state.resilience.generate(state, "hello")
+        # The run recovered despite the subscriber raising on every event.
+        assert result.text == "recovered"
+        errors = state.events.of_kind(EventKind.ERROR)
+        assert errors
+        assert all(
+            event.operator.startswith("subscriber[") for event in errors
+        )
+
+
+class TestResultCacheRefusesFailures:
+    def test_failed_attempt_is_not_admitted(self):
+        class FailingOp(Operator):
+            label = 'FAIL["x"]'
+
+            def footprint(self, state):
+                return Footprint(
+                    operator=self.label, identity="x", model_key=None
+                )
+
+            def _run(self, state):
+                raise SpearError("this attempt must not be cached")
+
+        state = ExecutionState()
+        cache = ResultCache()
+        state.result_cache = cache
+        op = FailingOp()
+        with pytest.raises(SpearError):
+            op.apply(state)
+        snapshot = cache.snapshot()
+        assert snapshot["entries"] == 0
+        # The footprint is also not a hit on retry: the next attempt runs live.
+        assert cache.lookup(op.footprint(state)) is None
+        with pytest.raises(SpearError):
+            op.apply(state)
+        assert cache.snapshot()["entries"] == 0

@@ -211,6 +211,62 @@ class TestStatsCommand:
         assert "Result cache" in out
         assert re.search(r"result cache: 1 hits?, \d+\.\d+s", out)
 
+    def test_stats_resilience_table(self, tmp_path, tweet_corpus, capsys):
+        """A trace containing FAULT/RETRY events renders the resilience table."""
+        from repro.core import GEN, Pipeline
+        from repro.llm.model import SimulatedLLM
+        from repro.resilience import (
+            FaultPlan,
+            FaultSpec,
+            ResilienceRuntime,
+            RetryPolicy,
+        )
+        from repro.runtime.executor import Executor
+        from repro.runtime.options import RuntimeOptions
+        from repro.runtime.tracing import export_events
+
+        llm = SimulatedLLM(
+            "qwen2.5-7b-instruct",
+            enable_prefix_cache=False,
+            fault_plan=FaultPlan(0, default=FaultSpec(transient_rate=0.5)),
+        )
+        llm.bind_tweets(tweet_corpus)
+        executor = Executor(
+            options=RuntimeOptions(
+                model=llm,
+                clock=llm.clock,
+                resilience=ResilienceRuntime(
+                    retry=RetryPolicy(
+                        max_attempts=6, base_delay_s=0.1, jitter=0.0
+                    )
+                ),
+            )
+        )
+        state = executor.new_state()
+        # Enough distinct prompts that at least one draws a fault.
+        for index, tweet in enumerate(tweet_corpus[:8]):
+            state.prompts.create(
+                f"filter{index}",
+                "Select the tweet only if its sentiment is negative. "
+                f"Respond with yes or no.\nTweet:\n{tweet.text}",
+            )
+            executor.run(
+                Pipeline([GEN("verdict", prompt=f"filter{index}")]),
+                state=state,
+            )
+        from repro.runtime.events import EventKind
+
+        assert state.events.of_kind(EventKind.FAULT)  # faults were drawn
+        trace = tmp_path / "faulted_run.jsonl"
+        export_events(state.events, trace)
+
+        code = main(["stats", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resilience" in out
+        assert "qwen2.5-7b-instruct" in out
+        assert re.search(r"faults injected: [1-9]\d*", out)
+
     def test_stats_top_limits_slowest_spans(self, trace_file, capsys):
         main(["stats", str(trace_file), "--top", "1"])
         out = capsys.readouterr().out
