@@ -1,0 +1,43 @@
+"""Static dataflow analysis and linting for SPEAR pipelines.
+
+The algebra's closure over ``(P, C, M)`` makes pipeline dataflow a
+static property; this package extracts it (:mod:`~repro.analysis.dataflow`),
+lints it against ~15 stable diagnostic codes
+(:mod:`~repro.analysis.checkers`), and exposes `spear check` / strict
+mode through three entry points (:mod:`~repro.analysis.check`).
+"""
+
+from repro.analysis.check import check_pipeline, check_program, check_state
+from repro.analysis.checkers import ANALYZERS, run_analyzers
+from repro.analysis.dataflow import (
+    AnalysisEnv,
+    DataflowGraph,
+    OpNode,
+    build_dataflow,
+)
+from repro.analysis.diagnostics import (
+    CODE_CATALOG,
+    CheckResult,
+    Diagnostic,
+    Severity,
+    SourceSpan,
+    make_diagnostic,
+)
+
+__all__ = [
+    "check_pipeline",
+    "check_program",
+    "check_state",
+    "ANALYZERS",
+    "run_analyzers",
+    "AnalysisEnv",
+    "DataflowGraph",
+    "OpNode",
+    "build_dataflow",
+    "CODE_CATALOG",
+    "CheckResult",
+    "Diagnostic",
+    "Severity",
+    "SourceSpan",
+    "make_diagnostic",
+]

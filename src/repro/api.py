@@ -15,7 +15,10 @@ move between releases.  The facade is the compatibility contract:
   :class:`BreakerPolicy`, :class:`CircuitBreaker`,
     :class:`FallbackChain` + targets, :class:`ResilienceRuntime`;
 - observability — :class:`ObsCollector`, :class:`MetricsRegistry`,
-  :func:`build_run_report`.
+  :func:`build_run_report`;
+- static analysis — :func:`check_pipeline`, :func:`check_program`,
+  :func:`check_state`, :class:`Diagnostic`, :class:`CheckResult`,
+  :class:`Severity` (and the strict-mode :class:`SpearValidationError`).
 
 Importing this module (and touching every ``__all__`` name) emits no
 DeprecationWarning: the facade never routes through deprecated keywords,
@@ -34,6 +37,14 @@ Quickstart::
     print(result.output("answer"))
 """
 
+from repro.analysis import (
+    CheckResult,
+    Diagnostic,
+    Severity,
+    check_pipeline,
+    check_program,
+    check_state,
+)
 from repro.core import (
     CHECK,
     DELEGATE,
@@ -65,6 +76,7 @@ from repro.errors import (
     ModelError,
     RateLimitError,
     SpearError,
+    SpearValidationError,
     TransientModelError,
 )
 from repro.errors import TimeoutError  # noqa: A004 - the taxonomy's name
@@ -156,6 +168,7 @@ __all__ = [
     "ResilienceRuntime",
     # errors
     "SpearError",
+    "SpearValidationError",
     "ModelError",
     "TransientModelError",
     "RateLimitError",
@@ -167,4 +180,11 @@ __all__ = [
     "MetricsRegistry",
     "RunReport",
     "build_run_report",
+    # static analysis
+    "check_pipeline",
+    "check_program",
+    "check_state",
+    "Diagnostic",
+    "CheckResult",
+    "Severity",
 ]

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro experiments {table3|table4|figure1|all} [--n N] [--seed S]
     python -m repro run PIPELINE_FILE --pipeline NAME [--patient ID] [--show-trace]
     python -m repro fmt PIPELINE_FILE
+    python -m repro check [FILES...] [--dl SOURCE] [--format {text,json}]
     python -m repro stats RUN_JSONL [--format {table,json,prometheus}] [--top N]
     python -m repro trace RUN_JSONL [--timeline]
 
@@ -69,6 +70,31 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument("file", type=Path)
     fmt.add_argument(
         "--write", action="store_true", help="rewrite the file in place"
+    )
+
+    check = commands.add_parser(
+        "check", help="statically check SPEAR-DL files or Python pipeline modules"
+    )
+    check.add_argument(
+        "files",
+        type=Path,
+        nargs="*",
+        help="SPEAR-DL sources, or .py modules exposing *_SOURCE strings "
+        "or module-level Pipeline objects",
+    )
+    check.add_argument(
+        "--dl",
+        action="append",
+        default=[],
+        metavar="SOURCE",
+        help="inline SPEAR-DL program text (repeatable)",
+    )
+    check.add_argument(
+        "--format",
+        dest="format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: human-readable text)",
     )
 
     stats = commands.add_parser(
@@ -158,6 +184,94 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\nexecution timeline:")
         print(render_timeline(state.events))
     return 0
+
+
+def _collect_py_targets(path: Path) -> list[tuple[str, object]]:
+    """Checkable artefacts of a Python module: DL sources + pipelines.
+
+    Imports the module in isolation and collects module-level string
+    attributes named ``SOURCE``/``DL_SOURCE`` (or ending ``_SOURCE``) as
+    SPEAR-DL programs, plus module-level :class:`Pipeline` objects.
+    """
+    import importlib.util
+
+    from repro.core.pipeline import Pipeline
+
+    spec = importlib.util.spec_from_file_location(
+        f"_spear_check_{path.stem}", path
+    )
+    if spec is None or spec.loader is None:
+        raise SpearError(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    targets: list[tuple[str, object]] = []
+    for attr in sorted(vars(module)):
+        if attr.startswith("_"):
+            continue
+        value = getattr(module, attr)
+        if isinstance(value, str) and (
+            attr in ("SOURCE", "DL_SOURCE") or attr.endswith("_SOURCE")
+        ):
+            targets.append((f"{path}::{attr}", value))
+        elif isinstance(value, Pipeline):
+            targets.append((f"{path}::{attr}", value))
+    return targets
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import check_pipeline, check_program
+    from repro.core.pipeline import Pipeline
+
+    targets: list[tuple[str, object]] = []
+    for path in args.files:
+        if path.suffix == ".py":
+            targets.extend(_collect_py_targets(path))
+        else:
+            targets.append((str(path), path.read_text(encoding="utf-8")))
+    for position, source in enumerate(args.dl):
+        targets.append((f"<dl:{position}>", source))
+    if not targets:
+        print("error: nothing to check (no files, no --dl)", file=sys.stderr)
+        return 2
+
+    runs = []
+    errors = warnings = infos = 0
+    for target, artefact in targets:
+        if isinstance(artefact, Pipeline):
+            result = check_pipeline(artefact, name=artefact.name or target)
+        else:
+            filename = target if not target.startswith("<") else None
+            result = check_program(artefact, filename=filename)
+        runs.append((target, result))
+        errors += len(result.errors)
+        warnings += len(result.warnings)
+        infos += len(result.infos)
+
+    if args.format == "json":
+        payload = {
+            "runs": [
+                {"target": target, **result.to_dict()}
+                for target, result in runs
+            ],
+            "errors": errors,
+            "warnings": warnings,
+            "infos": infos,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for target, result in runs:
+            status = "ok" if not len(result) else result.summary()
+            print(f"== {target}: {status}")
+            for diagnostic in result:
+                print(f"  {diagnostic.render()}")
+        print(
+            f"checked {len(runs)} target(s): {errors} error(s), "
+            f"{warnings} warning(s), {infos} info(s)"
+        )
+    return 1 if errors else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -366,12 +480,13 @@ def main(argv: list[str] | None = None) -> int:
         "experiments": _cmd_experiments,
         "run": _cmd_run,
         "fmt": _cmd_fmt,
+        "check": _cmd_check,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
     }
-    if args.command in ("stats", "trace"):
-        # Trace files are untrusted input: a rejected or malformed file
-        # is a clean CLI error, not a traceback.
+    if args.command in ("check", "stats", "trace"):
+        # Checked/traced files are untrusted input: a rejected or
+        # malformed file is a clean CLI error, not a traceback.
         try:
             return handlers[args.command](args)
         except SpearError as error:

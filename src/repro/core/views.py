@@ -122,17 +122,11 @@ class ViewRegistry:
             return [view]
         return self._chain(view.base, seen + (name,)) + [view]
 
-    def expand(self, name: str, params: Mapping[str, Any] | None = None) -> str:
-        """Expand a view to prompt text, resolving the base chain.
-
-        Parameters flow to every view in the chain.  A derived view's
-        template may place its base explicitly with ``{base}``; otherwise
-        the base text is prepended.  Missing required parameters raise
-        :class:`ViewParameterError`.
-        """
-        bound = dict(params or {})
+    def _resolve(
+        self, name: str, bound: Mapping[str, Any]
+    ) -> list[View]:
+        """The validated base chain: cycles and missing params raise here."""
         chain = self._chain(name)
-
         missing: set[str] = set()
         for view in chain:
             missing |= {
@@ -144,14 +138,10 @@ class ViewRegistry:
             raise ViewParameterError(
                 f"view {name!r} missing required parameters: {sorted(missing)}"
             )
+        return chain
 
-        cache_key = self.cache.key(
-            name, bound, version=sum(view.version for view in chain)
-        )
-        cached = self.cache.get(cache_key)
-        if cached is not None:
-            return cached
-
+    @staticmethod
+    def _render_chain(chain: list[View], bound: Mapping[str, Any]) -> str:
         text = ""
         for view in chain:
             values = dict(view.defaults)
@@ -161,9 +151,39 @@ class ViewRegistry:
             if text and "{base}" not in view.template:
                 rendered = f"{text}\n{rendered}"
             text = rendered
+        return text
 
+    def expand(self, name: str, params: Mapping[str, Any] | None = None) -> str:
+        """Expand a view to prompt text, resolving the base chain.
+
+        Parameters flow to every view in the chain.  A derived view's
+        template may place its base explicitly with ``{base}``; otherwise
+        the base text is prepended.  Missing required parameters raise
+        :class:`ViewParameterError`.
+        """
+        bound = dict(params or {})
+        chain = self._resolve(name, bound)
+
+        cache_key = self.cache.key(
+            name, bound, version=sum(view.version for view in chain)
+        )
+        cached = self.cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        text = self._render_chain(chain, bound)
         self.cache.put(cache_key, text)
         return text
+
+    def preview(self, name: str, params: Mapping[str, Any] | None = None) -> str:
+        """Expand a view *without* touching the memo cache.
+
+        Same text and same validation errors as :meth:`expand`, but pure:
+        the static checker uses this so analyzing a pipeline never warms
+        (or pollutes) the cache an execution would then hit.
+        """
+        bound = dict(params or {})
+        return self._render_chain(self._resolve(name, bound), bound)
 
     def instantiate(
         self,

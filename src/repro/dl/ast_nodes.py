@@ -55,6 +55,7 @@ class OpCall:
     #: source position — metadata only, excluded from equality so ASTs
     #: compare structurally (formatter round-trips shift line numbers).
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -79,6 +80,7 @@ class ViewDef:
     base: str | None = None
     tags: tuple[str, ...] = ()
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -88,6 +90,7 @@ class PipelineDef:
     name: str
     statements: tuple[Statement, ...]
     line: int = field(default=0, compare=False)
+    column: int = field(default=0, compare=False)
 
 
 @dataclass(frozen=True)

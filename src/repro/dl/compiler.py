@@ -4,11 +4,17 @@
 :class:`~repro.core.views.ViewRegistry` and lowers every pipeline to a
 :class:`~repro.core.pipeline.Pipeline` of core operators.  Operator
 argument conventions follow the paper's notation; validation errors raise
-:class:`~repro.errors.DslCompileError` with the offending line.
+:class:`~repro.errors.DslCompileError` with the offending position.
+
+Every lowered operator carries a ``span`` attribute (a
+:class:`~repro.analysis.diagnostics.SourceSpan`) pointing back at the DL
+source term it came from, so static-analysis diagnostics and runtime
+errors can report ``file:line:col`` instead of just the op label.
 """
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import SourceSpan
 from repro.core.algebra import Condition, Operator
 from repro.core.derived import DIFF, EXPAND, RETRY, VIEW
 from repro.core.entry import RefAction
@@ -50,11 +56,20 @@ class CompiledProgram:
 
 
 class _Lowering:
-    def __init__(self, views: ViewRegistry) -> None:
+    def __init__(self, views: ViewRegistry, *, filename: str | None = None) -> None:
         self.views = views
+        self.filename = filename
+
+    def _span(self, call: OpCall) -> SourceSpan:
+        return SourceSpan(file=self.filename, line=call.line, column=call.column)
 
     def _fail(self, call: OpCall, message: str) -> DslCompileError:
-        return DslCompileError(f"line {call.line}: {call.name}: {message}")
+        return DslCompileError(
+            f"{self._span(call).render()}: {call.name}: {message}",
+            line=call.line,
+            column=call.column,
+            file=self.filename,
+        )
 
     def _require_string(self, call: OpCall, index: int, what: str) -> str:
         if len(call.args) <= index or not isinstance(call.args[index], str):
@@ -67,9 +82,14 @@ class _Lowering:
         lowerer = getattr(self, f"_lower_{call.name.lower()}", None)
         if lowerer is None:
             raise DslCompileError(
-                f"line {call.line}: unknown operator {call.name!r}"
+                f"{self._span(call).render()}: unknown operator {call.name!r}",
+                line=call.line,
+                column=call.column,
+                file=self.filename,
             )
-        return lowerer(call)
+        operator = lowerer(call)
+        operator.span = self._span(call)
+        return operator
 
     def _lower_ret(self, call: OpCall) -> Operator:
         source = self._require_string(call, 0, "source name")
@@ -230,19 +250,34 @@ class _Lowering:
         if statement.then is not None:
             if statement.op.name != "CHECK":
                 raise DslCompileError(
-                    f"line {statement.op.line}: '->' is only valid after CHECK"
+                    f"{self._span(statement.op).render()}: "
+                    "'->' is only valid after CHECK",
+                    line=statement.op.line,
+                    column=statement.op.column,
+                    file=self.filename,
                 )
             then = self.lower_op(statement.then)
-            return self._lower_check(statement.op, then=then)
+            operator = self._lower_check(statement.op, then=then)
+            operator.span = self._span(statement.op)
+            return operator
         if statement.op.name == "CHECK":
-            return self._lower_check(statement.op)
+            operator = self._lower_check(statement.op)
+            operator.span = self._span(statement.op)
+            return operator
         return self.lower_op(statement.op)
 
 
 def compile_program(
-    program: Program, *, views: ViewRegistry | None = None
+    program: Program,
+    *,
+    views: ViewRegistry | None = None,
+    filename: str | None = None,
 ) -> CompiledProgram:
-    """Lower a parsed program into views + pipelines."""
+    """Lower a parsed program into views + pipelines.
+
+    ``filename`` (when known) is stamped into every operator span and
+    compile error so reports read ``file:line:col``.
+    """
     registry = views if views is not None else ViewRegistry()
     for view in program.views:
         registry.define(
@@ -252,7 +287,7 @@ def compile_program(
             base=view.base,
             tags=set(view.tags),
         )
-    lowering = _Lowering(registry)
+    lowering = _Lowering(registry, filename=filename)
     pipelines = {
         pipeline_def.name: Pipeline(
             [lowering.lower_statement(statement) for statement in pipeline_def.statements],
@@ -263,6 +298,11 @@ def compile_program(
     return CompiledProgram(registry, pipelines)
 
 
-def compile_source(source: str, *, views: ViewRegistry | None = None) -> CompiledProgram:
+def compile_source(
+    source: str,
+    *,
+    views: ViewRegistry | None = None,
+    filename: str | None = None,
+) -> CompiledProgram:
     """Parse and compile SPEAR-DL source in one step."""
-    return compile_program(parse(source), views=views)
+    return compile_program(parse(source), views=views, filename=filename)

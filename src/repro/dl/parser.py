@@ -133,6 +133,7 @@ class _Parser:
             base=base,
             tags=tuple(tags),
             line=keyword.line,
+            column=keyword.column,
         )
 
     # -- pipelines ---------------------------------------------------------------------
@@ -146,7 +147,10 @@ class _Parser:
             statements.append(self._parse_statement())
         self._expect(TokenType.RBRACE, "'}'")
         return PipelineDef(
-            name=name, statements=tuple(statements), line=keyword.line
+            name=name,
+            statements=tuple(statements),
+            line=keyword.line,
+            column=keyword.column,
         )
 
     def _parse_statement(self) -> Statement:
@@ -182,6 +186,7 @@ class _Parser:
             args=tuple(args),
             kwargs=kwargs,
             line=name_token.line,
+            column=name_token.column,
         )
 
     # -- expressions ----------------------------------------------------------------------

@@ -236,7 +236,55 @@ class DslSyntaxError(DslError):
 
 
 class DslCompileError(DslError):
-    """SPEAR-DL parsed but referenced unknown operators, views, etc."""
+    """SPEAR-DL parsed but referenced unknown operators, views, etc.
+
+    Optionally carries a source position (``line``/``column`` are 0 when
+    unknown, ``file`` is None) so tools can report ``file:line:col``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        line: int = 0,
+        column: int = 0,
+        file: "str | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.line = line
+        self.column = column
+        self.file = file
+
+
+class SpearValidationError(SpearError):
+    """Static validation found errors; execution was refused.
+
+    Raised by strict mode (``RuntimeOptions(strict=True)``) *before* the
+    first model call.  Carries the error-severity diagnostics; rendering
+    is duck-typed (any object with ``.render()``/``.code``) so this
+    module stays independent of :mod:`repro.analysis`.
+    """
+
+    def __init__(self, diagnostics: "list | None" = None) -> None:
+        self.diagnostics = list(diagnostics or [])
+        lines = [
+            getattr(diagnostic, "render", lambda: str(diagnostic))()
+            for diagnostic in self.diagnostics
+        ]
+        count = len(self.diagnostics)
+        header = (
+            f"static validation failed with {count} error(s):"
+            if count
+            else "static validation failed"
+        )
+        super().__init__("\n".join([header, *lines]))
+
+    @property
+    def codes(self) -> "list[str]":
+        """The distinct diagnostic codes present, sorted."""
+        return sorted({
+            getattr(diagnostic, "code", "") for diagnostic in self.diagnostics
+        })
 
 
 class ReplayError(SpearError):

@@ -8,6 +8,7 @@ from repro.optimizer.fusion import (
     LlmStage,
     build_fused_instruction,
     fuse_refs,
+    ref_fusion_compatibility,
 )
 from repro.optimizer.incremental import (
     IncrementalEstimate,
@@ -39,6 +40,7 @@ __all__ = [
     "LlmStage",
     "build_fused_instruction",
     "fuse_refs",
+    "ref_fusion_compatibility",
     "IncrementalEstimate",
     "StepImpact",
     "dependent_suffix",

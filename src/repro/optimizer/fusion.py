@@ -31,6 +31,7 @@ __all__ = [
     "FusionPlanner",
     "build_fused_instruction",
     "fuse_refs",
+    "ref_fusion_compatibility",
 ]
 
 
@@ -186,28 +187,56 @@ class FusionPlanner:
         )
 
 
+def ref_fusion_compatibility(previous: object, operator: object) -> str:
+    """Classify an adjacent operator pair for REF fusion.
+
+    The single source of truth shared by :func:`fuse_refs` (which fuses
+    only ``"fusable"`` pairs) and the static checker's fusion-safety
+    analyzers (which flag the incompatible verdicts) — so the planner can
+    never fuse a pair the checker reports as unsafe.
+
+    Verdicts:
+
+    - ``"fusable"`` — literal APPENDs on one key, same mode + condition;
+    - ``"dynamic"`` — same-key APPENDs but a refiner is a callable, so
+      the texts cannot be coalesced statically;
+    - ``"incompatible-mode"`` — same-key literal APPENDs whose refinement
+      modes differ (fusing would mis-record provenance);
+    - ``"incompatible-condition"`` — same-key literal APPENDs recording
+      different triggering conditions;
+    - ``"unrelated"`` — anything else (different keys/actions/types).
+    """
+    if not (
+        isinstance(previous, REF)
+        and isinstance(operator, REF)
+        and previous.action is RefAction.APPEND
+        and operator.action is RefAction.APPEND
+        and previous.key == operator.key
+    ):
+        return "unrelated"
+    if not (isinstance(previous.f, str) and isinstance(operator.f, str)):
+        return "dynamic"
+    if previous.mode != operator.mode:
+        return "incompatible-mode"
+    if previous.condition != operator.condition:
+        return "incompatible-condition"
+    return "fusable"
+
+
 def fuse_refs(pipeline: Pipeline) -> Pipeline:
     """Coalesce adjacent literal REF[APPEND]s on the same key.
 
     Pure prompt-level fusion: ``REF[APPEND, a] >> REF[APPEND, b]`` on one
     key becomes a single ``REF[APPEND, a + "\\n" + b]`` — the final prompt
     text is identical, but version churn and event volume halve.  Only
-    literal (string) refinements with matching mode are fused; anything
-    else is left untouched.
+    literal (string) refinements with matching mode *and* condition are
+    fused (see :func:`ref_fusion_compatibility`); anything else is left
+    untouched.
     """
     fused: list = []
     for operator in pipeline:
         previous = fused[-1] if fused else None
-        can_fuse = (
-            isinstance(operator, REF)
-            and isinstance(previous, REF)
-            and operator.action is RefAction.APPEND
-            and previous.action is RefAction.APPEND
-            and operator.key == previous.key
-            and isinstance(operator.f, str)
-            and isinstance(previous.f, str)
-            and operator.mode == previous.mode
-        )
+        can_fuse = ref_fusion_compatibility(previous, operator) == "fusable"
         if can_fuse:
             fused[-1] = REF(
                 RefAction.APPEND,

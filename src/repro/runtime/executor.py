@@ -195,6 +195,8 @@ class Executor:
                 self.result_cache.subscribe_to(state.events, state.prompts)
             if self.resilience is not None and state.resilience is None:
                 state.resilience = self.resilience
+        if self.options.strict:
+            self._validate(pipeline, state)
         cache = state.result_cache
         cache_before = cache.snapshot() if cache is not None else None
         started_at = self.clock.now
@@ -213,6 +215,23 @@ class Executor:
             events=final.events.all()[event_start:],
             cache=cache_delta,
         )
+
+    def _validate(self, pipeline: "Pipeline", state: "ExecutionState") -> None:
+        """Strict-mode gate: static-check, count findings, abort on errors."""
+        from repro.analysis import check_state
+        from repro.errors import SpearValidationError
+
+        result = check_state(pipeline, state)
+        if len(result) and self.options.metrics is not None:
+            for diagnostic in result:
+                self.options.metrics.counter(
+                    "spear_check_diagnostics_total",
+                    "Diagnostics emitted by strict-mode static checks.",
+                    code=diagnostic.code,
+                    severity=diagnostic.severity.value,
+                ).inc()
+        if result.has_errors:
+            raise SpearValidationError(result.errors)
 
     # -- convenience -------------------------------------------------------
 

@@ -54,6 +54,10 @@ class RuntimeOptions:
     #: resilience runtime (retries / breakers / fallback) attached to
     #: every built state; forked lane states share the same object.
     resilience: "ResilienceRuntime | None" = None
+    #: run the static checker before executing; error diagnostics raise
+    #: :class:`~repro.errors.SpearValidationError` *before* the first
+    #: model call.  Off by default: clean-path runs stay byte-identical.
+    strict: bool = False
 
     def replace(self, **overrides: Any) -> "RuntimeOptions":
         """A copy with ``overrides`` applied (None fields stay inherited)."""

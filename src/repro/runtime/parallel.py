@@ -121,10 +121,34 @@ class ParallelBatchRunner:
 
     # -- the run --------------------------------------------------------------
 
+    def _validate(self, pipeline: "Pipeline") -> None:
+        """Strict-mode gate against the base state, before any lane starts.
+
+        ``open_context=True``: the ``bind`` callback populates per-item
+        context at runtime, so missing-context findings are unknowable
+        here and suppressed.
+        """
+        from repro.analysis import check_state
+        from repro.errors import SpearValidationError
+
+        result = check_state(pipeline, self.base_state, open_context=True)
+        if len(result) and self.metrics is not None:
+            for diagnostic in result:
+                self.metrics.counter(
+                    "spear_check_diagnostics_total",
+                    "Diagnostics emitted by strict-mode static checks.",
+                    code=diagnostic.code,
+                    severity=diagnostic.severity.value,
+                ).inc()
+        if result.has_errors:
+            raise SpearValidationError(result.errors)
+
     def run(
         self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]"
     ) -> BatchResult:
         """Execute ``pipeline`` once per item across the worker lanes."""
+        if self.options.strict:
+            self._validate(pipeline)
         items = list(items)
         if not items:
             batch = BatchResult(workers=0)

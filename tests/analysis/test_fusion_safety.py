@@ -1,0 +1,126 @@
+"""SPEAR161/162 cross-validation: checker verdicts mirror fuse_refs.
+
+The fusion-safety analyzer and the optimizer share one classifier,
+:func:`repro.optimizer.fusion.ref_fusion_compatibility`.  These tests pin
+the contract from both sides: every pair the checker marks fusable is in
+fact fused by ``fuse_refs``, and every pair it flags as unsafe survives
+optimization un-fused.
+"""
+
+from repro.analysis import AnalysisEnv, build_dataflow, run_analyzers
+from repro.core import GEN, REF, Pipeline, RefAction
+from repro.optimizer import fuse_refs, ref_fusion_compatibility
+
+
+def fusion_findings(ops):
+    pipeline = Pipeline(list(ops))
+    env = AnalysisEnv()
+    graph = build_dataflow(pipeline, env)
+    return [
+        diagnostic
+        for diagnostic in run_analyzers(graph, env)
+        if diagnostic.code in ("SPEAR161", "SPEAR162")
+    ]
+
+
+def seed_then(*refs):
+    return [
+        REF(RefAction.CREATE, "Base.", key="qa"),
+        *refs,
+        GEN("answer", prompt="qa"),
+    ]
+
+
+class TestFusableAdvice:
+    def test_spear161_pair_is_actually_fused(self):
+        ops = seed_then(
+            REF(RefAction.APPEND, "Add citations.", key="qa", mode="MANUAL"),
+            REF(RefAction.APPEND, "Keep it short.", key="qa", mode="MANUAL"),
+        )
+        (finding,) = fusion_findings(ops)
+        assert finding.code == "SPEAR161"
+        fused = fuse_refs(Pipeline(ops))
+        assert len(fused.operators) == len(ops) - 1
+
+    def test_fused_pipeline_advises_nothing(self):
+        ops = seed_then(
+            REF(RefAction.APPEND, "Add citations.", key="qa", mode="MANUAL"),
+            REF(RefAction.APPEND, "Keep it short.", key="qa", mode="MANUAL"),
+        )
+        fused = fuse_refs(Pipeline(ops))
+        assert fusion_findings(fused.operators) == []
+
+
+class TestUnsafePairs:
+    def pairs(self):
+        return {
+            "incompatible-mode": (
+                REF(RefAction.APPEND, "a", key="qa", mode="MANUAL"),
+                REF(RefAction.APPEND, "b", key="qa", mode="AUTO"),
+            ),
+            "incompatible-condition": (
+                REF(
+                    RefAction.APPEND,
+                    "a",
+                    key="qa",
+                    condition='M["confidence"] < 0.5',
+                ),
+                REF(
+                    RefAction.APPEND,
+                    "b",
+                    key="qa",
+                    condition='M["confidence"] < 0.9',
+                ),
+            ),
+            "dynamic": (
+                REF(RefAction.APPEND, "a", key="qa"),
+                REF(RefAction.APPEND, lambda state, text: text, key="qa"),
+            ),
+        }
+
+    def test_spear162_pairs_never_fused(self):
+        for verdict, (first, second) in self.pairs().items():
+            assert ref_fusion_compatibility(first, second) == verdict
+            ops = seed_then(first, second)
+            (finding,) = fusion_findings(ops)
+            assert finding.code == "SPEAR162", verdict
+            assert finding.data["verdict"] == verdict
+            fused = fuse_refs(Pipeline(ops))
+            assert len(fused.operators) == len(ops), verdict
+
+    def test_different_keys_are_unrelated(self):
+        ops = [
+            REF(RefAction.CREATE, "Base.", key="qa"),
+            REF(RefAction.CREATE, "Other.", key="aux"),
+            REF(RefAction.APPEND, "a", key="qa"),
+            REF(RefAction.APPEND, "b", key="aux"),
+            GEN("answer", prompt="qa"),
+            GEN("aux_answer", prompt="aux"),
+        ]
+        assert fusion_findings(ops) == []
+
+
+class TestCheckerOptimizerAgreement:
+    def test_every_verdict_matches_fuse_behavior(self):
+        # For each classified pair: checker says fusable <=> fuse_refs
+        # shrinks the pipeline by exactly one operator.
+        catalogue = [
+            (
+                REF(RefAction.APPEND, "a", key="qa", mode="AUTO"),
+                REF(RefAction.APPEND, "b", key="qa", mode="AUTO"),
+            ),
+            (
+                REF(RefAction.APPEND, "a", key="qa", mode="MANUAL"),
+                REF(RefAction.APPEND, "b", key="qa", mode="AUTO"),
+            ),
+            (
+                REF(RefAction.APPEND, "a", key="qa"),
+                REF(RefAction.APPEND, lambda s, t: t, key="qa"),
+            ),
+        ]
+        for first, second in catalogue:
+            verdict = ref_fusion_compatibility(first, second)
+            ops = seed_then(first, second)
+            fused = fuse_refs(Pipeline(ops))
+            did_fuse = len(fused.operators) == len(ops) - 1
+            assert did_fuse == (verdict == "fusable")

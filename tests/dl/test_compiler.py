@@ -246,3 +246,41 @@ Question: {question}""" }
             compile_source(
                 'pipeline p { FUSED_GEN[labels=["a"], prompts=["q1", "q2"]] }'
             )
+
+
+class TestSourceSpans:
+    SOURCE = """pipeline spanned {
+  REF[CREATE, "text", key="qa"]
+  GEN["answer", prompt="qa"]
+  CHECK[M["confidence"] < 0.5] -> REF[APPEND, "more", key="qa"]
+}
+"""
+
+    def test_operators_carry_spans(self):
+        compiled = compile_source(self.SOURCE, filename="spanned.spear")
+        ops = compiled.pipeline("spanned").operators
+        spans = [op.span for op in ops]
+        assert all(span is not None for span in spans)
+        assert [span.line for span in spans] == [2, 3, 4]
+        assert all(span.file == "spanned.spear" for span in spans)
+        assert all(span.column >= 3 for span in spans)
+
+    def test_span_renders_file_line_col(self):
+        compiled = compile_source(self.SOURCE, filename="spanned.spear")
+        span = compiled.pipeline("spanned").operators[0].span
+        assert span.render() == f"spanned.spear:{span.line}:{span.column}"
+
+    def test_compile_error_carries_position(self):
+        source = 'pipeline p {\n  TELEPORT["x"]\n}'
+        with pytest.raises(DslCompileError) as excinfo:
+            compile_source(source, filename="bad.spear")
+        err = excinfo.value
+        assert err.line == 2
+        assert err.column == 3
+        assert err.file == "bad.spear"
+        assert "bad.spear:2:3" in str(err)
+
+    def test_filename_defaults_to_source_placeholder(self):
+        compiled = compile_source(self.SOURCE)
+        span = compiled.pipeline("spanned").operators[0].span
+        assert span.render().startswith("<source>:")

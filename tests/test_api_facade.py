@@ -44,6 +44,41 @@ class TestFacadeSurface:
         ):
             assert issubclass(getattr(spear, name), spear.SpearError), name
 
+    def test_static_analysis_exported(self):
+        from repro.analysis import (
+            CheckResult,
+            Diagnostic,
+            check_pipeline,
+            check_program,
+            check_state,
+        )
+        from repro.errors import SpearValidationError
+
+        assert spear.check_pipeline is check_pipeline
+        assert spear.check_program is check_program
+        assert spear.check_state is check_state
+        assert spear.Diagnostic is Diagnostic
+        assert spear.CheckResult is CheckResult
+        assert spear.SpearValidationError is SpearValidationError
+        assert issubclass(spear.SpearValidationError, spear.SpearError)
+        for name in (
+            "check_pipeline",
+            "check_program",
+            "check_state",
+            "Diagnostic",
+            "CheckResult",
+            "Severity",
+            "SpearValidationError",
+        ):
+            assert name in spear.__all__, name
+
+    def test_facade_check_round_trip(self):
+        result = spear.check_pipeline(
+            spear.Pipeline([spear.GEN("answer", prompt="ghost")])
+        )
+        assert result.has_errors
+        assert "SPEAR101" in result.codes()
+
 
 class TestFacadeQuickstart:
     def test_readme_quickstart_runs_warning_clean(self):

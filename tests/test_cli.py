@@ -331,3 +331,89 @@ class TestExperimentsFigure1Command:
         assert "Figure 1 (reproduced)" in out
         for model in ("qwen2.5-7b-instruct", "mistral-7b-instruct", "gpt-4o-mini"):
             assert out.count(model) == 2  # both fusion orders per model
+
+
+class TestCheckCommand:
+    FIXTURES = Path(__file__).parent / "fixtures" / "dl"
+
+    def test_clean_fixture_exits_zero(self, capsys):
+        code = main(["check", str(self.FIXTURES / "clean_pipeline.spear")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ": ok" in out
+        assert "checked 1 target(s): 0 error(s)" in out
+
+    def test_buggy_fixture_exits_one_with_codes(self, capsys):
+        code = main(["check", str(self.FIXTURES / "buggy_pipeline.spear")])
+        assert code == 1
+        out = capsys.readouterr().out
+        for expected in ("SPEAR101", "SPEAR112", "SPEAR131", "SPEAR142"):
+            assert expected in out
+        assert "buggy_pipeline.spear:" in out  # spans rendered
+
+    def test_json_format_is_machine_readable(self, capsys):
+        code = main(
+            [
+                "check",
+                str(self.FIXTURES / "buggy_pipeline.spear"),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] > 0
+        (run,) = payload["runs"]
+        assert run["target"].endswith("buggy_pipeline.spear")
+        codes = {d["code"] for d in run["diagnostics"]}
+        assert "SPEAR101" in codes
+        for diagnostic in run["diagnostics"]:
+            assert {"code", "severity", "message"} <= diagnostic.keys()
+
+    def test_inline_dl_flag(self, capsys):
+        code = main(["check", "--dl", 'pipeline p { GEN["a", prompt="x"] }'])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "<dl:0>" in out
+        assert "SPEAR101" in out
+
+    def test_python_file_targets_collected(self, tmp_path, capsys):
+        module = tmp_path / "pipelines.py"
+        module.write_text(
+            "from repro.core import GEN, Pipeline\n"
+            "SOURCE = 'pipeline p { REF[CREATE, \"t\", key=\"qa\"] "
+            'GEN["a", prompt="qa"] }\'\n'
+            "broken = Pipeline([GEN('x', prompt='ghost')], name='broken')\n",
+            encoding="utf-8",
+        )
+        code = main(["check", str(module)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::SOURCE" in out
+        assert "broken" in out
+        assert "SPEAR101" in out
+
+    def test_nothing_to_check_exits_two(self, capsys):
+        code = main(["check"])
+        assert code == 2
+        assert "nothing to check" in capsys.readouterr().err
+
+    def test_syntax_error_reported_not_raised(self, tmp_path, capsys):
+        bad = tmp_path / "bad.spear"
+        bad.write_text("pipeline p { GEN[", encoding="utf-8")
+        code = main(["check", str(bad)])
+        assert code == 1
+        assert "SPEAR001" in capsys.readouterr().out
+
+    def test_examples_are_clean(self, capsys):
+        examples = Path(__file__).parent.parent / "examples"
+        code = main(
+            [
+                "check",
+                str(examples / "enoxaparin_qa.spear"),
+                str(examples / "spear_dl_demo.py"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
