@@ -307,7 +307,7 @@ class _StateShim:
 class _PromptState:
     """Abstract value of one prompt key during the walk."""
 
-    __slots__ = ("texts", "definite", "initial", "params")
+    __slots__ = ("texts", "definite", "initial", "params", "spill")
 
     def __init__(
         self,
@@ -316,6 +316,7 @@ class _PromptState:
         definite: bool = True,
         initial: bool = False,
         params: frozenset[str] = frozenset(),
+        spill: frozenset[str] = frozenset(),
     ) -> None:
         #: the possible current texts; ``None`` means unknowable.
         self.texts = texts
@@ -323,6 +324,10 @@ class _PromptState:
         self.initial = initial
         #: template roots bound by the entry's own params.
         self.params = params
+        #: placeholder roots salvaged from texts the fan limiter dropped:
+        #: exact content is gone, but the read set stays sound — a GEN on
+        #: this key still claims these roots statically.
+        self.spill = spill
 
 
 class _Walker:
@@ -418,6 +423,25 @@ class _Walker:
             node.missing_prompts += (key,)
         return info
 
+    def _spill_roots(
+        self, texts: frozenset[str], params: frozenset[str]
+    ) -> frozenset[str]:
+        """Placeholder roots of ``texts``, for retention past a collapse.
+
+        Extracted eagerly (against the current abstract context) so the
+        spill set stays bounded by the placeholder vocabulary no matter
+        how many alternative texts the fan limiter drops.
+        """
+        shim = _StateShim(self.context)
+        shadowed = params | {"base"}
+        roots: set[str] = set()
+        for text in texts:
+            for root, _status in _context_reads_for_template(
+                shim, text, shadowed=shadowed
+            ):
+                roots.add(root)
+        return frozenset(roots)
+
     def _write_prompt(
         self,
         node: OpNode,
@@ -429,22 +453,41 @@ class _Walker:
     ) -> None:
         node.prompt_writes += (key,)
         info = self.prompts.get(key)
+        spill: frozenset[str] = frozenset()
         if texts is not None and len(texts) > _TEXT_FAN_LIMIT:
+            spill = self._spill_roots(texts, params)
             texts = None
         if info is None:
             self.prompts[key] = _PromptState(
-                texts, definite=not conditional, params=params
+                texts, definite=not conditional, params=params, spill=spill
             )
             return
         if conditional:
             if info.texts is not None and texts is not None:
                 merged = info.texts | texts
-                info.texts = merged if len(merged) <= _TEXT_FAN_LIMIT else None
+                if len(merged) <= _TEXT_FAN_LIMIT:
+                    info.texts = merged
+                else:
+                    # Losing the exact texts must not lose their reads.
+                    spill = spill | self._spill_roots(merged, info.params | params)
+                    info.texts = None
             else:
+                known = (info.texts or frozenset()) | (texts or frozenset())
+                if known:
+                    spill = spill | self._spill_roots(known, info.params | params)
                 info.texts = None
         else:
+            if texts is None:
+                # Unknowable full write: the old content may survive (e.g.
+                # a dynamic APPEND), so keep its roots as over-approximation.
+                if info.texts:
+                    spill = spill | self._spill_roots(info.texts, info.params)
+            else:
+                # Exact knowledge again: prior spill is superseded.
+                info.spill = frozenset()
             info.texts = texts
             info.definite = True
+        info.spill = info.spill | spill
         info.params = info.params | params
 
     def _template_reads(
@@ -460,11 +503,11 @@ class _Walker:
         statically-known text; a DYNAMIC text contributes nothing (its
         reads are unknowable).
         """
-        if info is None or info.texts is None:
+        if info is None or (info.texts is None and not info.spill):
             return
         shadowed = shadowed | info.params | {"base"}
         shim = _StateShim(self.context)
-        for text in info.texts:
+        for text in info.texts or ():
             for root, status in _context_reads_for_template(
                 shim, text, shadowed=shadowed
             ):
@@ -474,6 +517,15 @@ class _Walker:
                 if status == ABSENT and not self.havoc:
                     if root not in node.unbound_params:
                         node.unbound_params += (root,)
+        # Roots salvaged from fan-limited texts still count as reads, but
+        # never as unbound-placeholder findings: the exact text that would
+        # justify the lint is gone.
+        for root in info.spill:
+            if root in shadowed:
+                continue
+            if root not in node.template_params:
+                node.template_params += (root,)
+            self._read_context(node, root, hard=False)
 
     def _read_condition(self, node: OpNode, text: str) -> None:
         for atom in condition_atoms(text):

@@ -15,7 +15,9 @@ move between releases.  The facade is the compatibility contract:
   :class:`BreakerPolicy`, :class:`CircuitBreaker`,
     :class:`FallbackChain` + targets, :class:`ResilienceRuntime`;
 - observability — :class:`ObsCollector`, :class:`MetricsRegistry`,
-  :func:`build_run_report`;
+  :func:`build_run_report`, plus the cross-run layer: the persistent
+  :class:`Ledger` / :class:`RunLedger`, :class:`SeriesRecorder` time
+  series, and :func:`build_attribution` per-prompt-version costing;
 - static analysis — :func:`check_pipeline`, :func:`check_program`,
   :func:`check_state`, :class:`Diagnostic`, :class:`CheckResult`,
   :class:`Severity` (and the strict-mode :class:`SpearValidationError`).
@@ -88,9 +90,16 @@ from repro.llm import (
     get_profile,
 )
 from repro.obs import (
+    AttributionReport,
+    Ledger,
+    LedgerRun,
     MetricsRegistry,
     ObsCollector,
+    Pricing,
+    RunLedger,
     RunReport,
+    SeriesRecorder,
+    build_attribution,
     build_run_report,
 )
 from repro.resilience import (
@@ -180,6 +189,13 @@ __all__ = [
     "MetricsRegistry",
     "RunReport",
     "build_run_report",
+    "Pricing",
+    "AttributionReport",
+    "build_attribution",
+    "Ledger",
+    "LedgerRun",
+    "RunLedger",
+    "SeriesRecorder",
     # static analysis
     "check_pipeline",
     "check_program",

@@ -8,12 +8,19 @@ Subcommands::
     python -m repro check [FILES...] [--dl SOURCE] [--format {text,json}]
     python -m repro stats RUN_JSONL [--format {table,json,prometheus}] [--top N]
     python -m repro trace RUN_JSONL [--timeline]
+    python -m repro runs LEDGER_DIR [--run ID] [--format {table,json}]
+    python -m repro diff RUN_A RUN_B [--gate] [--max-regress PCT]
+    python -m repro top LEDGER_DIR_OR_RUN [--interval S] [--once]
 
 ``run`` executes a SPEAR-DL file against a fully wired state: the
 simulated model grounded on the seeded synthetic corpora, the clinical
 retrieval sources, and the validation agent.  ``stats`` and ``trace``
 analyse an exported JSONL event trace offline (see
 :func:`repro.runtime.tracing.export_events` and docs/observability.md).
+``runs`` / ``diff`` / ``top`` operate on the persistent run ledger
+(:mod:`repro.obs.ledger`): list and inspect finished runs, compare two
+runs with CI gate semantics (``--gate`` exits 2 on regression), and
+live-tail an in-progress run's leaderboard.
 """
 
 from __future__ import annotations
@@ -32,7 +39,12 @@ from repro.llm import SimulatedLLM
 from repro.retrieval import clinical_sources
 from repro.runtime.tracing import render_timeline
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "render_stats_text",
+    "render_attribution_text",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -120,6 +132,67 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="print the flat event timeline instead of the span tree",
+    )
+
+    runs = commands.add_parser(
+        "runs", help="list or inspect persisted ledger runs"
+    )
+    runs.add_argument("dir", type=Path, help="ledger root (runs/ directory)")
+    runs.add_argument(
+        "--run", dest="run_id", default=None, help="inspect one run in detail"
+    )
+    runs.add_argument(
+        "--format",
+        dest="format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: human-readable)",
+    )
+
+    diff = commands.add_parser(
+        "diff", help="compare two ledger runs (reports + attribution)"
+    )
+    diff.add_argument("run_a", type=Path, help="baseline run directory")
+    diff.add_argument("run_b", type=Path, help="candidate run directory")
+    diff.add_argument(
+        "--gate",
+        action="store_true",
+        help="CI mode: exit 2 when a gated metric regresses beyond "
+        "--max-regress percent",
+    )
+    diff.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="allowed regression on gated metrics, in percent (default: 0)",
+    )
+    diff.add_argument(
+        "--format",
+        dest="format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: human-readable)",
+    )
+
+    top = commands.add_parser(
+        "top", help="live-tail an in-progress ledger run's leaderboard"
+    )
+    top.add_argument(
+        "dir",
+        type=Path,
+        help="ledger root (tails the latest run) or one run directory",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="host seconds between repaints (default: 0.5)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit (no tail loop)",
     )
     return parser
 
@@ -274,23 +347,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
+def render_stats_text(report) -> str:
+    """Render a :class:`~repro.obs.report.RunReport` as the ``spear stats``
+    tables.
+
+    A pure function of the report object: a ``report.json`` reloaded via
+    :meth:`RunReport.from_dict` renders byte-identically to the live
+    original — the foundation ``spear diff`` builds on.
+    """
     from repro.eval.tables import format_table
-    from repro.obs import ObsCollector, build_report, to_prometheus
-    from repro.runtime.tracing import import_events
 
-    collector = ObsCollector()
-    collector.replay(import_events(args.file))
-
-    if args.format == "prometheus":
-        print(to_prometheus(collector.registry), end="")
-        return 0
-
-    report = build_report(collector, top_k=args.top)
-    if args.format == "json":
-        print(report.to_json())
-        return 0
-
+    lines: list[str] = []
     operator_rows = [
         [
             op,
@@ -303,14 +370,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ]
         for op, stats in report.operators.items()
     ]
-    print(
+    lines.append(
         format_table(
             ["Operator", "Calls", "Errors", "Wall (s)", "p50", "p95", "p99"],
             operator_rows,
             title="Per-operator rollup",
         )
     )
-    print()
+    lines.append("")
     generation_rows = [
         [
             prompt,
@@ -325,7 +392,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ]
         for prompt, stats in report.generation.items()
     ]
-    print(
+    lines.append(
         format_table(
             [
                 "Prompt", "Calls", "Latency (s)", "p95",
@@ -337,7 +404,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
     )
     if report.batches:
-        print()
+        lines.append("")
         batch_rows = [
             [
                 mode,
@@ -350,7 +417,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ]
             for mode, stats in report.batches.items()
         ]
-        print(
+        lines.append(
             format_table(
                 [
                     "Mode", "Runs", "Items", "Failures", "Workers",
@@ -362,12 +429,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
     result_cache = report.result_cache.get("by_operator", {})
     if result_cache:
-        print()
+        lines.append("")
         rc_rows = [
             [op, stats["hits"], round(stats["saved_seconds"], 2)]
             for op, stats in result_cache.items()
         ]
-        print(
+        lines.append(
             format_table(
                 ["Operator", "Hits", "Saved (s)"],
                 rc_rows,
@@ -375,7 +442,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             )
         )
     if report.resilience:
-        print()
+        lines.append("")
         res = report.resilience
         models = sorted(
             set(res.get("failures_by_model", {}))
@@ -398,7 +465,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             ]
             for model in models
         ]
-        print(
+        lines.append(
             format_table(
                 [
                     "Model", "Failures", "Retries", "Backoff (s)",
@@ -425,10 +492,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 for target, n in res.get("degraded_runs", {}).items()
             )
             summary += f"; degraded runs: {degraded_total} ({targets})"
-        print(summary)
-    print()
+        lines.append(summary)
+    lines.append("")
     totals = report.totals
-    print(
+    lines.append(
         f"totals: {totals['events']} events, {totals['gen_calls']} gen calls, "
         f"{totals['prompt_tokens']} prompt / {totals['cached_tokens']} cached / "
         f"{totals['output_tokens']} output tokens, "
@@ -436,17 +503,66 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"est. cost ${totals['cost_usd']:.6f}"
     )
     if totals.get("result_cache_hits"):
-        print(
+        lines.append(
             f"result cache: {totals['result_cache_hits']} hits, "
             f"{totals['result_cache_saved_seconds']:.2f}s simulated time saved"
         )
     if report.slowest_spans:
-        print("\nslowest spans:")
+        lines.append("\nslowest spans:")
         for span in report.slowest_spans:
-            print(
+            lines.append(
                 f"  {span['wall']:8.2f}s  {span['operator']}"
                 f"  (start {span['start']:.2f}s, gen={span['gen_calls']})"
             )
+    return "\n".join(lines)
+
+
+def render_attribution_text(attribution) -> str:
+    """Render the refinement-utility section of an attribution report.
+
+    Empty string when no refinement edge has generations on both sides —
+    traces without REFINE activity keep their exact historical output.
+    """
+    if not attribution.refinements:
+        return ""
+    lines = ["\nRefinement utility (per prompt version):"]
+    for row in attribution.refinements:
+        before, after, delta = row["before"], row["after"], row["delta"]
+        sign = "+" if delta["mean_confidence"] >= 0 else ""
+        lines.append(
+            f"  {row['key']} v{row['from_version']} -> v{row['to_version']}"
+            f" ({row['action']}): confidence {before['mean_confidence']:.3f}"
+            f" -> {after['mean_confidence']:.3f}"
+            f" ({sign}{delta['mean_confidence']:.3f}),"
+            f" latency {before['mean_latency']:.2f}s"
+            f" -> {after['mean_latency']:.2f}s,"
+            f" cost ${before['cost_usd']:.6f} -> ${after['cost_usd']:.6f}"
+            f" ({before['calls']} vs {after['calls']} calls)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs import ObsCollector, build_attribution, build_report, to_prometheus
+    from repro.runtime.tracing import import_events
+
+    log = import_events(args.file)
+    collector = ObsCollector()
+    collector.replay(log)
+
+    if args.format == "prometheus":
+        print(to_prometheus(collector.registry), end="")
+        return 0
+
+    report = build_report(collector, top_k=args.top)
+    if args.format == "json":
+        print(report.to_json())
+        return 0
+
+    print(render_stats_text(report))
+    attribution_text = render_attribution_text(build_attribution(log))
+    if attribution_text:
+        print(attribution_text)
     return 0
 
 
@@ -460,6 +576,334 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:
         print(render_span_tree(build_span_tree(log)))
     return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.tables import format_table
+    from repro.obs import Ledger
+
+    ledger = Ledger(args.dir)
+    if args.run_id is not None:
+        run = ledger.load(args.run_id)
+        if args.format == "json":
+            payload = {"manifest": run.manifest}
+            if (run.path / "report.json").exists():
+                payload["report"] = run.report().to_dict()
+            if (run.path / "attribution.json").exists():
+                payload["attribution"] = run.attribution().to_dict()
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"run {run.run_id} [{run.status}] — {run.path}")
+        pipeline = run.manifest.get("pipeline") or {}
+        print(
+            f"  runner: {run.manifest.get('runner', '?')}, "
+            f"pipeline: {pipeline.get('name') or '?'}, "
+            f"events: {run.manifest.get('event_count', '?')}"
+        )
+        if (run.path / "report.json").exists():
+            print()
+            print(render_stats_text(run.report()))
+        if (run.path / "attribution.json").exists():
+            attribution_text = render_attribution_text(run.attribution())
+            if attribution_text:
+                print(attribution_text)
+        return 0
+
+    run_ids = ledger.list()
+    if not run_ids:
+        print(f"no runs under {args.dir}")
+        return 0
+    rows = []
+    records = []
+    for run_id in run_ids:
+        run = ledger.load(run_id)
+        totals: dict = {}
+        if (run.path / "report.json").exists():
+            totals = run.report().totals
+        pipeline = run.manifest.get("pipeline") or {}
+        rows.append(
+            [
+                run.run_id,
+                run.status,
+                run.manifest.get("runner", "?"),
+                pipeline.get("name") or "-",
+                totals.get("gen_calls", "-"),
+                totals.get("prompt_tokens", "-"),
+                (
+                    f"{totals['cost_usd']:.6f}"
+                    if "cost_usd" in totals
+                    else "-"
+                ),
+            ]
+        )
+        records.append(
+            {
+                "run_id": run.run_id,
+                "status": run.status,
+                "runner": run.manifest.get("runner"),
+                "pipeline": pipeline.get("name"),
+                "totals": totals,
+            }
+        )
+    if args.format == "json":
+        print(json.dumps({"runs": records}, indent=2))
+    else:
+        print(
+            format_table(
+                [
+                    "Run", "Status", "Runner", "Pipeline",
+                    "Gen calls", "Prompt tok", "Cost ($)",
+                ],
+                rows,
+                title=f"Ledger runs ({args.dir})",
+            )
+        )
+    return 0
+
+
+#: report paths gated by ``spear diff --gate``: higher is a regression.
+_GATE_METRICS = (
+    ("totals", "cost_usd"),
+    ("totals", "gen_calls"),
+    ("totals", "prompt_tokens"),
+    ("totals", "output_tokens"),
+    ("totals", "errors"),
+)
+
+
+def _numeric_leaves(tree, prefix=""):
+    """Flatten nested dicts to {dotted.path: number} (bools excluded)."""
+    leaves: dict[str, float] = {}
+    if isinstance(tree, dict):
+        for key, value in tree.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            leaves.update(_numeric_leaves(value, path))
+    elif isinstance(tree, (int, float)) and not isinstance(tree, bool):
+        leaves[prefix] = float(tree)
+    return leaves
+
+
+def _load_run(path: Path):
+    from repro.obs.ledger import LedgerRun
+
+    return LedgerRun(path)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.tables import format_table
+
+    run_a, run_b = _load_run(args.run_a), _load_run(args.run_b)
+    report_a, report_b = run_a.report().to_dict(), run_b.report().to_dict()
+    attr_a, attr_b = run_a.attribution().to_dict(), run_b.attribution().to_dict()
+    # Slowest spans are a top-k sample, not a comparable aggregate.
+    report_a.pop("slowest_spans", None)
+    report_b.pop("slowest_spans", None)
+
+    leaves_a = _numeric_leaves({"report": report_a, "attribution": attr_a})
+    leaves_b = _numeric_leaves({"report": report_b, "attribution": attr_b})
+    changed = []
+    for path in sorted(set(leaves_a) | set(leaves_b)):
+        a, b = leaves_a.get(path, 0.0), leaves_b.get(path, 0.0)
+        if a == b:
+            continue
+        pct = ((b - a) / abs(a) * 100.0) if a else None
+        changed.append((path, a, b, b - a, pct))
+
+    gate_failures = []
+    if args.gate:
+        totals_a = report_a.get("totals", {})
+        totals_b = report_b.get("totals", {})
+        for section, key in _GATE_METRICS:
+            a = float(report_a.get(section, {}).get(key, 0.0) or 0.0)
+            b = float(report_b.get(section, {}).get(key, 0.0) or 0.0)
+            if b <= a:
+                continue
+            pct = ((b - a) / a * 100.0) if a else float("inf")
+            if pct > args.max_regress:
+                gate_failures.append((f"{section}.{key}", a, b, pct))
+        del totals_a, totals_b
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "run_a": str(args.run_a),
+                    "run_b": str(args.run_b),
+                    "changed": [
+                        {
+                            "metric": path,
+                            "a": a,
+                            "b": b,
+                            "delta": delta,
+                            "pct": pct,
+                        }
+                        for path, a, b, delta, pct in changed
+                    ],
+                    "gate": {
+                        "enabled": args.gate,
+                        "max_regress_pct": args.max_regress,
+                        "failures": [
+                            {"metric": metric, "a": a, "b": b, "pct": pct}
+                            for metric, a, b, pct in gate_failures
+                        ],
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(f"diff {args.run_a} -> {args.run_b}")
+        if not changed:
+            print("no differences (zero delta)")
+        else:
+            rows = [
+                [
+                    path,
+                    f"{a:g}",
+                    f"{b:g}",
+                    f"{delta:+g}",
+                    f"{pct:+.2f}%" if pct is not None else "new",
+                ]
+                for path, a, b, delta, pct in changed
+            ]
+            print(
+                format_table(
+                    ["Metric", "A", "B", "Delta", "Pct"],
+                    rows,
+                    title=f"Changed metrics ({len(changed)})",
+                )
+            )
+        if args.gate:
+            if gate_failures:
+                print(
+                    f"\nGATE FAILED (max regress {args.max_regress:g}%):",
+                    file=sys.stderr,
+                )
+                for metric, a, b, pct in gate_failures:
+                    print(
+                        f"  {metric}: {a:g} -> {b:g} (+{pct:.2f}%)",
+                        file=sys.stderr,
+                    )
+            else:
+                print(f"\ngate passed (max regress {args.max_regress:g}%)")
+    return 2 if gate_failures else 0
+
+
+def _render_top(run, offset: int, aggregates: dict) -> int:
+    """Tail new complete lines from events.jsonl into ``aggregates``.
+
+    Returns the new byte offset.  Parsing is plain ``json.loads`` (no
+    type-tag rebuilding): the leaderboard needs only scalar fields, and a
+    tailed file may legitimately end mid-line — incomplete trailing
+    lines are left for the next cycle.
+    """
+    import json
+
+    events_path = run.path / "events.jsonl"
+    if not events_path.exists():
+        return offset
+    with events_path.open("r", encoding="utf-8") as handle:
+        handle.seek(offset)
+        chunk = handle.read()
+    complete, _, _partial = chunk.rpartition("\n")
+    if complete:
+        offset += len(complete.encode("utf-8")) + 1
+        for line in complete.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            aggregates["events"] += 1
+            aggregates["at"] = max(aggregates["at"], float(record.get("at", 0.0)))
+            kind = record.get("kind", "?")
+            aggregates["kinds"][kind] = aggregates["kinds"].get(kind, 0) + 1
+            payload = record.get("payload") or {}
+            if kind == "generate":
+                key = payload.get("prompt_key", "?")
+                version = payload.get("prompt_version")
+                name = f"{key}@v{version}" if version is not None else str(key)
+                row = aggregates["prompts"].setdefault(
+                    name, {"calls": 0, "wall": 0.0, "tokens": 0}
+                )
+                row["calls"] += 1
+                latency = payload.get("latency")
+                if isinstance(latency, (int, float)):
+                    row["wall"] += float(latency)
+                for field in ("prompt_tokens", "output_tokens"):
+                    tokens = payload.get(field)
+                    if isinstance(tokens, (int, float)):
+                        row["tokens"] += int(tokens)
+    return offset
+
+
+def _print_top_snapshot(run, aggregates: dict) -> None:
+    from repro.eval.tables import format_table
+
+    status = run.status
+    print(
+        f"=== spear top — run {run.run_id} [{status}] "
+        f"t={aggregates['at']:.2f}s  events={aggregates['events']} ==="
+    )
+    kinds = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(aggregates["kinds"].items())
+        if not kind.startswith("operator_")
+    )
+    if kinds:
+        print(f"events by kind: {kinds}")
+    prompts = sorted(
+        aggregates["prompts"].items(),
+        key=lambda pair: (-pair[1]["wall"], pair[0]),
+    )[:10]
+    if prompts:
+        rows = [
+            [name, row["calls"], f"{row['wall']:.2f}", row["tokens"]]
+            for name, row in prompts
+        ]
+        print(
+            format_table(
+                ["Prompt", "Calls", "Wall (s)", "Tokens"],
+                rows,
+                title="Prompt leaderboard (by wall time)",
+            )
+        )
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.obs import Ledger
+    from repro.obs.ledger import LedgerRun
+
+    target = args.dir
+    if (target / "manifest.json").exists():
+        run = LedgerRun(target)
+    else:
+        latest = Ledger(target).latest()
+        if latest is None:
+            raise SpearError(f"{target}: no ledger runs to tail")
+        run = latest
+
+    aggregates: dict = {"events": 0, "at": 0.0, "kinds": {}, "prompts": {}}
+    offset = 0
+    while True:
+        offset = _render_top(run, offset, aggregates)
+        # Re-read the manifest: the writer flips status at finalization.
+        run.manifest = _json.loads(
+            (run.path / "manifest.json").read_text(encoding="utf-8")
+        )
+        _print_top_snapshot(run, aggregates)
+        if args.once or run.status in ("completed", "failed"):
+            return 0
+        _time.sleep(args.interval)
+        print()
 
 
 def _cmd_fmt(args: argparse.Namespace) -> int:
@@ -483,8 +927,11 @@ def main(argv: list[str] | None = None) -> int:
         "check": _cmd_check,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "runs": _cmd_runs,
+        "diff": _cmd_diff,
+        "top": _cmd_top,
     }
-    if args.command in ("check", "stats", "trace"):
+    if args.command in ("check", "stats", "trace", "runs", "diff", "top"):
         # Checked/traced files are untrusted input: a rejected or
         # malformed file is a clean CLI error, not a traceback.
         try:

@@ -72,6 +72,9 @@ class Operator:
                     fingerprint=footprint.digest,
                     saved_seconds=max(cached.elapsed - cache.hit_cost, 0.0),
                     prompt_keys=list(footprint.prompt_keys),
+                    prompt_versions=[
+                        [dep[0], dep[1]] for dep in footprint.prompt_deps
+                    ],
                 )
                 state.events.emit(
                     EventKind.OPERATOR_END, self.label, at=state.clock.now

@@ -262,6 +262,7 @@ class GEN(Operator):
             self.label,
             at=state.clock.now,
             prompt_key=self.prompt_key,
+            prompt_version=entry.version,
             task=result.task,
             confidence=result.confidence,
             latency=result.latency.total,

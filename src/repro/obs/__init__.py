@@ -9,11 +9,21 @@ production-grade introspection:
 - :mod:`~repro.obs.spans` — span-tree reconstruction from
   OPERATOR_START/END pairs;
 - :class:`RunReport` + exporters — JSON run reports and Prometheus text
-  exposition, surfaced on the CLI as ``spear stats`` / ``spear trace``.
+  exposition, surfaced on the CLI as ``spear stats`` / ``spear trace``;
+- :class:`RunLedger` / :class:`Ledger` — the persistent cross-run store
+  (``runs/<run_id>/``), with :class:`SeriesRecorder` time series and
+  per-prompt-version :class:`AttributionReport` cost attribution,
+  surfaced as ``spear runs`` / ``spear diff`` / ``spear top``.
 """
 
+from repro.obs.attribution import (
+    UNATTRIBUTED,
+    AttributionReport,
+    build_attribution,
+)
 from repro.obs.collector import ObsCollector, operator_kind
 from repro.obs.exporters import to_prometheus, write_json_report
+from repro.obs.ledger import Ledger, LedgerRun, RunLedger, ledger_scope
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     TOKEN_BUCKETS,
@@ -31,6 +41,7 @@ from repro.obs.spans import (
     render_span_tree,
     top_slowest,
 )
+from repro.obs.timeseries import FORCED_SAMPLE_KINDS, SeriesRecorder
 
 __all__ = [
     "Counter",
@@ -53,4 +64,13 @@ __all__ = [
     "build_run_report",
     "to_prometheus",
     "write_json_report",
+    "AttributionReport",
+    "build_attribution",
+    "UNATTRIBUTED",
+    "Ledger",
+    "LedgerRun",
+    "RunLedger",
+    "ledger_scope",
+    "SeriesRecorder",
+    "FORCED_SAMPLE_KINDS",
 ]

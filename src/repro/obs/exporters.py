@@ -27,6 +27,11 @@ def _escape_label(value: str) -> str:
     )
 
 
+def _escape_help(value: str) -> str:
+    # HELP lines escape backslash and newline only; quotes are legal there.
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
 def _labels_text(labels: dict[str, str]) -> str:
     if not labels:
         return ""
@@ -50,7 +55,7 @@ def to_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for name, kind, help_text, samples in registry.collect():
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for labels, instrument in samples:
             if isinstance(instrument, (Counter, Gauge)):

@@ -153,12 +153,24 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (q in [0, 1]); 0 when empty."""
+        """Estimated ``q``-quantile (q in [0, 1]); 0 when empty.
+
+        Degenerate distributions are exact, not interpolated: a
+        single-sample histogram (and any all-equal sample set) returns the
+        observed value for every ``q``.  Interpolated estimates are clamped
+        to the observed ``[min, max]`` envelope, so quantiles are monotone
+        in ``q`` and never exceed the true maximum.
+        """
         if not 0.0 <= q <= 1.0:
             raise ObservabilityError(f"quantile must be in [0, 1]: {q}")
         with self._lock:
             if self.count == 0:
                 return 0.0
+            if self.min == self.max:
+                # One sample, or every sample equal: the quantile is known
+                # exactly — interpolating inside the bucket would invent
+                # spread that was never observed.
+                return self.min
             rank = q * self.count
             cumulative = 0
             for i, bucket_count in enumerate(self.bucket_counts):
@@ -171,7 +183,8 @@ class Histogram:
                     lower = min(lower, self.bounds[i])
                     upper = self.bounds[i]
                     fraction = (rank - previous) / bucket_count
-                    return lower + (upper - lower) * fraction
+                    value = lower + (upper - lower) * fraction
+                    return min(max(value, self.min), self.max)
             return self.max
 
     def cumulative_counts(self) -> list[tuple[float, int]]:
@@ -201,6 +214,15 @@ class MetricsRegistry:
         # one registry lock guards family and child creation, so two lanes
         # asking for the same (name, labels) always get the same instrument.
         self._lock = threading.RLock()
+        #: bumped on every new instrument registration; instruments are
+        #: never removed, so an unchanged version means an unchanged
+        #: instrument set — periodic samplers key their caches on it.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Registration version: increases iff a new instrument appeared."""
+        return self._version
 
     def _family(
         self, name: str, kind: str, help_text: str
@@ -228,6 +250,7 @@ class MetricsRegistry:
             child = children.get(key)
             if child is None:
                 child = children[key] = Counter()
+                self._version += 1
             return child  # type: ignore[return-value]
 
     def gauge(self, name: str, help_text: str = "", **labels: str) -> Gauge:
@@ -238,6 +261,7 @@ class MetricsRegistry:
             child = children.get(key)
             if child is None:
                 child = children[key] = Gauge()
+                self._version += 1
             return child  # type: ignore[return-value]
 
     def histogram(
@@ -255,6 +279,7 @@ class MetricsRegistry:
             child = children.get(key)
             if child is None:
                 child = children[key] = Histogram(buckets)
+                self._version += 1
             return child  # type: ignore[return-value]
 
     # -- read side ----------------------------------------------------------

@@ -95,6 +95,31 @@ class RunReport:
         """The report as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (ledger reload).
+
+        Unknown keys are ignored so newer ledgers still load under older
+        readers; a reloaded report renders byte-identical ``spear stats``
+        text to the in-process original.
+        """
+        return cls(
+            operators=dict(data.get("operators", {})),
+            generation=dict(data.get("generation", {})),
+            model=dict(data.get("model", {})),
+            batches=dict(data.get("batches", {})),
+            totals=dict(data.get("totals", {})),
+            cache=dict(data.get("cache", {})),
+            result_cache=dict(data.get("result_cache", {})),
+            resilience=dict(data.get("resilience", {})),
+            slowest_spans=list(data.get("slowest_spans", [])),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a report from a :meth:`to_json` document."""
+        return cls.from_dict(json.loads(text))
+
 
 def _family_children(registry, name: str) -> list[tuple[dict[str, str], Any]]:
     for family_name, _, _, samples in registry.collect():

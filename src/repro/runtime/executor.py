@@ -197,23 +197,50 @@ class Executor:
                 state.resilience = self.resilience
         if self.options.strict:
             self._validate(pipeline, state)
-        cache = state.result_cache
-        cache_before = cache.snapshot() if cache is not None else None
-        started_at = self.clock.now
-        event_start = len(state.events)
-        final = pipeline.apply(state)
-        cache_delta: dict[str, float] = {}
-        if cache is not None and cache_before is not None:
-            after = cache.snapshot()
-            cache_delta = {
-                key: after[key] - cache_before[key]
-                for key in ("hits", "misses", "invalidations", "saved_seconds")
-            }
-        return RunResult(
-            state=final,
-            elapsed=self.clock.now - started_at,
-            events=final.events.all()[event_start:],
-            cache=cache_delta,
+        with self._ledger_scope(state, pipeline=pipeline):
+            cache = state.result_cache
+            cache_before = cache.snapshot() if cache is not None else None
+            started_at = self.clock.now
+            event_start = len(state.events)
+            final = pipeline.apply(state)
+            cache_delta: dict[str, float] = {}
+            if cache is not None and cache_before is not None:
+                after = cache.snapshot()
+                cache_delta = {
+                    key: after[key] - cache_before[key]
+                    for key in ("hits", "misses", "invalidations", "saved_seconds")
+                }
+            return RunResult(
+                state=final,
+                elapsed=self.clock.now - started_at,
+                events=final.events.all()[event_start:],
+                cache=cache_delta,
+            )
+
+    def _ledger_scope(self, state: "ExecutionState", *, pipeline: "Pipeline"):
+        """Ledger context for one run; a no-op without ``ledger_dir``.
+
+        Reentrant per state: a RefinementLoop (or any outer runner) that
+        already opened a ledger run around this state keeps owning it —
+        every iteration's events land in the same ``runs/<run_id>/``.
+        """
+        from repro.obs.ledger import describe_options, describe_pipeline, ledger_scope
+
+        registry = None
+        if self.collector is not None:
+            registry = self.collector.registry
+        elif self.options.metrics is not None:
+            registry = self.options.metrics
+        return ledger_scope(
+            self.options,
+            state,
+            manifest={
+                "runner": "Executor",
+                "pipeline": describe_pipeline(pipeline),
+                "options": describe_options(self.options),
+            },
+            registry=registry,
+            collector=self.collector,
         )
 
     def _validate(self, pipeline: "Pipeline", state: "ExecutionState") -> None:

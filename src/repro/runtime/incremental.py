@@ -159,7 +159,37 @@ class RefinementLoop:
         return None
 
     def run(self, state: "ExecutionState") -> LoopReport:
-        """Drive the loop to completion; returns the per-iteration report."""
+        """Drive the loop to completion; returns the per-iteration report.
+
+        With ``RuntimeOptions(ledger_dir=...)`` on the executor, the
+        *whole* loop is one ledger run: every iteration's events — and
+        the REFINE events between iterations — land in a single
+        ``runs/<run_id>/`` directory (the per-run scope inside
+        ``Executor.run`` is reentrant and defers to this one).
+        """
+        from repro.obs.ledger import describe_options, describe_pipeline, ledger_scope
+
+        executor = self.executor
+        registry = None
+        if executor.collector is not None:
+            registry = executor.collector.registry
+        elif executor.options.metrics is not None:
+            registry = executor.options.metrics
+        with ledger_scope(
+            executor.options,
+            state,
+            manifest={
+                "runner": "RefinementLoop",
+                "pipeline": describe_pipeline(self.pipeline),
+                "max_iterations": self.max_iterations,
+                "options": describe_options(executor.options),
+            },
+            registry=registry,
+            collector=executor.collector,
+        ):
+            return self._run_loop(state)
+
+    def _run_loop(self, state: "ExecutionState") -> LoopReport:
         report = LoopReport()
         for iteration in range(self.max_iterations):
             result = self.executor.run(self.pipeline, state=state)

@@ -58,6 +58,15 @@ class RuntimeOptions:
     #: :class:`~repro.errors.SpearValidationError` *before* the first
     #: model call.  Off by default: clean-path runs stay byte-identical.
     strict: bool = False
+    #: directory for the persistent run ledger; each top-level run
+    #: (Executor / ParallelBatchRunner / RefinementLoop) persists a
+    #: ``<ledger_dir>/<run_id>/`` directory with manifest, events,
+    #: report, attribution, and time series.  None (default) disables
+    #: the ledger entirely — the clean path writes nothing.
+    ledger_dir: Any = None
+    #: simulated seconds between time-series watermark samples written
+    #: to the ledger's ``series.jsonl``.
+    series_interval: float = 1.0
 
     def replace(self, **overrides: Any) -> "RuntimeOptions":
         """A copy with ``overrides`` applied (None fields stay inherited)."""

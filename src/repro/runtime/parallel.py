@@ -146,7 +146,32 @@ class ParallelBatchRunner:
     def run(
         self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]"
     ) -> BatchResult:
-        """Execute ``pipeline`` once per item across the worker lanes."""
+        """Execute ``pipeline`` once per item across the worker lanes.
+
+        With ``RuntimeOptions(ledger_dir=...)`` the whole batch is one
+        ledger run on the base state; lane events land in it when they
+        are folded back at completion.
+        """
+        from repro.obs.ledger import describe_options, describe_pipeline, ledger_scope
+
+        with ledger_scope(
+            self.options,
+            self.base_state,
+            manifest={
+                "runner": "ParallelBatchRunner",
+                "pipeline": describe_pipeline(pipeline),
+                "workers": self.workers,
+                "microbatch": self.microbatch,
+                "options": describe_options(self.options),
+            },
+            registry=self.metrics,
+            collector=self.options.collector,
+        ):
+            return self._run_batch(pipeline, items)
+
+    def _run_batch(
+        self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]"
+    ) -> BatchResult:
         if self.options.strict:
             self._validate(pipeline)
         items = list(items)

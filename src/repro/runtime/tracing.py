@@ -213,20 +213,42 @@ def import_events(path: str | Path) -> EventLog:
 
     Sequence numbers are regenerated (append-only invariant); kinds,
     operators, timestamps and payloads — including tagged enum and
-    dataclass values — are preserved.
+    dataclass values — are preserved.  An empty file or a malformed /
+    truncated line raises :class:`SpearError` with the offending line
+    number, so CLI callers can report it cleanly instead of leaking a
+    ``JSONDecodeError`` traceback.
     """
+    source = Path(path)
     log = EventLog()
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
+    with source.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue
-            record = json.loads(line, object_hook=_object_hook)
-            log.record(
-                EventKind(record["kind"]),
-                record["operator"],
-                at=float(record["at"]),
-                payload=record.get("payload", {}),
-            )
+            try:
+                record = json.loads(line, object_hook=_object_hook)
+            except json.JSONDecodeError as error:
+                raise SpearError(
+                    f"{source}: line {line_number} is not valid JSON "
+                    f"(truncated trace?): {error.msg}"
+                ) from error
+            if not isinstance(record, dict):
+                raise SpearError(
+                    f"{source}: line {line_number} is not an event record"
+                )
+            try:
+                log.record(
+                    EventKind(record["kind"]),
+                    record["operator"],
+                    at=float(record["at"]),
+                    payload=record.get("payload", {}),
+                )
+            except (KeyError, ValueError, TypeError) as error:
+                raise SpearError(
+                    f"{source}: line {line_number} is not a valid event "
+                    f"record: {error}"
+                ) from error
+    if len(log) == 0:
+        raise SpearError(f"{source}: trace file contains no events")
     return log
 
 

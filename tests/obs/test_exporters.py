@@ -65,6 +65,38 @@ class TestPrometheusExposition:
         registry.gauge("g").set(0.123456789)
         assert "g 0.123456789" in to_prometheus(registry)
 
+    def test_help_text_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", 'multi\nline "help" with \\ slash').inc()
+        text = to_prometheus(registry)
+        assert '# HELP c multi\\nline "help" with \\\\ slash' in text
+        # No physical line of the exposition may contain a raw newline
+        # introduced by help text.
+        assert all("\n" not in line for line in text.splitlines())
+
+    def test_hostile_label_values_round_trip(self):
+        # Prompt keys with quotes/backslashes/newlines must survive the
+        # exposition format: parse the escaped value back and compare.
+        hostile = 'summarize "v2"\\final\nprompt'
+        registry = MetricsRegistry()
+        registry.counter(
+            "spear_prompt_tokens_total", "Tokens by prompt.", prompt=hostile
+        ).inc(7)
+        text = to_prometheus(registry)
+        sample = next(
+            line for line in text.splitlines() if not line.startswith("#")
+        )
+        start = sample.index('prompt="') + len('prompt="')
+        end = sample.rindex('"')
+        escaped = sample[start:end]
+        unescaped = (
+            escaped.replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        assert unescaped == hostile
+        assert sample.endswith(" 7")
+
 
 class TestJsonReport:
     def test_write_json_report_round_trips(self, tmp_path):

@@ -68,9 +68,9 @@ class TestHistogram:
 
     def test_quantile_interpolates_within_bucket(self):
         hist = Histogram(buckets=(0.0, 10.0))
-        for _ in range(10):
-            hist.observe(5.0)  # all ten in the (0, 10] bucket
-        # rank 5/10 -> halfway through the bucket: 0 + 10 * 0.5
+        for value in (2.0, 4.0, 6.0, 8.0, 10.0):  # all in the (0, 10] bucket
+            hist.observe(value)
+        # rank 2.5/5 -> halfway through the (0, 10] bucket: 0 + 10 * 0.5
         assert hist.quantile(0.5) == 5.0
         assert hist.quantile(1.0) == 10.0
 
@@ -78,6 +78,56 @@ class TestHistogram:
         hist = Histogram(buckets=(1.0,))
         hist.observe(42.0)
         assert hist.quantile(0.99) == 42.0
+
+    def test_single_sample_quantiles_are_the_sample(self):
+        # p99 of one observation is that observation — not an
+        # interpolated point inside its bucket.
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        hist.observe(3.0)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == 3.0
+
+    def test_all_equal_samples_quantiles_are_the_sample(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        for _ in range(100):
+            hist.observe(7.0)
+        for q in (0.5, 0.95, 0.99):
+            assert hist.quantile(q) == 7.0
+
+    def test_quantiles_never_exceed_observed_max(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        hist.observe(2.0)
+        hist.observe(2.5)
+        assert hist.quantile(0.99) <= hist.max
+
+    def test_quantile_order_property_random_samples(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            st.lists(
+                st.floats(
+                    min_value=0.0,
+                    max_value=100.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=1,
+                max_size=40,
+            )
+        )
+        def check(samples):
+            hist = Histogram(buckets=(0.5, 1.0, 5.0, 10.0, 50.0))
+            for sample in samples:
+                hist.observe(sample)
+            p50 = hist.quantile(0.50)
+            p95 = hist.quantile(0.95)
+            p99 = hist.quantile(0.99)
+            assert not math.isnan(p50)
+            assert p50 <= p95 <= p99 <= hist.max
+
+        check()
 
     def test_quantile_bounds_validated(self):
         with pytest.raises(ObservabilityError):

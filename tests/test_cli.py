@@ -271,7 +271,34 @@ class TestStatsCommand:
         main(["stats", str(trace_file), "--top", "1"])
         out = capsys.readouterr().out
         _, _, spans_block = out.partition("slowest spans:")
+        # the refinement-utility section (if any) follows the spans block
+        spans_block, _, _ = spans_block.partition("Refinement utility")
         assert len([ln for ln in spans_block.splitlines() if ln.strip()]) == 1
+
+    def test_stats_empty_trace_clean_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("", encoding="utf-8")
+        code = main(["stats", str(empty)])
+        assert code == 1
+        captured = capsys.readouterr()
+        err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(err_lines) == 1
+        assert "error:" in err_lines[0]
+        assert "no events" in err_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_stats_truncated_trace_clean_error(self, trace_file, capsys):
+        # Chop the file mid-line, as a crashed writer would leave it.
+        text = trace_file.read_text(encoding="utf-8")
+        trace_file.write_text(text[: len(text) - 20], encoding="utf-8")
+        code = main(["stats", str(trace_file)])
+        assert code == 1
+        captured = capsys.readouterr()
+        err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(err_lines) == 1
+        assert "error:" in err_lines[0]
+        assert "truncated" in err_lines[0]
+        assert "Traceback" not in captured.err
 
     def test_stats_rejects_untrusted_type_tags_cleanly(self, tmp_path, capsys):
         # A malicious trace must produce a clean CLI error (exit 1), not
@@ -312,6 +339,29 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert '<GEN["verdict"]>' in out
         assert '</GEN["verdict"]>' in out
+
+    def test_trace_empty_trace_clean_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n\n", encoding="utf-8")  # blank lines only
+        code = main(["trace", str(empty)])
+        assert code == 1
+        captured = capsys.readouterr()
+        err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(err_lines) == 1
+        assert "error:" in err_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_trace_truncated_trace_clean_error(self, trace_file, capsys):
+        text = trace_file.read_text(encoding="utf-8")
+        trace_file.write_text(text[: len(text) - 20], encoding="utf-8")
+        code = main(["trace", str(trace_file)])
+        assert code == 1
+        captured = capsys.readouterr()
+        err_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(err_lines) == 1
+        assert "error:" in err_lines[0]
+        assert "truncated" in err_lines[0]
+        assert "Traceback" not in captured.err
 
 
 class TestExperimentsCommand:
@@ -417,3 +467,200 @@ class TestCheckCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "0 error(s)" in out
+
+
+@pytest.fixture
+def ledger_root(tmp_path):
+    """A ledger root holding one completed same-seed run."""
+    from tests.obs.test_ledger import make_executor, make_pipeline
+
+    root = tmp_path / "runs"
+    executor = make_executor(root)
+    state = executor.new_state()
+    executor.run(make_pipeline(state), state=state)
+    return root
+
+
+class TestRunsCommand:
+    def test_runs_lists_completed_runs(self, ledger_root, capsys):
+        code = main(["runs", str(ledger_root)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "000001" in out
+        assert "completed" in out
+        assert "Executor" in out
+
+    def test_runs_empty_root(self, tmp_path, capsys):
+        code = main(["runs", str(tmp_path / "nowhere")])
+        assert code == 0
+        assert "no runs" in capsys.readouterr().out
+
+    def test_runs_detail_renders_stats(self, ledger_root, capsys):
+        code = main(["runs", str(ledger_root), "--run", "000001"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run 000001 [completed]" in out
+        assert "Per-operator rollup" in out
+
+    def test_runs_detail_json(self, ledger_root, capsys):
+        code = main(["runs", str(ledger_root), "--run", "000001", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["manifest"]["status"] == "completed"
+        assert payload["report"]["totals"]["gen_calls"] == 2
+        assert payload["attribution"]["totals"]["attributed_calls"] == 2
+
+    def test_runs_unknown_run_clean_error(self, ledger_root, capsys):
+        code = main(["runs", str(ledger_root), "--run", "000042"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "000042" in err
+        assert "Traceback" not in err
+
+
+class TestDiffCommand:
+    @staticmethod
+    def _second_root(tmp_path):
+        from tests.obs.test_ledger import make_executor, make_pipeline
+
+        root = tmp_path / "runs_b"
+        executor = make_executor(root)
+        state = executor.new_state()
+        executor.run(make_pipeline(state), state=state)
+        return root
+
+    @staticmethod
+    def _inflate_report(run_dir, factor=1.1):
+        """A seeded-regression fixture: same run, costs inflated."""
+        report_path = run_dir / "report.json"
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        totals = report["totals"]
+        totals["cost_usd"] = round(totals["cost_usd"] * factor, 6)
+        totals["prompt_tokens"] = int(totals["prompt_tokens"] * factor)
+        report_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    def test_same_seed_runs_diff_to_zero(self, ledger_root, tmp_path, capsys):
+        other = self._second_root(tmp_path)
+        code = main(
+            ["diff", str(ledger_root / "000001"), str(other / "000001")]
+        )
+        assert code == 0
+        assert "no differences (zero delta)" in capsys.readouterr().out
+
+    def test_gate_passes_on_zero_delta(self, ledger_root, tmp_path, capsys):
+        other = self._second_root(tmp_path)
+        code = main(
+            [
+                "diff",
+                str(ledger_root / "000001"),
+                str(other / "000001"),
+                "--gate",
+            ]
+        )
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_fails_on_seeded_regression(self, ledger_root, tmp_path, capsys):
+        import shutil
+
+        regressed = tmp_path / "regressed"
+        shutil.copytree(ledger_root / "000001", regressed)
+        self._inflate_report(regressed)
+        code = main(
+            ["diff", str(ledger_root / "000001"), str(regressed), "--gate"]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "GATE FAILED" in captured.err
+        assert "totals.cost_usd" in captured.err
+        # The changed-metric table still prints on stdout.
+        assert "totals.prompt_tokens" in captured.out
+
+    def test_max_regress_tolerates_small_regressions(
+        self, ledger_root, tmp_path, capsys
+    ):
+        import shutil
+
+        regressed = tmp_path / "regressed"
+        shutil.copytree(ledger_root / "000001", regressed)
+        self._inflate_report(regressed, factor=1.05)
+        code = main(
+            [
+                "diff",
+                str(ledger_root / "000001"),
+                str(regressed),
+                "--gate",
+                "--max-regress",
+                "20",
+            ]
+        )
+        assert code == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_diff_json_format(self, ledger_root, tmp_path, capsys):
+        import shutil
+
+        regressed = tmp_path / "regressed"
+        shutil.copytree(ledger_root / "000001", regressed)
+        self._inflate_report(regressed)
+        code = main(
+            [
+                "diff",
+                str(ledger_root / "000001"),
+                str(regressed),
+                "--gate",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gate"]["enabled"] is True
+        failing = {row["metric"] for row in payload["gate"]["failures"]}
+        assert "totals.cost_usd" in failing
+        assert any(
+            row["metric"].startswith("report.totals") for row in payload["changed"]
+        )
+
+    def test_diff_non_run_path_clean_error(self, ledger_root, tmp_path, capsys):
+        code = main(["diff", str(ledger_root / "000001"), str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "manifest.json" in err
+        assert "Traceback" not in err
+
+
+class TestTopCommand:
+    def test_top_once_renders_leaderboard(self, ledger_root, capsys):
+        code = main(["top", str(ledger_root), "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spear top — run 000001 [completed]" in out
+        assert "Prompt leaderboard" in out
+        assert "qa@v" in out
+
+    def test_top_accepts_single_run_directory(self, ledger_root, capsys):
+        code = main(["top", str(ledger_root / "000001"), "--once"])
+        assert code == 0
+        assert "run 000001" in capsys.readouterr().out
+
+    def test_top_exits_when_run_completes(self, ledger_root, capsys):
+        # Not --once: the loop must still terminate because the run's
+        # manifest already says completed.
+        code = main(["top", str(ledger_root)])
+        assert code == 0
+
+    def test_top_empty_root_clean_error(self, tmp_path, capsys):
+        code = main(["top", str(tmp_path), "--once"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "no ledger runs" in err
+        assert "Traceback" not in err
+
+    def test_top_tolerates_partial_trailing_line(self, ledger_root, capsys):
+        events = ledger_root / "000001" / "events.jsonl"
+        with events.open("a", encoding="utf-8") as handle:
+            handle.write('{"kind": "generate", "at": 9')  # no newline
+        code = main(["top", str(ledger_root), "--once"])
+        assert code == 0
+        assert "Prompt leaderboard" in capsys.readouterr().out
