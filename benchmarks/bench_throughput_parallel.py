@@ -10,7 +10,7 @@ texts are asserted identical across all runs — parallelism must change
 
 Writes ``BENCH_parallel.json`` next to the repo root (or ``--output``)
 and exits non-zero when the speedup at the widest configuration falls
-below ``--min-speedup`` (CI smoke uses 2.0; the acceptance bar for the
+below ``--min-speedup`` (CI smoke uses 3.0; the acceptance bar for the
 full workload is 4.0 at 16 workers).
 
 Usage::

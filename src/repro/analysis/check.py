@@ -52,6 +52,7 @@ def check_pipeline(
     open_context: bool = False,
     prompt_params: Mapping[str, Iterable[str]] | None = None,
     name: str | None = None,
+    runtime: Mapping[str, Any] | None = None,
 ) -> CheckResult:
     """Statically check one pipeline against a described environment.
 
@@ -61,7 +62,10 @@ def check_pipeline(
     registration checks (SPEAR143/SPEAR144); pass explicit lists — even
     empty ones — to enable them.  ``open_context=True`` declares that a
     harness binds arbitrary context before running (per-item batch
-    inputs), suppressing missing-context findings.
+    inputs), suppressing missing-context findings.  ``runtime``
+    describes the runner configuration the pipeline will execute under
+    (keys like ``scheduler`` / ``deadline_s``), enabling the
+    runtime-configuration checks (SPEAR145); None skips them.
     """
     env = AnalysisEnv(
         prompts=prompts or {},
@@ -71,6 +75,7 @@ def check_pipeline(
         agents=agents,
         open_context=open_context,
         prompt_params=prompt_params or {},
+        runtime=runtime,
     )
     graph = build_dataflow(pipeline, env, name=name)
     return _check_graph(graph, env)
@@ -82,6 +87,7 @@ def check_state(
     *,
     name: str | None = None,
     open_context: bool = False,
+    runtime: Mapping[str, Any] | None = None,
 ) -> CheckResult:
     """Check a pipeline against a live execution state.
 
@@ -106,6 +112,7 @@ def check_state(
         open_context=open_context,
         prompt_params=prompt_params,
         name=name,
+        runtime=runtime,
     )
 
 

@@ -473,6 +473,46 @@ def check_fusion_safety(
     return findings
 
 
+def check_deadline_without_scheduler(
+    graph: DataflowGraph, env: AnalysisEnv
+) -> list[Diagnostic]:
+    """SPEAR145 — deadline/priority configured but no scheduler to act on it.
+
+    ``deadline_s`` (and a non-default ``priority``) only influence
+    admission ordering inside the continuous
+    :class:`~repro.runtime.scheduler.GenScheduler`; with the scheduler
+    disabled they silently no-op — the classic misconfiguration this
+    check surfaces.  Runs only when the environment describes the
+    runtime (``env.runtime``); unknown runtime skips it.
+    """
+    runtime = env.runtime
+    if runtime is None:
+        return []
+    scheduler = runtime.get("scheduler")
+    enabled = scheduler is not None and scheduler is not False
+    if enabled:
+        return []
+    configured = [
+        name
+        for name in ("deadline_s", "priority")
+        if runtime.get(name) is not None
+    ]
+    if not configured:
+        return []
+    gen = next((node for node in graph if node.kind == "GEN"), None)
+    return [
+        _diag(
+            "SPEAR145",
+            f"{' and '.join(configured)} configured but no scheduler is "
+            "enabled; the deadline/priority policy will silently no-op — "
+            "enable RuntimeOptions(scheduler=...) or drop the setting",
+            graph,
+            gen,
+            configured=tuple(configured),
+        )
+    ]
+
+
 ANALYZERS: tuple[Callable[[DataflowGraph, AnalysisEnv], list[Diagnostic]], ...] = (
     check_undefined_prompt_refs,
     check_unbound_template_params,
@@ -487,6 +527,7 @@ ANALYZERS: tuple[Callable[[DataflowGraph, AnalysisEnv], list[Diagnostic]], ...] 
     check_unknown_sources,
     check_dead_branches,
     check_fusion_safety,
+    check_deadline_without_scheduler,
 )
 
 

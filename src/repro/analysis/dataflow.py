@@ -131,6 +131,11 @@ class AnalysisEnv:
     open_context: bool = False
     #: template-parameter names bound per initial prompt key.
     prompt_params: Mapping[str, Iterable[str]] = field(default_factory=dict)
+    #: runtime configuration the pipeline will run under (from
+    #: :class:`~repro.runtime.options.RuntimeOptions`): keys like
+    #: ``scheduler`` / ``priority`` / ``deadline_s``.  ``None`` means
+    #: "unknown" — runtime-configuration checks (SPEAR145) are skipped.
+    runtime: Mapping[str, Any] | None = None
 
 
 @dataclass

@@ -126,6 +126,12 @@ CODE_CATALOG: dict[str, tuple[Severity, str, str]] = {
         "unknown-source",
         "RET names a retrieval source that is not registered.",
     ),
+    "SPEAR145": (
+        Severity.WARNING,
+        "deadline-without-scheduler",
+        "deadline_s (or a non-default priority) is configured but no "
+        "scheduler is enabled: the deadline policy silently no-ops.",
+    ),
     "SPEAR151": (
         Severity.WARNING,
         "check-never-fires",

@@ -427,6 +427,33 @@ def render_stats_text(report) -> str:
                 title="Batch runs",
             )
         )
+    if report.scheduler:
+        lines.append("")
+        sched = report.scheduler
+        sched_rows = [
+            [
+                priority,
+                int(stats["count"]),
+                round(stats["mean"], 3),
+                round(stats["p50"], 3),
+                round(stats["p95"], 3),
+            ]
+            for priority, stats in sched.get("wait_seconds", {}).items()
+        ]
+        lines.append(
+            format_table(
+                ["Class", "Calls", "Wait mean (s)", "p50", "p95"],
+                sched_rows,
+                title="Scheduler",
+            )
+        )
+        lines.append(
+            f"steps: {sched.get('steps', 0)}  "
+            f"mean step size: {sched.get('step_size', {}).get('mean', 0.0):.2f}  "
+            f"preemptions: {sched.get('preemptions', 0)}  "
+            f"forced: {sched.get('forced', 0)}  "
+            f"queue depth: {sched.get('queue_depth', 0.0):.0f}"
+        )
     result_cache = report.result_cache.get("by_operator", {})
     if result_cache:
         lines.append("")

@@ -44,18 +44,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.llm.model import GenerationResult, SimulatedLLM
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["GenMicroBatcher", "LaneModel", "MICROBATCH_SIZE_BUCKETS"]
+__all__ = [
+    "GenMicroBatcher",
+    "LaneModel",
+    "MICROBATCH_SIZE_BUCKETS",
+    "prepare_request",
+    "execute_requests",
+]
 
 #: histogram buckets for micro-batch sizes (requests per flush).
 MICROBATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 class _Request:
-    """One pending generation call of one lane."""
+    """One pending generation call of one lane.
+
+    The scheduling fields (``arrival``, ``priority_rank``, ``deadline``)
+    are only populated by the continuous engine
+    (:class:`~repro.runtime.scheduler.GenScheduler`); the barrier
+    batcher ignores them.
+    """
 
     __slots__ = (
         "lane_id", "prompt", "max_tokens", "use_cache", "clock",
         "result", "error", "done",
+        "arrival", "priority_rank", "priority_name", "deadline",
+        "tokens", "features", "decision", "prepared",
     )
 
     def __init__(
@@ -74,20 +88,98 @@ class _Request:
         self.result: "GenerationResult | None" = None
         self.error: BaseException | None = None
         self.done = False
+        self.arrival = 0.0
+        self.priority_rank = 1
+        self.priority_name = "normal"
+        self.deadline: float | None = None
+        self.tokens: list[int] | None = None
+        self.features: Any = None
+        self.decision: Any = None
+        self.prepared = False
+
+
+def prepare_request(model: "SimulatedLLM", request: _Request) -> bool:
+    """Tokenize one request and apply its seeded fault decision.
+
+    This is the shared front half of an engine step — both the barrier
+    batcher and the continuous scheduler route every request through it,
+    so batched runs inject exactly the faults a sequential run would
+    (``fault_plan.decide`` is keyed by prompt, not by arrival order).
+    Returns True when the request survives to execution; on a prepare
+    error or an injected fault the request is completed in place (error
+    or fault charge delivered to its own lane clock) and False is
+    returned.
+    """
+    try:
+        request.tokens, request.features = model.prepare(request.prompt)
+    except Exception as error:  # noqa: BLE001 - delivered to the lane
+        request.error = error
+        request.done = True
+        return False
+    request.decision = (
+        model.fault_plan.decide(model.profile.name, request.prompt)
+        if model.fault_plan is not None
+        else None
+    )
+    if request.decision is not None and request.decision.kind is not None:
+        try:
+            model.inject_fault(
+                request.decision, request.prompt, request.tokens,
+                request.features, max_tokens=request.max_tokens,
+                clock=request.clock,
+            )
+        except Exception as error:  # noqa: BLE001 - delivered to the lane
+            request.error = error
+        request.done = True
+        return False
+    request.prepared = True
+    return True
+
+
+def execute_requests(
+    model: "SimulatedLLM", requests: "list[_Request]"
+) -> tuple[list[tuple[int, int, int]], list[tuple[str, int, Any]]]:
+    """Run the deterministic task engine over prepared requests, in order.
+
+    Performs the per-request prefix-cache lookup and task execution —
+    the shared back half of an engine step.  Returns the
+    ``(prompt_tokens, cached_tokens, output_tokens)`` triples and the
+    ``(text, output_tokens, output)`` results, index-aligned with
+    ``requests``.
+    """
+    triples: list[tuple[int, int, int]] = []
+    outputs: list[tuple[str, int, Any]] = []
+    for request in requests:
+        assert request.tokens is not None
+        caching = (
+            model.enable_prefix_cache
+            if request.use_cache is None
+            else request.use_cache
+        )
+        cached = model.kv_cache.lookup_and_insert(request.tokens) if caching else 0
+        text, output_tokens, output = model.execute_task(
+            request.prompt, request.features, max_tokens=request.max_tokens
+        )
+        triples.append((len(request.tokens), cached, output_tokens))
+        outputs.append((text, output_tokens, output))
+    return triples, outputs
 
 
 class LaneModel:
     """Per-lane view of the shared model.
 
-    ``generate`` routes through the micro-batcher and charges the lane's
-    virtual clock; every other attribute (caches, profile, tokenizer,
-    counters) transparently delegates to the wrapped
+    ``generate`` routes through the shared engine (a
+    :class:`GenMicroBatcher` or a
+    :class:`~repro.runtime.scheduler.GenScheduler` — anything with a
+    compatible ``submit``/``model``) and charges the lane's virtual
+    clock; every other attribute (caches, profile, tokenizer, counters)
+    transparently delegates to the wrapped
     :class:`~repro.llm.model.SimulatedLLM`, so operators and
     observability code see the shared backend.
     """
 
     def __init__(
-        self, batcher: "GenMicroBatcher", lane_id: int, clock: VirtualClock
+        self, batcher: Any, lane_id: int, clock: VirtualClock
     ) -> None:
         self._batcher = batcher
         self.lane_id = lane_id
@@ -214,58 +306,22 @@ class GenMicroBatcher:
         batch and stretch only its lane's clock afterwards.
         """
         model = self.model
-        prepared: list[tuple[_Request, list[int], Any, Any]] = []
-        for request in chunk:
-            try:
-                tokens, features = model.prepare(request.prompt)
-            except Exception as error:  # noqa: BLE001 - delivered to the lane
-                request.error = error
-                request.done = True
-                continue
-            decision = (
-                model.fault_plan.decide(model.profile.name, request.prompt)
-                if model.fault_plan is not None
-                else None
-            )
-            if decision is not None and decision.kind is not None:
-                try:
-                    model.inject_fault(
-                        decision, request.prompt, tokens, features,
-                        max_tokens=request.max_tokens, clock=request.clock,
-                    )
-                except Exception as error:  # noqa: BLE001 - delivered to the lane
-                    request.error = error
-                request.done = True
-                continue
-            prepared.append((request, tokens, features, decision))
+        prepared = [request for request in chunk if prepare_request(model, request)]
         if not prepared:
             return
 
-        triples: list[tuple[int, int, int]] = []
-        outputs: list[tuple[str, int, Any]] = []
-        for request, tokens, features, _decision in prepared:
-            caching = (
-                model.enable_prefix_cache
-                if request.use_cache is None
-                else request.use_cache
-            )
-            cached = model.kv_cache.lookup_and_insert(tokens) if caching else 0
-            text, output_tokens, output = model.execute_task(
-                request.prompt, features, max_tokens=request.max_tokens
-            )
-            triples.append((len(tokens), cached, output_tokens))
-            outputs.append((text, output_tokens, output))
+        triples, outputs = execute_requests(model, prepared)
 
         batch = estimate_batch_latency(model.profile, triples)
         # The batched step starts when its last participant arrives and
         # completes for everyone at once: lanes merge to the same time.
-        batch_start = max(request.clock.now for request, _, _, _ in prepared)
+        batch_start = max(request.clock.now for request in prepared)
         batch_end = batch_start + batch.wall
 
         from repro.llm.latency import LatencyBreakdown
         from repro.llm.model import GenerationResult
 
-        for index, (request, tokens, _features, decision) in enumerate(prepared):
+        for index, request in enumerate(prepared):
             text, output_tokens, output = outputs[index]
             prompt_tokens, cached, _ = triples[index]
             latency = batch.per_request[index]
@@ -274,6 +330,7 @@ class GenMicroBatcher:
                 "microbatch_size": batch.size,
                 "microbatch_wall": batch.wall,
             }
+            decision = request.decision
             spiked = decision is not None and decision.spike_factor != 1.0
             if spiked:
                 factor = decision.spike_factor

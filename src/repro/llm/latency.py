@@ -27,6 +27,29 @@ batched step:
 The batch's wall time charges every participating lane's virtual clock;
 each request additionally keeps its own attributed breakdown (its share
 of overhead, its own prefill, its own decode) for accounting.
+
+Continuous batching (:func:`estimate_continuous_step`): the barrier model
+above still synchronizes every participant to the batched step's end —
+the whole batch decodes for ``max(output)`` and everyone leaves together.
+A continuous engine (the :class:`~repro.runtime.scheduler.GenScheduler`)
+instead prices one admission watermark as two decoupled resources:
+
+- **prefill is a serial pipe** — it is compute-bound, so the engine's
+  prefill unit processes admitted requests one after another, in policy
+  order, each starting no earlier than its own arrival and no earlier
+  than the pipe is free (``prefill_free_at`` carries across steps);
+- **decode fully overlaps** — it is memory-bound and all resident
+  sequences step together, so each request decodes for its *own*
+  ``output_tokens`` after its prefill lands, independent of its peers.
+
+Each request therefore completes at::
+
+    max(arrival, prefill_free_at) + overhead/B + prefill_own + decode_own
+
+which removes both barrier penalties (waiting for the slowest arrival,
+and decoding for the longest output).  A step of one request with a free
+pipe degenerates exactly to :func:`estimate_latency` — the byte-identity
+oracle for scheduler runs.
 """
 
 from __future__ import annotations
@@ -39,8 +62,10 @@ from repro.llm.profiles import ModelProfile
 __all__ = [
     "LatencyBreakdown",
     "BatchLatency",
+    "StepLatency",
     "estimate_latency",
     "estimate_batch_latency",
+    "estimate_continuous_step",
 ]
 
 
@@ -159,3 +184,94 @@ def estimate_batch_latency(
         + profile.decode_s_per_token * max_output
     )
     return BatchLatency(per_request=tuple(per_request), wall=wall)
+
+
+@dataclass(frozen=True)
+class StepLatency:
+    """Latency of one continuous-batching engine step.
+
+    Times are *absolute* virtual-clock instants, not durations: the step
+    is priced against each request's own arrival and the engine's
+    carried-over prefill availability.
+    """
+
+    #: attributed per-request breakdowns, in admission (policy) order.
+    per_request: tuple[LatencyBreakdown, ...]
+    #: absolute instant each request's prefill begins (post queue wait).
+    starts: tuple[float, ...]
+    #: absolute instant each request completes (prefill + own decode).
+    completions: tuple[float, ...]
+    #: instant the engine's serial prefill pipe becomes free again;
+    #: feed this into the next step's ``prefill_free_at``.
+    prefill_free_at: float
+    #: engine-busy wall time of the step: last completion minus the
+    #: first prefill start.
+    wall: float
+
+    @property
+    def size(self) -> int:
+        """Number of requests admitted to the step."""
+        return len(self.per_request)
+
+
+def estimate_continuous_step(
+    profile: ModelProfile,
+    requests: Sequence[tuple[int, int, int]],
+    arrivals: Sequence[float],
+    *,
+    prefill_free_at: float = 0.0,
+) -> StepLatency:
+    """Latency of one continuous engine step under ``profile``.
+
+    ``requests`` is a sequence of ``(prompt_tokens, cached_tokens,
+    output_tokens)`` triples in admission order; ``arrivals`` gives each
+    request's arrival instant on the virtual clock.  The per-call
+    overhead is amortized across the step (``overhead / B`` each, paid
+    serially in the prefill pipe, so a whole step still pays exactly one
+    overhead); prefill occupies the serial pipe in admission order;
+    decode overlaps fully, so request ``i`` completes ``decode ·
+    output_i`` after its own prefill lands.  A single request with a free
+    pipe degenerates exactly to :func:`estimate_latency`.
+    """
+    if not requests:
+        raise ValueError("a continuous step needs at least one request")
+    if len(arrivals) != len(requests):
+        raise ValueError(
+            f"arrivals ({len(arrivals)}) must match requests ({len(requests)})"
+        )
+    size = len(requests)
+    overhead_share = profile.overhead_s / size
+    pipe = float(prefill_free_at)
+    per_request: list[LatencyBreakdown] = []
+    starts: list[float] = []
+    completions: list[float] = []
+    for (prompt_tokens, cached_tokens, output_tokens), arrival in zip(
+        requests, arrivals
+    ):
+        if cached_tokens > prompt_tokens:
+            raise ValueError(
+                f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
+            )
+        if min(prompt_tokens, cached_tokens, output_tokens) < 0:
+            raise ValueError("token counts must be non-negative")
+        uncached = prompt_tokens - cached_tokens
+        breakdown = LatencyBreakdown(
+            overhead=overhead_share,
+            prefill=profile.prefill_s_per_token * uncached,
+            cached_prefill=profile.cached_prefill_s_per_token * cached_tokens,
+            decode=profile.decode_s_per_token * output_tokens,
+        )
+        start = max(float(arrival), pipe)
+        pipe = (
+            start + breakdown.overhead + breakdown.prefill + breakdown.cached_prefill
+        )
+        per_request.append(breakdown)
+        starts.append(start)
+        completions.append(pipe + breakdown.decode)
+    return StepLatency(
+        per_request=tuple(per_request),
+        starts=tuple(starts),
+        completions=tuple(completions),
+        prefill_free_at=pipe,
+        wall=max(completions) - min(starts),
+    )

@@ -38,6 +38,13 @@ spear_gen_queue_depth                          gauge      model
 spear_microbatch_flushes_total                 counter    model
 spear_microbatch_size                          histogram  model
 spear_microbatch_wall_seconds                  histogram  model
+spear_sched_queue_depth                        gauge      model
+spear_sched_steps_total                        counter    —
+spear_sched_step_size                          histogram  —
+spear_sched_step_tokens                        histogram  —
+spear_sched_preemptions_total                  counter    —
+spear_sched_forced_total                       counter    —
+spear_sched_wait_seconds                       histogram  class
 spear_lane_elapsed_seconds                     histogram  —
 spear_model_gen_calls_total                    counter    model
 spear_model_gen_latency_seconds                histogram  model
@@ -371,6 +378,44 @@ class ObsCollector:
                 "spear_batch_workers",
                 "Lanes used by the last batch run.", mode=mode,
             ).set(float(event.payload.get("workers", 1) or 1))
+        elif kind is EventKind.SCHED:
+            # One event per continuous-batching engine step (folded into
+            # the base log after the run); this is the sole source of the
+            # spear_sched_* counters/histograms — the engine itself only
+            # sets gauges, so sharing one registry never double-counts.
+            payload = event.payload
+            self.registry.counter(
+                "spear_sched_steps_total",
+                "Continuous-batching engine steps executed.",
+            ).inc()
+            self.registry.histogram(
+                "spear_sched_step_size",
+                "Generation calls admitted per engine step.",
+                buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+            ).observe(float(payload.get("size", 0) or 0))
+            self.registry.histogram(
+                "spear_sched_step_tokens",
+                "Prompt tokens admitted per engine step.",
+                buckets=(64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0),
+            ).observe(float(payload.get("tokens", 0) or 0))
+            self.registry.counter(
+                "spear_sched_preemptions_total",
+                "Admissions that jumped ahead of an older, "
+                "lower-priority queued call.",
+            ).inc(float(payload.get("preemptions", 0) or 0))
+            self.registry.counter(
+                "spear_sched_forced_total",
+                "Admissions forced by the timeout watermark.",
+            ).inc(float(payload.get("forced", 0) or 0))
+            waits = payload.get("waits", ()) or ()
+            classes = payload.get("classes", ()) or ()
+            for wait, priority in zip(waits, classes):
+                self.registry.histogram(
+                    "spear_sched_wait_seconds",
+                    "Queue wait per admitted call, by priority class.",
+                    buckets=LATENCY_BUCKETS,
+                    **{"class": str(priority)},
+                ).observe(float(wait))
 
     def on_generation(self, result: "GenerationResult", model: str = "?") -> None:
         """Model-layer listener: every ``generate`` call, however reached.

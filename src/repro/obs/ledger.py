@@ -390,6 +390,19 @@ def describe_options(options: Any) -> dict[str, Any]:
     """Manifest-ready summary of the runtime options in effect."""
     model = getattr(options, "model", None)
     profile = getattr(model, "profile", None)
+    scheduler = getattr(options, "scheduler", None)
+    if scheduler is None or isinstance(scheduler, bool):
+        scheduler_desc: Any = scheduler
+    else:
+        # A SchedulerConfig (or compatible object): record the policy
+        # knobs so two ledgered runs are comparable on batch formation.
+        scheduler_desc = {
+            "max_batch_tokens": getattr(scheduler, "max_batch_tokens", None),
+            "watermark_s": getattr(scheduler, "watermark_s", None),
+            "max_batch": getattr(scheduler, "max_batch", None),
+        }
+    priority = getattr(options, "priority", None)
+    deadline = getattr(options, "deadline_s", None)
     return {
         "model_profile": getattr(profile, "name", None),
         "strict": bool(getattr(options, "strict", False)),
@@ -397,5 +410,13 @@ def describe_options(options: Any) -> dict[str, Any]:
         "resilience": getattr(options, "resilience", None) is not None,
         "collector": getattr(options, "collector", None) is not None,
         "series_interval": float(getattr(options, "series_interval", 1.0)),
+        "scheduler": scheduler_desc,
+        # Callables (per-item attributes) are summarized, not serialized.
+        "priority": (
+            "<callable>"
+            if callable(priority)
+            else getattr(priority, "value", priority)
+        ),
+        "deadline_s": "<callable>" if callable(deadline) else deadline,
     }
 

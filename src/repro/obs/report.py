@@ -71,6 +71,7 @@ class RunReport:
     generation: dict[str, dict[str, Any]] = field(default_factory=dict)
     model: dict[str, dict[str, Any]] = field(default_factory=dict)
     batches: dict[str, dict[str, Any]] = field(default_factory=dict)
+    scheduler: dict[str, Any] = field(default_factory=dict)
     totals: dict[str, Any] = field(default_factory=dict)
     cache: dict[str, Any] = field(default_factory=dict)
     result_cache: dict[str, Any] = field(default_factory=dict)
@@ -84,6 +85,7 @@ class RunReport:
             "generation": self.generation,
             "model": self.model,
             "batches": self.batches,
+            "scheduler": self.scheduler,
             "totals": self.totals,
             "cache": self.cache,
             "result_cache": self.result_cache,
@@ -108,6 +110,7 @@ class RunReport:
             generation=dict(data.get("generation", {})),
             model=dict(data.get("model", {})),
             batches=dict(data.get("batches", {})),
+            scheduler=dict(data.get("scheduler", {})),
             totals=dict(data.get("totals", {})),
             cache=dict(data.get("cache", {})),
             result_cache=dict(data.get("result_cache", {})),
@@ -247,6 +250,60 @@ def build_report(
             "elapsed_seconds": _hist_summary(batch_elapsed.get(mode)),
             "throughput": round(throughput.value, 4) if throughput else 0.0,
             "workers": int(workers.value) if workers else 1,
+        }
+
+    # -- continuous-batching scheduler ---------------------------------------
+    sched_steps = registry.sum_counter("spear_sched_steps_total")
+    if sched_steps:
+        step_size = next(
+            (
+                child
+                for _labels, child in _family_children(
+                    registry, "spear_sched_step_size"
+                )
+                if isinstance(child, Histogram)
+            ),
+            None,
+        )
+        step_tokens = next(
+            (
+                child
+                for _labels, child in _family_children(
+                    registry, "spear_sched_step_tokens"
+                )
+                if isinstance(child, Histogram)
+            ),
+            None,
+        )
+        queue_depth = next(
+            (
+                child.value
+                for _labels, child in _family_children(
+                    registry, "spear_sched_queue_depth"
+                )
+                if isinstance(child, Gauge)
+            ),
+            0.0,
+        )
+        waits = {
+            labels.get("class", "?"): child
+            for labels, child in _family_children(
+                registry, "spear_sched_wait_seconds"
+            )
+            if isinstance(child, Histogram)
+        }
+        report.scheduler = {
+            "steps": int(sched_steps),
+            "preemptions": int(
+                registry.sum_counter("spear_sched_preemptions_total")
+            ),
+            "forced": int(registry.sum_counter("spear_sched_forced_total")),
+            "queue_depth": round(queue_depth, 6),
+            "step_size": _hist_summary(step_size),
+            "step_tokens": _hist_summary(step_tokens),
+            "wait_seconds": {
+                name: _hist_summary(hist) for name, hist in sorted(waits.items())
+            },
         }
 
     # -- cache gauges -------------------------------------------------------

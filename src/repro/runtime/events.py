@@ -34,6 +34,7 @@ class EventKind(str, Enum):
     PLAN = "plan"
     SHADOW = "shadow"
     BATCH = "batch"
+    SCHED = "sched"
     ERROR = "error"
     FAULT = "fault"
     RETRY = "retry"

@@ -181,8 +181,21 @@ class Executor:
         *,
         state: "ExecutionState | None" = None,
         context: Mapping[str, Any] | None = None,
+        priority: Any = None,
+        deadline_s: float | None = None,
     ) -> RunResult:
-        """Execute ``pipeline``; returns the final state plus run artefacts."""
+        """Execute ``pipeline``; returns the final state plus run artefacts.
+
+        With ``RuntimeOptions(scheduler=True)`` (or a
+        :class:`~repro.runtime.scheduler.SchedulerConfig`) the run's
+        generation calls route through a single-lane continuous engine;
+        ``priority`` / ``deadline_s`` override the options' defaults for
+        this run — a :class:`~repro.runtime.incremental.RefinementLoop`
+        marks its iterations ``bulk`` so interactive runs sharing the
+        engine policy sort ahead of them.  A single lane degenerates to
+        per-call engine steps, so outputs stay byte-identical to the
+        direct path.
+        """
         if state is None:
             state = self.new_state(context=context)
         else:
@@ -202,7 +215,33 @@ class Executor:
             cache_before = cache.snapshot() if cache is not None else None
             started_at = self.clock.now
             event_start = len(state.events)
-            final = pipeline.apply(state)
+            engine = self._make_engine(state)
+            original_model = state.model
+            if engine is not None:
+                state.model = engine.open_lane(
+                    0,
+                    state.clock,
+                    priority=(
+                        priority if priority is not None else self.options.priority
+                    ),
+                    deadline_s=(
+                        deadline_s
+                        if deadline_s is not None
+                        else self.options.deadline_s
+                    ),
+                )
+            try:
+                final = pipeline.apply(state)
+            finally:
+                if engine is not None:
+                    state.model = original_model
+                    engine.close_lane(0)
+            if engine is not None:
+                if final is not state:
+                    final.model = original_model
+                from repro.runtime.scheduler import fold_sched_events
+
+                fold_sched_events(final.events, engine)
             cache_delta: dict[str, float] = {}
             if cache is not None and cache_before is not None:
                 after = cache.snapshot()
@@ -216,6 +255,32 @@ class Executor:
                 events=final.events.all()[event_start:],
                 cache=cache_delta,
             )
+
+    def _make_engine(self, state: "ExecutionState") -> Any:
+        """A single-lane continuous engine when the scheduler is opted in.
+
+        The sequential Executor stays on the direct model path by
+        default (``scheduler=None``); only an explicit ``True`` /
+        :class:`~repro.runtime.scheduler.SchedulerConfig` wraps the
+        run's model in a one-lane :class:`GenScheduler` — useful when a
+        sequential run must share the scheduler's policy semantics
+        (priority / deadline accounting, SCHED trace) with parallel
+        peers.
+        """
+        selection = self.options.scheduler
+        if selection is None or selection is False or state.model is None:
+            return None
+        from repro.runtime.scheduler import GenScheduler, SchedulerConfig
+
+        config = (
+            selection
+            if isinstance(selection, SchedulerConfig)
+            else SchedulerConfig()
+        )
+        registry = self.options.metrics
+        if registry is None and self.collector is not None:
+            registry = self.collector.registry
+        return GenScheduler(state.model, config=config, metrics=registry)
 
     def _ledger_scope(self, state: "ExecutionState", *, pipeline: "Pipeline"):
         """Ledger context for one run; a no-op without ``ledger_dir``.
@@ -248,7 +313,15 @@ class Executor:
         from repro.analysis import check_state
         from repro.errors import SpearValidationError
 
-        result = check_state(pipeline, state)
+        result = check_state(
+            pipeline,
+            state,
+            runtime={
+                "scheduler": self.options.scheduler,
+                "priority": self.options.priority,
+                "deadline_s": self.options.deadline_s,
+            },
+        )
         if len(result) and self.options.metrics is not None:
             for diagnostic in result:
                 self.options.metrics.counter(

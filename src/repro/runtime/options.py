@@ -67,6 +67,24 @@ class RuntimeOptions:
     #: simulated seconds between time-series watermark samples written
     #: to the ledger's ``series.jsonl``.
     series_interval: float = 1.0
+    #: generation-engine selection.  ``None`` lets each runner pick its
+    #: default (the parallel runner uses the continuous scheduler, the
+    #: sequential Executor stays direct); ``True`` /
+    #: :class:`~repro.runtime.scheduler.SchedulerConfig` forces the
+    #: continuous engine on; ``False`` forces the legacy full-barrier
+    #: micro-batcher.
+    scheduler: Any = None
+    #: default priority class for scheduled generation calls — a
+    #: :class:`~repro.runtime.scheduler.PriorityClass`, its string name,
+    #: or (for the parallel runner) a callable ``item -> priority``
+    #: resolved per item.
+    priority: Any = None
+    #: admission deadline in virtual seconds from each call's arrival;
+    #: the scheduler orders equal-priority work by earliest deadline.
+    #: For the parallel runner this may also be a callable ``item ->
+    #: float | None``.  Setting it without a scheduler enabled no-ops
+    #: (``spear check`` flags this as SPEAR145).
+    deadline_s: Any = None
 
     def replace(self, **overrides: Any) -> "RuntimeOptions":
         """A copy with ``overrides`` applied (None fields stay inherited)."""

@@ -1,4 +1,4 @@
-"""Concurrent batch execution with continuous GEN micro-batching.
+"""Concurrent batch execution on the continuous-batching GEN engine.
 
 The paper's runtime (§6) sits on a vLLM-style serving stack: many
 per-item pipelines run concurrently and their generation calls are
@@ -11,22 +11,27 @@ engine for the reproduction:
 - each lane is a real thread with its **own virtual clock** (spawned
   from a :class:`~repro.runtime.clock.LaneClockGroup`) and its own
   private event log, so span brackets never interleave across threads;
-- generation calls route through a
-  :class:`~repro.llm.batcher.GenMicroBatcher`, which coalesces the next
-  call of every active lane into one micro-batch: one shared overhead,
-  summed (mostly cache-hit) prefill, overlapped decode;
-- the batch's simulated elapsed is the **max** over lane clocks, not the
-  sum — overlap, not serialization.
+- generation calls route through the event-driven
+  :class:`~repro.runtime.scheduler.GenScheduler` by default: batches
+  form on token-budget and virtual-clock timeout watermarks, a
+  priority-class + deadline policy orders admission
+  (``RuntimeOptions(scheduler=…, priority=…, deadline_s=…)``), and each
+  lane's clock advances to its *own* completion instead of the
+  slowest peer's — continuous flow, not a barrier.
+  ``RuntimeOptions(scheduler=False)`` selects the legacy full-barrier
+  :class:`~repro.llm.batcher.GenMicroBatcher`.
 
 Determinism: item outputs are produced by the model's deterministic task
-engine from the prompt alone, micro-batch composition is fixed by the
-barrier discipline (see :mod:`repro.llm.batcher`), and item→lane
-assignment is static — so per-item outputs are identical to the
-sequential :class:`~repro.runtime.batch.BatchRunner`'s, run after run.
+engine from the prompt alone, engine-step composition is a pure function
+of the workload's virtual-clock state (quiescence admission, see
+:mod:`repro.runtime.scheduler`), and item→lane assignment is static — so
+per-item outputs are identical to the sequential
+:class:`~repro.runtime.batch.BatchRunner`'s, run after run.
 
 After the run, each lane's event stream is folded into the base state's
-log bracketed by ``LANE[i]`` spans, a ``BATCH`` summary event is
-recorded, and the base clock is advanced to the merged lane time.
+log bracketed by ``LANE[i]`` spans, the engine's step trace is folded as
+``SCHED`` events, a ``BATCH`` summary event is recorded, and the base
+clock is advanced to the merged lane time.
 """
 
 from __future__ import annotations
@@ -45,11 +50,15 @@ from repro.runtime.events import EventKind, EventLog
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.pipeline import Pipeline
     from repro.core.state import ExecutionState
-    from repro.llm.batcher import GenMicroBatcher
     from repro.obs.metrics import MetricsRegistry
     from repro.runtime.options import RuntimeOptions
 
 __all__ = ["ParallelBatchRunner"]
+
+
+def _per_item(value: Any, item: Any) -> Any:
+    """Resolve a per-item scheduling attribute (constant or callable)."""
+    return value(item) if callable(value) else value
 
 
 class ParallelBatchRunner:
@@ -61,17 +70,24 @@ class ParallelBatchRunner:
     Args:
         workers: number of worker lanes (threads).  The effective lane
             count is ``min(workers, len(items))``.
-        microbatch: coalesce concurrent generation calls into
-            micro-batches (the default).  ``False`` still runs lanes
+        microbatch: coalesce concurrent generation calls into shared
+            engine steps (the default).  ``False`` still runs lanes
             concurrently but gives every call its own engine step —
             lane-parallelism without batched prefill/decode sharing.
-        max_batch: cap on requests per micro-batch engine step; an
-            oversized barrier is split into concurrently-running steps.
+        max_batch: cap on requests per engine step; an oversized
+            admission set is split into consecutive steps.
         options: shared :class:`~repro.runtime.options.RuntimeOptions`;
-            its ``metrics`` instruments lanes/queues/micro-batches, its
-            ``result_cache`` and ``resilience`` are attached to the base
-            state when that state has none (per-lane breaker state is
-            shared safely: forked item states carry the same runtime).
+            its ``scheduler`` selects the generation engine (default:
+            the continuous :class:`~repro.runtime.scheduler.GenScheduler`;
+            ``False`` selects the legacy barrier batcher; a
+            :class:`~repro.runtime.scheduler.SchedulerConfig` tunes the
+            watermark/token-budget policy), its ``priority`` /
+            ``deadline_s`` set per-item scheduling attributes (constants
+            or callables ``item -> value``), its ``metrics`` instruments
+            lanes/queues/engine steps, its ``result_cache`` and
+            ``resilience`` are attached to the base state when that
+            state has none (per-lane breaker state is shared safely:
+            forked item states carry the same runtime).
         metrics: deprecated — pass ``options=RuntimeOptions(metrics=...)``.
         isolate_prompts: fork items with private prompt stores (see
             :meth:`ExecutionState.fork`); use when the pipeline refines
@@ -116,8 +132,10 @@ class ParallelBatchRunner:
         self.max_batch = max_batch
         self.metrics = options.metrics
         self.isolate_prompts = isolate_prompts
-        #: the micro-batcher of the most recent run (introspection/tests).
-        self.last_batcher: "GenMicroBatcher | None" = None
+        #: the generation engine of the most recent run — a
+        #: :class:`~repro.runtime.scheduler.GenScheduler` or legacy
+        #: :class:`~repro.llm.batcher.GenMicroBatcher` (introspection/tests).
+        self.last_batcher: Any | None = None
 
     # -- the run --------------------------------------------------------------
 
@@ -131,7 +149,19 @@ class ParallelBatchRunner:
         from repro.analysis import check_state
         from repro.errors import SpearValidationError
 
-        result = check_state(pipeline, self.base_state, open_context=True)
+        # The parallel runner's effective engine is the continuous
+        # scheduler unless explicitly disabled, so the runtime mapping
+        # reports the *effective* selection, not the raw option.
+        result = check_state(
+            pipeline,
+            self.base_state,
+            open_context=True,
+            runtime={
+                "scheduler": self.options.scheduler is not False,
+                "priority": self.options.priority,
+                "deadline_s": self.options.deadline_s,
+            },
+        )
         if len(result) and self.metrics is not None:
             for diagnostic in result:
                 self.metrics.counter(
@@ -213,15 +243,27 @@ class ParallelBatchRunner:
         errors_lock = threading.Lock()
         stop = threading.Event()
 
+        configurable = batcher is not None and hasattr(batcher, "configure_lane")
+
         def lane_worker(lane_id: int) -> None:
-            lane_clock = lane_clocks[lane_id]
-            lane_log = lane_logs[lane_id]
-            lane_model = lane_models[lane_id]
+            # Everything — including this setup — runs under the finally
+            # that closes the lane: a lane that dies between open_lane
+            # and its first submit must still shrink the admission set,
+            # or peers would wait forever on its pending call.
             try:
+                lane_clock = lane_clocks[lane_id]
+                lane_log = lane_logs[lane_id]
+                lane_model = lane_models[lane_id]
                 for index in range(lane_id, len(items), lanes):
                     if stop.is_set():
                         break
                     item = items[index]
+                    if configurable:
+                        batcher.configure_lane(
+                            lane_id,
+                            priority=_per_item(self.options.priority, item),
+                            deadline_s=_per_item(self.options.deadline_s, item),
+                        )
                     item_state = base.fork(
                         share_prompts=not self.isolate_prompts
                     )
@@ -250,7 +292,8 @@ class ParallelBatchRunner:
                     errors.append((-1, exc))
                 stop.set()
             finally:
-                # Always shrink the barrier, or peers would wait forever.
+                # Always shrink the admission set, or peers would wait
+                # forever on this lane's next call.
                 if batcher is not None:
                     batcher.close_lane(lane_id)
 
@@ -277,6 +320,10 @@ class ParallelBatchRunner:
         )
 
         self._fold_lane_events(lane_logs, lane_clocks, clock_group)
+        if batcher is not None and hasattr(batcher, "steps"):
+            from repro.runtime.scheduler import fold_sched_events
+
+            fold_sched_events(self.base_state.events, batcher)
         # Later sequential work continues after the batch completed.
         base.clock.advance_to(clock_group.now)
         self._observe(batch, clock_group)
@@ -303,6 +350,13 @@ class ParallelBatchRunner:
                 largest_batch=int(stats["largest_batch"]),
                 mean_batch_size=stats["mean_batch_size"],
             )
+            if "preemptions" in stats:
+                extra.update(
+                    sched_steps=int(stats["steps"]),
+                    sched_preemptions=int(stats["preemptions"]),
+                    sched_forced=int(stats["forced"]),
+                    sched_mean_wait=stats["mean_wait"],
+                )
         emit_batch_event(
             base, batch, mode="parallel", runner="ParallelBatchRunner",
             extra=extra,
@@ -311,22 +365,52 @@ class ParallelBatchRunner:
 
     # -- helpers --------------------------------------------------------------
 
-    def _make_batcher(self) -> "GenMicroBatcher | None":
-        """A fresh micro-batcher per run (lane registration is per-run)."""
+    def _make_batcher(self) -> "Any | None":
+        """A fresh generation engine per run (lane registration is per-run).
+
+        ``options.scheduler`` picks the engine: the continuous
+        :class:`~repro.runtime.scheduler.GenScheduler` by default (or
+        with an explicit :class:`SchedulerConfig`), the legacy
+        full-barrier :class:`~repro.llm.batcher.GenMicroBatcher` when
+        ``scheduler=False``.
+        """
         if self.base_state.model is None:
             self.last_batcher = None
             return None
-        from repro.llm.batcher import GenMicroBatcher
+        selection = self.options.scheduler
+        if selection is False:
+            from repro.llm.batcher import GenMicroBatcher
 
-        batcher = GenMicroBatcher(
-            self.base_state.model,
-            # max_batch=1 gives every call its own engine step: lanes
-            # still overlap, but nothing is coalesced.
-            max_batch=self.max_batch if self.microbatch else 1,
-            metrics=self.metrics,
-        )
-        self.last_batcher = batcher
-        return batcher
+            engine: Any = GenMicroBatcher(
+                self.base_state.model,
+                # max_batch=1 gives every call its own engine step: lanes
+                # still overlap, but nothing is coalesced.
+                max_batch=self.max_batch if self.microbatch else 1,
+                metrics=self.metrics,
+            )
+        else:
+            from repro.runtime.scheduler import GenScheduler, SchedulerConfig
+
+            if isinstance(selection, SchedulerConfig):
+                config = selection
+            elif selection is None or selection is True:
+                config = SchedulerConfig(max_batch=self.max_batch)
+            else:
+                raise TypeError(
+                    "options.scheduler must be a SchedulerConfig, bool, "
+                    f"or None: {selection!r}"
+                )
+            if not self.microbatch:
+                config = SchedulerConfig(
+                    max_batch_tokens=config.max_batch_tokens,
+                    watermark_s=config.watermark_s,
+                    max_batch=1,
+                )
+            engine = GenScheduler(
+                self.base_state.model, config=config, metrics=self.metrics
+            )
+        self.last_batcher = engine
+        return engine
 
     def _fold_lane_events(
         self,

@@ -1,0 +1,641 @@
+"""Event-driven continuous-batching GEN engine (paper §6).
+
+:class:`GenScheduler` replaces the full-barrier discipline of
+:class:`~repro.llm.batcher.GenMicroBatcher`: operators submit generation
+work to a queue, and batches form on **token-budget and virtual-clock
+timeout watermarks** instead of lane barriers.  Lanes are lightweight
+registrations multiplexed over the caller's worker pool — a lane costs a
+dict entry, not a dedicated engine thread; whichever worker completes an
+admission watermark runs the engine step inline.
+
+Scheduling model
+----------------
+
+Lanes register with :meth:`open_lane` and submit calls through the same
+:class:`~repro.llm.batcher.LaneModel` proxy the barrier batcher hands
+out.  Admission decisions happen only at **quiescence** — the instant
+every open lane is either blocked on a pending call or closed.  This is
+the determinism generalization of the old barrier: the engine never
+consults host timing, so which requests are considered together is a
+pure function of each lane's submit/close sequence, i.e. of the
+workload.  Within a quiescence the engine forms *one* policy step:
+
+1. requests older than the **timeout watermark** (virtual-clock age
+   ``t_now - arrival >= watermark_s``, where ``t_now`` is the latest
+   pending arrival) are forced to the front, oldest first — the
+   anti-starvation guarantee;
+2. the rest are ordered by the **priority policy**: priority-class rank,
+   then deadline instant (``arrival + deadline_s``), then arrival, then
+   lane id — so interactive items preempt bulk refinement work;
+3. admission stops at the **token budget** (``max_batch_tokens`` prompt
+   tokens, always admitting at least one request) or at ``max_batch``.
+
+Requests left out of a step stay queued and mix with the batch formed at
+the next quiescence — genuine continuous flow on virtual time.  Steps
+are priced by :func:`~repro.llm.latency.estimate_continuous_step`:
+prefill occupies a serial pipe in admission order, decode overlaps
+fully, and each lane's clock advances to its *own* completion — unlike
+the barrier model, lanes desynchronize and nobody waits for the slowest
+peer's decode.
+
+Determinism: task outputs come from the model's deterministic
+``execute_task`` path, fault injection reuses the same seeded per-prompt
+decisions as the barrier engine (via
+:func:`~repro.llm.batcher.prepare_request`), and step composition
+depends only on pending-set state and virtual-clock instants — never on
+OS thread timing.  Per-item outputs are byte-identical to a sequential
+run; two same-seed runs produce identical step traces.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Any
+
+from repro.llm.batcher import (
+    MICROBATCH_SIZE_BUCKETS,
+    LaneModel,
+    _Request,
+    execute_requests,
+    prepare_request,
+)
+from repro.llm.latency import estimate_continuous_step
+from repro.runtime.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.llm.model import GenerationResult, SimulatedLLM
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "PriorityClass",
+    "SchedulerConfig",
+    "StepRecord",
+    "GenScheduler",
+    "resolve_scheduler_config",
+    "resolve_priority_class",
+    "fold_sched_events",
+]
+
+
+class PriorityClass(str, Enum):
+    """Admission priority of a request; lower rank admits first."""
+
+    INTERACTIVE = "interactive"
+    NORMAL = "normal"
+    BULK = "bulk"
+
+    @property
+    def rank(self) -> int:
+        return _PRIORITY_RANKS[self]
+
+
+_PRIORITY_RANKS = {
+    PriorityClass.INTERACTIVE: 0,
+    PriorityClass.NORMAL: 1,
+    PriorityClass.BULK: 2,
+}
+
+
+def resolve_priority_class(value: Any) -> PriorityClass:
+    """Coerce a user-facing priority value (enum, name, None) to a class."""
+    if value is None:
+        return PriorityClass.NORMAL
+    if isinstance(value, PriorityClass):
+        return value
+    return PriorityClass(str(value).lower())
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Batch-formation policy knobs of the continuous engine."""
+
+    #: prompt-token budget per engine step; None means unbounded.  A
+    #: single oversized request is still admitted alone (no starvation).
+    max_batch_tokens: int | None = None
+    #: virtual-clock age at which a queued request is forced to the
+    #: front of the next step regardless of priority.
+    watermark_s: float = 10.0
+    #: hard cap on requests per engine step.
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_batch_tokens is not None and self.max_batch_tokens < 1:
+            raise ValueError(
+                f"max_batch_tokens must be >= 1, got {self.max_batch_tokens}"
+            )
+        if self.watermark_s < 0:
+            raise ValueError(f"watermark_s must be >= 0, got {self.watermark_s}")
+
+
+def resolve_scheduler_config(value: Any) -> "SchedulerConfig | None":
+    """Normalize ``RuntimeOptions.scheduler`` to a config (or None = off).
+
+    ``None``/``True`` mean "enabled with defaults" for callers where the
+    scheduler is the default engine; ``False`` disables it; a
+    :class:`SchedulerConfig` passes through.
+    """
+    if value is False:
+        return None
+    if value is None or value is True:
+        return SchedulerConfig()
+    if isinstance(value, SchedulerConfig):
+        return value
+    raise TypeError(
+        f"scheduler must be a SchedulerConfig, bool, or None: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class StepMember:
+    """One admitted request inside a :class:`StepRecord`."""
+
+    lane_id: int
+    priority: str
+    arrival: float
+    deadline: float | None
+    start: float
+    completion: float
+    prompt_tokens: int
+    output_tokens: int
+
+    @property
+    def wait(self) -> float:
+        """Queue wait: prefill start minus arrival, in virtual seconds."""
+        return self.start - self.arrival
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Deterministic trace of one engine step (tests, SCHED events)."""
+
+    index: int
+    #: the quiescence instant: latest pending arrival when the step formed.
+    t_now: float
+    members: tuple[StepMember, ...]
+    #: requests forced in by the timeout watermark.
+    forced: int
+    #: admitted requests that jumped ahead of an older, lower-priority
+    #: pending request which was deferred from this step.
+    preemptions: int
+    #: requests still queued after this step's admission.
+    queue_depth_after: int
+    #: engine-busy wall of the step (last completion - first start).
+    wall: float
+    #: prompt tokens admitted to the step.
+    tokens: int
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class GenScheduler:
+    """Continuous-batching GEN engine with priority + deadline policy.
+
+    Drop-in for :class:`~repro.llm.batcher.GenMicroBatcher` on the
+    runner side: same ``open_lane`` / ``close_lane`` / ``submit``
+    contract and a superset of its ``snapshot()`` keys, plus
+    :meth:`configure_lane` for per-item priority and deadline and a
+    :attr:`steps` trace for observability and determinism checks.
+    """
+
+    def __init__(
+        self,
+        model: "SimulatedLLM",
+        *,
+        config: SchedulerConfig | None = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else SchedulerConfig()
+        self.metrics = metrics
+        self._cond = threading.Condition()
+        self._open_lanes: set[int] = set()
+        self._lane_clocks: dict[int, VirtualClock] = {}
+        self._lane_priority: dict[int, PriorityClass] = {}
+        self._lane_deadline: dict[int, float | None] = {}
+        self._pending: dict[int, _Request] = {}
+        #: the engine's serial prefill pipe: instant it is next free.
+        self._prefill_free_at = 0.0
+        #: deterministic step trace, in execution order.
+        self.steps: list[StepRecord] = []
+        # aggregate accounting (guarded by the condition's lock)
+        self.flushes = 0
+        self.batched_calls = 0
+        self.largest_batch = 0
+        self.total_batch_wall = 0.0
+        self.preemptions = 0
+        self.forced = 0
+        self._size_sum = 0
+        self._wait_sum = 0.0
+
+    # -- lane lifecycle ------------------------------------------------------
+
+    def open_lane(
+        self,
+        lane_id: int,
+        clock: VirtualClock,
+        *,
+        priority: Any = None,
+        deadline_s: float | None = None,
+    ) -> LaneModel:
+        """Register a lane; returns its model proxy.
+
+        An open lane is part of the quiescence condition: the engine
+        makes admission decisions only when every open lane has a
+        pending call (or has closed).
+        """
+        with self._cond:
+            if lane_id in self._open_lanes:
+                raise ValueError(f"lane {lane_id} is already open")
+            self._open_lanes.add(lane_id)
+            self._lane_clocks[lane_id] = clock
+            self._lane_priority[lane_id] = resolve_priority_class(priority)
+            self._lane_deadline[lane_id] = deadline_s
+            return LaneModel(self, lane_id, clock)
+
+    def configure_lane(
+        self,
+        lane_id: int,
+        *,
+        priority: Any = None,
+        deadline_s: float | None = None,
+    ) -> None:
+        """Set the lane's priority class / deadline for subsequent submits.
+
+        Called by the lane's own worker between items, so per-item
+        scheduling attributes never race with that lane's submits.
+        """
+        with self._cond:
+            if lane_id not in self._open_lanes:
+                raise RuntimeError(f"lane {lane_id} is not open")
+            self._lane_priority[lane_id] = resolve_priority_class(priority)
+            self._lane_deadline[lane_id] = deadline_s
+
+    def close_lane(self, lane_id: int) -> None:
+        """Remove a lane (it will submit no more calls); may trigger steps."""
+        with self._cond:
+            self._open_lanes.discard(lane_id)
+            self._lane_clocks.pop(lane_id, None)
+            self._lane_priority.pop(lane_id, None)
+            self._lane_deadline.pop(lane_id, None)
+            self._maybe_flush_locked()
+            self._cond.notify_all()
+
+    # -- the submit / flush path ---------------------------------------------
+
+    def submit(
+        self,
+        lane_id: int,
+        prompt: str,
+        *,
+        max_tokens: int | None = None,
+        use_cache: bool | None = None,
+    ) -> "GenerationResult":
+        """Enqueue one call and block until an engine step completes it."""
+        with self._cond:
+            if lane_id not in self._open_lanes:
+                raise RuntimeError(f"lane {lane_id} is not open")
+            if lane_id in self._pending:
+                raise RuntimeError(f"lane {lane_id} already has a pending call")
+            clock = self._lane_clocks.get(lane_id, self.model.clock)
+            request = _Request(lane_id, prompt, max_tokens, use_cache, clock)
+            request.arrival = clock.now
+            priority = self._lane_priority.get(lane_id, PriorityClass.NORMAL)
+            request.priority_rank = priority.rank
+            request.priority_name = priority.value
+            deadline_s = self._lane_deadline.get(lane_id)
+            request.deadline = (
+                request.arrival + deadline_s if deadline_s is not None else None
+            )
+            self._pending[lane_id] = request
+            self._observe_queue_depth_locked()
+            self._maybe_flush_locked()
+            self._cond.notify_all()
+            while not request.done:
+                self._cond.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.result is not None
+        return request.result
+
+    def _quiescent_locked(self) -> bool:
+        return bool(self._pending) and len(self._pending) >= len(self._open_lanes)
+
+    def _maybe_flush_locked(self) -> None:
+        """Run engine steps while the quiescence condition holds.
+
+        A step that leaves requests queued usually breaks quiescence (the
+        admitted lanes are released with nothing pending), so the loop
+        exits and the leftovers mix with the next quiescence's arrivals.
+        """
+        while self._quiescent_locked():
+            self._run_step_locked()
+            self._cond.notify_all()
+
+    def _policy_key(self, request: _Request) -> tuple:
+        deadline = request.deadline if request.deadline is not None else float("inf")
+        return (request.priority_rank, deadline, request.arrival, request.lane_id)
+
+    def _run_step_locked(self) -> None:
+        """Form and execute one policy step from the pending queue."""
+        # Prepare phase (tokenize + seeded fault injection), in lane
+        # order for determinism.  Faulted / invalid requests complete
+        # immediately on their own lane clock and leave the queue; their
+        # lanes re-enter with the next call, so admission is re-evaluated
+        # at the next quiescence.
+        removed = False
+        for lane_id in sorted(self._pending):
+            request = self._pending[lane_id]
+            if request.prepared:
+                continue
+            if not prepare_request(self.model, request):
+                del self._pending[lane_id]
+                removed = True
+        if removed:
+            self._observe_queue_depth_locked()
+            return
+        if not self._pending:
+            return
+
+        # Admission: watermark-forced requests first (oldest first), the
+        # rest by (priority rank, deadline, arrival, lane).  Everything
+        # here is virtual-clock state — host timing never participates.
+        pending = list(self._pending.values())
+        t_now = max(request.arrival for request in pending)
+        forced = [
+            request
+            for request in pending
+            if t_now - request.arrival >= self.config.watermark_s
+        ]
+        forced.sort(key=lambda r: (r.arrival, r.priority_rank, r.lane_id))
+        rest = sorted(
+            (request for request in pending if request not in forced),
+            key=self._policy_key,
+        )
+        admitted: list[_Request] = []
+        tokens_admitted = 0
+        for request in forced + rest:
+            if len(admitted) >= self.config.max_batch:
+                break
+            size = len(request.tokens or ())
+            budget = self.config.max_batch_tokens
+            if admitted and budget is not None and tokens_admitted + size > budget:
+                break
+            admitted.append(request)
+            tokens_admitted += size
+        deferred = [request for request in pending if request not in admitted]
+        preempted = sum(
+            1
+            for request in admitted
+            for other in deferred
+            if other.arrival < request.arrival
+            and other.priority_rank > request.priority_rank
+        )
+
+        self._execute_step_locked(
+            admitted,
+            t_now=t_now,
+            forced=len([request for request in forced if request in admitted]),
+            preemptions=preempted,
+            tokens=tokens_admitted,
+        )
+
+    def _execute_step_locked(
+        self,
+        admitted: "list[_Request]",
+        *,
+        t_now: float,
+        forced: int,
+        preemptions: int,
+        tokens: int,
+    ) -> None:
+        model = self.model
+        triples, outputs = execute_requests(model, admitted)
+        step = estimate_continuous_step(
+            model.profile,
+            triples,
+            [request.arrival for request in admitted],
+            prefill_free_at=self._prefill_free_at,
+        )
+        self._prefill_free_at = step.prefill_free_at
+
+        from repro.llm.latency import LatencyBreakdown
+        from repro.llm.model import GenerationResult
+
+        members: list[StepMember] = []
+        for index, request in enumerate(admitted):
+            text, output_tokens, output = outputs[index]
+            prompt_tokens, cached, _ = triples[index]
+            latency = step.per_request[index]
+            completion = step.completions[index]
+            extras = {
+                **output.extras,
+                "sched_step": len(self.steps),
+                "sched_step_size": step.size,
+                "sched_wait": step.starts[index] - request.arrival,
+            }
+            decision = request.decision
+            spiked = decision is not None and decision.spike_factor != 1.0
+            if spiked:
+                factor = decision.spike_factor
+                latency = LatencyBreakdown(
+                    overhead=latency.overhead * factor,
+                    prefill=latency.prefill * factor,
+                    cached_prefill=latency.cached_prefill * factor,
+                    decode=latency.decode * factor,
+                )
+                extras["latency_spike"] = factor
+            result = GenerationResult(
+                text=text,
+                task=output.task,
+                prompt_tokens=prompt_tokens,
+                cached_tokens=cached,
+                output_tokens=output_tokens,
+                latency=latency,
+                confidence=output.confidence,
+                extras=extras,
+            )
+            # Each lane advances to its OWN completion — the continuous
+            # engine never synchronizes peers to the slowest decode.
+            request.clock.advance_to(completion)
+            if spiked:
+                # The spiked request alone pays the stretched remainder.
+                request.clock.advance(
+                    step.per_request[index].total * (decision.spike_factor - 1.0)
+                )
+            model.record_result(result)
+            request.result = result
+            request.done = True
+            del self._pending[request.lane_id]
+            members.append(
+                StepMember(
+                    lane_id=request.lane_id,
+                    priority=request.priority_name,
+                    arrival=request.arrival,
+                    deadline=request.deadline,
+                    start=step.starts[index],
+                    completion=completion,
+                    prompt_tokens=prompt_tokens,
+                    output_tokens=output_tokens,
+                )
+            )
+
+        record = StepRecord(
+            index=len(self.steps),
+            t_now=t_now,
+            members=tuple(members),
+            forced=forced,
+            preemptions=preemptions,
+            queue_depth_after=len(self._pending),
+            wall=step.wall,
+            tokens=tokens,
+        )
+        self.steps.append(record)
+        self.flushes += 1
+        self.batched_calls += len(admitted)
+        self.largest_batch = max(self.largest_batch, len(admitted))
+        self.total_batch_wall += step.wall
+        self.preemptions += preemptions
+        self.forced += forced
+        self._size_sum += len(admitted)
+        self._wait_sum += sum(member.wait for member in members)
+        self._observe_step_locked(record)
+        self._observe_queue_depth_locked()
+
+    # -- observability -------------------------------------------------------
+
+    def _observe_queue_depth_locked(self) -> None:
+        # Gauges only (idempotent sets): the counter/histogram side of
+        # the spear_sched_* family is derived by the ObsCollector from
+        # the folded SCHED events, so wiring an engine registry and a
+        # collector to the same MetricsRegistry never double-counts.
+        if self.metrics is None:
+            return
+        name = self.model.profile.name
+        depth = float(len(self._pending))
+        self.metrics.gauge(
+            "spear_gen_queue_depth",
+            "Generation calls waiting for an engine step.",
+            model=name,
+        ).set(depth)
+        self.metrics.gauge(
+            "spear_sched_queue_depth",
+            "Generation calls queued in the continuous scheduler.",
+            model=name,
+        ).set(depth)
+
+    def _observe_step_locked(self, record: StepRecord) -> None:
+        if self.metrics is None:
+            return
+        name = self.model.profile.name
+        # The classic engine-step metrics stay populated so dashboards,
+        # reports, and the BATCH payload read the same under either engine.
+        self.metrics.counter(
+            "spear_microbatch_flushes_total",
+            "Micro-batches executed.", model=name,
+        ).inc()
+        self.metrics.histogram(
+            "spear_microbatch_size",
+            "Generation calls coalesced per micro-batch.",
+            buckets=MICROBATCH_SIZE_BUCKETS,
+            model=name,
+        ).observe(float(record.size))
+        self.metrics.histogram(
+            "spear_microbatch_wall_seconds",
+            "Simulated wall time per micro-batch engine step.",
+            model=name,
+        ).observe(record.wall)
+
+    def wait_stats(self) -> dict[str, dict[str, float]]:
+        """Per-priority-class queue-wait summary over the step trace."""
+        waits: dict[str, list[float]] = {}
+        with self._cond:
+            records = list(self.steps)
+        for record in records:
+            for member in record.members:
+                waits.setdefault(member.priority, []).append(member.wait)
+        summary: dict[str, dict[str, float]] = {}
+        for name, values in sorted(waits.items()):
+            values.sort()
+            summary[name] = {
+                "count": float(len(values)),
+                "mean": sum(values) / len(values),
+                "p50": _quantile(values, 0.50),
+                "p95": _quantile(values, 0.95),
+                "p99": _quantile(values, 0.99),
+            }
+        return summary
+
+    def snapshot(self) -> dict[str, float]:
+        """Point-in-time engine statistics (superset of the batcher's)."""
+        with self._cond:
+            return {
+                "flushes": self.flushes,
+                "batched_calls": self.batched_calls,
+                "largest_batch": self.largest_batch,
+                "mean_batch_size": (
+                    self._size_sum / self.flushes if self.flushes else 0.0
+                ),
+                "total_batch_wall": self.total_batch_wall,
+                "open_lanes": len(self._open_lanes),
+                "pending": len(self._pending),
+                "steps": self.flushes,
+                "preemptions": self.preemptions,
+                "forced": self.forced,
+                "mean_wait": (
+                    self._wait_sum / self.batched_calls
+                    if self.batched_calls
+                    else 0.0
+                ),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GenScheduler(lanes={len(self._open_lanes)}, "
+            f"steps={self.flushes}, largest={self.largest_batch}, "
+            f"preemptions={self.preemptions})"
+        )
+
+
+def _quantile(sorted_values: "list[float]", q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(int(q * len(sorted_values)), len(sorted_values) - 1)
+    return sorted_values[index]
+
+
+def fold_sched_events(events: Any, engine: GenScheduler) -> None:
+    """Replay the engine's step trace into an event log as SCHED events.
+
+    One event per engine step, stamped at the step's last completion
+    instant; the payload carries the admission decision (size, tokens,
+    forced/preempted counts, queue depth, per-member lanes, classes, and
+    waits) so ``spear trace`` and the ledger can replay batch formation.
+    Everything here is virtual-clock data — two same-seed runs fold
+    identical SCHED streams.
+    """
+    from repro.runtime.events import EventKind
+
+    for record in engine.steps:
+        events.record(
+            EventKind.SCHED,
+            "GEN-ENGINE",
+            at=max(member.completion for member in record.members),
+            payload={
+                "step": record.index,
+                "size": record.size,
+                "tokens": record.tokens,
+                "forced": record.forced,
+                "preemptions": record.preemptions,
+                "queue_depth": record.queue_depth_after,
+                "wall": round(record.wall, 9),
+                "lanes": [member.lane_id for member in record.members],
+                "classes": [member.priority for member in record.members],
+                "waits": [round(member.wait, 9) for member in record.members],
+            },
+        )

@@ -212,6 +212,40 @@ pipeline p {
         assert not result.with_code("SPEAR143")
         assert not result.with_code("SPEAR144")
 
+    def test_spear145_deadline_without_scheduler(self):
+        pipeline = Pipeline([GEN("answer", prompt="qa")])
+        result = check_pipeline(
+            pipeline,
+            prompts={"qa": "x"},
+            runtime={"scheduler": None, "deadline_s": 5.0},
+        )
+        (finding,) = result.with_code("SPEAR145")
+        assert finding.severity is Severity.WARNING
+        assert "deadline_s" in str(finding.data["configured"])
+
+    def test_spear145_priority_without_scheduler(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]),
+            prompts={"qa": "x"},
+            runtime={"scheduler": False, "priority": "interactive"},
+        )
+        (finding,) = result.with_code("SPEAR145")
+        assert finding.data["configured"] == ("priority",)
+
+    def test_spear145_silent_when_scheduler_enabled(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]),
+            prompts={"qa": "x"},
+            runtime={"scheduler": True, "deadline_s": 5.0},
+        )
+        assert not result.with_code("SPEAR145")
+
+    def test_spear145_skipped_when_runtime_unknown(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]), prompts={"qa": "x"}
+        )
+        assert not result.with_code("SPEAR145")
+
 
 class TestReachabilityCodes:
     def test_spear151_metadata_check_never_fires(self):

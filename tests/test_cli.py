@@ -180,6 +180,48 @@ class TestStatsCommand:
         assert "sequential" in out
         assert f"{batch.throughput:.3f}" in out
 
+    def test_stats_scheduler_table(self, tmp_path, tweet_corpus, capsys):
+        """A trace containing SCHED events renders the scheduler table."""
+        from repro.core import GEN, Pipeline
+        from repro.core.state import ExecutionState
+        from repro.llm.model import SimulatedLLM
+        from repro.runtime.options import RuntimeOptions
+        from repro.runtime.parallel import ParallelBatchRunner
+        from repro.runtime.tracing import export_events
+
+        llm = SimulatedLLM("qwen2.5-7b-instruct")
+        llm.bind_tweets(tweet_corpus)
+        state = ExecutionState(model=llm, clock=llm.clock)
+        state.prompts.create(
+            "filter",
+            "Select the tweet only if its sentiment is negative. "
+            "Respond with yes or no.\nTweet:\n{tweet}",
+        )
+        runner = ParallelBatchRunner(
+            state,
+            bind=lambda s, t: s.context.put("tweet", t.text, producer="b"),
+            workers=4,
+            options=RuntimeOptions(
+                priority=lambda t: "interactive"
+                if int(t.uid[-1]) % 2 == 0
+                else "bulk",
+            ),
+        )
+        runner.run(
+            Pipeline([GEN("verdict", prompt="filter")]), tweet_corpus.tweets[:8]
+        )
+        trace = tmp_path / "sched_run.jsonl"
+        export_events(state.events, trace)
+
+        code = main(["stats", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scheduler" in out
+        assert "interactive" in out
+        assert "bulk" in out
+        assert re.search(r"steps: \d+ {2}mean step size: \d+\.\d+", out)
+        assert "preemptions:" in out and "queue depth:" in out
+
     def test_stats_result_cache_table(self, tmp_path, tweet_corpus, capsys):
         """A trace containing CACHE_HIT events renders the cache table."""
         from repro.core import GEN, Pipeline
