@@ -55,6 +55,7 @@ from repro.llm import (
     BlockPrefixCache,
     GenerationResult,
     ModelProfile,
+    RadixPrefixCache,
     SimulatedLLM,
     StructuredPromptCache,
     Tokenizer,
@@ -115,6 +116,7 @@ __all__ = [
     "manual_refinement",
     "refine_on_low_confidence",
     "BlockPrefixCache",
+    "RadixPrefixCache",
     "GenerationResult",
     "ModelProfile",
     "SimulatedLLM",

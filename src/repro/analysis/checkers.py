@@ -11,6 +11,7 @@ write anything, so such claims would be unsound.
 
 from __future__ import annotations
 
+import re
 from typing import Any, Callable
 
 from repro.analysis.dataflow import AnalysisEnv, DataflowGraph, OpNode
@@ -513,6 +514,83 @@ def check_deadline_without_scheduler(
     ]
 
 
+#: mirror of the runtime's placeholder syntax (``repro.core.entry``);
+#: dotted names resolve from their root key.
+_TEMPLATE_PLACEHOLDER_RE = re.compile(r"\{([A-Za-z_][A-Za-z0-9_.]*)\}")
+
+
+def _static_text_len(segment: str) -> int:
+    """Length of ``segment`` with placeholders removed and edges trimmed."""
+    return len(_TEMPLATE_PLACEHOLDER_RE.sub("", segment).strip())
+
+
+def check_item_first_template(
+    graph: DataflowGraph, env: AnalysisEnv
+) -> list[Diagnostic]:
+    """SPEAR146 — a varying placeholder precedes the template's static text.
+
+    Prefix caching shares the longest common *leading* token run across
+    requests, so a GEN template that interpolates per-item content before
+    its static instructions diverges at the first varying token and every
+    request re-prefills the instructions from scratch.  Instruction-first
+    ordering makes the static text the shared trunk instead — same
+    tokens, same model output, large prefill savings under the radix
+    cache (see ``repro.llm.tasks.POST_ITEM_MARKER``).
+
+    A placeholder is *varying* when its root reads from the item context
+    (``node.template_params``); prompt-entry params and ``{base}`` are
+    call-static and do not trip the rule.  Only statically-known texts
+    are inspected, and only when the static text after the first varying
+    placeholder outweighs the static text before it.
+    """
+    findings = []
+    for node in graph:
+        if node.kind not in ("GEN", "FUSED_GEN"):
+            continue
+        texts = node.data.get("prompt_texts")
+        if not texts:
+            continue
+        varying = set(node.template_params)
+        if not varying:
+            continue
+        for text in texts:
+            first = None
+            root = ""
+            for match in _TEMPLATE_PLACEHOLDER_RE.finditer(text):
+                root = match.group(1).split(".", 1)[0]
+                if root in varying:
+                    first = match
+                    break
+            if first is None:
+                continue
+            before = _static_text_len(text[: first.start()])
+            after = _static_text_len(text[first.end() :])
+            if after <= before:
+                continue
+            findings.append(
+                _diag(
+                    "SPEAR146",
+                    f"template puts the varying placeholder {{{root}}} before "
+                    f"most of its static text ({after} static chars after it "
+                    f"vs {before} before): item-first ordering defeats prefix "
+                    "caching — move the static instructions ahead of the "
+                    "placeholder",
+                    graph,
+                    node,
+                    placeholder=root,
+                    static_before=before,
+                    static_after=after,
+                    fix_hint=(
+                        "move the static instruction text before the "
+                        f"{{{root}}} placeholder so requests share a common "
+                        "prompt trunk"
+                    ),
+                )
+            )
+            break  # one finding per GEN is enough; further texts add noise
+    return findings
+
+
 ANALYZERS: tuple[Callable[[DataflowGraph, AnalysisEnv], list[Diagnostic]], ...] = (
     check_undefined_prompt_refs,
     check_unbound_template_params,
@@ -528,6 +606,7 @@ ANALYZERS: tuple[Callable[[DataflowGraph, AnalysisEnv], list[Diagnostic]], ...] 
     check_dead_branches,
     check_fusion_safety,
     check_deadline_without_scheduler,
+    check_item_first_template,
 )
 
 

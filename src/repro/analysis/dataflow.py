@@ -680,6 +680,10 @@ class _Walker:
         node.data["prompt_key"] = op.prompt_key
         node.data["extra"] = sorted(op.extra)
         info = self._read_prompt(node, op.prompt_key)
+        if info is not None and info.texts is not None:
+            # Statically-known template texts, kept for shape-sensitive
+            # checkers (e.g. SPEAR146's placeholder-ordering rule).
+            node.data["prompt_texts"] = tuple(sorted(info.texts))
         self._template_reads(node, info, shadowed=frozenset(op.extra))
         self._write_context(
             node, op.label_key, conditional=conditional, repeated=repeated
@@ -885,12 +889,17 @@ class _Walker:
         node = self._node(
             op, "FUSED_GEN", conditional=conditional, repeated=repeated, path=path
         )
+        fused_texts: list[str] = []
         for label, prompt_key in op.specs:
             info = self._read_prompt(node, prompt_key)
+            if info is not None and info.texts is not None:
+                fused_texts.extend(sorted(info.texts))
             self._template_reads(node, info)
             self._write_context(
                 node, label, conditional=conditional, repeated=repeated
             )
+        if fused_texts:
+            node.data["prompt_texts"] = tuple(fused_texts)
         self._write_context(
             node,
             f"{op.specs[0][0]}__result",

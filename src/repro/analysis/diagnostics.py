@@ -132,6 +132,13 @@ CODE_CATALOG: dict[str, tuple[Severity, str, str]] = {
         "deadline_s (or a non-default priority) is configured but no "
         "scheduler is enabled: the deadline policy silently no-ops.",
     ),
+    "SPEAR146": (
+        Severity.WARNING,
+        "item-first-template",
+        "A GEN template places a varying placeholder before the bulk of "
+        "its static text: item-first ordering defeats prefix caching "
+        "because the shared trunk diverges at the first varying token.",
+    ),
     "SPEAR151": (
         Severity.WARNING,
         "check-never-fires",

@@ -454,6 +454,39 @@ def render_stats_text(report) -> str:
             f"forced: {sched.get('forced', 0)}  "
             f"queue depth: {sched.get('queue_depth', 0.0):.0f}"
         )
+    if report.prefix_cache:
+        lines.append("")
+        prefix = report.prefix_cache
+        radix = prefix.get("radix", {})
+        prefix_rows = [
+            [
+                model,
+                int(stats.get("nodes", 0)),
+                int(stats.get("leaves", 0)),
+                int(stats.get("pinned_blocks", 0)),
+            ]
+            for model, stats in sorted(radix.items())
+        ]
+        if prefix_rows:
+            lines.append(
+                format_table(
+                    ["Model", "Radix nodes", "Leaves", "Pinned"],
+                    prefix_rows,
+                    title="Prefix cache",
+                )
+            )
+        else:
+            # Replayed traces have no live model to pull gauges from;
+            # the dedup counters below still derive from SCHED events.
+            lines.append("Prefix cache")
+        step_dedup = prefix.get("step_dedup_tokens", {})
+        groups = prefix.get("groups_per_step", {})
+        lines.append(
+            f"dedup tokens: {prefix.get('dedup_tokens_total', 0)}  "
+            f"mean/step: {step_dedup.get('mean', 0.0):.1f}  "
+            f"p95/step: {step_dedup.get('p95', 0.0):.0f}  "
+            f"trunk groups/step: {groups.get('mean', 0.0):.2f}"
+        )
     result_cache = report.result_cache.get("by_operator", {})
     if result_cache:
         lines.append("")

@@ -18,6 +18,7 @@ from repro.llm.packing import Fragment, PackResult, pack_fragments
 from repro.llm.profiles import DEFAULT_PROFILE, PROFILES, ModelProfile, get_profile
 from repro.llm.prompt_cache import PromptCacheKey, StructuredPromptCache, param_hash
 from repro.llm.quality import error_rate, noisy_bool
+from repro.llm.radix_cache import RadixPrefixCache, shared_prefix_tokens
 from repro.llm.tasks import TaskEngine, TaskOutput, route_task
 from repro.llm.tokenizer import Tokenizer
 
@@ -26,6 +27,8 @@ __all__ = [
     "extract_features",
     "BlockPrefixCache",
     "CacheStats",
+    "RadixPrefixCache",
+    "shared_prefix_tokens",
     "BatchLatency",
     "LatencyBreakdown",
     "estimate_latency",

@@ -50,6 +50,14 @@ which removes both barrier penalties (waiting for the slowest arrival,
 and decoding for the longest output).  A step of one request with a free
 pipe degenerates exactly to :func:`estimate_latency` — the byte-identity
 oracle for scheduler runs.
+
+Intra-step trunk dedup: when the scheduler groups requests that share a
+structured-prompt trunk into one step, the trunk's KV is pushed through
+the prefill pipe by the first member and is simply *resident* for the
+rest — they pay nothing for it, not even the cached re-read rate.  The
+``dedup_tokens`` argument of :func:`estimate_continuous_step` prices
+exactly that: the shared trunk is charged once per step instead of once
+per request.
 """
 
 from __future__ import annotations
@@ -84,6 +92,22 @@ class LatencyBreakdown:
         return self.overhead + self.prefill + self.cached_prefill + self.decode
 
 
+def _validate_tokens(
+    prompt_tokens: int, cached_tokens: int, output_tokens: int
+) -> None:
+    """Shared token-count validation for every estimator.
+
+    ``cached_tokens`` must not exceed ``prompt_tokens`` (a prefix cannot
+    be longer than the prompt) and all counts must be non-negative.
+    """
+    if cached_tokens > prompt_tokens:
+        raise ValueError(
+            f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
+        )
+    if min(prompt_tokens, cached_tokens, output_tokens) < 0:
+        raise ValueError("token counts must be non-negative")
+
+
 def estimate_latency(
     profile: ModelProfile,
     *,
@@ -96,12 +120,7 @@ def estimate_latency(
     ``cached_tokens`` must not exceed ``prompt_tokens``; the uncached
     remainder pays full prefill cost.
     """
-    if cached_tokens > prompt_tokens:
-        raise ValueError(
-            f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
-        )
-    if min(prompt_tokens, cached_tokens, output_tokens) < 0:
-        raise ValueError("token counts must be non-negative")
+    _validate_tokens(prompt_tokens, cached_tokens, output_tokens)
     uncached = prompt_tokens - cached_tokens
     return LatencyBreakdown(
         overhead=profile.overhead_s,
@@ -159,12 +178,7 @@ def estimate_batch_latency(
     total_cached = 0
     max_output = 0
     for prompt_tokens, cached_tokens, output_tokens in requests:
-        if cached_tokens > prompt_tokens:
-            raise ValueError(
-                f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
-            )
-        if min(prompt_tokens, cached_tokens, output_tokens) < 0:
-            raise ValueError("token counts must be non-negative")
+        _validate_tokens(prompt_tokens, cached_tokens, output_tokens)
         uncached = prompt_tokens - cached_tokens
         total_uncached += uncached
         total_cached += cached_tokens
@@ -207,11 +221,19 @@ class StepLatency:
     #: engine-busy wall time of the step: last completion minus the
     #: first prefill start.
     wall: float
+    #: per-request intra-step trunk tokens charged zero (shared-prefix
+    #: dedup), index-aligned with ``per_request``.
+    dedup_tokens: tuple[int, ...] = ()
 
     @property
     def size(self) -> int:
         """Number of requests admitted to the step."""
         return len(self.per_request)
+
+    @property
+    def total_dedup_tokens(self) -> int:
+        """Trunk tokens the whole step prefilled once instead of B times."""
+        return sum(self.dedup_tokens)
 
 
 def estimate_continuous_step(
@@ -220,6 +242,7 @@ def estimate_continuous_step(
     arrivals: Sequence[float],
     *,
     prefill_free_at: float = 0.0,
+    dedup_tokens: Sequence[int] | None = None,
 ) -> StepLatency:
     """Latency of one continuous engine step under ``profile``.
 
@@ -232,6 +255,16 @@ def estimate_continuous_step(
     decode overlaps fully, so request ``i`` completes ``decode ·
     output_i`` after its own prefill lands.  A single request with a free
     pipe degenerates exactly to :func:`estimate_latency`.
+
+    ``dedup_tokens`` (optional, index-aligned) prices **intra-step trunk
+    sharing**: request ``i``'s leading ``dedup_tokens[i]`` cached tokens
+    are a trunk an *earlier member of this same step* already pushed
+    through the prefill pipe, so its KV is resident in the step's working
+    set and costs nothing at all — not even the cached-prefill re-read
+    rate.  Each entry must not exceed that request's ``cached_tokens``;
+    the remaining cached tokens still pay the cached rate, and uncached
+    tokens full prefill.  Omitting it (or all zeros) reproduces the
+    PR 7 pricing exactly.
     """
     if not requests:
         raise ValueError("a continuous step needs at least one request")
@@ -239,26 +272,35 @@ def estimate_continuous_step(
         raise ValueError(
             f"arrivals ({len(arrivals)}) must match requests ({len(requests)})"
         )
+    if dedup_tokens is None:
+        dedup_tokens = [0] * len(requests)
+    elif len(dedup_tokens) != len(requests):
+        raise ValueError(
+            f"dedup_tokens ({len(dedup_tokens)}) must match "
+            f"requests ({len(requests)})"
+        )
     size = len(requests)
     overhead_share = profile.overhead_s / size
     pipe = float(prefill_free_at)
     per_request: list[LatencyBreakdown] = []
     starts: list[float] = []
     completions: list[float] = []
-    for (prompt_tokens, cached_tokens, output_tokens), arrival in zip(
-        requests, arrivals
+    for (prompt_tokens, cached_tokens, output_tokens), arrival, dedup in zip(
+        requests, arrivals, dedup_tokens
     ):
-        if cached_tokens > prompt_tokens:
+        _validate_tokens(prompt_tokens, cached_tokens, output_tokens)
+        if dedup < 0 or dedup > cached_tokens:
             raise ValueError(
-                f"cached_tokens ({cached_tokens}) > prompt_tokens ({prompt_tokens})"
+                f"dedup_tokens ({dedup}) must be within "
+                f"[0, cached_tokens ({cached_tokens})]"
             )
-        if min(prompt_tokens, cached_tokens, output_tokens) < 0:
-            raise ValueError("token counts must be non-negative")
         uncached = prompt_tokens - cached_tokens
         breakdown = LatencyBreakdown(
             overhead=overhead_share,
             prefill=profile.prefill_s_per_token * uncached,
-            cached_prefill=profile.cached_prefill_s_per_token * cached_tokens,
+            cached_prefill=(
+                profile.cached_prefill_s_per_token * (cached_tokens - dedup)
+            ),
             decode=profile.decode_s_per_token * output_tokens,
         )
         start = max(float(arrival), pipe)
@@ -274,4 +316,5 @@ def estimate_continuous_step(
         completions=tuple(completions),
         prefill_free_at=pipe,
         wall=max(completions) - min(starts),
+        dedup_tokens=tuple(int(d) for d in dedup_tokens),
     )

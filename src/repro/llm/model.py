@@ -3,7 +3,8 @@
 :class:`SimulatedLLM` composes the pieces of this subpackage into the
 interface the SPEAR runtime consumes:
 
-- tokenizes the prompt and consults the block prefix cache (vLLM-style);
+- tokenizes the prompt and consults the radix prefix cache (SGLang
+  RadixAttention-style; the legacy vLLM hash-chain tier is pluggable);
 - routes and executes the task via :class:`~repro.llm.tasks.TaskEngine`;
 - charges modelled latency to a virtual clock;
 - returns a :class:`GenerationResult` carrying text, token accounting,
@@ -22,6 +23,7 @@ from repro.errors import ModelError, TokenBudgetExceededError
 from repro.llm.features import PromptFeatures, extract_features
 from repro.llm.kv_cache import BlockPrefixCache
 from repro.llm.latency import LatencyBreakdown, estimate_latency
+from repro.llm.radix_cache import RadixPrefixCache
 from repro.llm.profiles import DEFAULT_PROFILE, ModelProfile, get_profile
 from repro.llm.prompt_cache import StructuredPromptCache
 from repro.llm.tasks import TaskEngine, TaskOutput
@@ -60,7 +62,7 @@ class SimulatedLLM:
         profile: str | ModelProfile = DEFAULT_PROFILE,
         *,
         clock: VirtualClock | None = None,
-        kv_cache: BlockPrefixCache | None = None,
+        kv_cache: "RadixPrefixCache | BlockPrefixCache | None" = None,
         prompt_cache: StructuredPromptCache | None = None,
         enable_prefix_cache: bool = True,
         fault_plan: Any = None,
@@ -74,7 +76,10 @@ class SimulatedLLM:
         #: means every call succeeds, exactly as before.
         self.fault_plan = fault_plan
         self.tokenizer = Tokenizer()
-        self.kv_cache = kv_cache if kv_cache is not None else BlockPrefixCache()
+        # Radix-tree prefix index by default (SGLang RadixAttention
+        # structure); pass a BlockPrefixCache explicitly for the legacy
+        # vLLM hash-chain behaviour (the two are accounting-compatible).
+        self.kv_cache = kv_cache if kv_cache is not None else RadixPrefixCache()
         self.prompt_cache = (
             prompt_cache if prompt_cache is not None else StructuredPromptCache()
         )

@@ -49,7 +49,10 @@ SECTION_MARKER = "### Section"
 #: item text by prompt composers.  Assisted rewrites emit one — trailing
 #: reminders are a common LLM rewrite pattern, and tokens after per-item
 #: content can never be served from the prefix cache (paper Table 3's
-#: lower assisted hit rate).
+#: lower assisted hit rate).  The extreme form of the same mistake —
+#: putting the varying item *before* the static instructions, which
+#: makes the whole prompt uncacheable — is what ``spear check`` flags
+#: statically as SPEAR146 (item-first-template).
 POST_ITEM_MARKER = "Reminder after reading the tweet:"
 _HINT_RE = re.compile(r"refinement hint:\s*(.+)", re.IGNORECASE)
 _OBJECTIVE_RE = re.compile(r"objective:\s*(.+)", re.IGNORECASE)

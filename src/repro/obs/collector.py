@@ -45,6 +45,13 @@ spear_sched_step_tokens                        histogram  —
 spear_sched_preemptions_total                  counter    —
 spear_sched_forced_total                       counter    —
 spear_sched_wait_seconds                       histogram  class
+spear_prefix_dedup_tokens_total                counter    —
+spear_prefix_step_dedup_tokens                 histogram  —
+spear_prefix_groups_per_step                   histogram  —
+spear_prefix_last_step_dedup_tokens            gauge      —
+spear_prefix_cache_nodes                       gauge      model
+spear_prefix_cache_leaves                      gauge      model
+spear_prefix_cache_pinned_blocks               gauge      model
 spear_lane_elapsed_seconds                     histogram  —
 spear_model_gen_calls_total                    counter    model
 spear_model_gen_latency_seconds                histogram  model
@@ -173,6 +180,24 @@ class ObsCollector:
                 "spear_kv_cache_evictions_total",
                 "Blocks evicted from the prefix cache.", model=label,
             ).set_function(lambda: float(kv.stats.evictions))
+            if hasattr(kv, "pin"):
+                # Radix-tree tier only: structural gauges over the tree.
+                gauges.gauge(
+                    "spear_prefix_cache_nodes",
+                    "Token-block nodes resident in the radix prefix tree.",
+                    model=label,
+                ).set_function(lambda: float(kv.snapshot()["nodes"]))
+                gauges.gauge(
+                    "spear_prefix_cache_leaves",
+                    "Leaf nodes of the radix prefix tree "
+                    "(the eviction frontier).",
+                    model=label,
+                ).set_function(lambda: float(kv.snapshot()["leaves"]))
+                gauges.gauge(
+                    "spear_prefix_cache_pinned_blocks",
+                    "Radix nodes pinned against eviction by the scheduler.",
+                    model=label,
+                ).set_function(lambda: float(kv.snapshot()["pinned_blocks"]))
         prompt_cache = getattr(model, "prompt_cache", None)
         if prompt_cache is not None:
             gauges.gauge(
@@ -407,6 +432,27 @@ class ObsCollector:
                 "spear_sched_forced_total",
                 "Admissions forced by the timeout watermark.",
             ).inc(float(payload.get("forced", 0) or 0))
+            dedup = float(payload.get("dedup_tokens", 0) or 0)
+            self.registry.counter(
+                "spear_prefix_dedup_tokens_total",
+                "Trunk tokens prefilled once per step instead of once "
+                "per request (intra-step prefix dedup).",
+            ).inc(dedup)
+            self.registry.histogram(
+                "spear_prefix_step_dedup_tokens",
+                "Deduplicated trunk tokens per engine step.",
+                buckets=(0.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0),
+            ).observe(dedup)
+            self.registry.gauge(
+                "spear_prefix_last_step_dedup_tokens",
+                "Deduplicated trunk tokens of the most recent engine step.",
+            ).set(dedup)
+            if payload.get("prefix_groups") is not None:
+                self.registry.histogram(
+                    "spear_prefix_groups_per_step",
+                    "Distinct shared-trunk groups per engine step.",
+                    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+                ).observe(float(payload.get("prefix_groups", 0) or 0))
             waits = payload.get("waits", ()) or ()
             classes = payload.get("classes", ()) or ()
             for wait, priority in zip(waits, classes):

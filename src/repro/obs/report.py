@@ -72,6 +72,7 @@ class RunReport:
     model: dict[str, dict[str, Any]] = field(default_factory=dict)
     batches: dict[str, dict[str, Any]] = field(default_factory=dict)
     scheduler: dict[str, Any] = field(default_factory=dict)
+    prefix_cache: dict[str, Any] = field(default_factory=dict)
     totals: dict[str, Any] = field(default_factory=dict)
     cache: dict[str, Any] = field(default_factory=dict)
     result_cache: dict[str, Any] = field(default_factory=dict)
@@ -86,6 +87,7 @@ class RunReport:
             "model": self.model,
             "batches": self.batches,
             "scheduler": self.scheduler,
+            "prefix_cache": self.prefix_cache,
             "totals": self.totals,
             "cache": self.cache,
             "result_cache": self.result_cache,
@@ -111,6 +113,7 @@ class RunReport:
             model=dict(data.get("model", {})),
             batches=dict(data.get("batches", {})),
             scheduler=dict(data.get("scheduler", {})),
+            prefix_cache=dict(data.get("prefix_cache", {})),
             totals=dict(data.get("totals", {})),
             cache=dict(data.get("cache", {})),
             result_cache=dict(data.get("result_cache", {})),
@@ -304,6 +307,48 @@ def build_report(
             "wait_seconds": {
                 name: _hist_summary(hist) for name, hist in sorted(waits.items())
             },
+        }
+
+    # -- prefix cache (radix tier + intra-step trunk dedup) ------------------
+    dedup_total = registry.sum_counter("spear_prefix_dedup_tokens_total")
+    step_dedup = next(
+        (
+            child
+            for _labels, child in _family_children(
+                registry, "spear_prefix_step_dedup_tokens"
+            )
+            if isinstance(child, Histogram)
+        ),
+        None,
+    )
+    groups_hist = next(
+        (
+            child
+            for _labels, child in _family_children(
+                registry, "spear_prefix_groups_per_step"
+            )
+            if isinstance(child, Histogram)
+        ),
+        None,
+    )
+    radix_gauges: dict[str, dict[str, float]] = {}
+    for gauge_name in (
+        "spear_prefix_cache_nodes",
+        "spear_prefix_cache_leaves",
+        "spear_prefix_cache_pinned_blocks",
+    ):
+        for labels, child in _family_children(registry, gauge_name):
+            if isinstance(child, Gauge):
+                bucket = radix_gauges.setdefault(labels.get("model", "?"), {})
+                bucket[
+                    gauge_name.removeprefix("spear_prefix_cache_")
+                ] = round(child.value, 6)
+    if dedup_total or step_dedup is not None or radix_gauges:
+        report.prefix_cache = {
+            "dedup_tokens_total": int(dedup_total),
+            "step_dedup_tokens": _hist_summary(step_dedup),
+            "groups_per_step": _hist_summary(groups_hist),
+            "radix": radix_gauges,
         }
 
     # -- cache gauges -------------------------------------------------------

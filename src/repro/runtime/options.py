@@ -72,7 +72,10 @@ class RuntimeOptions:
     #: sequential Executor stays direct); ``True`` /
     #: :class:`~repro.runtime.scheduler.SchedulerConfig` forces the
     #: continuous engine on; ``False`` forces the legacy full-barrier
-    #: micro-batcher.
+    #: micro-batcher.  The config's ``prefix_group_blocks`` /
+    #: ``prefix_dedup`` knobs control prefix-aware admission: grouping
+    #: shared-trunk requests into the same step and charging each step's
+    #: shared trunk prefill once instead of once per request.
     scheduler: Any = None
     #: default priority class for scheduled generation calls — a
     #: :class:`~repro.runtime.scheduler.PriorityClass`, its string name,

@@ -20,6 +20,12 @@ engine for the reproduction:
   slowest peer's — continuous flow, not a barrier.
   ``RuntimeOptions(scheduler=False)`` selects the legacy full-barrier
   :class:`~repro.llm.batcher.GenMicroBatcher`.
+- admission is **prefix-aware**: requests whose tokenized prompts share
+  a structured-prompt trunk (``SchedulerConfig.prefix_group_blocks``
+  leading cache blocks) are grouped into the same engine step, their
+  trunks are pinned in the radix prefix cache for the step's duration,
+  and the shared trunk's prefill is charged once per step rather than
+  once per request (``SchedulerConfig.prefix_dedup``).
 
 Determinism: item outputs are produced by the model's deterministic task
 engine from the prompt alone, engine-step composition is a pure function

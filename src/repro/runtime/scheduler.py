@@ -27,8 +27,24 @@ workload.  Within a quiescence the engine forms *one* policy step:
 2. the rest are ordered by the **priority policy**: priority-class rank,
    then deadline instant (``arrival + deadline_s``), then arrival, then
    lane id — so interactive items preempt bulk refinement work;
-3. admission stops at the **token budget** (``max_batch_tokens`` prompt
+3. **prefix-aware grouping** (``prefix_group_blocks``): within a
+   priority class, requests whose tokenized prompts share at least that
+   many leading cache blocks are pulled adjacent into the same step —
+   the group order is the best member's policy position, members keep
+   their policy order, and the trunk key is computed from tokenized
+   prompts alone, so composition stays a pure function of the workload;
+4. admission stops at the **token budget** (``max_batch_tokens`` prompt
    tokens, always admitting at least one request) or at ``max_batch``.
+
+Prefix economics inside a step: the trunks of every admitted request are
+**pinned** in the radix prefix cache for the duration of the step (an
+earlier member's insert can never evict a later member's matched
+prefix), and with ``prefix_dedup`` each member's block-aligned overlap
+with *earlier step members* is priced at zero by
+:func:`~repro.llm.latency.estimate_continuous_step` — the shared trunk
+goes through the serial prefill pipe once per step, not once per
+request.  Dedup changes latency accounting only, never texts or cache
+hit/miss statistics.
 
 Requests left out of a step stay queued and mix with the batch formed at
 the next quiescence — genuine continuous flow on virtual time.  Steps
@@ -62,6 +78,7 @@ from repro.llm.batcher import (
     prepare_request,
 )
 from repro.llm.latency import estimate_continuous_step
+from repro.llm.radix_cache import shared_prefix_tokens
 from repro.runtime.clock import VirtualClock
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -119,6 +136,13 @@ class SchedulerConfig:
     watermark_s: float = 10.0
     #: hard cap on requests per engine step.
     max_batch: int = 64
+    #: trunk-overlap threshold (in cache blocks) for pulling pending
+    #: requests of the same priority class into the same step; 0
+    #: disables prefix-aware grouping.
+    prefix_group_blocks: int = 4
+    #: charge each step's shared trunk prefill once instead of once per
+    #: request (intra-step dedup pricing in the latency model).
+    prefix_dedup: bool = True
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -129,6 +153,10 @@ class SchedulerConfig:
             )
         if self.watermark_s < 0:
             raise ValueError(f"watermark_s must be >= 0, got {self.watermark_s}")
+        if self.prefix_group_blocks < 0:
+            raise ValueError(
+                f"prefix_group_blocks must be >= 0, got {self.prefix_group_blocks}"
+            )
 
 
 def resolve_scheduler_config(value: Any) -> "SchedulerConfig | None":
@@ -161,6 +189,9 @@ class StepMember:
     completion: float
     prompt_tokens: int
     output_tokens: int
+    #: leading tokens shared with an earlier member of the same step and
+    #: therefore charged zero prefill (intra-step trunk dedup).
+    dedup_tokens: int = 0
 
     @property
     def wait(self) -> float:
@@ -187,6 +218,10 @@ class StepRecord:
     wall: float
     #: prompt tokens admitted to the step.
     tokens: int
+    #: trunk tokens the step prefilled once instead of once per member.
+    dedup_tokens: int = 0
+    #: distinct shared-trunk groups among the admitted requests.
+    prefix_groups: int = 0
 
     @property
     def size(self) -> int:
@@ -230,6 +265,7 @@ class GenScheduler:
         self.total_batch_wall = 0.0
         self.preemptions = 0
         self.forced = 0
+        self.dedup_tokens_total = 0
         self._size_sum = 0
         self._wait_sum = 0.0
 
@@ -341,6 +377,72 @@ class GenScheduler:
         deadline = request.deadline if request.deadline is not None else float("inf")
         return (request.priority_rank, deadline, request.arrival, request.lane_id)
 
+    def _block_size(self) -> int:
+        return int(getattr(self.model.kv_cache, "block_size", 16))
+
+    def _trunk_key(self, request: _Request) -> tuple:
+        """Deterministic shared-trunk grouping key of one request.
+
+        Requests of the same priority class whose tokenized prompts share
+        the first ``prefix_group_blocks`` complete cache blocks get the
+        same key; short prompts (fewer complete blocks than the
+        threshold) stay singletons.  Priority rank is part of the key so
+        a bulk request can never ride an interactive group past other
+        interactive work.
+        """
+        span = self.config.prefix_group_blocks * self._block_size()
+        tokens = request.tokens or []
+        if len(tokens) < span:
+            return ("solo", request.lane_id)
+        return ("trunk", request.priority_rank, tuple(tokens[:span]))
+
+    def _group_by_trunk(self, ordered: "list[_Request]") -> "list[_Request]":
+        """Pull shared-trunk peers adjacent, preserving policy order.
+
+        Groups are ordered by their best member's policy position (the
+        input is policy-sorted and grouping is stable), and members keep
+        their relative policy order within the group — so composition
+        remains a pure function of tokenized prompts and policy state.
+        """
+        groups: dict[tuple, list[_Request]] = {}
+        order: list[tuple] = []
+        for request in ordered:
+            key = self._trunk_key(request)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(request)
+        return [request for key in order for request in groups[key]]
+
+    def _dedup_tokens(
+        self,
+        admitted: "list[_Request]",
+        triples: "list[tuple[int, int, int]]",
+    ) -> "list[int]":
+        """Intra-step trunk overlap per member, in admission order.
+
+        Member ``i``'s dedup is its largest block-aligned shared prefix
+        with any *earlier* member of the same step, capped at its own
+        cached-token count (only a cached trunk can be deduplicated —
+        under extreme eviction pressure the trunk may not have survived
+        to ``i``'s lookup, and then it must be paid for again).
+        """
+        if not self.config.prefix_dedup or len(admitted) < 2:
+            return [0] * len(admitted)
+        block_size = self._block_size()
+        dedup: list[int] = []
+        for index, request in enumerate(admitted):
+            best = 0
+            for earlier in admitted[:index]:
+                best = max(
+                    best,
+                    shared_prefix_tokens(
+                        request.tokens or [], earlier.tokens or [], block_size
+                    ),
+                )
+            dedup.append(min(best, triples[index][1]))
+        return dedup
+
     def _run_step_locked(self) -> None:
         """Form and execute one policy step from the pending queue."""
         # Prepare phase (tokenize + seeded fault injection), in lane
@@ -377,6 +479,8 @@ class GenScheduler:
             (request for request in pending if request not in forced),
             key=self._policy_key,
         )
+        if self.config.prefix_group_blocks > 0 and len(rest) > 1:
+            rest = self._group_by_trunk(rest)
         admitted: list[_Request] = []
         tokens_admitted = 0
         for request in forced + rest:
@@ -415,12 +519,26 @@ class GenScheduler:
         tokens: int,
     ) -> None:
         model = self.model
-        triples, outputs = execute_requests(model, admitted)
+        # Pin the admitted trunks so an earlier member's insert can never
+        # evict a later member's matched prefix mid-step (radix cache
+        # only; the legacy chain cache has no pin surface).
+        kv = model.kv_cache
+        pins = None
+        if hasattr(kv, "pin"):
+            pins = [kv.pin(request.tokens or []) for request in admitted]
+        try:
+            triples, outputs = execute_requests(model, admitted)
+        finally:
+            if pins is not None:
+                for handle in pins:
+                    kv.unpin(handle)
+        dedup = self._dedup_tokens(admitted, triples)
         step = estimate_continuous_step(
             model.profile,
             triples,
             [request.arrival for request in admitted],
             prefill_free_at=self._prefill_free_at,
+            dedup_tokens=dedup,
         )
         self._prefill_free_at = step.prefill_free_at
 
@@ -439,6 +557,8 @@ class GenScheduler:
                 "sched_step_size": step.size,
                 "sched_wait": step.starts[index] - request.arrival,
             }
+            if dedup[index]:
+                extras["sched_dedup_tokens"] = dedup[index]
             decision = request.decision
             spiked = decision is not None and decision.spike_factor != 1.0
             if spiked:
@@ -482,6 +602,7 @@ class GenScheduler:
                     completion=completion,
                     prompt_tokens=prompt_tokens,
                     output_tokens=output_tokens,
+                    dedup_tokens=dedup[index],
                 )
             )
 
@@ -494,6 +615,12 @@ class GenScheduler:
             queue_depth_after=len(self._pending),
             wall=step.wall,
             tokens=tokens,
+            dedup_tokens=sum(dedup),
+            prefix_groups=(
+                len({self._trunk_key(r) for r in admitted})
+                if self.config.prefix_group_blocks > 0
+                else 0
+            ),
         )
         self.steps.append(record)
         self.flushes += 1
@@ -502,6 +629,7 @@ class GenScheduler:
         self.total_batch_wall += step.wall
         self.preemptions += preemptions
         self.forced += forced
+        self.dedup_tokens_total += record.dedup_tokens
         self._size_sum += len(admitted)
         self._wait_sum += sum(member.wait for member in members)
         self._observe_step_locked(record)
@@ -587,6 +715,12 @@ class GenScheduler:
                 "steps": self.flushes,
                 "preemptions": self.preemptions,
                 "forced": self.forced,
+                "dedup_tokens": self.dedup_tokens_total,
+                "mean_step_dedup_tokens": (
+                    self.dedup_tokens_total / self.flushes
+                    if self.flushes
+                    else 0.0
+                ),
                 "mean_wait": (
                     self._wait_sum / self.batched_calls
                     if self.batched_calls
@@ -634,6 +768,8 @@ def fold_sched_events(events: Any, engine: GenScheduler) -> None:
                 "preemptions": record.preemptions,
                 "queue_depth": record.queue_depth_after,
                 "wall": round(record.wall, 9),
+                "dedup_tokens": record.dedup_tokens,
+                "prefix_groups": record.prefix_groups,
                 "lanes": [member.lane_id for member in record.members],
                 "classes": [member.priority for member in record.members],
                 "waits": [round(member.wait, 9) for member in record.members],

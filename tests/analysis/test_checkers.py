@@ -246,6 +246,50 @@ pipeline p {
         )
         assert not result.with_code("SPEAR145")
 
+    def test_spear146_item_first_template(self):
+        pipeline = Pipeline(
+            [
+                RET("notes", into="tweet"),
+                REF(
+                    RefAction.CREATE,
+                    "Tweet: {tweet} Summarise the tweet in one neutral "
+                    "sentence without hashtags.",
+                    key="qa",
+                ),
+                GEN("answer", prompt="qa"),
+            ]
+        )
+        (finding,) = check_pipeline(pipeline).with_code("SPEAR146")
+        assert finding.severity is Severity.WARNING
+        assert finding.data["placeholder"] == "tweet"
+        assert finding.data["static_after"] > finding.data["static_before"]
+        assert "before" in finding.data["fix_hint"]
+
+    def test_spear146_instruction_first_is_clean(self):
+        pipeline = Pipeline(
+            [
+                RET("notes", into="tweet"),
+                REF(
+                    RefAction.CREATE,
+                    "Summarise the following tweet in one neutral sentence "
+                    "without hashtags: {tweet}",
+                    key="qa",
+                ),
+                GEN("answer", prompt="qa"),
+            ]
+        )
+        assert not check_pipeline(pipeline).with_code("SPEAR146")
+
+    def test_spear146_skipped_for_dynamic_templates(self):
+        pipeline = Pipeline(
+            [
+                RET("notes", into="tweet"),
+                REF(RefAction.CREATE, lambda entry, state: "x", key="qa"),
+                GEN("answer", prompt="qa"),
+            ]
+        )
+        assert not check_pipeline(pipeline).with_code("SPEAR146")
+
 
 class TestReachabilityCodes:
     def test_spear151_metadata_check_never_fires(self):
@@ -295,6 +339,7 @@ class TestFixtures:
             "SPEAR122",
             "SPEAR131",
             "SPEAR142",
+            "SPEAR146",
             "SPEAR151",
             "SPEAR162",
         } <= codes(result)

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.llm.features import PromptFeatures, extract_features
-from repro.llm.latency import estimate_latency
+from repro.llm.latency import estimate_continuous_step, estimate_latency
 from repro.llm.profiles import get_profile
 from repro.llm.quality import confidence_for, error_rate, noisy_bool
 
@@ -173,3 +173,65 @@ class TestLatencyModel:
             output_tokens=output_tokens + 10,
         )
         assert more.total > base.total
+
+
+class TestContinuousStepDedup:
+    REQUESTS = [(200, 0, 20), (200, 128, 20), (200, 128, 20)]
+    ARRIVALS = [0.0, 0.0, 0.0]
+
+    def test_omitted_and_zero_dedup_identical(self):
+        base = estimate_continuous_step(QWEN, self.REQUESTS, self.ARRIVALS)
+        zeros = estimate_continuous_step(
+            QWEN, self.REQUESTS, self.ARRIVALS, dedup_tokens=[0, 0, 0]
+        )
+        assert zeros.completions == base.completions
+        assert zeros.per_request == base.per_request
+        assert base.total_dedup_tokens == 0
+
+    def test_dedup_tokens_charged_zero_not_cached_rate(self):
+        base = estimate_continuous_step(QWEN, self.REQUESTS, self.ARRIVALS)
+        dedup = estimate_continuous_step(
+            QWEN, self.REQUESTS, self.ARRIVALS, dedup_tokens=[0, 128, 128]
+        )
+        saved = QWEN.cached_prefill_s_per_token * 128
+        assert dedup.per_request[1].cached_prefill == pytest.approx(0.0)
+        assert dedup.completions[1] == pytest.approx(
+            base.completions[1] - saved
+        )
+        # The serial pipe frees earlier, so savings compound downstream.
+        assert dedup.prefill_free_at < base.prefill_free_at
+        assert dedup.total_dedup_tokens == 256
+        assert dedup.dedup_tokens == (0, 128, 128)
+
+    def test_partial_dedup_remainder_pays_cached_rate(self):
+        step = estimate_continuous_step(
+            QWEN, self.REQUESTS, self.ARRIVALS, dedup_tokens=[0, 64, 0]
+        )
+        assert step.per_request[1].cached_prefill == pytest.approx(
+            QWEN.cached_prefill_s_per_token * (128 - 64)
+        )
+
+    def test_single_request_degenerates_to_direct_call(self):
+        step = estimate_continuous_step(
+            QWEN, [(200, 64, 20)], [0.0], dedup_tokens=[0]
+        )
+        direct = estimate_latency(
+            QWEN, prompt_tokens=200, cached_tokens=64, output_tokens=20
+        )
+        assert step.completions[0] == pytest.approx(direct.total)
+
+    def test_dedup_validation(self):
+        with pytest.raises(ValueError):
+            estimate_continuous_step(
+                QWEN, self.REQUESTS, self.ARRIVALS, dedup_tokens=[0, 0]
+            )
+        with pytest.raises(ValueError):
+            estimate_continuous_step(
+                QWEN, self.REQUESTS, self.ARRIVALS, dedup_tokens=[0, -1, 0]
+            )
+        with pytest.raises(ValueError):
+            # Dedup beyond the request's own cached tokens is impossible:
+            # only a cached trunk can be shared.
+            estimate_continuous_step(
+                QWEN, self.REQUESTS, self.ARRIVALS, dedup_tokens=[0, 129, 0]
+            )
