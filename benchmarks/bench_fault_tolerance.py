@@ -151,7 +151,7 @@ def run_arm(
     )
     runner = BatchRunner(state, bind=bind, on_error="collect")
     wall0 = time.perf_counter()
-    batch = runner.run(build_pipeline(), items)
+    batch = runner.run(build_pipeline(), items=items)
     host_wall = time.perf_counter() - wall0
     failures = batch.failures()
     fault_plan = state.model.fault_plan

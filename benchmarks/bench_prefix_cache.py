@@ -96,7 +96,7 @@ def _build_state_with_cache(n_items: int, seed: int, kv_cache=None, **kwargs):
 
 def _sequential(n_items: int, seed: int, kv_cache=None, **kwargs):
     state, items = _build_state_with_cache(n_items, seed, kv_cache, **kwargs)
-    batch = BatchRunner(state, bind=bind).run(build_pipeline(), items)
+    batch = BatchRunner(state, bind=bind).run(build_pipeline(), items=items)
     return state, batch
 
 
@@ -143,7 +143,7 @@ def run_scheduler_arm(n_items: int, seed: int, sequential, baseline) -> dict:
         state, items = build_state(n_items, seed)
         runner = ParallelBatchRunner(state, bind=bind, workers=workers)
         wall0 = time.perf_counter()
-        batch = runner.run(build_pipeline(), items)
+        batch = runner.run(build_pipeline(), items=items)
         host_wall = time.perf_counter() - wall0
         if outputs_of(batch) != baseline:
             raise AssertionError(
@@ -256,7 +256,7 @@ def run_determinism_arm(n_items: int, seed: int, workers: int) -> dict:
                 bind=bind,
                 workers=workers,
                 options=RuntimeOptions(ledger_dir=root),
-            ).run(build_pipeline(), items)
+            ).run(build_pipeline(), items=items)
             run_dirs.append(Ledger(root).latest().path)
         sink = io.StringIO()
         with contextlib.redirect_stdout(sink):
@@ -274,7 +274,7 @@ def run_determinism_arm(n_items: int, seed: int, workers: int) -> dict:
 def run_benchmark(n_items: int, seed: int) -> dict:
     state, items = build_state(n_items, seed)
     wall0 = time.perf_counter()
-    sequential = BatchRunner(state, bind=bind).run(build_pipeline(), items)
+    sequential = BatchRunner(state, bind=bind).run(build_pipeline(), items=items)
     seq_wall = time.perf_counter() - wall0
     baseline = outputs_of(sequential)
     full_blocks = int(state.model.kv_cache.snapshot()["blocks"])

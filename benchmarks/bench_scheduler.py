@@ -103,7 +103,7 @@ def _scheduled_run(
         state, bind=bind, workers=workers, options=options or RuntimeOptions()
     )
     wall0 = time.perf_counter()
-    batch = runner.run(build_pipeline(), items)
+    batch = runner.run(build_pipeline(), items=items)
     return runner, batch, time.perf_counter() - wall0
 
 
@@ -232,7 +232,7 @@ def run_benchmark(n_items: int, seed: int) -> dict:
     pipeline = build_pipeline()
     state, items = build_state(n_items, seed)
     wall0 = time.perf_counter()
-    sequential = BatchRunner(state, bind=bind).run(pipeline, items)
+    sequential = BatchRunner(state, bind=bind).run(pipeline, items=items)
     seq_wall = time.perf_counter() - wall0
     baseline = outputs_of(sequential)
 

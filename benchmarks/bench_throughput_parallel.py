@@ -87,7 +87,7 @@ def run_benchmark(
 
     state, items = build_state(n_items, seed)
     wall0 = time.perf_counter()
-    sequential = BatchRunner(state, bind=bind).run(pipeline, items)
+    sequential = BatchRunner(state, bind=bind).run(pipeline, items=items)
     seq_wall = time.perf_counter() - wall0
     baseline_outputs = outputs_of(sequential)
     result = {
@@ -106,7 +106,7 @@ def run_benchmark(
         state_w, items_w = build_state(n_items, seed)
         runner = ParallelBatchRunner(state_w, bind=bind, workers=workers)
         wall0 = time.perf_counter()
-        batch = runner.run(pipeline, items_w)
+        batch = runner.run(pipeline, items=items_w)
         host_wall = time.perf_counter() - wall0
         if outputs_of(batch) != baseline_outputs:
             raise AssertionError(

@@ -74,7 +74,7 @@ def main() -> None:
             producer="bind",
         ),
     )
-    batch = runner.run(pipeline, corpus.patients)
+    batch = runner.run(pipeline, items=corpus.patients)
 
     # Quality: how complete are the extracted fields for treated patients?
     treated = [

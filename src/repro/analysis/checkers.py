@@ -487,7 +487,8 @@ def check_deadline_without_scheduler(
     runtime (``env.runtime``); unknown runtime skips it.
     """
     runtime = env.runtime
-    if runtime is None:
+    if runtime is None or runtime.get("serve"):
+        # Serving pools get the sharper SPEAR147 finding instead.
         return []
     scheduler = runtime.get("scheduler")
     enabled = scheduler is not None and scheduler is not False
@@ -507,6 +508,48 @@ def check_deadline_without_scheduler(
             f"{' and '.join(configured)} configured but no scheduler is "
             "enabled; the deadline/priority policy will silently no-op — "
             "enable RuntimeOptions(scheduler=...) or drop the setting",
+            graph,
+            gen,
+            configured=tuple(configured),
+        )
+    ]
+
+
+def check_serve_policy_without_scheduler(
+    graph: DataflowGraph, env: AnalysisEnv
+) -> list[Diagnostic]:
+    """SPEAR147 — serving policy configured but the pool runs unscheduled.
+
+    Extends SPEAR145 to the serving layer: when ``env.runtime`` describes
+    a :class:`~repro.serve.server.SpearServer` pool (``serve`` truthy)
+    whose ``scheduler`` is disabled, per-request/per-tenant ``priority``
+    and ``deadline_s`` still order *admission* but never reach the
+    per-run GEN scheduler — the serving policy silently degrades to
+    queue ordering.  Callers describe the pool with keys like
+    ``{"serve": True, "scheduler": False, "deadline_s": 5.0}``.
+    """
+    runtime = env.runtime
+    if runtime is None or not runtime.get("serve"):
+        return []
+    scheduler = runtime.get("scheduler")
+    enabled = scheduler is not None and scheduler is not False
+    if enabled:
+        return []
+    configured = [
+        name
+        for name in ("deadline_s", "priority")
+        if runtime.get(name) is not None
+    ]
+    if not configured:
+        return []
+    gen = next((node for node in graph if node.kind == "GEN"), None)
+    return [
+        _diag(
+            "SPEAR147",
+            f"serving {' and '.join(configured)} configured but the pool's "
+            "scheduler is disabled; requests are admission-ordered only and "
+            "the per-run deadline/priority policy silently no-ops — build "
+            "SpearServer(scheduler=True) or a SchedulerConfig",
             graph,
             gen,
             configured=tuple(configured),
@@ -606,6 +649,7 @@ ANALYZERS: tuple[Callable[[DataflowGraph, AnalysisEnv], list[Diagnostic]], ...] 
     check_dead_branches,
     check_fusion_safety,
     check_deadline_without_scheduler,
+    check_serve_policy_without_scheduler,
     check_item_first_template,
 )
 

@@ -139,6 +139,13 @@ CODE_CATALOG: dict[str, tuple[Severity, str, str]] = {
         "its static text: item-first ordering defeats prefix caching "
         "because the shared trunk diverges at the first varying token.",
     ),
+    "SPEAR147": (
+        Severity.WARNING,
+        "serve-policy-without-scheduler",
+        "A serving pool carries per-request deadline_s/priority but its "
+        "scheduler is disabled: requests are admission-ordered only and "
+        "the per-run serving policy silently no-ops.",
+    ),
     "SPEAR151": (
         Severity.WARNING,
         "check-never-fires",

@@ -11,6 +11,11 @@ move between releases.  The facade is the compatibility contract:
   :class:`RefinementLoop`, configured via :class:`RuntimeOptions`;
 - the serving substrate — :class:`SimulatedLLM`, :class:`ModelProfile`,
   :class:`ResultCache`;
+- the serving layer — :class:`SpearServer` with typed
+  :class:`ServeRequest` / :class:`ServeResponse` messages,
+  :class:`TenantConfig` per-tenant sessions, :class:`SchedulerConfig` /
+  :class:`PriorityClass` admission policy, and :class:`ShedPolicy`
+  load shedding;
 - the resilience layer — :class:`FaultPlan`, :class:`RetryPolicy`,
   :class:`BreakerPolicy`, :class:`CircuitBreaker`,
     :class:`FallbackChain` + targets, :class:`ResilienceRuntime`;
@@ -111,17 +116,26 @@ from repro.resilience import (
     ModelFallback,
     ResilienceRuntime,
     RetryPolicy,
+    ShedPolicy,
     StaticFallback,
 )
 from repro.runtime import (
     BatchRunner,
     Executor,
     ParallelBatchRunner,
+    PriorityClass,
     RefinementLoop,
     ResultCache,
     RunResult,
     RuntimeOptions,
+    SchedulerConfig,
     VirtualClock,
+)
+from repro.serve import (
+    ServeRequest,
+    ServeResponse,
+    SpearServer,
+    TenantConfig,
 )
 
 __all__ = [
@@ -159,6 +173,14 @@ __all__ = [
     "RunResult",
     "ResultCache",
     "VirtualClock",
+    "PriorityClass",
+    "SchedulerConfig",
+    # serving layer
+    "SpearServer",
+    "ServeRequest",
+    "ServeResponse",
+    "TenantConfig",
+    "ShedPolicy",
     # serving substrate
     "SimulatedLLM",
     "GenerationResult",

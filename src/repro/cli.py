@@ -11,6 +11,7 @@ Subcommands::
     python -m repro runs LEDGER_DIR [--run ID] [--format {table,json}]
     python -m repro diff RUN_A RUN_B [--gate] [--max-regress PCT]
     python -m repro top LEDGER_DIR_OR_RUN [--interval S] [--once]
+    python -m repro serve [--tenants N] [--workers W] [--overload X] [...]
 
 ``run`` executes a SPEAR-DL file against a fully wired state: the
 simulated model grounded on the seeded synthetic corpora, the clinical
@@ -193,6 +194,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--once",
         action="store_true",
         help="render a single snapshot and exit (no tail loop)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="drive the multi-tenant serving pool with synthetic traffic",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=16, help="tenant count (default: 16)"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8, help="pool worker threads (default: 8)"
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=8,
+        help="per-tenant admission queue bound (default: 8)",
+    )
+    serve.add_argument(
+        "--overload",
+        type=int,
+        default=1,
+        help="burst multiplier over the queue limit; excess sheds (default: 1)",
+    )
+    serve.add_argument(
+        "--corpus", type=int, default=32, help="demo corpus size (default: 32)"
+    )
+    serve.add_argument("--seed", type=int, default=7, help="corpus seed")
+    serve.add_argument(
+        "--pipeline",
+        choices=("summarize", "summarize_filter"),
+        default="summarize_filter",
+        help="registered demo pipeline to drive (default: summarize_filter)",
+    )
+    serve.add_argument(
+        "--no-scheduler",
+        action="store_true",
+        help="disable the per-run GEN scheduler (serving policy then only "
+        "orders admission; see SPEAR147)",
+    )
+    serve.add_argument(
+        "--ledger-dir",
+        type=Path,
+        default=None,
+        help="write per-tenant ledger runs under this root",
+    )
+    serve.add_argument(
+        "--format",
+        dest="format",
+        choices=("table", "json"),
+        default="table",
+        help="output format (default: human-readable)",
     )
     return parser
 
@@ -966,6 +1019,67 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print()
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve package pulls in the full runtime.
+    import json as _json
+
+    from repro.serve import TrafficConfig, build_demo_server, run_traffic
+
+    config = TrafficConfig(
+        tenants=args.tenants,
+        queue_limit=args.queue_limit,
+        overload=args.overload,
+        workers=args.workers,
+        corpus_size=args.corpus,
+        seed=args.seed,
+        scheduler=not args.no_scheduler,
+    )
+    server = build_demo_server(
+        config,
+        ledger_dir=str(args.ledger_dir) if args.ledger_dir else None,
+    )
+    metrics = run_traffic(server, config, pipeline=args.pipeline)
+    if args.format == "json":
+        print(_json.dumps(metrics, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"served {metrics['served']}/{metrics['submitted']} requests "
+        f"across {metrics['tenants']} tenants "
+        f"({metrics['workers']} workers, queue limit {metrics['queue_limit']})"
+    )
+    print(
+        f"  shed {metrics['shed']} ({metrics['shed_rate'] * 100:.1f}%)  "
+        f"errors {metrics['errors']}"
+    )
+    print(
+        f"  latency p50 {metrics['latency_p50_s']}s  "
+        f"p99 {metrics['latency_p99_s']}s (simulated)"
+    )
+    print(
+        f"  queue wait p50 {metrics['queue_wait_p50_s']}s  "
+        f"p99 {metrics['queue_wait_p99_s']}s (wall)"
+    )
+    print(
+        f"  throughput {metrics['throughput_rps']} req/s over "
+        f"{metrics['wall_elapsed_s']}s wall"
+    )
+    rows = []
+    for name, session in sorted(metrics["sessions"].items()):
+        rows.append(
+            (
+                name,
+                session["completed"],
+                session["shed"],
+                round(session["clock"], 2),
+            )
+        )
+    width = max(len(row[0]) for row in rows) if rows else 6
+    print(f"  {'tenant'.ljust(width)}  served  shed  sim_clock_s")
+    for name, completed, shed, clock in rows:
+        print(f"  {name.ljust(width)}  {completed:>6}  {shed:>4}  {clock:>11}")
+    return 0
+
+
 def _cmd_fmt(args: argparse.Namespace) -> int:
     source = args.file.read_text(encoding="utf-8")
     formatted = format_program(parse(source))
@@ -990,6 +1104,7 @@ def main(argv: list[str] | None = None) -> int:
         "runs": _cmd_runs,
         "diff": _cmd_diff,
         "top": _cmd_top,
+        "serve": _cmd_serve,
     }
     if args.command in ("check", "stats", "trace", "runs", "diff", "top"):
         # Checked/traced files are untrusted input: a rejected or

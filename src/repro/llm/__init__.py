@@ -15,6 +15,7 @@ from repro.llm.latency import (
 )
 from repro.llm.model import GenerationResult, SimulatedLLM
 from repro.llm.packing import Fragment, PackResult, pack_fragments
+from repro.llm.partitions import CachePartition, CachePartitions
 from repro.llm.profiles import DEFAULT_PROFILE, PROFILES, ModelProfile, get_profile
 from repro.llm.prompt_cache import PromptCacheKey, StructuredPromptCache, param_hash
 from repro.llm.quality import error_rate, noisy_bool
@@ -27,6 +28,8 @@ __all__ = [
     "extract_features",
     "BlockPrefixCache",
     "CacheStats",
+    "CachePartition",
+    "CachePartitions",
     "RadixPrefixCache",
     "shared_prefix_tokens",
     "BatchLatency",

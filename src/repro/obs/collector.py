@@ -79,6 +79,11 @@ spear_retry_backoff_seconds                    histogram  model
 spear_breaker_state                            gauge      model
 spear_breaker_transitions_total                counter    model
 spear_degraded_runs_total                      counter    target
+spear_serve_requests_total                     counter    tenant, status
+spear_serve_latency_seconds                    histogram  tenant
+spear_serve_queue_wait_seconds                 histogram  tenant
+spear_serve_shed_total                         counter    tenant
+spear_serve_queue_depth                        gauge      tenant
 =============================================  =========  ==============
 
 Operator labels are *kinds* (``GEN``, ``CHECK``, …) rather than full
@@ -462,6 +467,44 @@ class ObsCollector:
                     buckets=LATENCY_BUCKETS,
                     **{"class": str(priority)},
                 ).observe(float(wait))
+        elif kind is EventKind.SERVE:
+            # One event per serving-layer request outcome, recorded on
+            # the server's own event log (never on tenant session logs,
+            # which must stay byte-identical to standalone runs).
+            payload = event.payload
+            tenant = str(payload.get("tenant", "?"))
+            status = str(payload.get("status", "?"))
+            self.registry.counter(
+                "spear_serve_requests_total",
+                "Serving requests completed, by tenant and outcome.",
+                tenant=tenant, status=status,
+            ).inc()
+            if status == "shed":
+                self.registry.counter(
+                    "spear_serve_shed_total",
+                    "Requests shed by admission control, by tenant.",
+                    tenant=tenant,
+                ).inc()
+            else:
+                self.registry.histogram(
+                    "spear_serve_latency_seconds",
+                    "Simulated execution time per served request.",
+                    buckets=LATENCY_BUCKETS,
+                    tenant=tenant,
+                ).observe(float(payload.get("elapsed", 0.0) or 0.0))
+                self.registry.histogram(
+                    "spear_serve_queue_wait_seconds",
+                    "Wall-clock admission-to-start wait per request.",
+                    buckets=LATENCY_BUCKETS,
+                    tenant=tenant,
+                ).observe(float(payload.get("queue_wait", 0.0) or 0.0))
+            if payload.get("queue_depth") is not None:
+                self.registry.gauge(
+                    "spear_serve_queue_depth",
+                    "Tenant queue depth after this request's admission "
+                    "decision.",
+                    tenant=tenant,
+                ).set(float(payload.get("queue_depth", 0) or 0))
 
     def on_generation(self, result: "GenerationResult", model: str = "?") -> None:
         """Model-layer listener: every ``generate`` call, however reached.

@@ -24,6 +24,7 @@ from repro.resilience.policies import (
     FallbackChain,
     ModelFallback,
     RetryPolicy,
+    ShedPolicy,
     StaticFallback,
 )
 from repro.resilience.runtime import ResilienceRuntime
@@ -39,5 +40,6 @@ __all__ = [
     "ModelFallback",
     "StaticFallback",
     "FallbackChain",
+    "ShedPolicy",
     "ResilienceRuntime",
 ]

@@ -24,6 +24,7 @@ __all__ = [
     "ModelFallback",
     "StaticFallback",
     "FallbackChain",
+    "ShedPolicy",
 ]
 
 
@@ -102,6 +103,36 @@ class BreakerPolicy:
         if self.half_open_probes < 1:
             raise ValueError(
                 f"half_open_probes must be >= 1: {self.half_open_probes}"
+            )
+
+
+@dataclass(frozen=True)
+class ShedPolicy:
+    """Admission control for the multi-tenant serving layer.
+
+    A tenant whose pending-request queue is full is *shed*: the submit
+    call fails fast with :class:`~repro.errors.RateLimitError` carrying
+    ``retry_after_s``, instead of queueing unboundedly (the serving
+    analogue of the breaker's fail-fast stance).  ``breaker`` optionally
+    wraps admission in a :class:`CircuitBreaker` so a tenant that keeps
+    hitting the limit is shed outright for ``cooldown_s`` without even
+    checking the queue.
+    """
+
+    #: pending requests a tenant may hold before submissions shed.
+    queue_limit: int = 16
+    #: hint returned to shed callers (simulated seconds).
+    retry_after_s: float = 1.0
+    #: optional breaker-style shedding on repeated overload; None means
+    #: every submit checks only the queue depth.
+    breaker: "BreakerPolicy | None" = None
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1: {self.queue_limit}")
+        if self.retry_after_s < 0:
+            raise ValueError(
+                f"retry_after_s must be >= 0: {self.retry_after_s}"
             )
 
 

@@ -15,6 +15,7 @@ from repro.runtime.incremental import IterationReport, LoopReport, RefinementLoo
 from repro.runtime.options import RuntimeOptions
 from repro.runtime.persistence import load_store, save_store, store_from_dict, store_to_dict
 from repro.runtime.result_cache import CachedDelta, ReadOnlyResultCache, ResultCache
+from repro.runtime.scheduler import PriorityClass, SchedulerConfig
 from repro.runtime.replay import ReplayStep, export_replay_log, replay, verify_replay
 from repro.runtime.tracing import (
     export_events,
@@ -48,6 +49,8 @@ __all__ = [
     "LoopReport",
     "RefinementLoop",
     "RuntimeOptions",
+    "PriorityClass",
+    "SchedulerConfig",
     "load_store",
     "save_store",
     "store_from_dict",

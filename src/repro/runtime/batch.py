@@ -17,6 +17,7 @@ concurrent engine with GEN micro-batching lives in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from collections.abc import Mapping
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.runtime.events import EventKind
@@ -31,9 +32,27 @@ __all__ = [
     "ItemResult",
     "BatchResult",
     "BatchRunner",
+    "bind_item",
     "collect_item_result",
     "emit_batch_event",
 ]
+
+
+def bind_item(state: "ExecutionState", item: Any) -> None:
+    """The default item binder shared by every batch-shaped runner.
+
+    A mapping item is spread into the context key by key; any other
+    non-None item lands under ``C["item"]``; None binds nothing.  Pass
+    an explicit ``bind`` callback for anything richer (the Table-3
+    benchmarks bind ``tweet.text`` under ``C["tweet"]``, for example).
+    """
+    if item is None:
+        return
+    if isinstance(item, Mapping):
+        for key, value in item.items():
+            state.context.put(str(key), value, producer="bind")
+    else:
+        state.context.put("item", item, producer="bind")
 
 
 @dataclass(frozen=True)
@@ -60,10 +79,35 @@ class BatchResult:
     elapsed: float = 0.0
     #: worker lanes the batch ran on (1 for the sequential runner).
     workers: int = 1
+    #: result-cache activity during this batch (hits/misses/invalidations/
+    #: saved_seconds deltas); empty when no cache was attached.  Part of
+    #: the shared result protocol (``.output()`` / ``.report`` / ``.cache``).
+    cache: dict[str, float] = field(default_factory=dict)
 
     def outputs(self, label: str) -> list[Any]:
         """Per-item values of C[label] (None where missing or failed)."""
         return [result.context.get(label) for result in self.items]
+
+    def output(self, label: str) -> list[Any]:
+        """Shared result protocol: per-item values of ``C[label]``.
+
+        The batch-shaped counterpart of :meth:`RunResult.output` — a
+        server dispatching to any runner reads outputs the same way.
+        """
+        return self.outputs(label)
+
+    @property
+    def report(self) -> dict[str, Any]:
+        """Shared result protocol: one JSON-ready summary of the run."""
+        return {
+            "runner": "batch",
+            "items": len(self.items),
+            "failures": len(self.failures()),
+            "workers": self.workers,
+            "elapsed": self.elapsed,
+            "throughput": self.throughput,
+            "cache": dict(self.cache),
+        }
 
     def signals(self, name: str) -> list[Any]:
         """Per-item values of M[name] (None where missing)."""
@@ -150,7 +194,9 @@ class BatchRunner:
             the model's caches stay shared — matching the paper's batched
             execution with prefix reuse.
         bind: called with (item_state, item) before the pipeline, to place
-            the item into the context (e.g. ``state.C["tweet"] = item.text``).
+            the item into the context (e.g. ``state.C["tweet"] = item.text``);
+            defaults to :func:`bind_item` (mappings spread into C, other
+            items land under ``C["item"]``).
         on_error: ``"raise"`` (default) propagates the first exception;
             ``"collect"`` records it in the ItemResult and continues.
     """
@@ -159,19 +205,27 @@ class BatchRunner:
         self,
         base_state: "ExecutionState",
         *,
-        bind: "Callable[[ExecutionState, Any], None]",
+        bind: "Callable[[ExecutionState, Any], None] | None" = None,
         on_error: str = "raise",
     ) -> None:
         if on_error not in ("raise", "collect"):
             raise ValueError(f"on_error must be 'raise' or 'collect': {on_error!r}")
         self.base_state = base_state
-        self.bind = bind
+        self.bind = bind if bind is not None else bind_item
         self.on_error = on_error
 
-    def run(self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]") -> BatchResult:
+    def run(
+        self,
+        pipeline: "Pipeline",
+        items: "Iterable[Any] | Sequence[Any] | None" = None,
+    ) -> BatchResult:
         """Execute ``pipeline`` once per item; returns the aggregate."""
+        if items is None:
+            items = []
         batch = BatchResult()
         clock = self.base_state.clock
+        cache = self.base_state.result_cache
+        cache_before = cache.snapshot() if cache is not None else None
         batch_start = clock.now
         for item in items:
             item_state = self.base_state.fork()
@@ -193,6 +247,12 @@ class BatchRunner:
                 )
             )
         batch.elapsed = clock.now - batch_start
+        if cache is not None and cache_before is not None:
+            after = cache.snapshot()
+            batch.cache = {
+                key: after[key] - cache_before[key]
+                for key in ("hits", "misses", "invalidations", "saved_seconds")
+            }
         emit_batch_event(
             self.base_state, batch, mode="sequential", runner="BatchRunner"
         )

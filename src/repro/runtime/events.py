@@ -35,6 +35,7 @@ class EventKind(str, Enum):
     SHADOW = "shadow"
     BATCH = "batch"
     SCHED = "sched"
+    SERVE = "serve"
     ERROR = "error"
     FAULT = "fault"
     RETRY = "retry"

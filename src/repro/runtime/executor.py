@@ -62,15 +62,32 @@ class RunResult:
                 label, available=list(self.state.context.keys())
             ) from None
 
+    @property
+    def report(self) -> dict[str, Any]:
+        """Shared result protocol: one JSON-ready summary of the run.
+
+        Every runner's result (:class:`RunResult`,
+        :class:`~repro.runtime.batch.BatchResult`,
+        :class:`~repro.runtime.incremental.LoopReport`) exposes
+        ``.output()`` / ``.report`` / ``.cache`` so a serving pool can
+        dispatch to any of them uniformly.
+        """
+        return {
+            "runner": "run",
+            "elapsed": self.elapsed,
+            "events": len(self.events),
+            "cache": dict(self.cache),
+        }
+
 
 class Executor:
     """Builds execution states and runs pipelines against them.
 
     Configure it with ``options=RuntimeOptions(...)`` (the supported
     surface).  The individual service keywords (``model=``, ``views=``,
-    ``clock=``, ``collector=``, ``result_cache=``) are deprecated
-    equivalents kept for compatibility; they emit DeprecationWarning and
-    cannot be combined with ``options=``.
+    ``clock=``, ``collector=``, ``result_cache=``) completed their
+    deprecation cycle: passing one raises :class:`TypeError` naming the
+    exact ``options=`` replacement.
     """
 
     def __init__(
@@ -179,12 +196,32 @@ class Executor:
         self,
         pipeline: "Pipeline",
         *,
+        items: Any = None,
+        options: "RuntimeOptions | None" = None,
         state: "ExecutionState | None" = None,
         context: Mapping[str, Any] | None = None,
         priority: Any = None,
         deadline_s: float | None = None,
-    ) -> RunResult:
+    ) -> Any:
         """Execute ``pipeline``; returns the final state plus run artefacts.
+
+        The unified runner signature ``run(pipeline, *, items=None,
+        options=None)`` is shared with
+        :class:`~repro.runtime.parallel.ParallelBatchRunner` and
+        :class:`~repro.runtime.incremental.RefinementLoop` so a serving
+        pool can dispatch to any runner the same way:
+
+        - ``items=`` maps the pipeline over a dataset sequentially (one
+          forked state per item, bound by
+          :func:`~repro.runtime.batch.bind_item`) and returns a
+          :class:`~repro.runtime.batch.BatchResult`; without it a single
+          run returns a :class:`RunResult` — both expose the shared
+          ``.output()`` / ``.report`` / ``.cache`` protocol.  Combined
+          with ``state=``, that state is the shared base (prompts, model,
+          caches) the per-item forks branch from.
+        - ``options=`` overrides this executor's configuration for one
+          call (a derived executor with the same sources and agents runs
+          it; this executor is not mutated).
 
         With ``RuntimeOptions(scheduler=True)`` (or a
         :class:`~repro.runtime.scheduler.SchedulerConfig`) the run's
@@ -196,9 +233,16 @@ class Executor:
         per-call engine steps, so outputs stay byte-identical to the
         direct path.
         """
-        if state is None:
-            state = self.new_state(context=context)
-        else:
+        if options is not None:
+            return self._derive(options).run(
+                pipeline,
+                items=items,
+                state=state,
+                context=context,
+                priority=priority,
+                deadline_s=deadline_s,
+            )
+        if state is not None:
             if self.collector is not None:
                 # Externally built states still get observed (idempotent).
                 self.collector.subscribe_to(state.events)
@@ -208,6 +252,18 @@ class Executor:
                 self.result_cache.subscribe_to(state.events, state.prompts)
             if self.resilience is not None and state.resilience is None:
                 state.resilience = self.resilience
+        if items is not None:
+            from repro.runtime.batch import BatchRunner
+
+            # items= fans the pipeline out over a dataset; state= (when
+            # given) is the shared base carrying prompts/model, forked
+            # per item like any batch runner.
+            base = state if state is not None else self.new_state(context=context)
+            return BatchRunner(base, on_error="collect").run(
+                pipeline, items=items
+            )
+        if state is None:
+            state = self.new_state(context=context)
         if self.options.strict:
             self._validate(pipeline, state)
         with self._ledger_scope(state, pipeline=pipeline):
@@ -255,6 +311,18 @@ class Executor:
                 events=final.events.all()[event_start:],
                 cache=cache_delta,
             )
+
+    def _derive(self, options: "RuntimeOptions") -> "Executor":
+        """A sibling executor with ``options`` but this one's wiring.
+
+        Registered sources and agents carry over so a per-call
+        ``options=`` override behaves like the same executor, differently
+        configured — the serving layer uses this for per-request policy.
+        """
+        derived = Executor(options=options)
+        derived._sources = dict(self._sources)
+        derived._agents = dict(self._agents)
+        return derived
 
     def _make_engine(self, state: "ExecutionState") -> Any:
         """A single-lane continuous engine when the scheduler is opted in.

@@ -16,6 +16,7 @@ rounds, collects per-iteration cache activity from the executor's
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
@@ -71,6 +72,35 @@ class LoopReport:
     @property
     def cache_misses(self) -> int:
         return sum(report.cache_misses for report in self.iterations)
+
+    def output(self, label: str) -> Any:
+        """Shared result protocol: final value of ``C[label]``.
+
+        Reads from the last iteration's :class:`RunResult`, i.e. the
+        refined pipeline's output; None before any iteration ran.
+        """
+        if self.final is None:
+            return None
+        return self.final.output(label)
+
+    @property
+    def cache(self) -> dict[str, float]:
+        """Shared result protocol: cache totals across the loop."""
+        return {
+            "hits": float(self.cache_hits),
+            "misses": float(self.cache_misses),
+            "invalidations": float(
+                sum(report.invalidations for report in self.iterations)
+            ),
+            "saved_seconds": self.total_saved_seconds,
+        }
+
+    @property
+    def report(self) -> dict[str, Any]:
+        """Shared result protocol: one JSON-ready summary of the run."""
+        payload = self.to_dict()
+        payload["runner"] = "loop"
+        return payload
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize for benchmark reports."""
@@ -158,8 +188,27 @@ class RefinementLoop:
             return self.refiners[iteration]
         return None
 
-    def run(self, state: "ExecutionState") -> LoopReport:
+    def run(
+        self,
+        pipeline: "Pipeline | ExecutionState | None" = None,
+        *,
+        items: Any = None,
+        options: "RuntimeOptions | None" = None,
+        state: "ExecutionState | None" = None,
+    ) -> LoopReport:
         """Drive the loop to completion; returns the per-iteration report.
+
+        Unified runner signature: ``run(pipeline, *, state=...)`` matches
+        ``Executor.run`` / ``ParallelBatchRunner.run``.  ``pipeline``
+        overrides the loop's constructor pipeline for this run (usually
+        omitted); ``state`` is the execution state to iterate on and is
+        required (a refinement loop edits one state's prompts in place,
+        so there is no item fan-out — pass ``items=`` to the batch
+        runners instead).  ``options=`` re-runs on a derived executor
+        carrying the given :class:`RuntimeOptions`.
+
+        The legacy positional form ``run(state)`` still works behind a
+        DeprecationWarning.
 
         With ``RuntimeOptions(ledger_dir=...)`` on the executor, the
         *whole* loop is one ledger run: every iteration's events — and
@@ -167,7 +216,51 @@ class RefinementLoop:
         ``runs/<run_id>/`` directory (the per-run scope inside
         ``Executor.run`` is reentrant and defers to this one).
         """
+        from repro.core.state import ExecutionState as _ExecutionState
         from repro.obs.ledger import describe_options, describe_pipeline, ledger_scope
+
+        if isinstance(pipeline, _ExecutionState):
+            if state is not None:
+                raise TypeError(
+                    "RefinementLoop.run: state passed both positionally "
+                    "and as state="
+                )
+            warnings.warn(
+                "RefinementLoop.run(state) is deprecated; pass "
+                "run(state=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            state = pipeline
+            pipeline = None
+        if items is not None:
+            raise TypeError(
+                "RefinementLoop.run: items= is not supported — the loop "
+                "refines one state in place; use BatchRunner/"
+                "ParallelBatchRunner for item fan-out"
+            )
+        if state is None:
+            raise TypeError("RefinementLoop.run requires state=")
+        if options is not None:
+            from repro.runtime.executor import Executor
+
+            sibling = RefinementLoop(
+                Executor(options=options),
+                pipeline if pipeline is not None else self.pipeline,
+                refiners=self.refiners,
+                stop=self.stop,
+                max_iterations=self.max_iterations,
+            )
+            return sibling.run(state=state)
+        if pipeline is not None and pipeline is not self.pipeline:
+            sibling = RefinementLoop(
+                self.executor,
+                pipeline,
+                refiners=self.refiners,
+                stop=self.stop,
+                max_iterations=self.max_iterations,
+            )
+            return sibling.run(state=state)
 
         executor = self.executor
         registry = None

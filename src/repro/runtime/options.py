@@ -7,7 +7,8 @@ scattered (with varying names) across the :class:`~repro.runtime.executor.Execut
 model backend, view registry, virtual clock, observability collector,
 metrics registry, operator-level result cache, and the resilience
 runtime.  All three runners accept ``options=``; their legacy per-knob
-keyword arguments keep working but emit :class:`DeprecationWarning`.
+keyword arguments — deprecated since the options object landed — now
+raise a clean :class:`TypeError` naming the ``options=`` replacement.
 
 Passing both ``options=`` and a legacy keyword for the same knob is an
 error (there is no sensible precedence between them).
@@ -15,7 +16,6 @@ error (there is no sensible precedence between them).
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Any
 
@@ -104,11 +104,13 @@ def resolve_legacy_kwargs(
     options: RuntimeOptions | None,
     legacy: dict[str, Any],
 ) -> RuntimeOptions:
-    """Fold deprecated per-knob kwargs into a :class:`RuntimeOptions`.
+    """Reject the removed per-knob kwargs in favour of :class:`RuntimeOptions`.
 
     ``legacy`` maps field name → value-as-passed (None meaning "not
-    passed").  Every non-None legacy value emits a DeprecationWarning;
-    combining one with ``options=`` raises TypeError.
+    passed").  The per-knob keywords were deprecated when the options
+    object landed and have now completed their migration: any non-None
+    legacy value raises a :class:`TypeError` that names the exact
+    ``options=RuntimeOptions(...)`` replacement.
     """
     used = {name: value for name, value in legacy.items() if value is not None}
     if options is not None:
@@ -120,10 +122,9 @@ def resolve_legacy_kwargs(
         return options
     if used:
         names = ", ".join(f"{name}=" for name in sorted(used))
-        warnings.warn(
-            f"{owner}({names}) is deprecated; pass "
-            f"options=RuntimeOptions(...) instead",
-            DeprecationWarning,
-            stacklevel=3,
+        replacement = ", ".join(f"{name}=..." for name in sorted(used))
+        raise TypeError(
+            f"{owner}({names}) was removed; pass "
+            f"options=RuntimeOptions({replacement}) instead"
         )
-    return RuntimeOptions(**used)
+    return RuntimeOptions()

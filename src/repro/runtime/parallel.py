@@ -43,10 +43,12 @@ clock is advanced to the merged lane time.
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
 
 from repro.runtime.batch import (
     BatchResult,
+    bind_item,
     collect_item_result,
     emit_batch_event,
 )
@@ -94,7 +96,8 @@ class ParallelBatchRunner:
             ``resilience`` are attached to the base state when that
             state has none (per-lane breaker state is shared safely:
             forked item states carry the same runtime).
-        metrics: deprecated — pass ``options=RuntimeOptions(metrics=...)``.
+        metrics: removed — passing it raises TypeError; use
+            ``options=RuntimeOptions(metrics=...)``.
         isolate_prompts: fork items with private prompt stores (see
             :meth:`ExecutionState.fork`); use when the pipeline refines
             prompts per item and lanes must not observe each other.
@@ -104,7 +107,7 @@ class ParallelBatchRunner:
         self,
         base_state: "ExecutionState",
         *,
-        bind: "Callable[[ExecutionState, Any], None]",
+        bind: "Callable[[ExecutionState, Any], None] | None" = None,
         on_error: str = "raise",
         workers: int = 4,
         microbatch: bool = True,
@@ -124,6 +127,8 @@ class ParallelBatchRunner:
         )
         self.options = options
         self.base_state = base_state
+        if bind is None:
+            bind = bind_item
         if options.result_cache is not None and base_state.result_cache is None:
             base_state.result_cache = options.result_cache
             options.result_cache.subscribe_to(
@@ -180,14 +185,58 @@ class ParallelBatchRunner:
             raise SpearValidationError(result.errors)
 
     def run(
-        self, pipeline: "Pipeline", items: "Iterable[Any] | Sequence[Any]"
+        self,
+        pipeline: "Pipeline",
+        *args: Any,
+        items: "Iterable[Any] | Sequence[Any] | None" = None,
+        options: "RuntimeOptions | None" = None,
     ) -> BatchResult:
         """Execute ``pipeline`` once per item across the worker lanes.
+
+        The unified runner signature: pass the dataset as ``items=`` (the
+        legacy positional second argument still works behind a
+        DeprecationWarning), and optionally a per-call ``options=``
+        override (a sibling runner with the same lanes/binding runs the
+        batch; this runner is not mutated).
 
         With ``RuntimeOptions(ledger_dir=...)`` the whole batch is one
         ledger run on the base state; lane events land in it when they
         are folded back at completion.
         """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    "ParallelBatchRunner.run takes at most one positional "
+                    f"items argument, got {len(args)}"
+                )
+            if items is not None:
+                raise TypeError(
+                    "ParallelBatchRunner.run: items passed both "
+                    "positionally and as items="
+                )
+            warnings.warn(
+                "ParallelBatchRunner.run(pipeline, items) is deprecated; "
+                "pass run(pipeline, items=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            items = args[0]
+        if items is None:
+            items = []
+        if options is not None:
+            sibling = ParallelBatchRunner(
+                self.base_state,
+                bind=self.bind,
+                on_error=self.on_error,
+                workers=self.workers,
+                microbatch=self.microbatch,
+                max_batch=self.max_batch,
+                options=options,
+                isolate_prompts=self.isolate_prompts,
+            )
+            batch = sibling.run(pipeline, items=items)
+            self.last_batcher = sibling.last_batcher
+            return batch
         from repro.obs.ledger import describe_options, describe_pipeline, ledger_scope
 
         with ledger_scope(
@@ -339,6 +388,10 @@ class ParallelBatchRunner:
         }
         if cache is not None and cache_before is not None:
             after = cache.snapshot()
+            batch.cache = {
+                key: after[key] - cache_before[key]
+                for key in ("hits", "misses", "invalidations", "saved_seconds")
+            }
             extra.update(
                 result_cache_hits=int(after["hits"] - cache_before["hits"]),
                 result_cache_misses=int(

@@ -246,6 +246,43 @@ pipeline p {
         )
         assert not result.with_code("SPEAR145")
 
+    def test_spear147_serve_policy_without_scheduler(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]),
+            prompts={"qa": "x"},
+            runtime={"serve": True, "scheduler": False, "deadline_s": 5.0},
+        )
+        (finding,) = result.with_code("SPEAR147")
+        assert finding.severity is Severity.WARNING
+        assert "admission" in finding.message
+        # the serving variant supersedes the standalone finding
+        assert not result.with_code("SPEAR145")
+
+    def test_spear147_serve_priority_without_scheduler(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]),
+            prompts={"qa": "x"},
+            runtime={"serve": True, "scheduler": None, "priority": "bulk"},
+        )
+        (finding,) = result.with_code("SPEAR147")
+        assert finding.data["configured"] == ("priority",)
+
+    def test_spear147_silent_when_pool_scheduled(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]),
+            prompts={"qa": "x"},
+            runtime={"serve": True, "scheduler": True, "deadline_s": 5.0},
+        )
+        assert not result.with_code("SPEAR147")
+
+    def test_spear147_silent_without_serving_policy(self):
+        result = check_pipeline(
+            Pipeline([GEN("answer", prompt="qa")]),
+            prompts={"qa": "x"},
+            runtime={"serve": True, "scheduler": False},
+        )
+        assert not result.with_code("SPEAR147")
+
     def test_spear146_item_first_template(self):
         pipeline = Pipeline(
             [

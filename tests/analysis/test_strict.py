@@ -150,7 +150,7 @@ class TestParallelStrict:
     def test_aborts_before_any_lane_starts(self):
         runner = self.make_runner(strict=True)
         with pytest.raises(SpearValidationError) as excinfo:
-            runner.run(invalid_pipeline(), ["x", "y"])
+            runner.run(invalid_pipeline(), items=["x", "y"])
         assert runner._model.calls == 0
         assert "SPEAR101" in excinfo.value.codes
 
@@ -164,6 +164,6 @@ class TestParallelStrict:
                 GEN("answer", prompt="qa"),
             ]
         )
-        batch = runner.run(pipeline, ["alpha", "beta"])
+        batch = runner.run(pipeline, items=["alpha", "beta"])
         assert len(batch.items) == 2
         assert not batch.failures()

@@ -150,6 +150,7 @@ class TestResultCacheMetrics:
         from repro.data import make_tweet_corpus
         from repro.llm.model import SimulatedLLM
         from repro.runtime.executor import Executor
+        from repro.runtime.options import RuntimeOptions
         from repro.runtime.result_cache import ResultCache
 
         llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=False)
@@ -157,7 +158,12 @@ class TestResultCacheMetrics:
         llm.bind_tweets(corpus)
         cache = ResultCache()
         executor = Executor(
-            model=llm, clock=llm.clock, collector=collector, result_cache=cache
+            options=RuntimeOptions(
+                model=llm,
+                clock=llm.clock,
+                collector=collector,
+                result_cache=cache,
+            )
         )
         state = executor.new_state()
         state.prompts.create(

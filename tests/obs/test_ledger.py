@@ -108,7 +108,7 @@ class TestWriteSide:
             refiners=[REF(RefAction.APPEND, "Be concise.", key="qa")],
             max_iterations=2,
         )
-        loop.run(state)
+        loop.run(state=state)
         # The loop drives Executor.run per iteration, yet the reentrant
         # scope keeps everything in a single runs/<id>/ directory.
         ledger = Ledger(root)

@@ -24,14 +24,14 @@ def filter_pipeline(state):
 class TestBatchRunner:
     def test_runs_pipeline_per_item(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:10])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:10])
         assert len(batch.items) == 10
         assert all(result.ok for result in batch.items)
         assert all(isinstance(v, str) for v in batch.outputs("verdict"))
 
     def test_items_isolated_from_each_other(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:5])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:5])
         tweets_seen = [result.context["tweet"] for result in batch.items]
         assert tweets_seen == [t.text for t in tweet_corpus.tweets[:5]]
         # The base state never saw any item's context writes.
@@ -40,13 +40,13 @@ class TestBatchRunner:
 
     def test_prompt_store_and_caches_shared(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        runner.run(filter_pipeline, tweet_corpus.tweets[:10])
+        runner.run(filter_pipeline, items=tweet_corpus.tweets[:10])
         # The shared instruction prefix accumulates hits across items.
         assert state.model.overall_cache_hit_rate > 0.3
 
     def test_elapsed_accounting(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:4])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:4])
         assert batch.elapsed == pytest.approx(
             sum(result.elapsed for result in batch.items)
         )
@@ -54,7 +54,7 @@ class TestBatchRunner:
 
     def test_signals_per_item(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:3])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:3])
         confidences = batch.signals("confidence")
         assert len(confidences) == 3
         assert all(0 <= value <= 1 for value in confidences)
@@ -65,7 +65,7 @@ class TestBatchRunner:
 
         runner = BatchRunner(state, bind=lambda s, item: None)
         with pytest.raises(RuntimeError):
-            runner.run(Pipeline([FunctionOperator(boom, "BOOM")]), [1, 2])
+            runner.run(Pipeline([FunctionOperator(boom, "BOOM")]), items=[1, 2])
 
     def test_on_error_collect(self, state):
         calls = []
@@ -91,7 +91,7 @@ class TestBatchRunner:
             _bind_tweet(item_state, tweet)
 
         runner = BatchRunner(state, bind=flaky_bind, on_error="collect")
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:3])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:3])
         # The failing bind becomes an item failure, not a batch abort.
         assert len(batch.items) == 3
         assert batch.items[0].ok
@@ -105,25 +105,25 @@ class TestBatchRunner:
 
         runner = BatchRunner(state, bind=bad_bind)
         with pytest.raises(KeyError):
-            runner.run(filter_pipeline, tweet_corpus.tweets[:2])
+            runner.run(filter_pipeline, items=tweet_corpus.tweets[:2])
 
     def test_throughput(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:5])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:5])
         assert batch.elapsed > 0
         assert batch.throughput == pytest.approx(5 / batch.elapsed)
         assert batch.workers == 1
 
     def test_throughput_zero_for_empty_batch(self, state, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, [])
+        batch = runner.run(filter_pipeline, items=[])
         assert batch.throughput == 0.0
 
     def test_batch_event_emitted(self, state, tweet_corpus, filter_pipeline):
         from repro.runtime.events import EventKind
 
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:4])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:4])
         events = state.events.of_kind(EventKind.BATCH)
         assert len(events) == 1
         payload = events[0].payload
@@ -138,13 +138,13 @@ class TestBatchRunner:
 
     def test_internal_result_objects_not_exposed(self, state, tweet_corpus, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, tweet_corpus.tweets[:2])
+        batch = runner.run(filter_pipeline, items=tweet_corpus.tweets[:2])
         for result in batch.items:
             assert not any(key.endswith("__result") for key in result.context)
 
     def test_empty_items(self, state, filter_pipeline):
         runner = BatchRunner(state, bind=_bind_tweet)
-        batch = runner.run(filter_pipeline, [])
+        batch = runner.run(filter_pipeline, items=[])
         assert batch.items == []
         assert batch.mean_item_seconds == 0.0
 
@@ -159,5 +159,5 @@ class TestBatchRunner:
             [REF(RefAction.APPEND, "extra", key="filter"), GEN("v", prompt="filter")]
         )
         runner = BatchRunner(state, bind=_bind_tweet)
-        runner.run(pipeline, tweet_corpus.tweets[:3])
+        runner.run(pipeline, items=tweet_corpus.tweets[:3])
         assert state.prompts["filter"].version == 3

@@ -121,7 +121,7 @@ class TestRetryExhaustionInParallelRunner:
             ),
             on_error="collect", workers=3,
         )
-        batch = runner.run(pipeline, list(corpus))
+        batch = runner.run(pipeline, items=list(corpus))
         failures = batch.failures()
         # Every attempt faults, so every item exhausts its retries and the
         # last TransientModelError is collected rather than aborting the run.

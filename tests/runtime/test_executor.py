@@ -4,16 +4,16 @@ import pytest
 
 from repro.core import GEN, Pipeline, RET
 from repro.errors import UnknownContextKeyError
-from repro.runtime import Executor
+from repro.runtime import Executor, RuntimeOptions
 
 
 class TestExecutor:
     def test_shares_clock_with_model(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         assert executor.clock is llm.clock
 
     def test_new_state_wired_with_services(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         executor.register_source("notes", lambda s, q: "payload")
         executor.register_agent("echo", object())
         state = executor.new_state(context={"seed": 1})
@@ -23,7 +23,7 @@ class TestExecutor:
         assert state.agents() == ["echo"]
 
     def test_run_returns_elapsed_and_events(self, llm, tweet_corpus):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         executor.register_source("tweets", lambda s, q: tweet_corpus[0].text)
         state = executor.new_state()
         state.prompts.create(
@@ -38,13 +38,13 @@ class TestExecutor:
         assert any(event.kind.value == "generate" for event in result.events)
 
     def test_run_builds_state_when_missing(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         result = executor.run(Pipeline([]), context={"a": 1})
         assert result.context["a"] == 1
         assert result.elapsed == 0
 
     def test_generate_once_quickstart(self, llm, tweet_corpus):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         result = executor.generate_once(
             "map",
             f"Summarize the tweet in at most 30 words.\nTweet:\n{tweet_corpus[0].text}",
@@ -52,7 +52,7 @@ class TestExecutor:
         assert isinstance(result.output("answer"), str)
 
     def test_views_shared_across_states(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         executor.views.define("v", "text")
         state_1 = executor.new_state()
         state_2 = executor.new_state()
@@ -63,7 +63,7 @@ class TestExecutor:
         assert executor.clock.now == 0.0
 
     def test_output_unknown_label_names_available_labels(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         result = executor.run(Pipeline([]), context={"summary": "s", "verdict": "v"})
         with pytest.raises(UnknownContextKeyError) as excinfo:
             result.output("sumary")
@@ -73,13 +73,13 @@ class TestExecutor:
         assert excinfo.value.available == ["summary", "verdict"]
 
     def test_output_unknown_label_on_empty_context(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         result = executor.run(Pipeline([]))
         with pytest.raises(UnknownContextKeyError, match="the context is empty"):
             result.output("answer")
 
     def test_events_slice_per_run(self, llm):
-        executor = Executor(model=llm)
+        executor = Executor(options=RuntimeOptions(model=llm))
         state = executor.new_state()
         first = executor.run(Pipeline([]), state=state)
         second = executor.run(Pipeline([]), state=state)

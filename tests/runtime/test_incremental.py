@@ -8,6 +8,7 @@ from repro.data import make_tweet_corpus
 from repro.llm.model import SimulatedLLM
 from repro.runtime.executor import Executor
 from repro.runtime.incremental import RefinementLoop
+from repro.runtime.options import RuntimeOptions
 from repro.runtime.result_cache import ResultCache
 
 MAP_PROMPT = (
@@ -38,7 +39,9 @@ def _pipeline():
 
 def _loop(state, refiners, **kwargs):
     executor = Executor(
-        model=state.model, clock=state.clock, result_cache=ResultCache()
+        options=RuntimeOptions(
+            model=state.model, clock=state.clock, result_cache=ResultCache()
+        )
     )
     return RefinementLoop(executor, _pipeline(), refiners=refiners, **kwargs)
 
@@ -50,7 +53,7 @@ class TestRefinementLoop:
             REF(RefAction.APPEND, "Focus on school.", key="filter_p"),
             REF(RefAction.APPEND, "Count homework gripes.", key="filter_p"),
         ]
-        report = _loop(state, refiners).run(state)
+        report = _loop(state, refiners).run(state=state)
 
         assert len(report.iterations) == 3
         assert report.final is not None
@@ -78,7 +81,7 @@ class TestRefinementLoop:
                 return None
             return REF(RefAction.APPEND, f"hint {iteration}", key="filter_p")
 
-        report = _loop(state, refine).run(state)
+        report = _loop(state, refine).run(state=state)
         assert len(report.iterations) == 2
         assert report.iterations[0].refined_key == "filter_p"
         assert report.iterations[1].refined_key is None
@@ -88,7 +91,7 @@ class TestRefinementLoop:
         refiners = [REF(RefAction.APPEND, "never applied", key="filter_p")]
         report = _loop(
             state, refiners, stop=Condition.metadata_above("gen_calls", 0)
-        ).run(state)
+        ).run(state=state)
         # The condition holds after the first run, so no refinement.
         assert len(report.iterations) == 1
         assert report.iterations[0].refined_key is None
@@ -100,7 +103,7 @@ class TestRefinementLoop:
         def always(current, iteration):
             return REF(RefAction.APPEND, f"hint {iteration}", key="filter_p")
 
-        report = _loop(state, always, max_iterations=3).run(state)
+        report = _loop(state, always, max_iterations=3).run(state=state)
         assert len(report.iterations) == 3
 
     def test_max_iterations_validation(self):
@@ -110,11 +113,11 @@ class TestRefinementLoop:
 
     def test_loop_without_cache_still_works(self):
         state = _build_state()
-        executor = Executor(model=state.model, clock=state.clock)
+        executor = Executor(options=RuntimeOptions(model=state.model, clock=state.clock))
         refiners = [REF(RefAction.APPEND, "Focus.", key="filter_p")]
         report = RefinementLoop(
             executor, _pipeline(), refiners=refiners
-        ).run(state)
+        ).run(state=state)
         assert len(report.iterations) == 2
         assert report.cache_hits == 0
         assert report.total_saved_seconds == 0
@@ -122,7 +125,7 @@ class TestRefinementLoop:
     def test_to_dict_round_trips_the_report(self):
         state = _build_state()
         refiners = [REF(RefAction.APPEND, "Focus.", key="filter_p")]
-        report = _loop(state, refiners).run(state)
+        report = _loop(state, refiners).run(state=state)
         payload = report.to_dict()
         assert len(payload["iterations"]) == 2
         assert payload["total_elapsed"] == pytest.approx(report.total_elapsed)

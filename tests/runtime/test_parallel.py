@@ -11,6 +11,7 @@ from repro.obs import ObsCollector
 from repro.obs.metrics import MetricsRegistry
 from repro.runtime.batch import BatchRunner
 from repro.runtime.events import EventKind
+from repro.runtime.options import RuntimeOptions
 from repro.runtime.parallel import ParallelBatchRunner
 
 PROMPT = (
@@ -49,13 +50,13 @@ def _texts(batch):
 class TestParallelBatchRunner:
     def test_outputs_identical_to_sequential(self):
         state_seq, items = _build_state()
-        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(_pipeline(), items)
+        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(_pipeline(), items=items)
 
         for workers in (1, 3, 8):
             state_par, items_par = _build_state()
             parallel = ParallelBatchRunner(
                 state_par, bind=_bind_tweet, workers=workers
-            ).run(_pipeline(), items_par)
+            ).run(_pipeline(), items=items_par)
             assert _texts(parallel) == _texts(sequential)
             assert [r.item.uid for r in parallel.items] == [
                 r.item.uid for r in sequential.items
@@ -63,12 +64,12 @@ class TestParallelBatchRunner:
 
     def test_simulated_speedup_at_16_workers(self):
         state_seq, items = _build_state(n_items=48)
-        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(_pipeline(), items)
+        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(_pipeline(), items=items)
 
         state_par, items_par = _build_state(n_items=48)
         parallel = ParallelBatchRunner(
             state_par, bind=_bind_tweet, workers=16
-        ).run(_pipeline(), items_par)
+        ).run(_pipeline(), items=items_par)
 
         assert _texts(parallel) == _texts(sequential)
         assert sequential.elapsed / parallel.elapsed >= 4.0
@@ -77,7 +78,7 @@ class TestParallelBatchRunner:
     def test_workers_capped_by_item_count(self):
         state, items = _build_state(n_items=3)
         batch = ParallelBatchRunner(state, bind=_bind_tweet, workers=16).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         assert batch.workers == 3
         assert len(batch.items) == 3
@@ -85,7 +86,7 @@ class TestParallelBatchRunner:
     def test_microbatching_coalesces_calls(self):
         state, items = _build_state(n_items=12)
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=4)
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         stats = runner.last_batcher.snapshot()
         assert stats["largest_batch"] == 4
         assert stats["batched_calls"] == 24  # 12 items x 2 GEN calls
@@ -94,13 +95,13 @@ class TestParallelBatchRunner:
 
     def test_microbatch_disabled_still_parallel(self):
         state_seq, items = _build_state(n_items=16)
-        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(_pipeline(), items)
+        sequential = BatchRunner(state_seq, bind=_bind_tweet).run(_pipeline(), items=items)
 
         state, items_par = _build_state(n_items=16)
         runner = ParallelBatchRunner(
             state, bind=_bind_tweet, workers=8, microbatch=False
         )
-        batch = runner.run(_pipeline(), items_par)
+        batch = runner.run(_pipeline(), items=items_par)
         assert _texts(batch) == _texts(sequential)
         # Lane overlap alone still beats sequential...
         assert batch.elapsed < sequential.elapsed
@@ -111,14 +112,14 @@ class TestParallelBatchRunner:
         state, items = _build_state(n_items=8)
         start = state.clock.now
         batch = ParallelBatchRunner(state, bind=_bind_tweet, workers=4).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         assert state.clock.now == pytest.approx(start + batch.elapsed)
 
     def test_base_state_context_untouched(self):
         state, items = _build_state(n_items=6)
         ParallelBatchRunner(state, bind=_bind_tweet, workers=3).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         assert "tweet" not in state.context
         assert "verdict" not in state.context
@@ -126,7 +127,7 @@ class TestParallelBatchRunner:
     def test_lane_spans_and_batch_event_in_base_log(self):
         state, items = _build_state(n_items=6)
         ParallelBatchRunner(state, bind=_bind_tweet, workers=3).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         lane_starts = [
             e for e in state.events.of_kind(EventKind.OPERATOR_START)
@@ -149,7 +150,7 @@ class TestParallelBatchRunner:
     def test_span_tree_stays_well_formed(self):
         state, items = _build_state(n_items=6)
         ParallelBatchRunner(state, bind=_bind_tweet, workers=3).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         collector = ObsCollector()
         collector.replay(state.events)
@@ -168,7 +169,7 @@ class TestParallelBatchRunner:
 
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=4)
         with pytest.raises(RuntimeError, match="kaput"):
-            runner.run(Pipeline([FunctionOperator(boom, "BOOM")]), items)
+            runner.run(Pipeline([FunctionOperator(boom, "BOOM")]), items=items)
 
     def test_on_error_collect(self):
         state, items = _build_state(n_items=9)
@@ -180,7 +181,7 @@ class TestParallelBatchRunner:
 
         batch = ParallelBatchRunner(
             state, bind=bind_or_boom, workers=3, on_error="collect"
-        ).run(_pipeline(), items)
+        ).run(_pipeline(), items=items)
         assert len(batch.items) == 9
         failed = batch.failures()
         assert failed and all(
@@ -197,7 +198,7 @@ class TestParallelBatchRunner:
 
     def test_empty_items(self):
         state, _ = _build_state(n_items=1)
-        batch = ParallelBatchRunner(state, bind=_bind_tweet).run(_pipeline(), [])
+        batch = ParallelBatchRunner(state, bind=_bind_tweet).run(_pipeline(), items=[])
         assert batch.items == []
         assert batch.workers == 0
         assert batch.throughput == 0.0
@@ -206,8 +207,11 @@ class TestParallelBatchRunner:
         registry = MetricsRegistry()
         state, items = _build_state(n_items=8)
         ParallelBatchRunner(
-            state, bind=_bind_tweet, workers=4, metrics=registry
-        ).run(_pipeline(), items)
+            state,
+            bind=_bind_tweet,
+            workers=4,
+            options=RuntimeOptions(metrics=registry),
+        ).run(_pipeline(), items=items)
         assert registry.sum_counter("spear_microbatch_flushes_total") >= 1
         size_hist = registry.get(
             "spear_microbatch_size", model="qwen2.5-7b-instruct"
@@ -224,7 +228,7 @@ class TestParallelStress:
         n = 200
         state_seq, items = _build_state(n_items=n, seed=11)
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
 
         state_par, items_par = _build_state(n_items=n, seed=11)
@@ -232,7 +236,7 @@ class TestParallelStress:
         state_par.model.add_listener(lambda result: seen.append(result))
         parallel = ParallelBatchRunner(
             state_par, bind=_bind_tweet, workers=8
-        ).run(_pipeline(), items_par)
+        ).run(_pipeline(), items=items_par)
 
         # Per-item outputs identical, in item order.
         assert _texts(parallel) == _texts(sequential)
@@ -279,7 +283,7 @@ class TestParallelStress:
         # result-caching (latency would depend on hidden cache warmth).
         state_seq, items = _build_state(n_items=n, seed=11, prefix_cache=False)
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
 
         state_par, items_par = _build_state(
@@ -290,12 +294,12 @@ class TestParallelStress:
         cache.subscribe_to(state_par.events, state_par.prompts)
         runner = ParallelBatchRunner(state_par, bind=_bind_tweet, workers=8)
 
-        cold = runner.run(_pipeline(), items_par)
+        cold = runner.run(_pipeline(), items=items_par)
         assert _texts(cold) == _texts(sequential)
 
         # Second pass over the same items: everything is memoized, the
         # outputs stay identical, and the batch is dramatically faster.
-        warm = runner.run(_pipeline(), items_par)
+        warm = runner.run(_pipeline(), items=items_par)
         assert _texts(warm) == _texts(sequential)
         assert cache.hits >= 2 * n
         assert warm.elapsed < cold.elapsed / 10
@@ -318,14 +322,14 @@ class TestParallelStress:
         state.result_cache = cache
         cache.subscribe_to(state.events, state.prompts)
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=8)
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
 
         REF(RefAction.APPEND, "Focus on school.", key="filter").apply(state)
         assert cache.invalidations == n  # every verdict entry, nothing else
 
         hits_before = cache.hits
         misses_before = cache.misses
-        second = runner.run(_pipeline(), items)
+        second = runner.run(_pipeline(), items=items)
         # Map entries hit; every refined-filter entry re-executes.
         assert cache.hits - hits_before == n
         assert cache.misses - misses_before == n
@@ -337,6 +341,6 @@ class TestParallelStress:
         )
         REF(RefAction.APPEND, "Focus on school.", key="filter").apply(state_seq)
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            _pipeline(), items_seq
+            _pipeline(), items=items_seq
         )
         assert _texts(second) == _texts(sequential)

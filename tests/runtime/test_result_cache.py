@@ -11,6 +11,7 @@ from repro.data import make_tweet_corpus
 from repro.llm.model import SimulatedLLM
 from repro.runtime.events import EventKind
 from repro.runtime.executor import Executor
+from repro.runtime.options import RuntimeOptions
 from repro.runtime.result_cache import ReadOnlyResultCache, ResultCache
 
 MAP_PROMPT = (
@@ -52,7 +53,11 @@ def _pipeline():
 
 
 def _executor(state, cache):
-    return Executor(model=state.model, clock=state.clock, result_cache=cache)
+    return Executor(
+        options=RuntimeOptions(
+            model=state.model, clock=state.clock, result_cache=cache
+        )
+    )
 
 
 def _freeze(state):
@@ -115,7 +120,9 @@ class TestHitPath:
 
     def test_cached_outputs_byte_identical_to_uncached(self):
         uncached = _build_state()
-        executor = Executor(model=uncached.model, clock=uncached.clock)
+        executor = Executor(
+            options=RuntimeOptions(model=uncached.model, clock=uncached.clock)
+        )
         executor.run(_pipeline(), state=uncached)
         executor.run(_pipeline(), state=uncached)
 
@@ -128,7 +135,9 @@ class TestHitPath:
 
     def test_no_cache_still_runs(self):
         state = _build_state()
-        executor = Executor(model=state.model, clock=state.clock)
+        executor = Executor(
+            options=RuntimeOptions(model=state.model, clock=state.clock)
+        )
         result = executor.run(_pipeline(), state=state)
         assert result.cache == {}
         assert "verdict" in result.state.context

@@ -1,4 +1,4 @@
-"""RuntimeOptions: one config object for all runners, legacy kwargs deprecated."""
+"""RuntimeOptions: one config object for all runners, legacy kwargs removed."""
 
 import warnings
 
@@ -61,13 +61,10 @@ class TestExecutorOptions:
         state = executor.new_state()
         assert state.resilience is resilience
 
-    def test_legacy_kwargs_still_work_with_warning(self):
+    def test_legacy_kwargs_raise_typeerror_naming_replacement(self):
         llm, _ = _llm()
-        with pytest.warns(DeprecationWarning, match="Executor"):
-            executor = Executor(model=llm)
-        assert executor.model is llm
-        result = executor.generate_once("hello", PROMPT.format(tweet="great day"))
-        assert result.output("answer")
+        with pytest.raises(TypeError, match=r"options=RuntimeOptions\(model=\.\.\.\)"):
+            Executor(model=llm)
 
     def test_options_and_legacy_kwargs_conflict(self):
         llm, _ = _llm()
@@ -92,17 +89,16 @@ class TestParallelRunnerOptions:
             )
         assert runner.metrics is metrics
         assert state.resilience is resilience
-        batch = runner.run(Pipeline([GEN("summary", prompt="map")]), items)
+        batch = runner.run(Pipeline([GEN("summary", prompt="map")]), items=items)
         assert not batch.failures()
 
-    def test_legacy_metrics_kwarg_warns(self):
+    def test_legacy_metrics_kwarg_raises_typeerror(self):
         llm, _ = _llm()
         state = ExecutionState(model=llm, clock=llm.clock)
-        with pytest.warns(DeprecationWarning, match="ParallelBatchRunner"):
-            runner = ParallelBatchRunner(
-                state, bind=_bind, metrics=MetricsRegistry()
-            )
-        assert runner.metrics is not None
+        with pytest.raises(
+            TypeError, match=r"options=RuntimeOptions\(metrics=\.\.\.\)"
+        ):
+            ParallelBatchRunner(state, bind=_bind, metrics=MetricsRegistry())
 
     def test_options_and_legacy_conflict(self):
         llm, _ = _llm()

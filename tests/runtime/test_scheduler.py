@@ -193,7 +193,7 @@ class TestEngineUnit:
                 scheduler=SchedulerConfig(max_batch_tokens=120)
             ),
         )
-        runner.run(Pipeline([GEN("summary", prompt="map")]), items)
+        runner.run(Pipeline([GEN("summary", prompt="map")]), items=items)
         engine = runner.last_batcher
         assert engine.flushes > 1  # the budget split the quiescence set
         for record in engine.steps:
@@ -215,7 +215,7 @@ class TestEngineUnit:
                 else "bulk",
             ),
         )
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         engine = runner.last_batcher
         assert engine.forced == engine.batched_calls
         for record in engine.steps:
@@ -225,7 +225,7 @@ class TestEngineUnit:
     def test_snapshot_keys_superset_of_barrier(self):
         state, items = _build_state(n_items=6)
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=3)
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         snapshot = runner.last_batcher.snapshot()
         for key in (
             "flushes",
@@ -249,13 +249,13 @@ class TestRunnerIntegration:
     def test_outputs_identical_to_sequential(self):
         state_seq, items = _build_state()
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         for workers in (1, 3, 8):
             state_par, items_par = _build_state()
             parallel = ParallelBatchRunner(
                 state_par, bind=_bind_tweet, workers=workers
-            ).run(_pipeline(), items_par)
+            ).run(_pipeline(), items=items_par)
             assert _texts(parallel) == _texts(sequential)
 
     def test_step_composition_deterministic(self):
@@ -265,7 +265,7 @@ class TestRunnerIntegration:
         for _ in range(2):
             state, items = _build_state(n_items=24, seed=13)
             runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=8)
-            runner.run(_pipeline(), items)
+            runner.run(_pipeline(), items=items)
             traces.append(_step_trace(runner.last_batcher))
         assert traces[0] == traces[1]
         assert traces[0]  # a real trace, not two empty lists
@@ -273,7 +273,7 @@ class TestRunnerIntegration:
     def test_legacy_barrier_engine_still_selectable(self):
         state_seq, items = _build_state(n_items=12)
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
         state, items_par = _build_state(n_items=12)
         runner = ParallelBatchRunner(
@@ -282,7 +282,7 @@ class TestRunnerIntegration:
             workers=4,
             options=RuntimeOptions(scheduler=False),
         )
-        batch = runner.run(_pipeline(), items_par)
+        batch = runner.run(_pipeline(), items=items_par)
         assert isinstance(runner.last_batcher, GenMicroBatcher)
         assert _texts(batch) == _texts(sequential)
 
@@ -304,7 +304,7 @@ class TestRunnerIntegration:
                 else None,
             ),
         )
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         engine = runner.last_batcher
         stats = engine.wait_stats()
         assert set(stats) == {"interactive", "bulk"}
@@ -331,7 +331,7 @@ class TestRunnerIntegration:
                 deadline_s=lambda item: float(1 + int(item.uid[-1]) % 5),
             ),
         )
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         for record in runner.last_batcher.steps:
             suffix = record.members[record.forced :]
             keys = [
@@ -346,7 +346,7 @@ class TestRunnerIntegration:
     def test_sched_events_and_batch_payload(self):
         state, items = _build_state(n_items=8)
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=4)
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         sched_events = state.events.of_kind(EventKind.SCHED)
         assert len(sched_events) == runner.last_batcher.flushes
         payload = sched_events[0].payload
@@ -363,7 +363,7 @@ class TestRunnerIntegration:
     def test_collector_derives_sched_metrics(self):
         state, items = _build_state(n_items=8)
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=4)
-        runner.run(_pipeline(), items)
+        runner.run(_pipeline(), items=items)
         collector = ObsCollector()
         collector.replay(state.events)
         registry = collector.registry
@@ -402,7 +402,7 @@ class TestPrefixAware:
             options=RuntimeOptions(scheduler=config),
         )
         batch = runner.run(
-            Pipeline([GEN("summary", prompt="map")]), list(corpus)
+            Pipeline([GEN("summary", prompt="map")]), items=list(corpus)
         )
         return state, runner, batch
 
@@ -460,7 +460,7 @@ class TestPrefixAware:
         state.prompts.create("map", LONG_MAP_PROMPT)
         runner = ParallelBatchRunner(state, bind=_bind_tweet, workers=4)
         batch = runner.run(
-            Pipeline([GEN("summary", prompt="map")]), list(corpus)
+            Pipeline([GEN("summary", prompt="map")]), items=list(corpus)
         )
         assert all(r.context.get("summary") for r in batch.items)
         # No pin() on the chain tier: the scheduler degrades gracefully
@@ -611,7 +611,7 @@ class TestSchedulerProperties:
 
         state_seq, items = _build_state(n_items=n_items, seed=seed)
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            pipeline, items
+            pipeline, items=items
         )
         keys = [f"out{i}" for i in range(len(stages))]
 
@@ -630,7 +630,7 @@ class TestSchedulerProperties:
                 workers=workers,
                 options=RuntimeOptions(scheduler=config),
             )
-            batch = runner.run(pipeline, items_par)
+            batch = runner.run(pipeline, items=items_par)
             assert outputs(batch) == outputs(sequential)
             traces.append(_step_trace(runner.last_batcher))
         assert traces[0] == traces[1]
@@ -644,7 +644,7 @@ class TestSchedulerStress:
         n = 200
         state_seq, items = _build_state(n_items=n, seed=11)
         sequential = BatchRunner(state_seq, bind=_bind_tweet).run(
-            _pipeline(), items
+            _pipeline(), items=items
         )
 
         state_par, items_par = _build_state(n_items=n, seed=11)
@@ -665,7 +665,7 @@ class TestSchedulerStress:
                 deadline_s=lambda item: float(1 + int(item.uid[-1]) % 7),
             ),
         )
-        parallel = runner.run(_pipeline(), items_par)
+        parallel = runner.run(_pipeline(), items=items_par)
 
         # Outputs byte-identical, in item order.
         assert _texts(parallel) == _texts(sequential)
@@ -731,7 +731,7 @@ class TestStarvationRegression:
         outcome = {}
 
         def run():
-            outcome["batch"] = runner.run(_pipeline(), items)
+            outcome["batch"] = runner.run(_pipeline(), items=items)
 
         thread = threading.Thread(target=run, daemon=True)
         thread.start()
@@ -760,7 +760,7 @@ class TestStarvationRegression:
         outcome = {}
 
         def run():
-            outcome["batch"] = runner.run(_pipeline(), items)
+            outcome["batch"] = runner.run(_pipeline(), items=items)
 
         thread = threading.Thread(target=run, daemon=True)
         thread.start()

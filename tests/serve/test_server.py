@@ -1,0 +1,345 @@
+"""Serving-pool tests: request lifecycle, shedding, policy plumbing.
+
+Tenant-isolation guarantees live in ``test_isolation.py``; this module
+covers the server mechanics — registration, submission, typed
+responses, deterministic load shedding, the breaker path, SERVE
+observability, and the SPEAR147-style submit-time warning.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import GEN, Pipeline
+from repro.data import make_tweet_corpus
+from repro.errors import RateLimitError, SpearError
+from repro.obs.collector import ObsCollector
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import BreakerPolicy, ShedPolicy
+from repro.runtime.events import EventKind
+from repro.serve import ServeRequest, SpearServer, TenantConfig
+from repro.serve.traffic import (
+    MAP_PROMPT,
+    PROFILE,
+    TrafficConfig,
+    build_demo_server,
+    run_traffic,
+)
+
+CORPUS_SIZE = 8
+SEED = 7
+
+
+def make_server(**kwargs) -> SpearServer:
+    corpus = make_tweet_corpus(CORPUS_SIZE, seed=SEED)
+    kwargs.setdefault("profile", PROFILE)
+    kwargs.setdefault("binder", lambda llm: llm.bind_tweets(corpus))
+    kwargs.setdefault("workers", 2)
+    server = SpearServer(**kwargs)
+    server.register_pipeline(
+        "summarize",
+        Pipeline([GEN("summary", prompt="map_p")]),
+        prompts={"map_p": MAP_PROMPT},
+    )
+    server.corpus = corpus
+    return server
+
+
+def request_for(server, tenant: str, index: int = 0) -> ServeRequest:
+    tweet = server.corpus[index % len(server.corpus)]
+    return ServeRequest(
+        tenant=tenant, pipeline="summarize", context={"tweet": tweet.text}
+    )
+
+
+class TestServeBasics:
+    def test_single_request_round_trip(self):
+        server = make_server()
+        server.add_tenant("acme")
+        with server:
+            response = server.submit(request_for(server, "acme")).result()
+        assert response.ok
+        assert response.status == "ok"
+        assert response.tenant == "acme"
+        assert response.request_id
+        assert isinstance(response.output("summary"), str)
+        assert response.report["runner"] == "run"
+        assert response.elapsed > 0.0
+
+    def test_unknown_tenant_rejected(self):
+        server = make_server()
+        with pytest.raises(SpearError, match="unknown tenant"):
+            server.submit(request_for(server, "ghost"))
+
+    def test_auto_tenants_registers_on_first_submit(self):
+        server = make_server(auto_tenants=True)
+        with server:
+            response = server.submit(request_for(server, "walk-in")).result()
+        assert response.ok
+        assert "walk-in" in server.tenants()
+
+    def test_unknown_pipeline_rejected(self):
+        server = make_server()
+        server.add_tenant("acme")
+        with pytest.raises(SpearError, match="unknown pipeline"):
+            server.submit(
+                ServeRequest(tenant="acme", pipeline="nope", context={})
+            )
+
+    def test_add_tenant_accepts_config_and_overrides(self):
+        server = make_server()
+        config = server.add_tenant("a", priority="interactive")
+        assert config.priority == "interactive"
+        explicit = server.add_tenant(TenantConfig(name="b", deadline_s=2.0))
+        assert explicit.deadline_s == 2.0
+        with pytest.raises(TypeError):
+            server.add_tenant(TenantConfig(name="c"), priority="bulk")
+
+    def test_items_fan_out_returns_batch_protocol(self):
+        server = make_server()
+        server.add_tenant("acme")
+        items = [{"tweet": tweet.text} for tweet in server.corpus[:3]]
+        with server:
+            response = server.submit(
+                ServeRequest(tenant="acme", pipeline="summarize", items=items)
+            ).result()
+        assert response.ok
+        outputs = response.output("summary")
+        assert len(outputs) == 3 and all(outputs)
+        assert response.report["runner"] == "batch"
+
+    def test_error_in_pipeline_yields_error_response(self):
+        server = make_server()
+        server.add_tenant("acme")
+        with server:
+            response = server.submit(
+                ServeRequest(tenant="acme", pipeline="summarize", context={})
+            ).result()
+        # No tweet bound: the GEN still runs, but an unknown-prompt-key
+        # style failure is what we'd surface; either way the pool stays up.
+        assert response.status in ("ok", "error")
+        follow_up = server.submit(request_for(server, "acme"))
+        with server:
+            assert follow_up.result().ok
+
+    def test_shutdown_drains_unstarted_requests_as_errors(self):
+        server = make_server(workers=1)
+        server.add_tenant("acme")
+        futures = [server.submit(request_for(server, "acme", i)) for i in range(3)]
+        server.start()
+        server.shutdown()
+        statuses = {future.result().status for future in futures}
+        assert statuses <= {"ok", "error"}
+        # pending drained back to zero either way
+        assert server.session("acme").pending == 0
+
+
+class TestLoadShedding:
+    def test_burst_over_limit_sheds_deterministically(self):
+        server = make_server(shed=ShedPolicy(queue_limit=2, retry_after_s=3.0))
+        server.add_tenant("acme")
+        admitted, shed = [], []
+        for index in range(6):
+            try:
+                admitted.append(server.submit(request_for(server, "acme", index)))
+            except RateLimitError as error:
+                shed.append(error)
+        assert len(admitted) == 2
+        assert len(shed) == 4
+        assert all(error.retry_after == 3.0 for error in shed)
+        with server:
+            assert all(f.result().ok for f in admitted)
+        snapshot = server.session("acme").snapshot()
+        assert snapshot["completed"] == 2
+        assert snapshot["shed"] == 4
+
+    def test_shed_recorded_as_serve_events(self):
+        server = make_server(shed=ShedPolicy(queue_limit=1))
+        server.add_tenant("acme")
+        server.submit(request_for(server, "acme"))
+        with pytest.raises(RateLimitError):
+            server.submit(request_for(server, "acme", 1))
+        shed_events = [
+            event
+            for event in server.events
+            if event.kind is EventKind.SERVE
+            and event.payload.get("status") == "shed"
+        ]
+        assert len(shed_events) == 1
+        assert shed_events[0].payload["reason"] == "queue_full"
+        assert shed_events[0].payload["tenant"] == "acme"
+        with server:
+            pass
+
+    def test_per_tenant_shed_policy_override(self):
+        server = make_server(shed=ShedPolicy(queue_limit=1))
+        server.add_tenant(TenantConfig(name="vip", shed=ShedPolicy(queue_limit=8)))
+        server.add_tenant("basic")
+        for index in range(4):
+            server.submit(request_for(server, "vip", index))
+        server.submit(request_for(server, "basic", 0))
+        with pytest.raises(RateLimitError):
+            server.submit(request_for(server, "basic", 1))
+        with server:
+            pass
+        assert server.session("vip").shed_count == 0
+        assert server.session("basic").shed_count == 1
+
+    def test_breaker_opens_after_repeated_sheds(self):
+        policy = ShedPolicy(
+            queue_limit=1,
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_s=60.0),
+        )
+        server = make_server(shed=policy)
+        server.add_tenant("acme")
+        server.submit(request_for(server, "acme"))
+        reasons = []
+        for index in range(3):
+            with pytest.raises(RateLimitError) as excinfo:
+                server.submit(request_for(server, "acme", index + 1))
+            reasons.append(str(excinfo.value))
+        assert "queue_full" in reasons[0]
+        assert "queue_full" in reasons[1]
+        # two failures tripped the breaker; the third shed is the open circuit
+        assert "breaker_open" in reasons[2]
+        with server:
+            pass
+
+    def test_serve_convenience_marks_sheds_in_band(self):
+        server = make_server(shed=ShedPolicy(queue_limit=1, retry_after_s=2.0))
+        server.add_tenant("acme")
+        requests = [request_for(server, "acme", index) for index in range(3)]
+        server.start()
+        responses = server.serve(requests)
+        server.shutdown()
+        assert [r.status for r in responses].count("shed") >= 1
+        shed = next(r for r in responses if r.status == "shed")
+        assert shed.retry_after == 2.0
+        assert shed.output("summary") is None
+
+
+class TestServeObservability:
+    def test_collector_rolls_serve_metrics(self):
+        registry = MetricsRegistry()
+        server = make_server(
+            collector=ObsCollector(registry), shed=ShedPolicy(queue_limit=1)
+        )
+        server.add_tenant("acme")
+        future = server.submit(request_for(server, "acme"))
+        with pytest.raises(RateLimitError):
+            server.submit(request_for(server, "acme", 1))
+        with server:
+            future.result()
+        assert registry.sum_counter("spear_serve_requests_total") == 2.0
+        assert registry.sum_counter("spear_serve_shed_total") == 1.0
+        latency = registry.get("spear_serve_latency_seconds", tenant="acme")
+        assert latency is not None and latency.count == 1
+
+    def test_serve_events_carry_latency_and_depth(self):
+        server = make_server()
+        server.add_tenant("acme")
+        with server:
+            server.submit(request_for(server, "acme")).result()
+        (event,) = [e for e in server.events if e.kind is EventKind.SERVE]
+        assert event.payload["status"] == "ok"
+        assert event.payload["elapsed"] > 0.0
+        assert event.payload["queue_depth"] == 0
+
+    def test_pool_snapshot_aggregates_sessions_and_partitions(self):
+        server = make_server()
+        server.add_tenant("a")
+        server.add_tenant("b")
+        with server:
+            server.submit(request_for(server, "a")).result()
+            server.submit(request_for(server, "b")).result()
+        snapshot = server.snapshot()
+        assert snapshot["tenants"] == 2
+        assert set(snapshot["sessions"]) == {"a", "b"}
+        assert set(snapshot["partitions"]["partitions"]) == {"a", "b"}
+
+
+class TestServePolicyWarning:
+    def test_policy_with_scheduler_disabled_warns_once(self):
+        server = make_server(scheduler=False)
+        server.add_tenant("acme")
+        with server:
+            with pytest.warns(RuntimeWarning, match="SPEAR147"):
+                first = server.submit(
+                    ServeRequest(
+                        tenant="acme",
+                        pipeline="summarize",
+                        context={"tweet": server.corpus[0].text},
+                        deadline_s=5.0,
+                    )
+                )
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                second = server.submit(
+                    ServeRequest(
+                        tenant="acme",
+                        pipeline="summarize",
+                        context={"tweet": server.corpus[1].text},
+                        priority="interactive",
+                    )
+                )
+            assert first.result().ok and second.result().ok
+
+    def test_no_warning_when_scheduler_enabled(self):
+        server = make_server(scheduler=True)
+        server.add_tenant("acme")
+        with server, warnings.catch_warnings():
+            warnings.simplefilter("error")
+            response = server.submit(
+                ServeRequest(
+                    tenant="acme",
+                    pipeline="summarize",
+                    context={"tweet": server.corpus[0].text},
+                    deadline_s=5.0,
+                    priority="interactive",
+                )
+            ).result()
+        assert response.ok
+
+
+class TestTrafficDriver:
+    def test_nominal_traffic_sheds_nothing(self):
+        config = TrafficConfig(
+            tenants=3, queue_limit=2, workers=2, corpus_size=CORPUS_SIZE
+        )
+        metrics = run_traffic(build_demo_server(config), config)
+        assert metrics["submitted"] == 6
+        assert metrics["served"] == 6
+        assert metrics["shed"] == 0
+        assert metrics["errors"] == 0
+        assert metrics["latency_p99_s"] > 0.0
+
+    def test_overload_sheds_the_exact_excess(self):
+        config = TrafficConfig(
+            tenants=3,
+            queue_limit=2,
+            workers=2,
+            overload=4,
+            corpus_size=CORPUS_SIZE,
+        )
+        metrics = run_traffic(build_demo_server(config), config)
+        assert metrics["submitted"] == 24
+        assert metrics["served"] == 6
+        # exactly (overload - 1) * limit sheds per tenant, no deadlock
+        assert metrics["shed"] == 18
+        assert metrics["shed_rate"] == 0.75
+
+    def test_traffic_metrics_are_deterministic_in_sim_time(self):
+        config = TrafficConfig(
+            tenants=2, queue_limit=2, workers=2, corpus_size=CORPUS_SIZE
+        )
+        first = run_traffic(build_demo_server(config), config)
+        second = run_traffic(build_demo_server(config), config)
+        assert first["latency_p50_s"] == second["latency_p50_s"]
+        assert first["latency_p99_s"] == second["latency_p99_s"]
+        for name in config.tenant_names():
+            assert (
+                first["sessions"][name]["clock"]
+                == second["sessions"][name]["clock"]
+            )

@@ -168,7 +168,7 @@ class TestStatsCommand:
             state, bind=lambda s, t: s.context.put("tweet", t.text, producer="b")
         )
         batch = runner.run(
-            Pipeline([GEN("verdict", prompt="filter")]), tweet_corpus.tweets[:5]
+            Pipeline([GEN("verdict", prompt="filter")]), items=tweet_corpus.tweets[:5]
         )
         trace = tmp_path / "batch_run.jsonl"
         export_events(state.events, trace)
@@ -208,7 +208,7 @@ class TestStatsCommand:
             ),
         )
         runner.run(
-            Pipeline([GEN("verdict", prompt="filter")]), tweet_corpus.tweets[:8]
+            Pipeline([GEN("verdict", prompt="filter")]), items=tweet_corpus.tweets[:8]
         )
         trace = tmp_path / "sched_run.jsonl"
         export_events(state.events, trace)
@@ -227,13 +227,16 @@ class TestStatsCommand:
         from repro.core import GEN, Pipeline
         from repro.llm.model import SimulatedLLM
         from repro.runtime.executor import Executor
+        from repro.runtime.options import RuntimeOptions
         from repro.runtime.result_cache import ResultCache
         from repro.runtime.tracing import export_events
 
         llm = SimulatedLLM("qwen2.5-7b-instruct", enable_prefix_cache=False)
         llm.bind_tweets(tweet_corpus)
         executor = Executor(
-            model=llm, clock=llm.clock, result_cache=ResultCache()
+            options=RuntimeOptions(
+                model=llm, clock=llm.clock, result_cache=ResultCache()
+            )
         )
         state = executor.new_state()
         state.prompts.create(
@@ -706,3 +709,40 @@ class TestTopCommand:
         code = main(["top", str(ledger_root), "--once"])
         assert code == 0
         assert "Prompt leaderboard" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_table_output(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--workers", "2",
+                "--queue-limit", "2",
+                "--corpus", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 4/4 requests across 2 tenants" in out
+        assert "shed 0 (0.0%)" in out
+        assert "tenant-0" in out and "tenant-1" in out
+
+    def test_serve_overload_json(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--tenants", "2",
+                "--workers", "2",
+                "--queue-limit", "2",
+                "--overload", "3",
+                "--corpus", "4",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        metrics = json.loads(capsys.readouterr().out)
+        assert metrics["submitted"] == 12
+        assert metrics["served"] == 4
+        assert metrics["shed"] == 8
+        assert metrics["errors"] == 0
