@@ -2,13 +2,31 @@
 
 The algebra's closure over ``(P, C, M)`` makes pipeline dataflow a
 static property; this package extracts it (:mod:`~repro.analysis.dataflow`),
-lints it against ~15 stable diagnostic codes
-(:mod:`~repro.analysis.checkers`), and exposes `spear check` / strict
-mode through three entry points (:mod:`~repro.analysis.check`).
+interprets it path-sensitively (:mod:`~repro.analysis.absint`), prices
+it (:mod:`~repro.analysis.costs`), checks it for lane interference
+(:mod:`~repro.analysis.interference`), lints it against the stable
+diagnostic catalog (:mod:`~repro.analysis.checkers`), and exposes
+`spear check` / strict mode through three entry points
+(:mod:`~repro.analysis.check`) plus an incremental re-check cache
+(:mod:`~repro.analysis.cache`).
 """
 
+from repro.analysis.absint import PathSensitiveWalker
+from repro.analysis.cache import (
+    GLOBAL_CHECK_CACHE,
+    CheckCache,
+    cached_check_pipeline,
+    cached_check_state,
+    fingerprint_check,
+)
 from repro.analysis.check import check_pipeline, check_program, check_state
 from repro.analysis.checkers import ANALYZERS, run_analyzers
+from repro.analysis.costs import (
+    CostBound,
+    OperatorCost,
+    PipelineCostSummary,
+    estimate_costs,
+)
 from repro.analysis.dataflow import (
     AnalysisEnv,
     DataflowGraph,
@@ -23,6 +41,8 @@ from repro.analysis.diagnostics import (
     SourceSpan,
     make_diagnostic,
 )
+from repro.analysis.sarif import to_sarif
+from repro.analysis.suppressions import Suppression, apply_suppressions
 
 __all__ = [
     "check_pipeline",
@@ -34,10 +54,23 @@ __all__ = [
     "DataflowGraph",
     "OpNode",
     "build_dataflow",
+    "PathSensitiveWalker",
     "CODE_CATALOG",
     "CheckResult",
     "Diagnostic",
     "Severity",
     "SourceSpan",
     "make_diagnostic",
+    "CostBound",
+    "OperatorCost",
+    "PipelineCostSummary",
+    "estimate_costs",
+    "CheckCache",
+    "GLOBAL_CHECK_CACHE",
+    "cached_check_pipeline",
+    "cached_check_state",
+    "fingerprint_check",
+    "Suppression",
+    "apply_suppressions",
+    "to_sarif",
 ]

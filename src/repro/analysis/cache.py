@@ -1,0 +1,263 @@
+"""Incremental re-check cache: strict mode in O(1) for unchanged pipelines.
+
+Strict mode re-validates on *every* run — a per-request graph build plus
+the full analyzer registry.  For a server re-registering tenants or a
+batch runner validating the same pipeline per batch, almost all of that
+work is identical run to run.  This module fingerprints the pair
+*(pipeline structure, environment)* without building the dataflow graph
+and memoizes the resulting :class:`~repro.analysis.diagnostics.
+CheckResult`, so a warm re-check is one hash plus one dict lookup.
+
+The fingerprint covers everything analysis can observe: operator
+structure (types, keys, texts, conditions, nested pipelines), initial
+prompt texts and params, bound context slots, registered sources and
+agents, the view registry, ``open_context``, and the runtime mapping.
+Unhashable leaves (callables, custom objects) fall back to identity —
+two *distinct but equal* lambdas miss the cache, which only costs a
+re-analysis, never a stale verdict.
+
+Hits and misses are observable as ``spear_check_cache_hits_total`` /
+``spear_check_cache_misses_total`` when a metrics registry is passed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import weakref
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from repro.analysis.check import check_pipeline
+from repro.analysis.diagnostics import CheckResult
+from repro.core.operators import Operator
+from repro.core.pipeline import Pipeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.state import ExecutionState
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "GLOBAL_CHECK_CACHE",
+    "CheckCache",
+    "fingerprint_check",
+    "cached_check_pipeline",
+    "cached_check_state",
+]
+
+_PRIMITIVES = (str, int, float, bool, bytes)
+
+
+def _describe(obj: Any, depth: int = 0) -> Any:
+    """A stable, structural description of ``obj`` for hashing."""
+    if depth > 32:
+        return "<deep>"
+    if obj is None or isinstance(obj, _PRIMITIVES):
+        return obj
+    if isinstance(obj, Pipeline):
+        return (
+            "Pipeline",
+            tuple(_describe(op, depth + 1) for op in obj.operators),
+        )
+    if isinstance(obj, (list, tuple)):
+        return tuple(_describe(item, depth + 1) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return tuple(sorted(repr(_describe(item, depth + 1)) for item in obj))
+    if isinstance(obj, Mapping):
+        return tuple(
+            (str(key), _describe(value, depth + 1))
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        )
+    text = getattr(obj, "text", None)
+    if text is not None and type(obj).__name__ == "Condition":
+        return ("Condition", text)
+    attrs = getattr(obj, "__dict__", None)
+    # Operators are callable but must be described structurally: two
+    # separately-built but equal pipelines share one cache entry.
+    if attrs is not None and (isinstance(obj, Operator) or not callable(obj)):
+        return (
+            type(obj).__name__,
+            tuple(
+                (name, _describe(value, depth + 1))
+                for name, value in sorted(attrs.items())
+            ),
+        )
+    # Callables and __slots__ exotica: identity is the only safe key.
+    return f"{type(obj).__name__}:{getattr(obj, '__qualname__', '')}@{id(obj)}"
+
+
+#: per-object memo of the (expensive) structural pipeline digest.  The
+#: id-tuple guard detects operators being replaced, added, removed, or
+#: reordered; mutating an operator's attributes *in place* after a check
+#: is not detected (operators are build-time-frozen by convention).
+_PIPELINE_DIGESTS: "weakref.WeakKeyDictionary[Pipeline, tuple[tuple[int, ...], str]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _pipeline_digest(pipeline: Pipeline) -> str:
+    """Digest of the pipeline's structural description, memoized.
+
+    The structural walk dominates warm fingerprint cost; re-checking the
+    same pipeline object (the serve and strict-executor hot path) skips
+    it entirely.  Distinct-but-equal pipelines still converge on the
+    same digest through the full walk.
+    """
+    ops_ids = tuple(id(op) for op in pipeline.operators)
+    memo = _PIPELINE_DIGESTS.get(pipeline)
+    if memo is not None and memo[0] == ops_ids:
+        return memo[1]
+    digest = hashlib.sha256(repr(_describe(pipeline)).encode()).hexdigest()
+    _PIPELINE_DIGESTS[pipeline] = (ops_ids, digest)
+    return digest
+
+
+def fingerprint_check(
+    pipeline: Pipeline,
+    *,
+    prompts: Mapping[str, Any] | None = None,
+    context: Iterable[str] = (),
+    views: Any = None,
+    sources: Sequence[str] | None = None,
+    agents: Sequence[str] | None = None,
+    open_context: bool = False,
+    prompt_params: Mapping[str, Iterable[str]] | None = None,
+    name: str | None = None,
+    runtime: Mapping[str, Any] | None = None,
+) -> str:
+    """Content hash of one (pipeline, environment) check request."""
+    description = (
+        _pipeline_digest(pipeline),
+        _describe(
+            {
+                key: getattr(value, "text", value)
+                for key, value in (prompts or {}).items()
+            }
+        ),
+        tuple(sorted(context)),
+        _describe(views),
+        tuple(sources) if sources is not None else None,
+        tuple(agents) if agents is not None else None,
+        open_context,
+        _describe(
+            {key: tuple(value) for key, value in (prompt_params or {}).items()}
+        ),
+        name,
+        _describe(runtime) if runtime is not None else None,
+    )
+    return hashlib.sha256(repr(description).encode()).hexdigest()
+
+
+class CheckCache:
+    """A bounded LRU of check results keyed by content fingerprint."""
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, CheckResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(self, key: str) -> CheckResult | None:
+        result = self._entries.get(key)
+        if result is not None:
+            self._entries.move_to_end(key)
+        return result
+
+    def put(self, key: str, result: CheckResult) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def check(
+        self,
+        pipeline: Pipeline,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        **env: Any,
+    ) -> CheckResult:
+        """:func:`~repro.analysis.check.check_pipeline`, memoized.
+
+        Accepts exactly ``check_pipeline``'s keyword environment.  The
+        returned result is shared between callers — treat it as frozen.
+        """
+        key = fingerprint_check(pipeline, **env)
+        cached = self.get(key)
+        if cached is not None:
+            self.hits += 1
+            if metrics is not None:
+                metrics.counter(
+                    "spear_check_cache_hits_total",
+                    "Static re-checks served from the incremental cache.",
+                ).inc()
+            return cached
+        self.misses += 1
+        if metrics is not None:
+            metrics.counter(
+                "spear_check_cache_misses_total",
+                "Static checks that ran the full analysis.",
+            ).inc()
+        result = check_pipeline(pipeline, **env)
+        self.put(key, result)
+        return result
+
+
+#: the process-wide cache strict mode and the serving layer share.
+GLOBAL_CHECK_CACHE = CheckCache()
+
+
+def cached_check_pipeline(
+    pipeline: Pipeline,
+    *,
+    cache: CheckCache | None = None,
+    metrics: "MetricsRegistry | None" = None,
+    **env: Any,
+) -> CheckResult:
+    """Memoized :func:`~repro.analysis.check.check_pipeline`."""
+    if cache is None:
+        cache = GLOBAL_CHECK_CACHE
+    return cache.check(pipeline, metrics=metrics, **env)
+
+
+def cached_check_state(
+    pipeline: Pipeline,
+    state: "ExecutionState",
+    *,
+    name: str | None = None,
+    open_context: bool = False,
+    runtime: Mapping[str, Any] | None = None,
+    cache: CheckCache | None = None,
+    metrics: "MetricsRegistry | None" = None,
+) -> CheckResult:
+    """Memoized :func:`~repro.analysis.check.check_state`.
+
+    Mirrors ``check_state``'s environment extraction so the fingerprint
+    sees exactly what the analysis would: prompt texts and params,
+    context slots, the attached view registry, sources, and agents.
+    """
+    prompts: dict[str, str] = {}
+    prompt_params: dict[str, tuple[str, ...]] = {}
+    for key in state.prompts.keys():
+        entry = state.prompts[key]
+        prompts[key] = entry.text
+        prompt_params[key] = tuple(entry.params)
+    if cache is None:
+        cache = GLOBAL_CHECK_CACHE
+    return cache.check(
+        pipeline,
+        metrics=metrics,
+        prompts=prompts,
+        context=tuple(state.context.keys()),
+        views=getattr(state, "_views", None),
+        sources=state.sources(),
+        agents=state.agents(),
+        open_context=open_context,
+        prompt_params=prompt_params,
+        name=name,
+        runtime=runtime,
+    )

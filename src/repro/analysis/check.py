@@ -24,6 +24,7 @@ from repro.analysis.diagnostics import (
     SourceSpan,
     make_diagnostic,
 )
+from repro.analysis.suppressions import Suppression, apply_suppressions
 from repro.core.pipeline import Pipeline
 from repro.core.state import ExecutionState
 from repro.errors import DslCompileError, DslSyntaxError
@@ -38,7 +39,8 @@ __all__ = ["check_pipeline", "check_state", "check_program"]
 
 
 def _check_graph(graph: DataflowGraph, env: AnalysisEnv) -> CheckResult:
-    return CheckResult(run_analyzers(graph, env))
+    # Sorted on emission: stable output across runs and dict orders.
+    return CheckResult(run_analyzers(graph, env)).sort()
 
 
 def check_pipeline(
@@ -140,6 +142,7 @@ def check_program(
     *,
     views: Any = None,
     filename: str | None = None,
+    suppressions: "Sequence[Suppression] | None" = None,
 ) -> CheckResult:
     """Check a SPEAR-DL program (source text or parsed AST).
 
@@ -148,10 +151,17 @@ def check_program(
     the source span — and a broken program short-circuits (there is
     nothing sound to analyze).  Sources and agents are unknowable from DL
     alone, so SPEAR143/SPEAR144 are skipped here.
+
+    Inline ``# spear: ignore[SPEAR1xx]`` comments suppress matching
+    findings on their target line; when checking source text they are
+    collected automatically, for a pre-parsed AST pass ``suppressions``.
+    Suppressions that silence nothing come back as SPEAR199.
     """
     from repro.dl.compiler import compile_program
+    from repro.dl.lexer import collect_suppressions
     from repro.dl.parser import parse
 
+    source = program if isinstance(program, str) else None
     result = CheckResult()
     if isinstance(program, str):
         try:
@@ -214,4 +224,9 @@ def check_program(
                     )
                 ]
             )
+    result.sort()
+    if suppressions is None and isinstance(source, str):
+        suppressions = collect_suppressions(source)
+    if suppressions:
+        result = apply_suppressions(result, suppressions, filename=filename)
     return result

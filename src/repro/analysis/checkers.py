@@ -14,8 +14,18 @@ from __future__ import annotations
 import re
 from typing import Any, Callable
 
+from repro.analysis.costs import (
+    check_cache_defeating_refiner,
+    check_deadline_feasible,
+    check_unbounded_fanout,
+)
 from repro.analysis.dataflow import AnalysisEnv, DataflowGraph, OpNode
 from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+from repro.analysis.interference import (
+    check_merge_determinism,
+    check_prompt_write_races,
+    check_refine_during_serve,
+)
 
 __all__ = ["run_analyzers", "ANALYZERS"]
 
@@ -48,6 +58,8 @@ def check_undefined_prompt_refs(
     """SPEAR101 — reading a prompt key no earlier operator creates."""
     findings = []
     for node in graph:
+        if node.unreachable:
+            continue  # dead branch: the arm itself is SPEAR148
         if node.kind == "MERGE":
             continue  # reported as SPEAR131 with merge-specific context
         for key in node.missing_prompts:
@@ -77,6 +89,8 @@ def check_unbound_template_params(
         return []
     findings = []
     for node in graph:
+        if node.unreachable:
+            continue
         for root in node.unbound_params:
             later = [
                 writer
@@ -116,7 +130,7 @@ def check_shadowed_template_params(
     """SPEAR103 — a GEN ``extra=`` literal hides a pipeline-written slot."""
     findings = []
     for node in graph:
-        if node.kind != "GEN":
+        if node.kind != "GEN" or node.unreachable:
             continue
         for key in node.data.get("extra", ()):
             writers = [
@@ -170,6 +184,8 @@ def check_read_before_write(
         return []
     findings = []
     for node in graph:
+        if node.unreachable:
+            continue
         for slot in node.missing_context:
             later = graph.writers_after(node.index, slot)
             delegate_writer = next(
@@ -256,7 +272,10 @@ def check_unused_prompts(
     for key, writers in sorted(graph.prompt_writers.items()):
         if key in consumed:
             continue
-        node = writers[0]
+        live_writers = [w for w in writers if not w.unreachable]
+        if not live_writers:
+            continue  # only a dead branch builds it; that arm is SPEAR148
+        node = live_writers[0]
         findings.append(
             _diag(
                 "SPEAR121",
@@ -276,7 +295,7 @@ def check_merge_unwritten(
     """SPEAR131 — MERGE over prompt keys that are never written."""
     findings = []
     for node in graph:
-        if node.kind != "MERGE":
+        if node.kind != "MERGE" or node.unreachable:
             continue
         for key in node.missing_prompts:
             findings.append(
@@ -299,6 +318,8 @@ def check_unbounded_retry(
     """SPEAR141 — RETRY without a RetryPolicy."""
     findings = []
     for node in graph:
+        if node.unreachable:
+            continue
         if node.kind == "RETRY" and not node.data.get("has_policy", True):
             findings.append(
                 _diag(
@@ -323,7 +344,7 @@ def check_unknown_agents(
     known = set(env.agents)
     findings = []
     for node in graph:
-        if node.kind != "DELEGATE":
+        if node.kind != "DELEGATE" or node.unreachable:
             continue
         agent = node.data.get("agent")
         if agent not in known:
@@ -349,7 +370,7 @@ def check_unknown_sources(
     known = set(env.sources)
     findings = []
     for node in graph:
-        if node.kind != "RET":
+        if node.kind != "RET" or node.unreachable:
             continue
         source = node.data.get("source")
         if source not in known:
@@ -369,7 +390,7 @@ def check_unknown_sources(
 def check_dead_branches(
     graph: DataflowGraph, env: AnalysisEnv
 ) -> list[Diagnostic]:
-    """SPEAR151 — branches that can never fire.
+    """SPEAR148 — branches that can never fire.
 
     Only *unreachable work* is flagged: a constant-true CHECK guarding a
     then-branch is a common idiom for "run once" (``"x" not in C``) and
@@ -385,7 +406,7 @@ def check_dead_branches(
             if static is False and node.data.get("has_then"):
                 findings.append(
                     _diag(
-                        "SPEAR151",
+                        "SPEAR148",
                         f"condition {condition!r} is statically false here; "
                         "the then-branch can never fire",
                         graph,
@@ -397,7 +418,7 @@ def check_dead_branches(
             if static is True and node.data.get("has_orelse"):
                 findings.append(
                     _diag(
-                        "SPEAR151",
+                        "SPEAR148",
                         f"condition {condition!r} is statically true here; "
                         "the else-branch can never fire",
                         graph,
@@ -412,7 +433,7 @@ def check_dead_branches(
                 if static is False:
                     findings.append(
                         _diag(
-                            "SPEAR151",
+                            "SPEAR148",
                             f"switch case {position} condition "
                             f"{conditions[position]!r} is statically false; "
                             "the case can never fire",
@@ -428,12 +449,12 @@ def check_dead_branches(
 def check_fusion_safety(
     graph: DataflowGraph, env: AnalysisEnv
 ) -> list[Diagnostic]:
-    """SPEAR161/SPEAR162 — cross-validate against the fusion planner.
+    """SPEAR171/SPEAR172 — cross-validate against the fusion planner.
 
     Verdicts come from the planner's own
     :func:`~repro.optimizer.fusion.ref_fusion_compatibility`, so the set
-    of pairs ``fuse_refs`` coalesces is exactly the SPEAR161 set and the
-    planner can never fuse a pair flagged SPEAR162.
+    of pairs ``fuse_refs`` coalesces is exactly the SPEAR171 set and the
+    planner can never fuse a pair flagged SPEAR172.
     """
     findings = []
     for prev_index, index, verdict in graph.fusion_pairs:
@@ -442,7 +463,7 @@ def check_fusion_safety(
         if verdict == "fusable":
             findings.append(
                 _diag(
-                    "SPEAR161",
+                    "SPEAR171",
                     f"adjacent literal REF[APPEND]s ({prev_node.label} then "
                     f"{node.label}) on one key; fuse_refs will coalesce "
                     "them into a single edit",
@@ -461,7 +482,7 @@ def check_fusion_safety(
             }.get(verdict, verdict)
             findings.append(
                 _diag(
-                    "SPEAR162",
+                    "SPEAR172",
                     f"adjacent REF[APPEND]s ({prev_node.label} then "
                     f"{node.label}) on one key cannot be fused: {reason}; "
                     "the planner will skip them",
@@ -588,7 +609,7 @@ def check_item_first_template(
     """
     findings = []
     for node in graph:
-        if node.kind not in ("GEN", "FUSED_GEN"):
+        if node.kind not in ("GEN", "FUSED_GEN") or node.unreachable:
             continue
         texts = node.data.get("prompt_texts")
         if not texts:
@@ -651,6 +672,14 @@ ANALYZERS: tuple[Callable[[DataflowGraph, AnalysisEnv], list[Diagnostic]], ...] 
     check_deadline_without_scheduler,
     check_serve_policy_without_scheduler,
     check_item_first_template,
+    # cost bounds (repro.analysis.costs)
+    check_deadline_feasible,
+    check_unbounded_fanout,
+    check_cache_defeating_refiner,
+    # lane interference (repro.analysis.interference)
+    check_prompt_write_races,
+    check_refine_during_serve,
+    check_merge_determinism,
 )
 
 

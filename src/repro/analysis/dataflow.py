@@ -155,6 +155,10 @@ class OpNode:
     repeated: bool = False
     #: True when an opaque operator ran earlier in the walk.
     under_havoc: bool = False
+    #: True when the path-sensitive walker proved this node sits inside a
+    #: statically-dead branch: it can never run, so per-node findings are
+    #: suppressed (the dead branch itself is SPEAR148).
+    unreachable: bool = False
     #: True when the walker cannot see inside this operator.
     opaque: bool = False
     prompt_reads: tuple[str, ...] = ()
@@ -224,7 +228,11 @@ class DataflowGraph:
         self.dead_writes = dead_writes
         #: ``(prev_index, node_index, verdict)`` adjacent-REF pairs.
         self.fusion_pairs = fusion_pairs
-        self.has_opaque = any(node.opaque for node in nodes)
+        # An opaque operator in a statically-dead branch never runs, so
+        # it cannot havoc the live pipeline's negatives.
+        self.has_opaque = any(
+            node.opaque and not node.unreachable for node in nodes
+        )
         self.prompt_readers: dict[str, list[OpNode]] = {}
         self.prompt_writers: dict[str, list[OpNode]] = {}
         self.context_readers: dict[str, list[OpNode]] = {}
@@ -356,6 +364,8 @@ class _Walker:
         self.pending_writes: dict[str, int] = {}
         self.dead_writes: list[tuple[int, str]] = []
         self.fusion_pairs: list[tuple[int, int, str]] = []
+        #: >0 while walking a statically-dead branch (path-sensitive mode).
+        self._dead_depth = 0
 
     # -- node plumbing -------------------------------------------------------
 
@@ -378,6 +388,7 @@ class _Walker:
             conditional=conditional,
             repeated=repeated,
             under_havoc=self.havoc,
+            unreachable=self._dead_depth > 0,
         )
         self.nodes.append(node)
         return node
@@ -781,6 +792,7 @@ class _Walker:
 
     def _walk_retry(self, op: RETRY, conditional, repeated, path) -> OpNode:
         inner_path = path + (op.label,)
+        body_start = len(self.nodes)
         # The inner op always runs at least once; only re-runs are
         # conditional, so it keeps the parent's conditionality but is
         # marked repeated (its writes are overwritten by design).
@@ -792,6 +804,9 @@ class _Walker:
         node = self._node(
             op, "RETRY", conditional=conditional, repeated=repeated, path=path
         )
+        #: node-index span of the body (and refiner) this RETRY re-runs —
+        #: the cost analyzer multiplies these nodes by the attempt bound.
+        node.data["body_range"] = (body_start, node.index)
         node.data["condition"] = op.condition.text
         node.data["has_policy"] = op.policy is not None
         node.data["max_retries"] = op.max_retries
@@ -951,15 +966,27 @@ def build_dataflow(
     env: AnalysisEnv | None = None,
     *,
     name: str | None = None,
+    path_sensitive: bool = True,
 ) -> DataflowGraph:
     """Extract the per-operator read/write sets of ``pipeline``.
 
     Pure: neither the pipeline, the environment, nor any registry cache
     is mutated — safe to run immediately before a real execution without
     perturbing it.
+
+    ``path_sensitive`` (the default) analyzes CHECK/SWITCH arms on
+    forked abstract states with joined post-states and skips
+    statically-dead arms (see :mod:`repro.analysis.absint`); pass False
+    for the legacy flow-insensitive walk, which threads one mutable
+    state through every arm.
     """
     env = env if env is not None else AnalysisEnv()
-    walker = _Walker(env)
+    if path_sensitive:
+        from repro.analysis.absint import PathSensitiveWalker
+
+        walker: _Walker = PathSensitiveWalker(env)
+    else:
+        walker = _Walker(env)
     walker.walk_sequence(
         pipeline.operators, conditional=False, repeated=False, path=()
     )

@@ -14,9 +14,12 @@ Codes are grouped by decade:
 - ``SPEAR11x`` — context dataflow (C).
 - ``SPEAR12x`` — unused definitions.
 - ``SPEAR13x`` — MERGE reconciliation.
-- ``SPEAR14x`` — control/runtime policies (RETRY, DELEGATE, sources).
-- ``SPEAR15x`` — conditions and reachability.
-- ``SPEAR16x`` — optimizer interplay (fusion safety).
+- ``SPEAR14x`` — control/runtime policies (RETRY, DELEGATE, sources)
+  and reachability.
+- ``SPEAR15x`` — cost bounds (deadline, token fan-out, cache economics).
+- ``SPEAR16x`` — concurrency interference (parallel lanes, serving).
+- ``SPEAR17x`` — optimizer interplay (fusion safety).
+- ``SPEAR19x`` — meta-diagnostics (suppression hygiene).
 """
 
 from __future__ import annotations
@@ -45,6 +48,13 @@ class Severity(str, Enum):
 
 #: code → (default severity, short name, description).  The codes are a
 #: compatibility surface: never renumber; retire by leaving a tombstone.
+#:
+#: Tombstones — three pre-1.0 codes were re-homed when the cost (15x)
+#: and interference (16x) decades landed; match on the new codes:
+#:
+#: - ``SPEAR151`` check-never-fires   → ``SPEAR148``
+#: - ``SPEAR161`` fusable-refs        → ``SPEAR171``
+#: - ``SPEAR162`` unsafe-fusion       → ``SPEAR172``
 CODE_CATALOG: dict[str, tuple[Severity, str, str]] = {
     "SPEAR001": (
         Severity.ERROR,
@@ -146,24 +156,74 @@ CODE_CATALOG: dict[str, tuple[Severity, str, str]] = {
         "scheduler is disabled: requests are admission-ordered only and "
         "the per-run serving policy silently no-ops.",
     ),
-    "SPEAR151": (
+    "SPEAR148": (
         Severity.WARNING,
         "check-never-fires",
         "A CHECK/SWITCH branch is statically unreachable (or the "
         "condition is statically constant).",
     ),
+    "SPEAR151": (
+        Severity.ERROR,
+        "deadline-infeasible",
+        "deadline_s is below the pipeline's statically-provable "
+        "lower-bound latency: the run cannot finish in time even when "
+        "every conditional branch is skipped.",
+    ),
+    "SPEAR152": (
+        Severity.WARNING,
+        "unbounded-token-fanout",
+        "RETRY re-runs a token-spending body but its condition reads "
+        "only signals the body never writes: the condition can never "
+        "change, every permitted attempt fires, and nothing but "
+        "max_retries bounds token fan-out.",
+    ),
+    "SPEAR153": (
+        Severity.WARNING,
+        "cache-defeating-refiner",
+        "A refinement's dependent suffix covers >=90% of the pipeline: "
+        "every refinement invalidates nearly every step, so the "
+        "incremental result cache can never pay off.",
+    ),
     "SPEAR161": (
+        Severity.WARNING,
+        "prompt-write-race",
+        "Parallel lanes share one prompt store and the pipeline writes "
+        "a shared prompt key: cross-item write-write race; pass "
+        "isolate_prompts=True or refine a per-item key.",
+    ),
+    "SPEAR162": (
+        Severity.WARNING,
+        "refine-during-serve",
+        "A served pipeline writes a prompt key in the tenant's "
+        "persistent session store: refinements leak across requests, "
+        "later requests observe drifted prompts, and cached results "
+        "churn.",
+    ),
+    "SPEAR163": (
+        Severity.WARNING,
+        "nondeterministic-merge-order",
+        "MERGE reconciles prompt keys that concurrent lanes write "
+        "through a shared store: the merged content depends on lane "
+        "interleaving.",
+    ),
+    "SPEAR171": (
         Severity.INFO,
         "fusable-refs",
         "Adjacent literal REF[APPEND]s on one key; the optimizer's "
         "fuse_refs will coalesce them.",
     ),
-    "SPEAR162": (
+    "SPEAR172": (
         Severity.WARNING,
         "unsafe-fusion",
         "Adjacent REF[APPEND]s on one key that must NOT be fused "
         "(mode/condition mismatch or dynamic refiner); the planner "
         "skips them.",
+    ),
+    "SPEAR199": (
+        Severity.WARNING,
+        "useless-suppression",
+        "A '# spear: ignore[...]' comment suppresses a code that never "
+        "fires on its target line.",
     ),
 }
 
@@ -207,6 +267,24 @@ class Diagnostic:
         """The catalog short name for this code (e.g. ``undefined-prompt-ref``)."""
         entry = CODE_CATALOG.get(self.code)
         return entry[1] if entry else self.code.lower()
+
+    def sort_key(self) -> tuple:
+        """Stable output order: ``(file, line, column, code, ...)``.
+
+        Span-less diagnostics (pure-Python pipelines) sort by their
+        pipeline/operator anchors instead, so strict-mode error text and
+        ``spear check`` output never depend on dict-iteration order.
+        """
+        span = self.span or SourceSpan()
+        return (
+            span.file or "",
+            span.line,
+            span.column,
+            self.code,
+            self.pipeline or "",
+            self.operator or "",
+            self.message,
+        )
 
     def render(self) -> str:
         """One human-readable line: ``file:line:col: CODE severity: message``."""
@@ -282,6 +360,11 @@ class CheckResult:
     def extend(self, diagnostics: "CheckResult | list[Diagnostic]") -> None:
         """Append another result's (or list's) diagnostics."""
         self.diagnostics.extend(diagnostics)
+
+    def sort(self) -> "CheckResult":
+        """Order diagnostics by ``(file, line, column, code)``; returns self."""
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+        return self
 
     def by_severity(self, severity: Severity) -> list[Diagnostic]:
         """All diagnostics at exactly ``severity``."""

@@ -1,0 +1,210 @@
+"""Lane-interference analysis: races and hazards under concurrency.
+
+A pipeline that is perfectly sound run alone can misbehave the moment it
+runs *many times at once* — per item in a
+:class:`~repro.runtime.parallel.ParallelBatchRunner` batch, or per
+request in a :class:`~repro.serve.server.SpearServer` tenant.  The
+runtime describes its concurrency shape through
+``AnalysisEnv.runtime``:
+
+- ``lanes`` — number of concurrent executions (batch workers);
+- ``shared_prompts`` — lanes share one prompt store (the batch runners'
+  default; ``isolate_prompts=True`` clears it);
+- ``shared_context`` — lanes share context slots (never the default;
+  set by harnesses that bind a communal scratch slot);
+- ``serve`` — the pipeline is registered in a serving layer whose
+  per-tenant prompt store persists across requests.
+
+Three analyzers:
+
+- SPEAR161 — write-write race: two lanes refine the same shared prompt
+  key (or shared context slot), so each item's prompt depends on lane
+  scheduling;
+- SPEAR162 — refine-during-serve: a registered pipeline mutates a
+  registered prompt key, so one request's refinement leaks into every
+  later request of the tenant (supersedes the ad-hoc runtime warnings);
+- SPEAR163 — non-deterministic MERGE: merging keys that concurrent
+  lanes are rewriting makes the merged text depend on arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.analysis.dataflow import AnalysisEnv, DataflowGraph, OpNode
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+
+__all__ = [
+    "check_prompt_write_races",
+    "check_refine_during_serve",
+    "check_merge_determinism",
+]
+
+#: REF actions that mutate an existing entry rather than build a new one.
+_REFINING_ACTIONS = frozenset(
+    {"append", "prepend", "update", "replace", "delete"}
+)
+
+
+def _diag(
+    code: str,
+    message: str,
+    graph: DataflowGraph,
+    node: OpNode | None = None,
+    **data: Any,
+) -> Diagnostic:
+    return make_diagnostic(
+        code,
+        message,
+        operator=node.label if node is not None else None,
+        pipeline=graph.name,
+        span=node.span if node is not None else None,
+        **data,
+    )
+
+
+def _runtime(env: AnalysisEnv) -> Mapping[str, Any]:
+    return env.runtime or {}
+
+
+def _lanes(env: AnalysisEnv) -> int:
+    lanes = _runtime(env).get("lanes")
+    if isinstance(lanes, int) and not isinstance(lanes, bool):
+        return lanes
+    return 1
+
+
+def _live_prompt_writers(graph: DataflowGraph) -> dict[str, OpNode]:
+    """First reachable writer per prompt key, in program order."""
+    writers: dict[str, OpNode] = {}
+    for node in graph:
+        if node.unreachable:
+            continue
+        for key in node.prompt_writes:
+            writers.setdefault(key, node)
+    return writers
+
+
+def check_prompt_write_races(
+    graph: DataflowGraph, env: AnalysisEnv
+) -> list[Diagnostic]:
+    """SPEAR161 — concurrent lanes write the same shared key or slot."""
+    lanes = _lanes(env)
+    if lanes <= 1:
+        return []
+    runtime = _runtime(env)
+    findings: list[Diagnostic] = []
+    if runtime.get("shared_prompts"):
+        for key, node in sorted(_live_prompt_writers(graph).items()):
+            findings.append(
+                _diag(
+                    "SPEAR161",
+                    f"prompt key {key!r} is written while {lanes} lanes "
+                    "share one prompt store: items race on its text; "
+                    "pass isolate_prompts=True or refine a per-item key",
+                    graph,
+                    node,
+                    key=key,
+                    lanes=lanes,
+                )
+            )
+    if runtime.get("shared_context"):
+        seen: set[str] = set()
+        for node in graph:
+            if node.unreachable:
+                continue
+            for slot in node.context_writes:
+                if slot in seen:
+                    continue
+                seen.add(slot)
+                findings.append(
+                    _diag(
+                        "SPEAR161",
+                        f"context slot {slot!r} is written while {lanes} "
+                        "lanes share context: items race on its value",
+                        graph,
+                        node,
+                        slot=slot,
+                        lanes=lanes,
+                    )
+                )
+    return findings
+
+
+def check_refine_during_serve(
+    graph: DataflowGraph, env: AnalysisEnv
+) -> list[Diagnostic]:
+    """SPEAR162 — a served pipeline mutates persistent prompt state.
+
+    The serving layer's per-tenant prompt store outlives any single
+    request (requests fork context and metadata, not prompts), so a
+    refining write — a non-CREATE REF, a MAP, a MERGE, or any write to a
+    key the registration seeded — changes what *every later request* of
+    the tenant renders.  Creating a fresh working key is fine; mutating
+    shared prompt state from request handling is flagged.
+    """
+    if not _runtime(env).get("serve"):
+        return []
+    registered = set(env.prompts)
+    findings: list[Diagnostic] = []
+    flagged: set[str] = set()
+    for node in graph:
+        if node.unreachable or not node.prompt_writes:
+            continue
+        if node.kind == "REF":
+            refining = node.data.get("action") in _REFINING_ACTIONS
+        elif node.kind in ("MAP", "MERGE"):
+            refining = True
+        else:
+            refining = False
+        for key in node.prompt_writes:
+            if key in flagged:
+                continue
+            if not refining and key not in registered:
+                continue
+            flagged.add(key)
+            findings.append(
+                _diag(
+                    "SPEAR162",
+                    f"prompt key {key!r} is refined while the pipeline "
+                    "is registered for serving: the tenant prompt store "
+                    "persists across requests, so this write leaks into "
+                    "every later request; refine into a fresh key or "
+                    "re-register instead",
+                    graph,
+                    node,
+                    key=key,
+                )
+            )
+    return findings
+
+
+def check_merge_determinism(
+    graph: DataflowGraph, env: AnalysisEnv
+) -> list[Diagnostic]:
+    """SPEAR163 — MERGE over keys concurrent lanes are rewriting."""
+    lanes = _lanes(env)
+    if lanes <= 1 or not _runtime(env).get("shared_prompts"):
+        return []
+    written = set(_live_prompt_writers(graph))
+    findings: list[Diagnostic] = []
+    for node in graph:
+        if node.kind != "MERGE" or node.unreachable:
+            continue
+        racy = sorted(written & set(node.prompt_reads))
+        if not racy:
+            continue
+        keys = ", ".join(repr(key) for key in racy)
+        findings.append(
+            _diag(
+                "SPEAR163",
+                f"MERGE reads {keys} which {lanes} concurrent lanes are "
+                "rewriting: the merged text depends on lane arrival "
+                "order and is not deterministic",
+                graph,
+                node,
+                keys=tuple(racy),
+                lanes=lanes,
+            )
+        )
+    return findings

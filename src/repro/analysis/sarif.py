@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 output for `spear check` — CI-native diagnostics.
+
+GitHub code scanning, VS Code's SARIF viewer, and most CI lint
+aggregators speak `SARIF <https://sarifweb.azurewebsites.net/>`_; this
+renderer maps the checker's :class:`~repro.analysis.diagnostics.
+CheckResult` onto it: one ``run``, one rule per catalog code that
+appears, one ``result`` per diagnostic with its source region when the
+finding carries a span.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.diagnostics import CODE_CATALOG, Diagnostic, Severity
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule(code: str) -> dict[str, Any]:
+    severity, title, summary = CODE_CATALOG[code]
+    return {
+        "id": code,
+        "name": title,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+    }
+
+
+def _result(diagnostic: Diagnostic) -> dict[str, Any]:
+    message = diagnostic.message
+    if diagnostic.operator:
+        message = f"{diagnostic.operator}: {message}"
+    result: dict[str, Any] = {
+        "ruleId": diagnostic.code,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": message},
+    }
+    span = diagnostic.span
+    if span is not None and span.file:
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": span.file},
+                    "region": {
+                        "startLine": max(span.line, 1),
+                        "startColumn": max(span.column, 1),
+                    },
+                }
+            }
+        ]
+    if diagnostic.pipeline:
+        result["properties"] = {"pipeline": diagnostic.pipeline}
+    return result
+
+
+def to_sarif(diagnostics: Iterable[Diagnostic]) -> dict[str, Any]:
+    """Render diagnostics as one SARIF 2.1.0 log (a JSON-ready dict)."""
+    findings = list(diagnostics)
+    rules = sorted({diagnostic.code for diagnostic in findings})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "spear-check",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": [_rule(code) for code in rules],
+                    }
+                },
+                "results": [_result(diagnostic) for diagnostic in findings],
+            }
+        ],
+    }

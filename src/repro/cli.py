@@ -105,9 +105,23 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--format",
         dest="format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: human-readable text)",
+        help="output format (default: human-readable text; sarif emits "
+        "a SARIF 2.1.0 log for CI annotation)",
+    )
+    check.add_argument(
+        "--costs",
+        action="store_true",
+        help="print the static cost-bound table (tokens / seconds / USD "
+        "lower and upper bounds per pipeline)",
+    )
+    check.add_argument(
+        "--fail-on",
+        dest="fail_on",
+        choices=("error", "warning"),
+        default="error",
+        help="exit non-zero at this severity or worse (default: error)",
     )
 
     stats = commands.add_parser(
@@ -312,12 +326,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _collect_py_targets(path: Path) -> list[tuple[str, object]]:
+def _collect_py_targets(
+    path: Path,
+) -> list[tuple[str, object, dict[str, object]]]:
     """Checkable artefacts of a Python module: DL sources + pipelines.
 
     Imports the module in isolation and collects module-level string
     attributes named ``SOURCE``/``DL_SOURCE`` (or ending ``_SOURCE``) as
     SPEAR-DL programs, plus module-level :class:`Pipeline` objects.
+
+    A module may describe the environment its pipelines run under with
+    module-level ``SPEAR_RUNTIME`` (a runtime mapping: ``deadline_s``,
+    ``lanes``, ``serve``, …), ``SPEAR_PROMPTS`` (initial prompt texts),
+    and ``SPEAR_CONTEXT`` (initially-bound slots) — these feed the
+    runtime-gated analyzers (SPEAR145, SPEAR15x, SPEAR16x) exactly as
+    strict mode would.
     """
     import importlib.util
 
@@ -331,7 +354,18 @@ def _collect_py_targets(path: Path) -> list[tuple[str, object]]:
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
 
-    targets: list[tuple[str, object]] = []
+    env: dict[str, object] = {}
+    runtime = getattr(module, "SPEAR_RUNTIME", None)
+    if isinstance(runtime, dict):
+        env["runtime"] = runtime
+    prompts = getattr(module, "SPEAR_PROMPTS", None)
+    if isinstance(prompts, dict):
+        env["prompts"] = prompts
+    context = getattr(module, "SPEAR_CONTEXT", None)
+    if isinstance(context, (list, tuple, set, frozenset)):
+        env["context"] = tuple(sorted(context))
+
+    targets: list[tuple[str, object, dict[str, object]]] = []
     for attr in sorted(vars(module)):
         if attr.startswith("_"):
             continue
@@ -339,35 +373,118 @@ def _collect_py_targets(path: Path) -> list[tuple[str, object]]:
         if isinstance(value, str) and (
             attr in ("SOURCE", "DL_SOURCE") or attr.endswith("_SOURCE")
         ):
-            targets.append((f"{path}::{attr}", value))
+            targets.append((f"{path}::{attr}", value, env))
         elif isinstance(value, Pipeline):
-            targets.append((f"{path}::{attr}", value))
+            targets.append((f"{path}::{attr}", value, env))
     return targets
+
+
+def _compiled_graphs(artefact, env: dict[str, object], name: str):
+    """(name, graph, AnalysisEnv) per pipeline in a check target."""
+    from repro.analysis import AnalysisEnv, build_dataflow
+    from repro.core.pipeline import Pipeline
+
+    analysis_env = AnalysisEnv(
+        prompts=env.get("prompts") or {},
+        context=tuple(env.get("context") or ()),
+        runtime=env.get("runtime"),
+    )
+    if isinstance(artefact, Pipeline):
+        graph = build_dataflow(artefact, analysis_env, name=name)
+        return [(name, graph, analysis_env)]
+    from repro.dl.compiler import compile_program
+    from repro.dl.parser import parse
+
+    try:
+        compiled = compile_program(parse(artefact))
+    except SpearError:
+        return []
+    graphs = []
+    for pipeline_name, pipeline in sorted(compiled.pipelines.items()):
+        pipeline_env = AnalysisEnv(
+            views=compiled.views, runtime=env.get("runtime")
+        )
+        graphs.append(
+            (
+                pipeline_name,
+                build_dataflow(pipeline, pipeline_env, name=pipeline_name),
+                pipeline_env,
+            )
+        )
+    return graphs
+
+
+def _cost_table(targets) -> str:
+    """The `spear check --costs` table: static bounds per pipeline."""
+    from repro.analysis.costs import estimate_costs
+    from repro.eval.tables import format_table
+
+    rows = []
+    for target, artefact, env in targets:
+        for name, graph, analysis_env in _compiled_graphs(
+            artefact, env, target
+        ):
+            summary = estimate_costs(graph, analysis_env)
+            rows.append(
+                [
+                    name,
+                    len(summary.operators),
+                    summary.lower.tokens,
+                    summary.upper.tokens,
+                    round(summary.lower.seconds, 3),
+                    round(summary.upper.seconds, 3),
+                    round(summary.lower.usd, 6),
+                    round(summary.upper.usd, 6),
+                    "yes" if summary.exact else "no",
+                ]
+            )
+    return format_table(
+        [
+            "Pipeline",
+            "GENs",
+            "Tok lo",
+            "Tok hi",
+            "Sec lo",
+            "Sec hi",
+            "USD lo",
+            "USD hi",
+            "Exact",
+        ],
+        rows,
+    )
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     import json
 
-    from repro.analysis import check_pipeline, check_program
+    from repro.analysis import check_pipeline, check_program, to_sarif
     from repro.core.pipeline import Pipeline
 
-    targets: list[tuple[str, object]] = []
+    targets: list[tuple[str, object, dict[str, object]]] = []
     for path in args.files:
         if path.suffix == ".py":
             targets.extend(_collect_py_targets(path))
         else:
-            targets.append((str(path), path.read_text(encoding="utf-8")))
+            targets.append(
+                (str(path), path.read_text(encoding="utf-8"), {})
+            )
     for position, source in enumerate(args.dl):
-        targets.append((f"<dl:{position}>", source))
+        targets.append((f"<dl:{position}>", source, {}))
     if not targets:
         print("error: nothing to check (no files, no --dl)", file=sys.stderr)
         return 2
 
     runs = []
     errors = warnings = infos = 0
-    for target, artefact in targets:
+    for target, artefact, env in targets:
         if isinstance(artefact, Pipeline):
-            result = check_pipeline(artefact, name=artefact.name or target)
+            result = check_pipeline(
+                artefact,
+                name=artefact.name or target,
+                prompts=env.get("prompts"),  # type: ignore[arg-type]
+                context=tuple(env.get("context") or ()),
+                runtime=env.get("runtime"),  # type: ignore[arg-type]
+            )
         else:
             filename = target if not target.startswith("<") else None
             result = check_program(artefact, filename=filename)
@@ -387,6 +504,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "infos": infos,
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        merged = [
+            diagnostic for __, result in runs for diagnostic in result
+        ]
+        print(json.dumps(to_sarif(merged), indent=2))
     else:
         for target, result in runs:
             status = "ok" if not len(result) else result.summary()
@@ -397,7 +519,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
             f"checked {len(runs)} target(s): {errors} error(s), "
             f"{warnings} warning(s), {infos} info(s)"
         )
-    return 1 if errors else 0
+    if args.costs and args.format != "sarif":
+        print()
+        print(_cost_table(targets))
+    if errors:
+        return 1
+    if getattr(args, "fail_on", "error") == "warning" and warnings:
+        return 1
+    return 0
 
 
 def render_stats_text(report) -> str:

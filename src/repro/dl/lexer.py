@@ -30,7 +30,7 @@ from enum import Enum
 
 from repro.errors import DslSyntaxError
 
-__all__ = ["TokenType", "Token", "tokenize"]
+__all__ = ["TokenType", "Token", "tokenize", "collect_suppressions"]
 
 
 class TokenType(str, Enum):
@@ -87,8 +87,19 @@ def _is_name_char(char: str) -> bool:
     return char.isalnum() or char == "_"
 
 
-def tokenize(source: str) -> list[Token]:
-    """Lex SPEAR-DL source into tokens; raises :class:`DslSyntaxError`."""
+def tokenize(
+    source: str,
+    *,
+    comments: "list[tuple[str, int, int, bool]] | None" = None,
+) -> list[Token]:
+    """Lex SPEAR-DL source into tokens; raises :class:`DslSyntaxError`.
+
+    ``comments``, when given, collects every comment as
+    ``(text, line, column, trailing)`` — ``trailing`` is True when a
+    token precedes the comment on the same line.  The token stream
+    itself never contains comments; this side channel is how inline
+    ``# spear: ignore[...]`` suppressions reach the checker.
+    """
     tokens: list[Token] = []
     position = 0
     line = 1
@@ -113,8 +124,19 @@ def tokenize(source: str) -> list[Token]:
             continue
 
         if char == "#":
+            start_line, start_column = line, column
+            start = position
             while position < length and source[position] != "\n":
                 advance(1)
+            if comments is not None:
+                comments.append(
+                    (
+                        source[start:position],
+                        start_line,
+                        start_column,
+                        bool(tokens) and tokens[-1].line == start_line,
+                    )
+                )
             continue
 
         if source.startswith('"""', position):
@@ -195,3 +217,27 @@ def tokenize(source: str) -> list[Token]:
 
     tokens.append(Token(TokenType.EOF, "", line, column))
     return tokens
+
+
+def collect_suppressions(source: str) -> "list":
+    """Parse every ``# spear: ignore[...]`` comment in ``source``.
+
+    Returns :class:`repro.analysis.suppressions.Suppression` records;
+    source that fails to lex yields none (the checker reports SPEAR001
+    long before suppressions matter).
+    """
+    from repro.analysis.suppressions import Suppression
+
+    comments: list[tuple[str, int, int, bool]] = []
+    try:
+        tokenize(source, comments=comments)
+    except DslSyntaxError:
+        return []
+    suppressions = []
+    for text, line, column, trailing in comments:
+        suppression = Suppression.from_comment(
+            text, line, column, trailing=trailing
+        )
+        if suppression is not None:
+            suppressions.append(suppression)
+    return suppressions

@@ -17,6 +17,8 @@ from repro.llm.profiles import ModelProfile
 from repro.llm.tokenizer import Tokenizer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.costs import PipelineCostSummary
+    from repro.core.pipeline import Pipeline
     from repro.resilience.policies import RetryPolicy
 
 __all__ = ["CallEstimate", "CostModel"]
@@ -138,6 +140,34 @@ class CostModel:
             cached_tokens=int(round(base.cached_tokens * expected_attempts)),
             output_tokens=int(round(base.output_tokens * expected_attempts)),
         )
+
+    def summarize_pipeline(
+        self, pipeline: "Pipeline", **env: object
+    ) -> "PipelineCostSummary":
+        """Whole-pipeline lower/upper cost bounds under this model.
+
+        Delegates to the static analyzer's
+        :func:`~repro.analysis.costs.estimate_costs` so the optimizer
+        and `spear check --costs` price pipelines with one shared
+        engine: reachable generations only, per-text min/max token
+        bounds, RETRY attempt multipliers.  ``env`` takes
+        :func:`~repro.analysis.check.check_pipeline`'s keyword
+        environment (``prompts=``, ``runtime=``, ...).
+        """
+        # Imported here: repro.analysis.costs builds its default model
+        # from this module, so a top-level import would be circular.
+        from repro.analysis.costs import estimate_costs
+        from repro.analysis.dataflow import AnalysisEnv, build_dataflow
+
+        analysis_env = AnalysisEnv(
+            prompts=env.get("prompts") or {},
+            context=tuple(env.get("context") or ()),
+            runtime=env.get("runtime"),
+        )
+        graph = build_dataflow(
+            pipeline, analysis_env, name=env.get("name") or pipeline.name
+        )
+        return estimate_costs(graph, analysis_env, model=self)
 
     def per_item(
         self,

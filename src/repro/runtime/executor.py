@@ -377,11 +377,15 @@ class Executor:
         )
 
     def _validate(self, pipeline: "Pipeline", state: "ExecutionState") -> None:
-        """Strict-mode gate: static-check, count findings, abort on errors."""
-        from repro.analysis import check_state
+        """Strict-mode gate: static-check, count findings, abort on errors.
+
+        Re-checks go through the incremental cache: an unchanged
+        (pipeline, state, options) triple costs one content hash.
+        """
+        from repro.analysis import cached_check_state
         from repro.errors import SpearValidationError
 
-        result = check_state(
+        result = cached_check_state(
             pipeline,
             state,
             runtime={
@@ -389,6 +393,7 @@ class Executor:
                 "priority": self.options.priority,
                 "deadline_s": self.options.deadline_s,
             },
+            metrics=self.options.metrics,
         )
         if len(result) and self.options.metrics is not None:
             for diagnostic in result:

@@ -155,15 +155,18 @@ class ParallelBatchRunner:
 
         ``open_context=True``: the ``bind`` callback populates per-item
         context at runtime, so missing-context findings are unknowable
-        here and suppressed.
+        here and suppressed.  The runtime mapping carries the runner's
+        concurrency shape (``lanes``/``shared_prompts``) so the
+        interference analyzers (SPEAR161/163) see the batch the way it
+        will actually run; re-checks go through the incremental cache.
         """
-        from repro.analysis import check_state
+        from repro.analysis import cached_check_state
         from repro.errors import SpearValidationError
 
         # The parallel runner's effective engine is the continuous
         # scheduler unless explicitly disabled, so the runtime mapping
         # reports the *effective* selection, not the raw option.
-        result = check_state(
+        result = cached_check_state(
             pipeline,
             self.base_state,
             open_context=True,
@@ -171,7 +174,10 @@ class ParallelBatchRunner:
                 "scheduler": self.options.scheduler is not False,
                 "priority": self.options.priority,
                 "deadline_s": self.options.deadline_s,
+                "lanes": self.workers,
+                "shared_prompts": not self.isolate_prompts,
             },
+            metrics=self.metrics,
         )
         if len(result) and self.metrics is not None:
             for diagnostic in result:

@@ -191,13 +191,54 @@ class SpearServer:
         pipeline: "Pipeline",
         *,
         prompts: Mapping[str, str] | None = None,
+        strict: bool = True,
     ) -> None:
         """Register a named pipeline (and the prompt texts it needs).
 
         ``prompts`` maps prompt key → template text; each tenant session
         materializes them into *its own* prompt store on first use, so
         tenants never share prompt state even for shared pipelines.
+
+        Registration is **strict by default**: the pipeline is
+        statically checked against the serve runtime (the incremental
+        re-check cache makes repeat registrations O(1)).  Errors reject
+        the registration with :class:`~repro.errors.SpearValidationError`;
+        warnings — including SPEAR162 refine-during-serve hazards on the
+        persistent tenant prompt store — surface as one
+        :class:`RuntimeWarning`.  Pass ``strict=False`` to skip.
         """
+        if strict:
+            from repro.analysis import cached_check_pipeline
+            from repro.errors import SpearValidationError
+
+            result = cached_check_pipeline(
+                pipeline,
+                prompts=dict(prompts or {}),
+                open_context=True,
+                name=name,
+                runtime={
+                    "serve": True,
+                    "scheduler": self.scheduler is not False,
+                    "lanes": self.workers,
+                },
+            )
+            if result.has_errors:
+                raise SpearValidationError(result.errors)
+            warnings_ = [
+                d for d in result if d.severity.value == "warning"
+            ]
+            if warnings_:
+                summary = "; ".join(
+                    f"{d.code} {d.operator or ''}".strip()
+                    for d in warnings_
+                )
+                warnings.warn(
+                    f"pipeline {name!r} registered with static warnings: "
+                    f"{summary} (run `spear check` for details, or "
+                    "register with strict=False to silence)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self._pipelines[name] = (pipeline, dict(prompts or {}))
 
     def add_tenant(

@@ -1,0 +1,282 @@
+"""Path-sensitive abstract interpretation: dead arms, forked states, joins.
+
+The v2 walker (:mod:`repro.analysis.absint`) forks the abstract state
+per CHECK/SWITCH arm, refines it with the arm's condition, skips
+statically-dead arms, and joins the per-arm post-states.  Relative to
+the legacy flow-insensitive walk this both *kills false positives*
+(findings inside arms that cannot run) and *gains precision* (one arm's
+writes no longer leak into a sibling arm's state).
+"""
+
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    AnalysisEnv,
+    CheckResult,
+    build_dataflow,
+    check_pipeline,
+    check_program,
+)
+from repro.analysis.checkers import run_analyzers
+from repro.core import (
+    CHECK,
+    GEN,
+    REF,
+    RET,
+    SWITCH,
+    Condition,
+    Pipeline,
+    RefAction,
+)
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "dl"
+
+#: codes where the flow-insensitive walk is prone to branch-related
+#: false positives; path sensitivity may only ever *remove* these.
+FP_PRONE = {"SPEAR112", "SPEAR121"}
+
+
+def flow_insensitive(pipeline: Pipeline, env: AnalysisEnv | None = None):
+    env = env or AnalysisEnv()
+    graph = build_dataflow(pipeline, env, path_sensitive=False)
+    return CheckResult(run_analyzers(graph, env)).sort()
+
+
+def keyed(result) -> set[tuple[str, str | None]]:
+    return {(d.code, d.operator) for d in result}
+
+
+def dead_arm_pipeline() -> Pipeline:
+    # M["never_signal"] is never written, so `> 0.5` is statically
+    # false: the arm cannot run.
+    return Pipeline(
+        [
+            REF(RefAction.CREATE, "base", key="qa"),
+            GEN("a", prompt="qa"),
+            CHECK(
+                Condition.metadata_above("never_signal", 0.5),
+                then=REF(RefAction.CREATE, "dump", key="debug_scratch"),
+            ),
+        ]
+    )
+
+
+class TestDeadArms:
+    def test_dead_arm_nodes_are_marked_unreachable(self):
+        graph = build_dataflow(dead_arm_pipeline(), AnalysisEnv())
+        unreachable = [node.label for node in graph if node.unreachable]
+        assert unreachable == ["REF[CREATE, f_literal]"]
+
+    def test_dead_arm_findings_are_killed(self):
+        result = check_pipeline(dead_arm_pipeline())
+        # The dead branch itself is still reported ...
+        assert result.codes() == ["SPEAR148"]
+        # ... but the unused-prompt FP on the arm's body is gone.
+        assert not result.with_code("SPEAR121")
+
+    def test_flow_insensitive_walk_keeps_the_fp(self):
+        result = flow_insensitive(dead_arm_pipeline())
+        (fp,) = result.with_code("SPEAR121")
+        assert "debug_scratch" in fp.message
+
+    def test_switch_arms_after_first_static_match_are_dead(self):
+        # The first case is statically true (missing metadata reads as
+        # 0), so the later arms can never be selected.
+        pipeline = Pipeline(
+            [
+                REF(RefAction.CREATE, "base", key="qa"),
+                SWITCH(
+                    [
+                        (
+                            Condition.metadata_below("confidence", 0.5),
+                            GEN("low", prompt="qa"),
+                        ),
+                        (
+                            Condition.metadata_above("confidence", 0.9),
+                            REF(
+                                RefAction.CREATE,
+                                "orphan",
+                                key="never_read",
+                            ),
+                        ),
+                    ]
+                ),
+            ]
+        )
+        result = check_pipeline(pipeline)
+        assert not result.with_code("SPEAR121")
+        graph = build_dataflow(pipeline, AnalysisEnv())
+        assert any(node.unreachable for node in graph)
+
+
+class TestCrossArmIsolation:
+    def test_sibling_arm_does_not_see_other_arms_writes(self):
+        # Arm 1 creates "detail"; arm 2 reads it.  The arms are
+        # mutually exclusive, so arm 2's read is an undefined-prompt
+        # error — which only a forked per-arm state can see.
+        pipeline = Pipeline(
+            [
+                REF(RefAction.CREATE, "base", key="qa"),
+                GEN("a", prompt="qa"),
+                SWITCH(
+                    [
+                        (
+                            Condition.metadata_below("confidence", 0.5),
+                            REF(RefAction.CREATE, "x", key="detail"),
+                        ),
+                        (
+                            Condition.metadata_above("confidence", 0.9),
+                            GEN("b", prompt="detail"),
+                        ),
+                    ]
+                ),
+            ]
+        )
+        (finding,) = check_pipeline(pipeline).with_code("SPEAR101")
+        assert finding.operator == 'GEN["b"]'
+        # The single-threaded walk leaks arm 1's create into arm 2.
+        assert not flow_insensitive(pipeline).with_code("SPEAR101")
+
+    def test_write_on_all_paths_is_definite_after_join(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    RET("probe", into="gate"),
+                    CHECK(
+                        Condition.context_contains("gate"),
+                        then=RET("notes", into="slot"),
+                        orelse=RET("other", into="slot"),
+                    ),
+                    REF(RefAction.CREATE, "Data: {slot}", key="qa"),
+                    GEN("ans", prompt="qa"),
+                ]
+            )
+        )
+        assert not result.with_code("SPEAR111")
+        assert not result.with_code("SPEAR102")
+
+
+class TestBranchyFixture:
+    """The demonstrated FP kill on the shipped branchy DL fixture."""
+
+    def setup_method(self):
+        self.source = (FIXTURES / "branchy_pipeline.spear").read_text()
+
+    def _flow_insensitive(self) -> CheckResult:
+        from repro.dl.compiler import compile_program
+        from repro.dl.parser import parse
+
+        compiled = compile_program(parse(self.source))
+        out = CheckResult()
+        for name, pipeline in sorted(compiled.pipelines.items()):
+            env = AnalysisEnv(views=compiled.views)
+            graph = build_dataflow(
+                pipeline, env, name=name, path_sensitive=False
+            )
+            out.extend(run_analyzers(graph, env))
+        return out.sort()
+
+    def test_path_sensitive_kills_dead_arm_unused_prompt(self):
+        sensitive = check_program(self.source)
+        insensitive = self._flow_insensitive()
+        # The flow-insensitive walk flags the dead arm's
+        # "debug_scratch" key as unused — a false positive ...
+        (fp,) = insensitive.with_code("SPEAR121")
+        assert "debug_scratch" in fp.message
+        # ... which path sensitivity kills, keeping the dead-branch
+        # report itself.
+        assert not sensitive.with_code("SPEAR121")
+        assert sensitive.with_code("SPEAR148")
+
+    def test_fp_prone_findings_are_a_subset(self):
+        sensitive = keyed(check_program(self.source))
+        insensitive = keyed(self._flow_insensitive())
+        assert {k for k in sensitive if k[0] in FP_PRONE} <= insensitive
+
+    def test_buggy_fixture_fp_prone_subset(self):
+        source = (FIXTURES / "buggy_pipeline.spear").read_text()
+        from repro.dl.compiler import compile_program
+        from repro.dl.parser import parse
+
+        compiled = compile_program(parse(source))
+        insensitive = CheckResult()
+        for name, pipeline in sorted(compiled.pipelines.items()):
+            env = AnalysisEnv(views=compiled.views)
+            graph = build_dataflow(
+                pipeline, env, name=name, path_sensitive=False
+            )
+            insensitive.extend(run_analyzers(graph, env))
+        sensitive = keyed(check_program(source))
+        assert {k for k in sensitive if k[0] in FP_PRONE} <= keyed(
+            insensitive
+        )
+
+
+# ---------------------------------------------------------------------------
+# Property: on random branchy pipelines, path sensitivity never *adds*
+# an FP-prone finding the flow-insensitive walk would not also report.
+
+SLOTS = ("alpha", "beta")
+
+
+def _arm(kind: str, arg) -> object:
+    if kind == "ret":
+        return RET("notes", into=arg)
+    if kind == "append":
+        return REF(RefAction.APPEND, f"More about {arg}.", key="qa")
+    return REF(RefAction.CREATE, f"Aside on {arg}.", key=f"aside_{arg}")
+
+
+arm_step = st.tuples(
+    st.sampled_from(("ret", "append", "create")), st.sampled_from(SLOTS)
+)
+conditions = st.sampled_from(
+    (
+        ("below", "confidence", 0.7),
+        ("above", "confidence", 0.9),
+        ("above", "never_signal", 0.5),
+        ("contains", "alpha", None),
+    )
+)
+
+
+def _condition(spec) -> Condition:
+    kind, name, threshold = spec
+    if kind == "below":
+        return Condition.metadata_below(name, threshold)
+    if kind == "above":
+        return Condition.metadata_above(name, threshold)
+    return Condition.context_contains(name)
+
+
+branches = st.lists(
+    st.tuples(conditions, arm_step, st.one_of(st.none(), arm_step)),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(branches=branches, tail_gen=st.booleans())
+def test_path_sensitivity_only_removes_fp_prone_findings(branches, tail_gen):
+    ops = [
+        REF(RefAction.CREATE, "Answer briefly. ", key="qa"),
+        GEN("draft", prompt="qa"),
+    ]
+    for condition, then_spec, else_spec in branches:
+        ops.append(
+            CHECK(
+                _condition(condition),
+                then=_arm(*then_spec),
+                orelse=_arm(*else_spec) if else_spec else None,
+            )
+        )
+    if tail_gen:
+        ops.append(GEN("answer", prompt="qa"))
+    pipeline = Pipeline(ops)
+    sensitive = keyed(check_pipeline(pipeline))
+    insensitive = keyed(flow_insensitive(pipeline))
+    assert {k for k in sensitive if k[0] in FP_PRONE} <= insensitive

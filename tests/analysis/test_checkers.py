@@ -329,13 +329,13 @@ pipeline p {
 
 
 class TestReachabilityCodes:
-    def test_spear151_metadata_check_never_fires(self):
+    def test_spear148_metadata_check_never_fires(self):
         check = CHECK(
             Condition.metadata_above("never_written", 0.5),
             then=REF(RefAction.CREATE, "x", key="qa"),
         )
         result = check_pipeline(Pipeline([check]))
-        (finding,) = result.with_code("SPEAR151")
+        (finding,) = result.with_code("SPEAR148")
         assert "never fire" in finding.message
 
     def test_run_once_idiom_not_flagged(self):
@@ -345,7 +345,7 @@ class TestReachabilityCodes:
             Condition.missing_context("orders"),
             then=RET("order_lookup", into="orders"),
         )
-        assert not check_pipeline(Pipeline([check])).with_code("SPEAR151")
+        assert not check_pipeline(Pipeline([check])).with_code("SPEAR148")
 
     def test_written_signal_is_unknowable(self):
         pipeline = Pipeline(
@@ -358,7 +358,7 @@ class TestReachabilityCodes:
                 ),
             ]
         )
-        assert not check_pipeline(pipeline).with_code("SPEAR151")
+        assert not check_pipeline(pipeline).with_code("SPEAR148")
 
 
 class TestFixtures:
@@ -377,8 +377,8 @@ class TestFixtures:
             "SPEAR131",
             "SPEAR142",
             "SPEAR146",
-            "SPEAR151",
-            "SPEAR162",
+            "SPEAR148",
+            "SPEAR172",
         } <= codes(result)
 
     def test_buggy_fixture_spans_point_into_the_file(self):

@@ -1,0 +1,250 @@
+"""Static cost bounds and the SPEAR15x analyzers."""
+
+from repro.analysis import (
+    AnalysisEnv,
+    build_dataflow,
+    check_pipeline,
+    estimate_costs,
+)
+from repro.core import (
+    CHECK,
+    GEN,
+    REF,
+    RETRY,
+    Condition,
+    Pipeline,
+    RefAction,
+)
+from repro.resilience.policies import RetryPolicy
+
+
+def summarize(pipeline: Pipeline):
+    return estimate_costs(build_dataflow(pipeline, AnalysisEnv()))
+
+
+class TestEstimateCosts:
+    def test_bounds_are_ordered_and_priced(self):
+        summary = summarize(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer the question. " * 10, key="qa"),
+                    GEN("answer", prompt="qa"),
+                ]
+            )
+        )
+        assert summary.exact
+        assert 0 < summary.lower.tokens <= summary.upper.tokens
+        assert 0 < summary.lower.seconds <= summary.upper.seconds
+        assert 0 < summary.lower.usd <= summary.upper.usd
+        (gen,) = summary.operators
+        assert gen.kind == "GEN"
+        assert gen.max_runs == 1
+
+    def test_conditional_gen_costs_nothing_in_the_lower_bound(self):
+        summary = summarize(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer. ", key="qa"),
+                    GEN("answer", prompt="qa"),
+                    CHECK(
+                        Condition.metadata_below("confidence", 0.7),
+                        then=GEN("redo", prompt="qa"),
+                    ),
+                ]
+            )
+        )
+        redo = next(op for op in summary.operators if op.label == 'GEN["redo"]')
+        assert redo.lower.tokens == 0
+        assert redo.upper.tokens > 0
+
+    def test_retry_multiplies_the_upper_bound_only(self):
+        plain = summarize(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer. ", key="qa"),
+                    GEN("answer", prompt="qa"),
+                ]
+            )
+        )
+        retried = summarize(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer. ", key="qa"),
+                    RETRY(
+                        GEN("answer", prompt="qa"),
+                        Condition.metadata_below("confidence", 0.7),
+                        policy=RetryPolicy(max_attempts=3),
+                    ),
+                ]
+            )
+        )
+        (gen,) = retried.operators
+        assert gen.max_runs == 3
+        assert retried.upper.tokens == 3 * plain.upper.tokens
+        # The body is only guaranteed its first attempt.
+        assert retried.lower.tokens == plain.lower.tokens
+
+    def test_unknown_prompt_text_degrades_to_inexact(self):
+        summary = summarize(Pipeline([GEN("answer", prompt="ghost")]))
+        assert not summary.exact
+        (gen,) = summary.operators
+        assert not gen.exact
+        # Zero prompt tokens, but the decode side is still priced.
+        assert gen.upper.tokens > 0
+
+    def test_dead_arm_gens_are_not_priced(self):
+        summary = summarize(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer. ", key="qa"),
+                    GEN("answer", prompt="qa"),
+                    CHECK(
+                        Condition.metadata_above("never_signal", 0.5),
+                        then=GEN("dead", prompt="qa"),
+                    ),
+                ]
+            )
+        )
+        assert all(op.label != 'GEN["dead"]' for op in summary.operators)
+
+
+class TestSpear151DeadlineInfeasible:
+    def _pipeline(self) -> Pipeline:
+        return Pipeline(
+            [
+                REF(RefAction.CREATE, "Summarize the history. " * 40, key="qa"),
+                GEN("answer", prompt="qa"),
+            ]
+        )
+
+    def test_impossible_deadline_trips(self):
+        result = check_pipeline(
+            self._pipeline(),
+            runtime={"scheduler": True, "deadline_s": 0.001},
+        )
+        (finding,) = result.with_code("SPEAR151")
+        assert finding.operator == 'GEN["answer"]'
+        assert finding.data["deadline_s"] == 0.001
+        assert finding.data["lower_seconds"] > 0.001
+
+    def test_generous_deadline_is_clean(self):
+        result = check_pipeline(
+            self._pipeline(),
+            runtime={"scheduler": True, "deadline_s": 120.0},
+        )
+        assert not result.with_code("SPEAR151")
+
+    def test_no_deadline_no_finding(self):
+        result = check_pipeline(self._pipeline(), runtime={"scheduler": True})
+        assert not result.with_code("SPEAR151")
+
+
+class TestSpear152UnboundedFanout:
+    def test_condition_on_unwritten_signal_trips(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer. ", key="qa"),
+                    RETRY(
+                        GEN("answer", prompt="qa"),
+                        Condition.metadata_below("external_score", 0.5),
+                        policy=RetryPolicy(max_attempts=4),
+                    ),
+                ]
+            )
+        )
+        (finding,) = result.with_code("SPEAR152")
+        assert finding.data["attempts"] == 4
+
+    def test_condition_on_body_written_signal_is_clean(self):
+        # GEN writes M["confidence"], so the verdict can change.
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Answer. ", key="qa"),
+                    RETRY(
+                        GEN("answer", prompt="qa"),
+                        Condition.metadata_below("confidence", 0.5),
+                        policy=RetryPolicy(max_attempts=4),
+                    ),
+                ]
+            )
+        )
+        assert not result.with_code("SPEAR152")
+
+    def test_tokenless_body_is_clean(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    RETRY(
+                        REF(RefAction.CREATE, "Try again.", key="qa"),
+                        Condition.metadata_below("external_score", 0.5),
+                        policy=RetryPolicy(max_attempts=4),
+                    ),
+                    GEN("answer", prompt="qa"),
+                ]
+            )
+        )
+        assert not result.with_code("SPEAR152")
+
+
+class TestSpear153CacheDefeatingRefiner:
+    def test_refining_the_universal_key_trips(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Review the claim.", key="qa"),
+                    GEN("draft", prompt="qa"),
+                    GEN("critique", prompt="qa"),
+                    GEN("final", prompt="qa"),
+                    CHECK(
+                        Condition.metadata_below("confidence", 0.9),
+                        then=REF(
+                            RefAction.APPEND, "Be specific.", key="qa"
+                        ),
+                    ),
+                ]
+            )
+        )
+        (finding,) = result.with_code("SPEAR153")
+        assert finding.data["keys"] == ("qa",)
+        assert finding.data["rerun_steps"] >= 3
+        assert finding.data["fraction"] >= 0.9
+
+    def test_narrow_refiner_is_clean(self):
+        # The refiner touches a key only the final GEN reads: most of
+        # the pipeline survives a refinement.
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Review the claim.", key="qa"),
+                    GEN("draft", prompt="qa"),
+                    GEN("critique", prompt="qa"),
+                    REF(RefAction.CREATE, "Follow up: ", key="followup"),
+                    CHECK(
+                        Condition.metadata_below("confidence", 0.9),
+                        then=REF(
+                            RefAction.APPEND, "Be specific.", key="followup"
+                        ),
+                    ),
+                    GEN("final", prompt="followup"),
+                ]
+            )
+        )
+        assert not result.with_code("SPEAR153")
+
+    def test_unconditional_prompt_construction_is_clean(self):
+        # Top-of-pipeline CREATE/APPEND chains run exactly once; they
+        # are not refinement sites.
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "Part one. ", key="qa"),
+                    REF(RefAction.APPEND, "Part two. ", key="qa"),
+                    GEN("draft", prompt="qa"),
+                    GEN("critique", prompt="qa"),
+                    GEN("final", prompt="qa"),
+                ]
+            )
+        )
+        assert not result.with_code("SPEAR153")

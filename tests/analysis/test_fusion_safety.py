@@ -1,4 +1,4 @@
-"""SPEAR161/162 cross-validation: checker verdicts mirror fuse_refs.
+"""SPEAR171/172 cross-validation: checker verdicts mirror fuse_refs.
 
 The fusion-safety analyzer and the optimizer share one classifier,
 :func:`repro.optimizer.fusion.ref_fusion_compatibility`.  These tests pin
@@ -19,7 +19,7 @@ def fusion_findings(ops):
     return [
         diagnostic
         for diagnostic in run_analyzers(graph, env)
-        if diagnostic.code in ("SPEAR161", "SPEAR162")
+        if diagnostic.code in ("SPEAR171", "SPEAR172")
     ]
 
 
@@ -32,13 +32,13 @@ def seed_then(*refs):
 
 
 class TestFusableAdvice:
-    def test_spear161_pair_is_actually_fused(self):
+    def test_spear171_pair_is_actually_fused(self):
         ops = seed_then(
             REF(RefAction.APPEND, "Add citations.", key="qa", mode="MANUAL"),
             REF(RefAction.APPEND, "Keep it short.", key="qa", mode="MANUAL"),
         )
         (finding,) = fusion_findings(ops)
-        assert finding.code == "SPEAR161"
+        assert finding.code == "SPEAR171"
         fused = fuse_refs(Pipeline(ops))
         assert len(fused.operators) == len(ops) - 1
 
@@ -78,12 +78,12 @@ class TestUnsafePairs:
             ),
         }
 
-    def test_spear162_pairs_never_fused(self):
+    def test_spear172_pairs_never_fused(self):
         for verdict, (first, second) in self.pairs().items():
             assert ref_fusion_compatibility(first, second) == verdict
             ops = seed_then(first, second)
             (finding,) = fusion_findings(ops)
-            assert finding.code == "SPEAR162", verdict
+            assert finding.code == "SPEAR172", verdict
             assert finding.data["verdict"] == verdict
             fused = fuse_refs(Pipeline(ops))
             assert len(fused.operators) == len(ops), verdict

@@ -1,0 +1,170 @@
+"""Lane-interference analyzers: SPEAR161, SPEAR162, SPEAR163."""
+
+from repro.analysis import check_pipeline
+from repro.core import (
+    CHECK,
+    GEN,
+    MERGE,
+    REF,
+    RET,
+    Condition,
+    Pipeline,
+    RefAction,
+)
+
+
+def racy_batch() -> Pipeline:
+    return Pipeline(
+        [
+            REF(RefAction.CREATE, "Summarize: ", key="qa"),
+            REF(RefAction.CREATE, "Cite sources.", key="style"),
+            MERGE("qa", "style", into="final"),
+            GEN("answer", prompt="final"),
+        ]
+    )
+
+
+class TestSpear161PromptWriteRaces:
+    def test_shared_prompts_flag_every_written_key(self):
+        result = check_pipeline(
+            racy_batch(),
+            runtime={"lanes": 4, "shared_prompts": True},
+        )
+        findings = result.with_code("SPEAR161")
+        assert {f.data["key"] for f in findings} == {"qa", "style", "final"}
+        assert all(f.data["lanes"] == 4 for f in findings)
+
+    def test_isolated_prompts_are_clean(self):
+        result = check_pipeline(
+            racy_batch(),
+            runtime={"lanes": 4, "shared_prompts": False},
+        )
+        assert not result.with_code("SPEAR161")
+
+    def test_single_lane_is_clean(self):
+        result = check_pipeline(
+            racy_batch(),
+            runtime={"lanes": 1, "shared_prompts": True},
+        )
+        assert not result.with_code("SPEAR161")
+
+    def test_shared_context_flags_slot_writes(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    RET("notes", into="scratch"),
+                    REF(RefAction.CREATE, "Data: {scratch}", key="qa"),
+                    GEN("answer", prompt="qa"),
+                ]
+            ),
+            sources=["notes"],
+            runtime={"lanes": 2, "shared_context": True},
+        )
+        slots = [
+            f.data["slot"]
+            for f in result.with_code("SPEAR161")
+            if "slot" in f.data
+        ]
+        assert "scratch" in slots
+
+
+class TestSpear162RefineDuringServe:
+    def test_refining_a_registered_key_trips(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    GEN("answer", prompt="qa"),
+                    CHECK(
+                        Condition.metadata_below("confidence", 0.7),
+                        then=REF(
+                            RefAction.APPEND, "Explain.", key="qa"
+                        ),
+                    ),
+                    GEN("answer_2", prompt="qa"),
+                ]
+            ),
+            prompts={"qa": "Answer from the notes: "},
+            runtime={"serve": True},
+        )
+        (finding,) = result.with_code("SPEAR162")
+        assert finding.data["key"] == "qa"
+
+    def test_fresh_working_key_is_clean(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "scratch notes", key="scratch"),
+                    GEN("answer", prompt="qa"),
+                    CHECK(
+                        Condition.metadata_below("confidence", 0.7),
+                        then=GEN("retry", prompt="scratch"),
+                    ),
+                ]
+            ),
+            prompts={"qa": "Answer from the notes: "},
+            runtime={"serve": True},
+        )
+        assert not result.with_code("SPEAR162")
+
+    def test_not_serving_is_clean(self):
+        result = check_pipeline(
+            Pipeline(
+                [
+                    GEN("answer", prompt="qa"),
+                    REF(RefAction.APPEND, "Explain.", key="qa"),
+                    GEN("answer_2", prompt="qa"),
+                ]
+            ),
+            prompts={"qa": "Answer from the notes: "},
+            runtime={"scheduler": True},
+        )
+        assert not result.with_code("SPEAR162")
+
+    def test_create_over_registered_key_trips_too(self):
+        # A CREATE clobbers the registered template for all later
+        # requests just as surely as an APPEND refines it.
+        result = check_pipeline(
+            Pipeline(
+                [
+                    REF(RefAction.CREATE, "replacement", key="qa"),
+                    GEN("answer", prompt="qa"),
+                ]
+            ),
+            prompts={"qa": "Answer from the notes: "},
+            runtime={"serve": True},
+        )
+        (finding,) = result.with_code("SPEAR162")
+        assert finding.data["key"] == "qa"
+
+
+class TestSpear163MergeDeterminism:
+    def test_merge_of_lane_written_keys_trips(self):
+        result = check_pipeline(
+            racy_batch(),
+            runtime={"lanes": 4, "shared_prompts": True},
+        )
+        (finding,) = result.with_code("SPEAR163")
+        assert finding.data["keys"] == ("qa", "style")
+        assert finding.data["lanes"] == 4
+
+    def test_merge_of_static_keys_is_clean(self):
+        # Neither merged key is written by the pipeline itself, so the
+        # merge is stable regardless of lane interleaving.
+        result = check_pipeline(
+            Pipeline(
+                [
+                    MERGE("qa", "style", into="final"),
+                    GEN("answer", prompt="final"),
+                ]
+            ),
+            prompts={"qa": "Ask.", "style": "Cite."},
+            runtime={"lanes": 4, "shared_prompts": True},
+        )
+        assert not result.with_code("SPEAR163")
+
+    def test_isolated_prompts_are_clean(self):
+        result = check_pipeline(
+            racy_batch(),
+            runtime={"lanes": 4, "shared_prompts": False},
+        )
+        assert not result.with_code("SPEAR163")

@@ -1,0 +1,113 @@
+"""SARIF rendering and deterministic diagnostic ordering."""
+
+import json
+
+from repro.analysis import check_pipeline, check_program, to_sarif
+from repro.analysis.diagnostics import (
+    CheckResult,
+    Diagnostic,
+    SourceSpan,
+    make_diagnostic,
+)
+from repro.core import GEN, Pipeline
+
+
+class TestToSarif:
+    def _log(self):
+        result = check_pipeline(Pipeline([GEN("answer", prompt="ghost")]))
+        return to_sarif(result), result
+
+    def test_shape_and_version(self):
+        log, result = self._log()
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "spear-check"
+        assert len(run["results"]) == len(result)
+        # The whole log must be JSON-serializable.
+        json.dumps(log)
+
+    def test_rules_cover_exactly_the_present_codes(self):
+        log, result = self._log()
+        (run,) = log["runs"]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == result.codes()
+        (rule,) = [r for r in rule_ids if r == "SPEAR101"]
+        assert rule == "SPEAR101"
+
+    def test_severity_maps_to_sarif_levels(self):
+        log, __ = self._log()
+        (run,) = log["runs"]
+        levels = {res["ruleId"]: res["level"] for res in run["results"]}
+        assert levels["SPEAR101"] == "error"
+
+    def test_spans_become_physical_locations(self):
+        source = (
+            "pipeline p {\n"
+            '  GEN["answer", prompt="ghost"]\n'
+            "}\n"
+        )
+        result = check_program(source, filename="p.spear")
+        log = to_sarif(result)
+        (run,) = log["runs"]
+        located = [res for res in run["results"] if "locations" in res]
+        assert located
+        location = located[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "p.spear"
+        assert location["region"]["startLine"] >= 1
+
+    def test_spanless_results_have_no_locations(self):
+        log, __ = self._log()
+        (run,) = log["runs"]
+        assert all("locations" not in res for res in run["results"])
+
+
+class TestOrdering:
+    """Diagnostics are emitted in (file, line, column, code) order."""
+
+    def test_sort_orders_by_span_then_code(self):
+        def at(code, file, line, column):
+            return make_diagnostic(
+                code,
+                "m",
+                span=SourceSpan(file=file, line=line, column=column),
+            )
+
+        scrambled = CheckResult(
+            [
+                at("SPEAR121", "b.spear", 1, 1),
+                at("SPEAR111", "a.spear", 9, 2),
+                at("SPEAR101", "a.spear", 2, 5),
+                at("SPEAR112", "a.spear", 2, 5),
+                at("SPEAR101", "a.spear", 2, 1),
+            ]
+        ).sort()
+        keys = [
+            (d.span.file, d.span.line, d.span.column, d.code)
+            for d in scrambled
+        ]
+        assert keys == sorted(keys)
+
+    def test_spanless_findings_sort_by_pipeline_and_operator(self):
+        scrambled = CheckResult(
+            [
+                make_diagnostic("SPEAR121", "m", pipeline="z", operator="op"),
+                make_diagnostic("SPEAR121", "m", pipeline="a", operator="op2"),
+                make_diagnostic("SPEAR121", "m", pipeline="a", operator="op1"),
+            ]
+        ).sort()
+        anchors = [(d.pipeline, d.operator) for d in scrambled]
+        assert anchors == [("a", "op1"), ("a", "op2"), ("z", "op")]
+
+    def test_check_program_output_is_sorted(self):
+        source = (
+            "pipeline p {\n"
+            '  REF[CREATE, "orphan", key="unused"]\n'
+            '  GEN["answer", prompt="ghost"]\n'
+            '  GEN["answer2", prompt="ghost2"]\n'
+            "}\n"
+        )
+        result = check_program(source, filename="p.spear")
+        assert len(result) >= 3
+        keys = [Diagnostic.sort_key(d) for d in result]
+        assert keys == sorted(keys)

@@ -1,0 +1,116 @@
+"""Inline suppressions and the SPEAR199 useless-suppression meta-check."""
+
+from pathlib import Path
+
+from repro.analysis import CheckResult, Suppression, check_program
+from repro.analysis.diagnostics import SourceSpan, make_diagnostic
+from repro.analysis.suppressions import apply_suppressions
+from repro.dl.lexer import collect_suppressions
+
+FIXTURES = Path(__file__).parent.parent / "fixtures" / "dl"
+
+
+class TestCollectSuppressions:
+    def test_standalone_comment_targets_the_next_line(self):
+        source = (
+            "pipeline p {\n"
+            "  # spear: ignore[SPEAR121]\n"
+            '  REF[CREATE, "draft", key="scratch"]\n'
+            "}\n"
+        )
+        (suppression,) = collect_suppressions(source)
+        assert suppression.codes == ("SPEAR121",)
+        assert suppression.comment_line == 2
+        assert suppression.line == 3
+
+    def test_trailing_comment_targets_its_own_line(self):
+        source = (
+            "pipeline p {\n"
+            '  REF[CREATE, "q", key="qa"]\n'
+            '  GEN["answer", prompt="qa"]  # spear: ignore[SPEAR101]\n'
+            "}\n"
+        )
+        (suppression,) = collect_suppressions(source)
+        assert suppression.line == 3
+        assert suppression.comment_line == 3
+
+    def test_multiple_codes_and_whitespace(self):
+        source = "# spear: ignore[SPEAR121, spear148]\npipeline p {\n}\n"
+        (suppression,) = collect_suppressions(source)
+        assert suppression.codes == ("SPEAR121", "SPEAR148")
+
+    def test_ordinary_comments_are_not_suppressions(self):
+        assert collect_suppressions("# just a note\npipeline p {\n}\n") == []
+
+    def test_unparseable_source_yields_nothing(self):
+        assert collect_suppressions("pipeline ???") == []
+
+
+class TestApplySuppressions:
+    def _finding(self, code: str, line: int):
+        return make_diagnostic(
+            code, "x", span=SourceSpan(file="f.spear", line=line, column=3)
+        )
+
+    def test_matching_finding_is_silenced(self):
+        suppression = Suppression(
+            line=5, codes=("SPEAR121",), comment_line=4, comment_column=3
+        )
+        result = apply_suppressions(
+            CheckResult([self._finding("SPEAR121", 5)]),
+            [suppression],
+            filename="f.spear",
+        )
+        assert len(result) == 0
+
+    def test_non_matching_line_stays_and_yields_spear199(self):
+        suppression = Suppression(
+            line=9, codes=("SPEAR121",), comment_line=8, comment_column=3
+        )
+        result = apply_suppressions(
+            CheckResult([self._finding("SPEAR121", 5)]),
+            [suppression],
+            filename="f.spear",
+        )
+        assert result.codes() == ["SPEAR121", "SPEAR199"]
+        (meta,) = result.with_code("SPEAR199")
+        assert meta.span.line == 8
+        assert meta.data["suppressed_code"] == "SPEAR121"
+
+    def test_unknown_code_is_reported_as_useless(self):
+        suppression = Suppression(
+            line=5, codes=("SPEAR999",), comment_line=4, comment_column=3
+        )
+        result = apply_suppressions(
+            CheckResult(), [suppression], filename="f.spear"
+        )
+        (meta,) = result.with_code("SPEAR199")
+        assert "unknown code" in meta.message
+
+    def test_spear199_itself_cannot_be_suppressed(self):
+        suppression = Suppression(
+            line=4, codes=("SPEAR199",), comment_line=4, comment_column=3
+        )
+        result = apply_suppressions(
+            CheckResult(), [suppression], filename="f.spear"
+        )
+        # The ignore[SPEAR199] did not silence the SPEAR199 it caused.
+        assert result.codes() == ["SPEAR199"]
+
+
+class TestEndToEnd:
+    def test_suppressed_fixture(self):
+        source = (FIXTURES / "suppressed_pipeline.spear").read_text()
+        result = check_program(source, filename="suppressed_pipeline.spear")
+        # The used suppression silenced the SPEAR121 on "scratch" ...
+        assert not result.with_code("SPEAR121")
+        # ... and the useless one came back as SPEAR199.
+        (meta,) = result.with_code("SPEAR199")
+        assert meta.data["suppressed_code"] == "SPEAR101"
+        assert not result.has_errors
+
+    def test_without_suppressions_the_finding_returns(self):
+        source = (FIXTURES / "suppressed_pipeline.spear").read_text()
+        result = check_program(source, suppressions=[])
+        assert result.with_code("SPEAR121")
+        assert not result.with_code("SPEAR199")

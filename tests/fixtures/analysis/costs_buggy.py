@@ -1,0 +1,54 @@
+"""Seeded-buggy cost-bound fixture: SPEAR151, SPEAR152, SPEAR153.
+
+CI runs `spear check --fail-on warning` over this module and requires a
+non-zero exit; if any of the three cost analyzers stops firing, the
+static-check job fails.
+"""
+
+from repro.core import CHECK, GEN, REF, RETRY, Condition, Pipeline, RefAction
+from repro.resilience.policies import RetryPolicy
+
+#: the runtime these pipelines are destined for — a deadline no
+#: generation can meet, so SPEAR151 is statically decidable.
+SPEAR_RUNTIME = {"scheduler": True, "deadline_s": 0.001}
+
+#: SPEAR151 — the single unavoidable GEN already exceeds deadline_s.
+DEADLINE_INFEASIBLE = Pipeline(
+    [
+        REF(RefAction.CREATE, "Summarize the patient history. " * 40, key="qa"),
+        GEN("answer", prompt="qa"),
+    ],
+    name="deadline_infeasible",
+)
+
+#: SPEAR152 — the retry condition reads M["external_score"], which the
+#: GEN body never writes: the verdict cannot change, every permitted
+#: attempt runs, and only max_retries bounds the token spend.
+UNBOUNDED_FANOUT = Pipeline(
+    [
+        REF(RefAction.CREATE, "Answer the question.", key="qa"),
+        RETRY(
+            GEN("answer", prompt="qa"),
+            Condition.metadata_below("external_score", 0.5),
+            policy=RetryPolicy(max_attempts=4),
+        ),
+    ],
+    name="unbounded_fanout",
+)
+
+#: SPEAR153 — the conditional refiner appends to the one key every
+#: generation reads: its dependent suffix covers the whole pipeline, so
+#: each refinement invalidates everything the prefix cache held.
+CACHE_DEFEATING = Pipeline(
+    [
+        REF(RefAction.CREATE, "Review the claim.", key="qa"),
+        GEN("draft", prompt="qa"),
+        GEN("critique", prompt="qa"),
+        GEN("final", prompt="qa"),
+        CHECK(
+            Condition.metadata_below("confidence", 0.9),
+            then=REF(RefAction.APPEND, "Be more specific.", key="qa"),
+        ),
+    ],
+    name="cache_defeating",
+)

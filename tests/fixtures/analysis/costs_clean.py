@@ -1,0 +1,53 @@
+"""Clean twins of the cost-bound fixture: same shapes, no findings.
+
+CI runs `spear check --fail-on warning` over this module and requires a
+zero exit — the cost analyzers must not flag realistic pipelines.
+"""
+
+from repro.core import CHECK, GEN, REF, RETRY, Condition, Pipeline, RefAction
+from repro.resilience.policies import RetryPolicy
+
+#: a deadline the lower-bound latency comfortably fits.
+SPEAR_RUNTIME = {"scheduler": True, "deadline_s": 120.0}
+
+#: SPEAR151 twin — same pipeline, feasible deadline (see SPEAR_RUNTIME).
+DEADLINE_FEASIBLE = Pipeline(
+    [
+        REF(RefAction.CREATE, "Summarize the patient history. " * 40, key="qa"),
+        GEN("answer", prompt="qa"),
+    ],
+    name="deadline_feasible",
+)
+
+#: SPEAR152 twin — the condition reads M["confidence"], which the GEN
+#: body writes on every attempt: the verdict can change, so retrying is
+#: meaningful.
+BOUNDED_RETRY = Pipeline(
+    [
+        REF(RefAction.CREATE, "Answer the question.", key="qa"),
+        RETRY(
+            GEN("answer", prompt="qa"),
+            Condition.metadata_below("confidence", 0.5),
+            policy=RetryPolicy(max_attempts=4),
+        ),
+    ],
+    name="bounded_retry",
+)
+
+#: SPEAR153 twin — the conditional refiner touches a narrow follow-up
+#: key; the bulk of the pipeline is untouched by a refinement.
+NARROW_REFINER = Pipeline(
+    [
+        REF(RefAction.CREATE, "Review the claim.", key="qa"),
+        GEN("draft", prompt="qa"),
+        GEN("critique", prompt="qa"),
+        GEN("final", prompt="qa"),
+        REF(RefAction.CREATE, "List any follow-up questions.", key="followup"),
+        CHECK(
+            Condition.metadata_below("confidence", 0.9),
+            then=REF(RefAction.APPEND, "Be more specific.", key="followup"),
+        ),
+        GEN("questions", prompt="followup"),
+    ],
+    name="narrow_refiner",
+)

@@ -1,0 +1,25 @@
+"""Seeded-buggy lane-interference fixture: SPEAR161 and SPEAR163.
+
+CI runs `spear check --fail-on warning` over this module and requires a
+non-zero exit; the runtime below mirrors a ParallelBatchRunner with the
+default shared prompt store.
+"""
+
+from repro.core import GEN, MERGE, REF, Pipeline, RefAction
+
+#: four lanes over one shared prompt store — the batch-runner default
+#: (isolate_prompts=False).
+SPEAR_RUNTIME = {"scheduler": True, "lanes": 4, "shared_prompts": True}
+
+#: SPEAR161 — every lane refines the shared "qa" key per item, so items
+#: race on its text; SPEAR163 — the MERGE of two lane-written keys
+#: depends on lane arrival order.
+RACY_BATCH = Pipeline(
+    [
+        REF(RefAction.CREATE, "Summarize: ", key="qa"),
+        REF(RefAction.CREATE, "Cite sources.", key="style"),
+        MERGE("qa", "style", into="final"),
+        GEN("answer", prompt="final"),
+    ],
+    name="racy_batch",
+)

@@ -1,0 +1,21 @@
+"""Clean twin of the lane-interference fixture: isolated prompt stores.
+
+Same pipeline shape as the buggy twin, but the runtime isolates prompts
+per lane (isolate_prompts=True), so no lane ever observes another's
+writes: `spear check --fail-on warning` must exit zero.
+"""
+
+from repro.core import GEN, MERGE, REF, Pipeline, RefAction
+
+#: four lanes, each with its own forked prompt store.
+SPEAR_RUNTIME = {"scheduler": True, "lanes": 4, "shared_prompts": False}
+
+ISOLATED_BATCH = Pipeline(
+    [
+        REF(RefAction.CREATE, "Summarize: ", key="qa"),
+        REF(RefAction.CREATE, "Cite sources.", key="style"),
+        MERGE("qa", "style", into="final"),
+        GEN("answer", prompt="final"),
+    ],
+    name="isolated_batch",
+)

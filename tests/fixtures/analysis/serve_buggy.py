@@ -1,0 +1,27 @@
+"""Seeded-buggy serve fixture: SPEAR162 refine-during-serve.
+
+The tenant prompt store persists across requests: a request that
+refines the registered "qa" template leaks its refinement into every
+later request of the tenant.  CI runs `spear check --fail-on warning`
+over this module and requires a non-zero exit.
+"""
+
+from repro.core import CHECK, GEN, REF, Condition, Pipeline, RefAction
+
+#: registered in a serving layer (SpearServer.register_pipeline).
+SPEAR_RUNTIME = {"scheduler": True, "serve": True}
+
+#: the templates registration seeds into each tenant session.
+SPEAR_PROMPTS = {"qa": "Answer from the patient notes: "}
+
+REFINES_REGISTERED_PROMPT = Pipeline(
+    [
+        GEN("answer", prompt="qa"),
+        CHECK(
+            Condition.metadata_below("confidence", 0.7),
+            then=REF(RefAction.APPEND, "Explain your reasoning.", key="qa"),
+        ),
+        GEN("answer_2", prompt="qa"),
+    ],
+    name="refines_registered_prompt",
+)

@@ -1,0 +1,24 @@
+"""Clean twin of the serve fixture: per-request working keys only.
+
+The request copies the registered template into a fresh working key and
+refines *that*, so the persistent tenant store is never mutated:
+`spear check --fail-on warning` must exit zero.
+"""
+
+from repro.core import CHECK, GEN, MERGE, REF, Condition, Pipeline, RefAction
+
+SPEAR_RUNTIME = {"scheduler": True, "serve": True}
+
+SPEAR_PROMPTS = {"qa": "Answer from the patient notes: "}
+
+FRESH_WORKING_KEY = Pipeline(
+    [
+        REF(RefAction.CREATE, "Work through the question step by step.", key="scratch"),
+        GEN("answer", prompt="qa"),
+        CHECK(
+            Condition.metadata_below("confidence", 0.7),
+            then=GEN("answer_2", prompt="scratch"),
+        ),
+    ],
+    name="fresh_working_key",
+)

@@ -60,6 +60,25 @@ class TestCostModel:
         )
         assert cold.seconds > estimate.seconds
 
+    def test_summarize_pipeline_shares_the_static_cost_engine(self):
+        from repro.analysis import AnalysisEnv, build_dataflow, estimate_costs
+        from repro.core import GEN
+
+        model = CostModel(QWEN)
+        pipeline = Pipeline(
+            [
+                REF(RefAction.CREATE, "Summarize the tweet. " * 5, key="qa"),
+                GEN("answer", prompt="qa"),
+            ]
+        )
+        summary = model.summarize_pipeline(pipeline)
+        direct = estimate_costs(
+            build_dataflow(pipeline, AnalysisEnv()), model=model
+        )
+        assert summary == direct
+        assert summary.exact
+        assert 0 < summary.lower.tokens <= summary.upper.tokens
+
 
 class TestResilientCall:
     def test_zero_failure_rate_matches_plain_call(self):
